@@ -1,0 +1,60 @@
+// Policy comparison the introduction motivates: gang scheduling versus
+// pure time-sharing and pure space-sharing on the paper's 8-processor
+// mixed workload, across loads (simulation; identical seeds per point).
+//
+// Pure time-sharing runs one job at a time, so its stability boundary is
+// sum_p lambda_p/mu_p < 1 — the sweep deliberately crosses it to show the
+// blow-up.
+//
+//   $ ./baseline_policies [--horizon 100000]
+#include <cstdio>
+#include <iostream>
+
+#include "sim/baselines.hpp"
+#include "sim/gang_simulator.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/paper_configs.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gs;
+  util::Cli cli("baseline_policies",
+                "gang vs pure time-/space-sharing (simulation)");
+  cli.add_flag("horizon", "100000", "simulated time per point");
+  cli.add_flag("csv", "false", "emit CSV");
+  if (!cli.parse(argc, argv)) return 1;
+
+  sim::SimConfig cfg;
+  cfg.warmup = 5000.0;
+  cfg.horizon = cli.get_double("horizon");
+  cfg.seed = 77;
+
+  util::Table table({"rho", "gang_N", "timeshare_N", "spaceshare_N",
+                     "gang_util", "timeshare_util", "spaceshare_util"});
+  for (double rho : {0.1, 0.2, 0.3, 0.4, 0.6, 0.8}) {
+    workload::PaperKnobs knobs;
+    knobs.arrival_rate = rho;
+    const auto sys = workload::paper_system(knobs);
+    const auto gang = sim::GangSimulator(sys, cfg).run();
+    const auto ts = sim::TimeSharingSimulator(sys, cfg).run();
+    const auto ss = sim::SpaceSharingSimulator(sys, cfg).run();
+    table.add_row({rho, gang.total_mean_jobs, ts.total_mean_jobs,
+                   ss.total_mean_jobs, gang.processor_utilization,
+                   ts.processor_utilization, ss.processor_utilization});
+  }
+  std::printf("Baselines: gang vs time-sharing vs space-sharing (total mean "
+              "jobs; time-sharing saturates past rho ~ 0.27)\n");
+  if (cli.get_bool("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::printf(
+      "\nShape check: time-sharing explodes once sum lambda_p/mu_p crosses "
+      "1 (rho ~ 0.27 on this mix; one job at a time wastes P-g processors). "
+      "Run-to-completion space-sharing saturates near rho ~ 0.46: strict "
+      "FCFS head-of-line blocking idles the machine whenever a "
+      "whole-machine job waits. Gang scheduling sustains the full load "
+      "range — the paper's motivation.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 5: mean number of jobs N_p versus the fraction of the
+// timeplexing cycle devoted to class p's quantum. lambda_p = 0.6 for all
+// classes (rho = 0.6, mu = 0.5:1:2:4). The paper does not pin down how the
+// remaining cycle is split; we hold the total mean quantum budget fixed
+// and divide the remainder equally among the other three classes (see
+// DESIGN.md). Each row varies ONE class's share; the N_p reported in
+// column p is that favored class's own mean — the four curves of the
+// figure.
+//
+//   $ ./fig5_cycle_fraction [--csv true]
+#include <cstdio>
+#include <iostream>
+
+#include "gang/solver.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+#include "workload/paper_configs.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gs;
+  util::Cli cli("fig5_cycle_fraction",
+                "Figure 5: N_p vs class p's share of the timeplexing cycle");
+  cli.add_flag("csv", "false", "emit CSV instead of an aligned table");
+  cli.add_flag("budget", "4.0", "total mean quantum budget per cycle");
+  cli.add_flag("stages", "2", "Erlang stages of the quantum distribution");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const double budget = cli.get_double("budget");
+  const int stages = cli.get_int("stages");
+
+  util::Table table({"fraction", "N0", "N1", "N2", "N3", "note"});
+  for (double fraction = 0.1; fraction <= 0.9 + 1e-9; fraction += 0.1) {
+    std::vector<util::Cell> row;
+    row.emplace_back(fraction);
+    std::string note;
+    for (std::size_t favored = 0; favored < 4; ++favored) {
+      const auto sys =
+          workload::figure5_system(favored, fraction, budget, stages);
+      try {
+        // Full fixed point when every class is stable.
+        const auto rep = gang::GangSolver(sys).solve();
+        row.emplace_back(rep.per_class[favored].mean_jobs);
+        continue;
+      } catch (const Error&) {
+        // Some *other* class saturated (a large share starves it). The
+        // favored class's heavy-traffic solution is exact in that regime.
+      }
+      try {
+        row.emplace_back(
+            gang::solve_class_heavy_traffic(sys, favored).mean_jobs);
+        note = "others saturated: favored-class heavy-traffic solve";
+      } catch (const Error&) {
+        row.emplace_back(std::string("-"));
+        note = "favored class unstable";
+      }
+    }
+    row.emplace_back(note);
+    table.add_row(std::move(row));
+  }
+  std::printf(
+      "Figure 5: N_p vs fraction of the cycle given to class p (P=8, "
+      "lambda=0.6, budget=%.1f)\nColumn N_p: class p is the favored class "
+      "of that column (four separate experiments per row).\n",
+      budget);
+  if (cli.get_bool("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::printf(
+      "\nPaper shape check: each class's N_p decreases monotonically as "
+      "its own share of the cycle grows.\n");
+  return 0;
+}

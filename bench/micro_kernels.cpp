@@ -1,0 +1,168 @@
+// Microbenchmarks (google-benchmark) of the solver kernels: dense linear
+// algebra, phase-type operations, R-matrix algorithms, the per-class QBD
+// assembly + solve, the full fixed point, and the simulator's event rate.
+#include <benchmark/benchmark.h>
+
+#include "gang/away_period.hpp"
+#include "gang/class_process.hpp"
+#include "gang/solver.hpp"
+#include "linalg/gth.hpp"
+#include "linalg/lu.hpp"
+#include "phase/builders.hpp"
+#include "phase/ops.hpp"
+#include "qbd/rmatrix.hpp"
+#include "qbd/solver.hpp"
+#include "sim/gang_simulator.hpp"
+#include "util/rng.hpp"
+#include "workload/paper_configs.hpp"
+
+namespace {
+
+using gs::linalg::Matrix;
+
+Matrix random_dd_matrix(std::size_t n, std::uint64_t seed) {
+  gs::util::Rng rng(seed);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double off = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      a(i, j) = rng.uniform();
+      off += a(i, j);
+    }
+    a(i, i) = off + 1.0;
+  }
+  return a;
+}
+
+void BM_MatrixMultiply(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_dd_matrix(n, 1);
+  const Matrix b = random_dd_matrix(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_MatrixMultiply)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_LuSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_dd_matrix(n, 3);
+  const gs::linalg::Vector b(n, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gs::linalg::Lu(a).solve(b));
+  }
+}
+BENCHMARK(BM_LuSolve)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_GthStationary(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  gs::util::Rng rng(5);
+  Matrix q(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double off = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      q(i, j) = 0.05 + rng.uniform();
+      off += q(i, j);
+    }
+    q(i, i) = -off;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gs::linalg::gth_stationary(q));
+  }
+}
+BENCHMARK(BM_GthStationary)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_PhaseConvolution(benchmark::State& state) {
+  const auto order = static_cast<int>(state.range(0));
+  const auto a = gs::phase::erlang(order, 1.0);
+  const auto b = gs::phase::erlang(order, 2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gs::phase::convolve(a, b));
+  }
+}
+BENCHMARK(BM_PhaseConvolution)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_AwayPeriodAssembly(benchmark::State& state) {
+  const auto sys = gs::workload::paper_system({});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gs::gang::away_period_heavy_traffic(sys, 0));
+  }
+}
+BENCHMARK(BM_AwayPeriodAssembly);
+
+void BM_RMatrixLogReduction(benchmark::State& state) {
+  const auto sys = gs::workload::paper_system({});
+  const gs::gang::ClassProcess cp(
+      sys, 0, gs::gang::away_period_heavy_traffic(sys, 0));
+  const auto& blk = cp.process().blocks();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gs::qbd::solve_r_logreduction(blk.a0, blk.a1, blk.a2));
+  }
+}
+BENCHMARK(BM_RMatrixLogReduction);
+
+void BM_RMatrixSubstitution(benchmark::State& state) {
+  const auto sys = gs::workload::paper_system({});
+  const gs::gang::ClassProcess cp(
+      sys, 0, gs::gang::away_period_heavy_traffic(sys, 0));
+  const auto& blk = cp.process().blocks();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gs::qbd::solve_r_substitution(blk.a0, blk.a1, blk.a2));
+  }
+}
+BENCHMARK(BM_RMatrixSubstitution);
+
+void BM_ClassChainBuild(benchmark::State& state) {
+  const auto sys = gs::workload::paper_system({});
+  const auto away = gs::gang::away_period_heavy_traffic(sys, 0);
+  for (auto _ : state) {
+    gs::gang::ClassProcess cp(sys, 0, away);
+    benchmark::DoNotOptimize(cp.process().repeating_size());
+  }
+}
+BENCHMARK(BM_ClassChainBuild);
+
+void BM_ClassChainSolve(benchmark::State& state) {
+  const auto sys = gs::workload::paper_system({});
+  const gs::gang::ClassProcess cp(
+      sys, 0, gs::gang::away_period_heavy_traffic(sys, 0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gs::qbd::solve(cp.process()));
+  }
+}
+BENCHMARK(BM_ClassChainSolve);
+
+void BM_FullFixedPoint(benchmark::State& state) {
+  gs::workload::PaperKnobs knobs;
+  knobs.arrival_rate = state.range(0) / 10.0;
+  const auto sys = gs::workload::paper_system(knobs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gs::gang::GangSolver(sys).solve());
+  }
+}
+BENCHMARK(BM_FullFixedPoint)->Arg(4)->Arg(9);
+
+void BM_SimulatorEvents(benchmark::State& state) {
+  gs::workload::PaperKnobs knobs;
+  knobs.arrival_rate = 0.6;
+  const auto sys = gs::workload::paper_system(knobs);
+  gs::sim::SimConfig cfg;
+  cfg.warmup = 100.0;
+  cfg.horizon = 5000.0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    cfg.seed = seed++;
+    benchmark::DoNotOptimize(gs::sim::GangSimulator(sys, cfg).run());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(cfg.horizon));
+}
+BENCHMARK(BM_SimulatorEvents)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

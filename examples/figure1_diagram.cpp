@@ -1,0 +1,43 @@
+// Regenerates Figure 1 of the paper: the state-transition diagram of one
+// class's Markov chain, in the paper's special case (Poisson arrivals,
+// exponential service, exponential switch overhead, K-stage Erlang
+// quantum) — emitted as Graphviz dot on stdout.
+//
+//   $ ./figure1_diagram --servers 3 --stages 2 | dot -Tpdf > figure1.pdf
+#include <iostream>
+
+#include "gang/away_period.hpp"
+#include "gang/class_process.hpp"
+#include "gang/dot_export.hpp"
+#include "phase/builders.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gs;
+  util::Cli cli("figure1_diagram",
+                "emit the Figure-1 state-transition diagram as Graphviz dot");
+  cli.add_flag("servers", "3", "partitions for the class (Fig. 1 uses 3)");
+  cli.add_flag("stages", "2", "Erlang stages K of the quantum");
+  cli.add_flag("levels", "4", "how many population levels to draw");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto servers = static_cast<std::size_t>(cli.get_int("servers"));
+  // One class owning the whole machine view: the away period is a second
+  // exponential class's quantum plus overheads, as in the paper's example.
+  gang::ClassParams tagged{
+      phase::exponential(0.5), phase::exponential(1.0),
+      phase::erlang(cli.get_int("stages"), 1.0), phase::exponential(100.0),
+      1, "fig1"};
+  gang::ClassParams other{
+      phase::exponential(0.5), phase::exponential(1.0),
+      phase::exponential(1.0), phase::exponential(100.0),
+      servers, "other"};
+  gang::SystemParams sys(servers, {tagged, other});
+
+  gang::ClassProcess chain(sys, 0,
+                           gang::away_period_heavy_traffic(sys, 0));
+  gang::DotOptions opt;
+  opt.levels = static_cast<std::size_t>(cli.get_int("levels"));
+  gang::write_dot(std::cout, chain, opt);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Walk-through of the cross-validation between the matrix-geometric
+// analysis (Section 4) and the discrete-event simulator of the same
+// system: the two implementations share nothing but the parameter types.
+//
+// Prints model vs simulated N_p side by side across a load sweep, showing
+// where the Section-4.3 decomposition is tight (heavy traffic) and where
+// its known optimism appears (light traffic; the paper's footnote 2).
+//
+//   $ ./model_vs_simulation --quantum 1.0
+#include <cstdio>
+#include <iostream>
+
+#include "gang/solver.hpp"
+#include "sim/gang_simulator.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/paper_configs.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gs;
+
+  util::Cli cli("model_vs_simulation",
+                "validate the queueing analysis against an independent "
+                "discrete-event simulation");
+  cli.add_flag("quantum", "1.0", "mean quantum length");
+  cli.add_flag("horizon", "150000", "simulated time per point");
+  cli.add_flag("replications", "2", "independent simulation runs per point");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const double quantum = cli.get_double("quantum");
+
+  util::Table table({"rho", "class", "model_N", "sim_N", "rel_err"});
+  for (double rho : {0.3, 0.5, 0.7, 0.9}) {
+    workload::PaperKnobs knobs;
+    knobs.arrival_rate = rho;
+    knobs.quantum_mean = quantum;
+    const gang::SystemParams sys = workload::paper_system(knobs);
+
+    const gang::SolveReport model = gang::GangSolver(sys).solve();
+    sim::SimConfig cfg;
+    cfg.warmup = 5000.0;
+    cfg.horizon = cli.get_double("horizon");
+    cfg.seed = 20260706;
+    const sim::SimResult sim = sim::run_replicated(
+        sys, cfg, static_cast<std::size_t>(cli.get_int("replications")));
+
+    for (std::size_t p = 0; p < 4; ++p) {
+      const double m = model.per_class[p].mean_jobs;
+      const double s = sim.per_class[p].mean_jobs;
+      table.add_row({rho, model.per_class[p].name, m, s, (m - s) / s});
+    }
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nExpected signature: |rel_err| shrinks as rho -> 1 (the per-class "
+      "decomposition of Theorem 4.3 is exact in heavy traffic) and is "
+      "negative at light load (the unconditional away period is optimistic "
+      "-- the approximation the paper's footnote 2 acknowledges).\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Scheduler tuning — the paper's motivating use case (Section 5 /
+// conclusion): "our current model is still needed to determine the optimal
+// length of the timeplexing cycle and the worst-case length of each time
+// quantum."
+//
+// This example sweeps the common quantum mean for a configurable workload,
+// reports the total mean number of jobs at each point, and picks the
+// quantum minimizing it — the knee of the paper's Figure 2/3 curves.
+//
+//   $ ./quantum_tuning --rho 0.7 --overhead 0.01
+#include <cstdio>
+#include <iostream>
+
+#include "gang/tuner.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+#include "workload/paper_configs.hpp"
+#include "workload/sweep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gs;
+
+  util::Cli cli("quantum_tuning",
+                "find the quantum length minimizing mean jobs in the "
+                "SP2-style 8-processor system");
+  cli.add_flag("rho", "0.7", "total utilization (= per-class arrival rate)");
+  cli.add_flag("overhead", "0.01", "mean context-switch overhead");
+  cli.add_flag("stages", "2", "Erlang stages of the quantum distribution");
+  cli.add_flag("qmin", "0.1", "smallest quantum mean to try");
+  cli.add_flag("qmax", "6.0", "largest quantum mean to try");
+  cli.add_flag("points", "16", "number of sweep points");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const double rho = cli.get_double("rho");
+  const double overhead = cli.get_double("overhead");
+  const int stages = cli.get_int("stages");
+  const double qmin = cli.get_double("qmin");
+  const double qmax = cli.get_double("qmax");
+  const int points = cli.get_int("points");
+
+  std::vector<double> xs;
+  for (int i = 0; i < points; ++i)
+    xs.push_back(qmin + (qmax - qmin) * i / (points - 1));
+
+  const auto make = [&](double q) {
+    workload::PaperKnobs knobs;
+    knobs.arrival_rate = rho;  // the paper's rho == lambda convention
+    knobs.quantum_mean = q;
+    knobs.quantum_stages = stages;
+    knobs.overhead_mean = overhead;
+    return workload::paper_system(knobs);
+  };
+
+  const auto results = workload::sweep(xs, make);
+  workload::sweep_table("quantum", results, 4).print(std::cout);
+
+  // Refine the sweep's impression with the library tuner: first a common
+  // quantum (golden-section), then per-class quanta (coordinate descent).
+  gang::TuneOptions topt;
+  topt.quantum_min = qmin * 0.5;
+  topt.quantum_max = qmax * 1.5;
+  topt.bracket_points = 8;
+  topt.solver.tol = 1e-5;  // tuning needs trends, not 6-digit N
+  try {
+    const gang::TuneResult common =
+        gang::tune_common_quantum(make(1.0), {}, topt);
+    std::printf(
+        "\ntuned common quantum: %.3f  -> total mean jobs %.4f (cycle "
+        "length %.3f, %d solves)\n",
+        common.quantum_means[0], common.objective,
+        common.report.mean_cycle_length, common.evaluations);
+    const gang::TuneResult per_class =
+        gang::tune_per_class_quanta(make(common.quantum_means[0]), {}, topt);
+    std::printf("tuned per-class quanta:");
+    for (double q : per_class.quantum_means) std::printf(" %.3f", q);
+    std::printf("  -> total mean jobs %.4f (%.1f%% below the common "
+                "optimum)\n",
+                per_class.objective,
+                100.0 * (common.objective - per_class.objective) /
+                    common.objective);
+  } catch (const gs::Error& e) {
+    std::printf("\ntuning failed: %s\n", e.what());
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// The away-period distribution F_p: the time class p waits between its
+// own time slices, i.e. Z_{p,n} in the alternating process {T_{p,n}, Z_{p,n}}.
+//
+// Theorem 4.1 (heavy traffic): F_p is the convolution of class p's own
+// switch overhead, then each other class's full quantum and overhead in
+// cycle order:
+//     F_p = C_p * G_{p+1} * C_{p+1} * ... * G_{p+L-1} * C_{p+L-1}.
+//
+// Theorem 4.3 (general traffic) replaces each G_q by class q's *effective*
+// quantum (truncated by queue-emptying, with an atom at zero); the same
+// assembly function takes those as the `slices` argument.
+#pragma once
+
+#include <vector>
+
+#include "gang/params.hpp"
+
+namespace gs::gang {
+
+/// F_p built from per-class slice distributions: slices[q] stands in for
+/// class q's quantum (full or effective; ignored for q == p). Overheads
+/// are always the classes' configured switch overheads.
+PhaseType away_period(const SystemParams& sys, std::size_t p,
+                      const std::vector<PhaseType>& slices);
+
+/// Theorem 4.1: slices are the full quantum distributions.
+PhaseType away_period_heavy_traffic(const SystemParams& sys, std::size_t p);
+
+}  // namespace gs::gang

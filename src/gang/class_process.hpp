@@ -1,0 +1,137 @@
+// The per-class Markov process {X_p(t)} of Section 4.1, generalized from
+// Figure 1's example to arbitrary phase-type parameters.
+//
+// State of class p: (i, j^A, (j_1..j_{m_B}), k) where
+//   i    — number of class-p jobs in the system (the QBD level),
+//   j^A  — phase of the interarrival process,
+//   j_n  — number of in-service class-p jobs whose service is in phase n
+//          (sum = min(i, c_p), c_p = P/g(p)),
+//   k    — phase of the timeplexing cycle as seen by class p:
+//          k in [0, M_p)        class p holds the processors (quantum G_p),
+//          k in [M_p, M_p+N_p)  the away period F_p is running.
+//
+// Dynamics encoded here (Section 3.1):
+//  * arrivals renew the arrival PH; a job arriving while a partition is
+//    free (i < c_p) is allocated immediately and its service phase is
+//    initialized from beta (it does not advance until class p is served);
+//  * service and quantum phases advance only while k < M_p;
+//  * a completion that empties the queue (i = 1 -> 0) context-switches
+//    immediately: k jumps to the away period's initial distribution;
+//  * an away-period completion finds either work (k jumps to the quantum's
+//    initial distribution) or an empty queue (class p's slice has zero
+//    length; the away period restarts) — hence level 0 carries away phases
+//    only.
+#pragma once
+
+#include <optional>
+
+#include "gang/params.hpp"
+#include "gang/service_config.hpp"
+#include "qbd/solver.hpp"
+
+namespace gs::gang {
+
+/// Options controlling the truncation used when extracting the effective
+/// quantum from a solved class chain (Theorem 4.3's infinite ordering must
+/// be truncated in any numerical implementation; the geometric tail makes
+/// the error controllable).
+struct TruncationOptions {
+  double tail_eps = 1e-12;  ///< stop once P(level >= L) < tail_eps
+  std::size_t max_levels = 4000;  ///< hard cap on truncation depth
+  /// When the tail mass at the cap still exceeds this, the class is
+  /// treated as saturated: its effective quantum degenerates to the full
+  /// quantum (hard-censored moments would be biased short).
+  double saturated_tail = 1e-3;
+};
+
+/// Class q's effective quantum: min(full quantum, time to empty the
+/// queue), with an atom at zero for slices that begin with an empty queue
+/// (the paper's state (0,0)).
+struct EffectiveQuantum {
+  double atom = 0.0;     ///< P(zero-length slice)
+  double m1 = 0.0;       ///< E[T~] including the atom
+  double m2 = 0.0;       ///< E[T~^2]
+  std::size_t truncation_levels = 0;
+  /// Truncated exact PH representation (defective initial vector); only
+  /// materialized when requested — its order grows with the truncation
+  /// depth, so it is meant for validation and small models.
+  std::optional<PhaseType> exact;
+
+  /// Small moment-matched representation with the same atom and first two
+  /// moments (the default currency of the fixed-point iteration).
+  PhaseType fitted(int max_order = 8) const;
+};
+
+class ClassProcess {
+ public:
+  /// Build the QBD for class p given the away-period distribution F_p.
+  ClassProcess(const SystemParams& sys, std::size_t p, PhaseType away);
+
+  const qbd::QbdProcess& process() const { return *process_; }
+  std::size_t class_index() const { return p_; }
+  std::size_t partitions() const { return c_; }
+  const PhaseType& away() const { return away_; }
+
+  /// Within-level state counts.
+  std::size_t level_dim(std::size_t level) const;
+  std::size_t arrival_phases() const { return m_a_; }
+  std::size_t serving_phases() const { return m_q_; }
+  std::size_t away_phases() const { return m_f_; }
+  /// Number of service-phase configurations at a given level.
+  std::size_t config_count(std::size_t level) const {
+    return cfgs_.count(std::min(level == 0 ? 0 : level, c_));
+  }
+  /// The configuration objects at a level (for labeling/diagnostics).
+  const std::vector<Config>& configs(std::size_t level) const {
+    return cfgs_.configs(std::min(level == 0 ? 0 : level, c_));
+  }
+
+  /// Flat within-level index of a state. Level 0 takes only (j_a,
+  /// away_phase); levels >= 1 take (j_a, config index, cycle phase k).
+  std::size_t index_level0(std::size_t j_a, std::size_t away_phase) const;
+  std::size_t index(std::size_t level, std::size_t j_a, std::size_t cfg_idx,
+                    std::size_t k) const;
+
+  /// Fraction of time class p holds the processors, computed from a
+  /// solution of this chain (mass of serving states).
+  double serving_time_fraction(const qbd::QbdSolution& sol) const;
+
+  /// What a class-p arrival finds (Palm view, weighted by the arrival
+  /// process's exit flow — this is PASTA for Poisson arrivals and the
+  /// correct arrival-point law for general PH arrivals):
+  ///  * a free partition while class p runs: service starts immediately;
+  ///  * a free partition during the away period: it waits for the next
+  ///    slice (mean residual away time reported);
+  ///  * all partitions taken: it queues behind other jobs.
+  /// The decomposition is the interactive-latency lens of the paper's
+  /// motivation: gang scheduling's promise is a large prob_immediate +
+  /// short slice waits for interactive classes.
+  struct ArrivalView {
+    double prob_immediate = 0.0;
+    double prob_wait_for_slice = 0.0;
+    double prob_queued = 0.0;
+    /// E[residual away period | arrival waits for the next slice].
+    double mean_slice_wait = 0.0;
+  };
+  ArrivalView arrival_view(const qbd::QbdSolution& sol) const;
+
+  /// Theorem 4.3: extract the effective-quantum law from the solved chain.
+  EffectiveQuantum effective_quantum(const qbd::QbdSolution& sol,
+                                     const TruncationOptions& trunc = {},
+                                     bool want_exact = false) const;
+
+ private:
+  void build();
+
+  std::size_t p_;
+  std::size_t c_;        // partitions (P / g)
+  PhaseType arrival_;
+  PhaseType service_;
+  PhaseType quantum_;
+  PhaseType away_;
+  std::size_t m_a_, m_b_, m_q_, m_f_, w_;  // orders; w_ = m_q_ + m_f_
+  ServiceConfigSpace cfgs_;
+  std::optional<qbd::QbdProcess> process_;
+};
+
+}  // namespace gs::gang

@@ -1,0 +1,30 @@
+// Graphviz export of the per-class state-transition diagram — Figure 1 of
+// the paper, machine-generated for any parameterization. Each node is a
+// state (i, j_A, config, k) of the class-p chain; edges carry transition
+// rates. Intended for small instances (a few levels of the Fig. 1 setting);
+// the node count is reported so callers can bail on large chains.
+#pragma once
+
+#include <iosfwd>
+
+#include "gang/class_process.hpp"
+
+namespace gs::gang {
+
+struct DotOptions {
+  /// How many levels of the chain to draw (0..levels inclusive).
+  std::size_t levels = 3;
+  /// Suppress rates below this (keeps the diagram readable).
+  double min_rate = 1e-12;
+  /// Rank states by level (the paper's horizontal layout).
+  bool rank_by_level = true;
+};
+
+/// Write the diagram for the chain's first levels; returns the number of
+/// nodes written. Throws gs::InvalidArgument when more than `max_nodes`
+/// states would be drawn (default 400 — beyond that the figure is noise).
+std::size_t write_dot(std::ostream& os, const ClassProcess& chain,
+                      const DotOptions& options = {},
+                      std::size_t max_nodes = 400);
+
+}  // namespace gs::gang

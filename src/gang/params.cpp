@@ -1,0 +1,92 @@
+#include "gang/params.hpp"
+
+#include <sstream>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace gs::gang {
+
+double ClassParams::mean_batch_size() const {
+  double mean = 0.0;
+  for (std::size_t k = 0; k < batch_pmf.size(); ++k)
+    mean += static_cast<double>(k + 1) * batch_pmf[k];
+  return mean;
+}
+
+SystemParams::SystemParams(std::size_t processors,
+                           std::vector<ClassParams> classes)
+    : processors_(processors), classes_(std::move(classes)) {
+  GS_CHECK(processors_ >= 1, "system needs at least one processor");
+  GS_CHECK(!classes_.empty(), "system needs at least one job class");
+  for (std::size_t p = 0; p < classes_.size(); ++p) {
+    const auto& c = classes_[p];
+    GS_CHECK(c.partition_size >= 1 && c.partition_size <= processors_,
+             "class " + std::to_string(p) +
+                 ": partition size must lie in [1, P]");
+    GS_CHECK(processors_ % c.partition_size == 0,
+             "class " + std::to_string(p) +
+                 ": partition size must divide the processor count (the "
+                 "model's equal-size disjoint partitions)");
+    auto check_proper = [&](const PhaseType& ph, const char* what) {
+      GS_CHECK(ph.atom_at_zero() == 0.0,
+               "class " + std::to_string(p) + ": " + what +
+                   " distribution must not have an atom at zero");
+    };
+    check_proper(c.arrival, "interarrival");
+    check_proper(c.service, "service");
+    check_proper(c.quantum, "quantum");
+    check_proper(c.overhead, "overhead");
+    GS_CHECK(!c.batch_pmf.empty(),
+             "class " + std::to_string(p) + ": batch pmf must be non-empty");
+    double mass = 0.0;
+    for (double q : c.batch_pmf) {
+      GS_CHECK(q >= 0.0, "class " + std::to_string(p) +
+                             ": batch probabilities must be non-negative");
+      mass += q;
+    }
+    GS_CHECK(std::fabs(mass - 1.0) <= 1e-9,
+             "class " + std::to_string(p) + ": batch pmf must sum to 1");
+  }
+}
+
+const ClassParams& SystemParams::cls(std::size_t p) const {
+  GS_CHECK(p < classes_.size(), "class index out of range");
+  return classes_[p];
+}
+
+std::size_t SystemParams::partitions(std::size_t p) const {
+  return processors_ / cls(p).partition_size;
+}
+
+double SystemParams::class_utilization(std::size_t p) const {
+  const auto& c = cls(p);
+  return c.arrival_rate() * c.mean_batch_size() *
+         static_cast<double>(c.partition_size) /
+         (c.service_rate() * static_cast<double>(processors_));
+}
+
+double SystemParams::total_utilization() const {
+  double rho = 0.0;
+  for (std::size_t p = 0; p < classes_.size(); ++p)
+    rho += class_utilization(p);
+  return rho;
+}
+
+std::string SystemParams::describe() const {
+  std::ostringstream os;
+  os << "P=" << processors_ << ", L=" << classes_.size()
+     << ", rho=" << total_utilization();
+  for (std::size_t p = 0; p < classes_.size(); ++p) {
+    const auto& c = classes_[p];
+    os << "\n  class " << p;
+    if (!c.name.empty()) os << " (" << c.name << ")";
+    os << ": g=" << c.partition_size << " lambda=" << c.arrival_rate()
+       << " mu=" << c.service_rate() << " E[quantum]=" << c.quantum.mean()
+       << " E[overhead]=" << c.overhead.mean();
+  }
+  return os.str();
+}
+
+}  // namespace gs::gang

@@ -1,0 +1,69 @@
+// Model parameters of the parallel gang-scheduling system (Section 3).
+//
+// P identical processors, L job classes. Class p jobs each need a
+// partition of g(p) processors (g(p) divides P), so c_p = P / g(p) jobs of
+// class p space-share the machine during class p's time slice. All four
+// stochastic parameters per class — interarrival, service, quantum, switch
+// overhead — are phase-type (Section 3.2).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "phase/phase_type.hpp"
+
+namespace gs::gang {
+
+using phase::PhaseType;
+
+struct ClassParams {
+  PhaseType arrival;   ///< interarrival distribution A_p, mean 1/lambda_p
+  PhaseType service;   ///< service demand B_p on g(p) processors, mean 1/mu_p
+  PhaseType quantum;   ///< full time-slice length G_p, mean 1/gamma_p
+  PhaseType overhead;  ///< switch overhead C_p (class p -> p+1), mean 1/delta_p
+  std::size_t partition_size = 1;  ///< g(p)
+  std::string name;                ///< optional label for reports
+  /// Batch-size distribution: an arrival event brings k jobs with
+  /// probability batch_pmf[k-1]. Defaults to single arrivals. The paper
+  /// notes the analysis extends to bounded batches; this implementation
+  /// supports batches in the *simulators* only — the analytic solver
+  /// rejects batch_pmf != {1} (see DESIGN.md).
+  std::vector<double> batch_pmf = {1.0};
+
+  double mean_batch_size() const;
+
+  double arrival_rate() const { return 1.0 / arrival.mean(); }
+  double service_rate() const { return 1.0 / service.mean(); }
+};
+
+class SystemParams {
+ public:
+  /// Validates: at least one class; every g(p) in [1, P] divides P; all
+  /// four distributions of every class are non-defective (no atom at
+  /// zero — zero-length quanta arise endogenously, not as inputs).
+  SystemParams(std::size_t processors, std::vector<ClassParams> classes);
+
+  std::size_t processors() const { return processors_; }
+  std::size_t num_classes() const { return classes_.size(); }
+  const ClassParams& cls(std::size_t p) const;
+  const std::vector<ClassParams>& classes() const { return classes_; }
+
+  /// c_p = P / g(p): concurrent class-p jobs during a class-p slice.
+  std::size_t partitions(std::size_t p) const;
+
+  /// rho_p = lambda_p g(p) / (mu_p P) — class p's share of total capacity
+  /// (the definition used for the utilization factor in Section 5).
+  double class_utilization(std::size_t p) const;
+
+  /// rho = sum_p rho_p.
+  double total_utilization() const;
+
+  std::string describe() const;
+
+ private:
+  std::size_t processors_;
+  std::vector<ClassParams> classes_;
+};
+
+}  // namespace gs::gang

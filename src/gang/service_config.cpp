@@ -1,0 +1,93 @@
+#include "gang/service_config.hpp"
+
+#include "util/error.hpp"
+
+namespace gs::gang {
+
+ServiceConfigSpace::ServiceConfigSpace(std::size_t num_phases,
+                                       std::size_t max_jobs)
+    : num_phases_(num_phases), max_jobs_(max_jobs) {
+  GS_CHECK(num_phases_ >= 1, "service configurations need >= 1 phase");
+  // The packed key uses 8 bits per phase count and must fit one u64.
+  GS_CHECK(num_phases_ <= 8,
+           "service distributions beyond 8 phases make the configuration "
+           "space impractical; fit a smaller representation first");
+  GS_CHECK(max_jobs_ < 256, "per-class partition count must stay below 256");
+
+  by_total_.resize(max_jobs_ + 1);
+  // Enumerate compositions of `total` into num_phases_ parts, lexicographic
+  // by (cfg[0] descending, then recursively); depth is bounded by the
+  // 8-phase cap above.
+  Config cfg(num_phases_, 0);
+  auto enumerate = [&](auto&& self, std::size_t phase, int remaining,
+                       std::vector<Config>& out) -> void {
+    if (phase + 1 == num_phases_) {
+      cfg[phase] = remaining;
+      out.push_back(cfg);
+      return;
+    }
+    for (int k = remaining; k >= 0; --k) {
+      cfg[phase] = k;
+      self(self, phase + 1, remaining - k, out);
+    }
+  };
+  for (std::size_t total = 0; total <= max_jobs_; ++total) {
+    auto& bucket = by_total_[total];
+    enumerate(enumerate, 0, static_cast<int>(total), bucket);
+    for (std::size_t idx = 0; idx < bucket.size(); ++idx)
+      index_[key_of(bucket[idx])] = idx;
+  }
+}
+
+std::uint64_t ServiceConfigSpace::key_of(const Config& cfg) const {
+  std::uint64_t key = 0;
+  for (std::size_t i = 0; i < cfg.size(); ++i)
+    key = key * 256u + static_cast<std::uint64_t>(cfg[i]);
+  return key;
+}
+
+std::size_t ServiceConfigSpace::count(std::size_t total) const {
+  GS_CHECK(total < by_total_.size(), "configuration total out of range");
+  return by_total_[total].size();
+}
+
+const std::vector<Config>& ServiceConfigSpace::configs(
+    std::size_t total) const {
+  GS_CHECK(total < by_total_.size(), "configuration total out of range");
+  return by_total_[total];
+}
+
+std::size_t ServiceConfigSpace::index_of(const Config& cfg) const {
+  const auto it = index_.find(key_of(cfg));
+  GS_CHECK(it != index_.end(), "unknown service configuration");
+  return it->second;
+}
+
+Config ServiceConfigSpace::with_added(const Config& cfg,
+                                      std::size_t phase) const {
+  GS_CHECK(phase < num_phases_, "phase out of range");
+  Config out = cfg;
+  ++out[phase];
+  return out;
+}
+
+Config ServiceConfigSpace::with_removed(const Config& cfg,
+                                        std::size_t phase) const {
+  GS_CHECK(phase < num_phases_ && cfg[phase] >= 1,
+           "cannot remove a job from an empty phase");
+  Config out = cfg;
+  --out[phase];
+  return out;
+}
+
+Config ServiceConfigSpace::with_moved(const Config& cfg, std::size_t from,
+                                      std::size_t to) const {
+  GS_CHECK(from < num_phases_ && to < num_phases_ && cfg[from] >= 1,
+           "invalid phase move");
+  Config out = cfg;
+  --out[from];
+  ++out[to];
+  return out;
+}
+
+}  // namespace gs::gang

@@ -1,0 +1,56 @@
+// Enumeration of service-phase configurations.
+//
+// Within a level of the class-p chain, the jobs holding partitions are
+// distinguished only by how many of them sit in each service phase
+// (Section 4.1's (j_1^p, ..., j_{m_B}^p) with sum = min(i, P/g(p))). This
+// class enumerates, for every in-service count s = 0..max_jobs, all
+// compositions of s into m_B non-negative parts, and provides O(1) index
+// lookup plus the add/remove/move neighbour computations the block
+// assembly needs.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace gs::gang {
+
+/// One configuration: count of in-service jobs per service phase.
+using Config = std::vector<int>;
+
+class ServiceConfigSpace {
+ public:
+  /// `num_phases` = m_B (>= 1); `max_jobs` = P/g(p).
+  ServiceConfigSpace(std::size_t num_phases, std::size_t max_jobs);
+
+  std::size_t num_phases() const { return num_phases_; }
+  std::size_t max_jobs() const { return max_jobs_; }
+
+  /// Number of configurations with exactly `total` jobs in service
+  /// (binomial(total + m_B - 1, m_B - 1)).
+  std::size_t count(std::size_t total) const;
+
+  /// All configurations with `total` jobs, in enumeration order.
+  const std::vector<Config>& configs(std::size_t total) const;
+
+  /// Index of `cfg` within the enumeration of its own total.
+  std::size_t index_of(const Config& cfg) const;
+
+  /// cfg with one more job in `phase` (total + 1).
+  Config with_added(const Config& cfg, std::size_t phase) const;
+  /// cfg with one job removed from `phase` (requires cfg[phase] >= 1).
+  Config with_removed(const Config& cfg, std::size_t phase) const;
+  /// cfg with one job moved from phase `from` to phase `to`.
+  Config with_moved(const Config& cfg, std::size_t from,
+                    std::size_t to) const;
+
+ private:
+  std::uint64_t key_of(const Config& cfg) const;
+
+  std::size_t num_phases_;
+  std::size_t max_jobs_;
+  std::vector<std::vector<Config>> by_total_;              // [total][idx]
+  std::unordered_map<std::uint64_t, std::size_t> index_;   // key -> idx
+};
+
+}  // namespace gs::gang

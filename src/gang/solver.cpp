@@ -1,0 +1,175 @@
+#include "gang/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "gang/away_period.hpp"
+#include "phase/fitting.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace gs::gang {
+
+double SolveReport::total_mean_jobs() const {
+  double total = 0.0;
+  for (const auto& c : per_class) total += c.mean_jobs;
+  return total;
+}
+
+ClassResult solve_class_heavy_traffic(const SystemParams& params,
+                                      std::size_t p,
+                                      const qbd::SolveOptions& opts) {
+  ClassProcess proc(params, p, away_period_heavy_traffic(params, p));
+  const qbd::QbdSolution sol = qbd::solve(proc.process(), opts);
+  const EffectiveQuantum eq = proc.effective_quantum(sol);
+  ClassResult r;
+  r.name = params.cls(p).name.empty() ? "class" + std::to_string(p)
+                                      : params.cls(p).name;
+  r.mean_jobs = sol.mean_level();
+  r.var_jobs = sol.second_moment_level() - r.mean_jobs * r.mean_jobs;
+  r.response_time = r.mean_jobs / params.cls(p).arrival_rate();
+  r.serving_fraction = proc.serving_time_fraction(sol);
+  r.prob_empty = sol.level_mass(0);
+  r.sp_r = sol.spectral_radius_r();
+  r.eff_quantum_mean = eq.m1;
+  r.eff_quantum_atom = eq.atom;
+  const auto view = proc.arrival_view(sol);
+  r.arrive_immediate = view.prob_immediate;
+  r.arrive_wait_slice = view.prob_wait_for_slice;
+  r.arrive_queued = view.prob_queued;
+  r.mean_slice_wait = view.mean_slice_wait;
+  return r;
+}
+
+GangSolver::GangSolver(SystemParams params, GangSolveOptions options)
+    : params_(std::move(params)), options_(options) {
+  GS_CHECK(options_.max_iterations >= 1, "need at least one iteration");
+  GS_CHECK(options_.tol > 0.0, "convergence tolerance must be positive");
+}
+
+std::vector<PhaseType> GangSolver::initial_slices(InitMode mode) const {
+  std::vector<PhaseType> slices;
+  slices.reserve(params_.num_classes());
+  const double rho = params_.total_utilization();
+  for (std::size_t q = 0; q < params_.num_classes(); ++q) {
+    const PhaseType& full = params_.cls(q).quantum;
+    if (mode == InitMode::kHeavyTraffic) {
+      slices.push_back(full);
+    } else {
+      // Optimistic: a class is idle at its turn roughly when the system is
+      // underloaded; thin the slice by that idle guess. The fixed point
+      // corrects the crudeness of this starting point.
+      const double atom = std::clamp(1.0 - rho, 0.0, 1.0 - 1e-6);
+      slices.push_back(phase::with_atom(full, atom));
+    }
+  }
+  return slices;
+}
+
+SolveReport GangSolver::run(const std::vector<PhaseType>& init_slices) const {
+  const std::size_t L = params_.num_classes();
+  std::vector<PhaseType> slices = init_slices;
+  std::vector<double> prev_n(L, -1.0);
+
+  SolveReport report;
+  const int max_iter = options_.fixed_point ? options_.max_iterations : 1;
+
+  for (int iter = 1; iter <= max_iter; ++iter) {
+    // Solve every class against the current away periods.
+    std::vector<ClassProcess> procs;
+    std::vector<qbd::QbdSolution> sols;
+    procs.reserve(L);
+    sols.reserve(L);
+    std::vector<double> n(L, 0.0);
+    for (std::size_t p = 0; p < L; ++p) {
+      procs.emplace_back(params_, p, away_period(params_, p, slices));
+      sols.push_back(qbd::solve(procs.back().process(), options_.qbd));
+      n[p] = sols.back().mean_level();
+    }
+
+    double delta = 0.0;
+    for (std::size_t p = 0; p < L; ++p)
+      delta = std::max(delta, std::fabs(n[p] - prev_n[p]));
+    prev_n = n;
+    report.iterations = iter;
+    report.final_delta = delta;
+
+    const bool done = !options_.fixed_point || delta < options_.tol ||
+                      iter == max_iter;
+
+    // Effective quanta drive both the next iteration and the report.
+    std::vector<EffectiveQuantum> effq;
+    effq.reserve(L);
+    for (std::size_t p = 0; p < L; ++p) {
+      effq.push_back(procs[p].effective_quantum(
+          sols[p], options_.truncation,
+          options_.eff_mode == EffQuantumMode::kExact));
+    }
+
+    if (done) {
+      report.converged = !options_.fixed_point || delta < options_.tol;
+      report.per_class.clear();
+      report.per_class.reserve(L);
+      for (std::size_t p = 0; p < L; ++p) {
+        ClassResult r;
+        r.name = params_.cls(p).name.empty()
+                     ? "class" + std::to_string(p)
+                     : params_.cls(p).name;
+        r.mean_jobs = n[p];
+        r.var_jobs = sols[p].second_moment_level() - n[p] * n[p];
+        r.response_time = n[p] / params_.cls(p).arrival_rate();
+        r.serving_fraction = procs[p].serving_time_fraction(sols[p]);
+        r.prob_empty = sols[p].level_mass(0);
+        r.sp_r = sols[p].spectral_radius_r();
+        r.eff_quantum_mean = effq[p].m1;
+        r.eff_quantum_atom = effq[p].atom;
+        const auto view = procs[p].arrival_view(sols[p]);
+        r.arrive_immediate = view.prob_immediate;
+        r.arrive_wait_slice = view.prob_wait_for_slice;
+        r.arrive_queued = view.prob_queued;
+        r.mean_slice_wait = view.mean_slice_wait;
+        for (std::size_t lvl = 0; lvl < options_.queue_dist_levels; ++lvl)
+          r.queue_dist.push_back(sols[p].level_mass(lvl));
+        report.mean_cycle_length +=
+            effq[p].m1 + params_.cls(p).overhead.mean();
+        report.per_class.push_back(std::move(r));
+      }
+      return report;
+    }
+
+    for (std::size_t q = 0; q < L; ++q) {
+      slices[q] = options_.eff_mode == EffQuantumMode::kExact
+                      ? *effq[q].exact
+                      : effq[q].fitted(options_.fit_max_order);
+    }
+    log::debug("gang fixed point iteration ", iter, ": delta=", delta);
+  }
+  GS_ASSERT(false);  // loop always returns via `done`
+  return report;
+}
+
+SolveReport GangSolver::solve() const {
+  const double rho = params_.total_utilization();
+  if (rho >= 1.0) {
+    throw NumericalError(
+        "total utilization " + std::to_string(rho) +
+        " >= 1: the gang-scheduled system cannot be stable");
+  }
+  try {
+    return run(initial_slices(options_.init));
+  } catch (const NumericalError& e) {
+    if (options_.init == InitMode::kHeavyTraffic &&
+        options_.fallback_to_optimistic) {
+      log::info(
+          "heavy-traffic initialization unstable (", e.what(),
+          "); retrying with the optimistic initialization");
+      SolveReport report = run(initial_slices(InitMode::kOptimistic));
+      report.used_optimistic_init = true;
+      return report;
+    }
+    throw;
+  }
+}
+
+}  // namespace gs::gang

@@ -1,0 +1,117 @@
+// Top-level solver for the gang-scheduling model: the fixed-point
+// iteration of Section 4.3 over the L per-class QBD solutions.
+//
+//   1. Initialize every away period F_p from Theorem 4.1 (heavy traffic:
+//      the other classes use their full quanta).
+//   2. Solve the L per-class chains (Theorem 4.2).
+//   3. Extract each class's effective quantum (Theorem 4.3) — the slice
+//      truncated by queue-emptying, with an atom at zero — and rebuild
+//      every F_p from the other classes' effective quanta.
+//   4. Repeat until the mean job counts stop moving.
+//
+// The heavy-traffic initialization is the most pessimistic (longest) away
+// period, so a system stable under it stays stable through the iteration;
+// if it is *not* stable there but the true system might be (other classes
+// mostly idle), the solver falls back to an optimistic initialization that
+// discounts each class's slice by its idle probability.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gang/class_process.hpp"
+#include "gang/params.hpp"
+
+namespace gs::gang {
+
+/// How the effective quantum is represented inside F_p.
+enum class EffQuantumMode {
+  kMomentMatched,  ///< small PH with matching atom + two moments (default)
+  kExact           ///< truncated exact representation (large; validation)
+};
+
+enum class InitMode {
+  kHeavyTraffic,  ///< Theorem 4.1 (default)
+  kOptimistic     ///< full quanta thinned by an idle-probability atom
+};
+
+struct GangSolveOptions {
+  /// false: stop after the heavy-traffic solution (no fixed point).
+  bool fixed_point = true;
+  EffQuantumMode eff_mode = EffQuantumMode::kMomentMatched;
+  int fit_max_order = 8;
+  double tol = 1e-6;          ///< max |N_p - N_p'| across classes
+  int max_iterations = 60;
+  TruncationOptions truncation{};
+  InitMode init = InitMode::kHeavyTraffic;
+  /// Retry with the optimistic initialization when the heavy-traffic
+  /// initialization is not stable for some class.
+  bool fallback_to_optimistic = true;
+  /// Number of queue-length probabilities P(N_p = n) to report per class.
+  std::size_t queue_dist_levels = 0;
+  qbd::SolveOptions qbd{};
+};
+
+struct ClassResult {
+  std::string name;
+  double mean_jobs = 0.0;       ///< N_p (eq. 37 / eq. 11)
+  double var_jobs = 0.0;        ///< Var[N_p] from the level moments
+  double response_time = 0.0;   ///< T_p = N_p / lambda_p (Little)
+  double serving_fraction = 0.0;  ///< long-run share of time class p runs
+  double prob_empty = 0.0;      ///< P(N_p = 0)
+  double sp_r = 0.0;            ///< spectral radius of class p's R matrix
+  double eff_quantum_mean = 0.0;  ///< E of the last effective quantum
+  double eff_quantum_atom = 0.0;  ///< P(zero-length slice), last iteration
+  /// Arrival-point (Palm) decomposition — what a class-p arrival finds:
+  double arrive_immediate = 0.0;   ///< free partition, class running
+  double arrive_wait_slice = 0.0;  ///< free partition, class away
+  double arrive_queued = 0.0;      ///< all partitions taken
+  double mean_slice_wait = 0.0;    ///< E[residual away | waits for slice]
+  std::vector<double> queue_dist;  ///< P(N_p = n), n = 0..requested-1
+};
+
+struct SolveReport {
+  std::vector<ClassResult> per_class;
+  int iterations = 0;
+  bool converged = false;
+  double final_delta = 0.0;
+  bool used_optimistic_init = false;
+  /// Expected timeplexing-cycle length E[Z_n] = sum_p (E[effective
+  /// quantum_p] + E[C_p]) — the quantity the paper's conclusion says the
+  /// model is needed to tune.
+  double mean_cycle_length = 0.0;
+
+  double total_mean_jobs() const;
+};
+
+/// Solve a single class against its heavy-traffic away period (Theorem
+/// 4.1) without touching the other classes' chains. This is exact when
+/// every other class is saturated (their slices always run to the full
+/// quantum) — the right tool for asymmetric-share studies like Figure 5,
+/// where favoring one class can push the others past their stability
+/// boundary while the favored class itself remains stable.
+ClassResult solve_class_heavy_traffic(const SystemParams& params,
+                                      std::size_t p,
+                                      const qbd::SolveOptions& opts = {});
+
+class GangSolver {
+ public:
+  GangSolver(SystemParams params, GangSolveOptions options = {});
+
+  const SystemParams& params() const { return params_; }
+  const GangSolveOptions& options() const { return options_; }
+
+  /// Run the solve. Throws gs::NumericalError when the system is unstable
+  /// (some class's chain violates the drift condition under every
+  /// permitted initialization).
+  SolveReport solve() const;
+
+ private:
+  std::vector<PhaseType> initial_slices(InitMode mode) const;
+  SolveReport run(const std::vector<PhaseType>& init_slices) const;
+
+  SystemParams params_;
+  GangSolveOptions options_;
+};
+
+}  // namespace gs::gang

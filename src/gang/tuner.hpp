@@ -1,0 +1,70 @@
+// Scheduler tuning on top of the analytic model — the application the
+// paper builds the analysis for: "our model is still needed to determine
+// the optimal length of the timeplexing cycle and the worst-case length of
+// each time quantum" (Section 6).
+//
+// Two optimizers over quantum lengths, both driven entirely by the solver:
+//  * tune_common_quantum — one shared quantum mean (the Figure 2/3 knob),
+//    located by a coarse bracket scan plus golden-section refinement (the
+//    objective is unimodal in the quantum: overhead-dominated on the left,
+//    exhaustive-service-dominated on the right).
+//  * tune_per_class_quanta — per-class quantum means by cyclic coordinate
+//    descent, each coordinate refined by the same 1-D search.
+//
+// Quantum *shapes* are preserved: a class's quantum PH is rescaled to the
+// candidate mean, keeping its SCV.
+#pragma once
+
+#include <vector>
+
+#include "gang/solver.hpp"
+
+namespace gs::gang {
+
+struct TuneObjective {
+  enum class Kind {
+    kTotalMeanJobs,      ///< sum_p N_p (the paper's headline metric)
+    kWeightedResponse    ///< sum_p weight_p * T_p
+  };
+  Kind kind = Kind::kTotalMeanJobs;
+  /// Per-class weights for kWeightedResponse (defaults to all-ones).
+  std::vector<double> weights;
+};
+
+struct TuneOptions {
+  double quantum_min = 0.02;
+  double quantum_max = 10.0;
+  /// Relative x-tolerance of the golden-section refinement.
+  double tol = 1e-3;
+  /// Coarse bracket points per 1-D search (log-spaced).
+  int bracket_points = 12;
+  /// Coordinate-descent sweeps for the per-class tuner.
+  int max_sweeps = 6;
+  GangSolveOptions solver{};
+};
+
+struct TuneResult {
+  std::vector<double> quantum_means;  ///< per class (identical for common)
+  double objective = 0.0;
+  int evaluations = 0;                ///< solver invocations spent
+  bool improved = false;              ///< beat the starting configuration
+  SolveReport report;                 ///< full report at the optimum
+};
+
+/// Evaluate the objective for a report (exposed for tests).
+double tune_objective_value(const TuneObjective& objective,
+                            const SolveReport& report,
+                            const SystemParams& params);
+
+/// One shared quantum mean. Throws gs::NumericalError when no stable
+/// quantum exists in [quantum_min, quantum_max].
+TuneResult tune_common_quantum(const SystemParams& params,
+                               const TuneObjective& objective = {},
+                               const TuneOptions& options = {});
+
+/// Per-class quantum means, started from the system's current ones.
+TuneResult tune_per_class_quanta(const SystemParams& params,
+                                 const TuneObjective& objective = {},
+                                 const TuneOptions& options = {});
+
+}  // namespace gs::gang

@@ -1,0 +1,104 @@
+#include "linalg/block_tridiag.hpp"
+
+#include "linalg/lu.hpp"
+#include "util/error.hpp"
+
+namespace gs::linalg {
+
+namespace {
+
+void validate(const std::vector<Matrix>& diag,
+              const std::vector<Matrix>& upper,
+              const std::vector<Matrix>& lower, const Vector& b) {
+  GS_CHECK(!diag.empty(), "block tridiagonal system needs >= 1 block");
+  GS_CHECK(upper.size() + 1 == diag.size() && lower.size() + 1 == diag.size(),
+           "block tridiagonal: need exactly n-1 off-diagonal blocks");
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < diag.size(); ++i) {
+    GS_CHECK(diag[i].is_square(), "diagonal blocks must be square");
+    total += diag[i].rows();
+    if (i + 1 < diag.size()) {
+      GS_CHECK(upper[i].rows() == diag[i].rows() &&
+                   upper[i].cols() == diag[i + 1].rows(),
+               "upper block shape mismatch");
+      GS_CHECK(lower[i].rows() == diag[i + 1].rows() &&
+                   lower[i].cols() == diag[i].rows(),
+               "lower block shape mismatch");
+    }
+  }
+  GS_CHECK(b.size() == total, "rhs length mismatch");
+}
+
+Vector segment(const Vector& v, std::size_t off, std::size_t n) {
+  return Vector(v.begin() + static_cast<std::ptrdiff_t>(off),
+                v.begin() + static_cast<std::ptrdiff_t>(off + n));
+}
+
+}  // namespace
+
+Vector block_tridiag_solve(const std::vector<Matrix>& diag,
+                           const std::vector<Matrix>& upper,
+                           const std::vector<Matrix>& lower,
+                           const Vector& b) {
+  validate(diag, upper, lower, b);
+  const std::size_t n = diag.size();
+
+  // Forward elimination: D'_i = D_i - L_{i-1} D'^{-1}_{i-1} U_{i-1},
+  // y_i = b_i - L_{i-1} D'^{-1}_{i-1} y_{i-1}.
+  std::vector<Lu> factored;
+  factored.reserve(n);
+  std::vector<Vector> y(n);
+  std::vector<Matrix> dinv_u(n);  // D'^{-1}_i U_i, needed for back-subst.
+
+  Matrix dprime = diag[0];
+  std::size_t off = 0;
+  y[0] = segment(b, off, diag[0].rows());
+  off += diag[0].rows();
+  for (std::size_t i = 0;; ++i) {
+    factored.emplace_back(dprime);
+    if (i + 1 == n) break;
+    dinv_u[i] = factored[i].solve(upper[i]);
+    const Vector dinv_y = factored[i].solve(y[i]);
+    dprime = diag[i + 1] - lower[i] * dinv_u[i];
+    y[i + 1] = segment(b, off, diag[i + 1].rows());
+    off += diag[i + 1].rows();
+    const Vector correction = lower[i] * dinv_y;
+    for (std::size_t r = 0; r < y[i + 1].size(); ++r)
+      y[i + 1][r] -= correction[r];
+  }
+
+  // Back substitution: x_n = D'^{-1}_n y_n; x_i = D'^{-1}_i (y_i - U_i x_{i+1}).
+  std::vector<Vector> x(n);
+  x[n - 1] = factored[n - 1].solve(y[n - 1]);
+  for (std::size_t ii = n - 1; ii-- > 0;) {
+    Vector rhs = y[ii];
+    const Vector up = upper[ii] * x[ii + 1];
+    for (std::size_t r = 0; r < rhs.size(); ++r) rhs[r] -= up[r];
+    x[ii] = factored[ii].solve(rhs);
+  }
+
+  Vector out;
+  out.reserve(b.size());
+  for (const auto& seg : x) out.insert(out.end(), seg.begin(), seg.end());
+  return out;
+}
+
+Vector block_tridiag_solve_left(const std::vector<Matrix>& diag,
+                                const std::vector<Matrix>& upper,
+                                const std::vector<Matrix>& lower,
+                                const Vector& b) {
+  // x M = b  <=>  M^T x^T = b^T: transpose every block and swap the
+  // off-diagonal roles.
+  std::vector<Matrix> dt, ut, lt;
+  dt.reserve(diag.size());
+  ut.reserve(upper.size());
+  lt.reserve(lower.size());
+  for (const auto& m : diag) dt.push_back(m.transpose());
+  for (std::size_t i = 0; i + 1 < diag.size(); ++i) {
+    ut.push_back(lower[i].transpose());
+    lt.push_back(upper[i].transpose());
+  }
+  return block_tridiag_solve(dt, ut, lt, b);
+}
+
+}  // namespace gs::linalg

@@ -1,0 +1,34 @@
+// Block-tridiagonal linear solves (block Thomas algorithm).
+//
+// The truncated serving-state sub-generator of Theorem 4.3 is block-
+// tridiagonal in the level: computing effective-quantum moments needs
+// (-T)^{-1} e, and a dense LU at deep truncations (thousands of levels at
+// high load) would be cubic in the full dimension. Block elimination is
+// linear in the number of levels and cubic only in the per-level block
+// size, which is tiny.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace gs::linalg {
+
+/// Solve M x = b where M consists of diagonal blocks diag[i], super-
+/// diagonal blocks upper[i] (block row i, column i+1) and sub-diagonal
+/// blocks lower[i] (block row i+1, column i). Blocks may differ in size:
+/// diag[i] is n_i x n_i, upper[i] is n_i x n_{i+1}, lower[i] is
+/// n_{i+1} x n_i. `b` is the concatenation of the per-block right-hand
+/// sides. Throws gs::NumericalError if a pivot block is singular.
+Vector block_tridiag_solve(const std::vector<Matrix>& diag,
+                           const std::vector<Matrix>& upper,
+                           const std::vector<Matrix>& lower, const Vector& b);
+
+/// Solve x M = b (row system) with the same block structure, via the
+/// transposed system.
+Vector block_tridiag_solve_left(const std::vector<Matrix>& diag,
+                                const std::vector<Matrix>& upper,
+                                const std::vector<Matrix>& lower,
+                                const Vector& b);
+
+}  // namespace gs::linalg

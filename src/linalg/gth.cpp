@@ -1,0 +1,57 @@
+#include "linalg/gth.hpp"
+
+#include "util/error.hpp"
+
+namespace gs::linalg {
+
+Vector gth_stationary(const Matrix& q) {
+  GS_CHECK(q.is_square(), "GTH needs a square generator");
+  const std::size_t n = q.rows();
+  GS_CHECK(n > 0, "GTH needs a non-empty generator");
+  if (n == 1) return {1.0};
+
+  // Work on a copy holding only the off-diagonal rates; the diagonal is
+  // implied (negative row sum) and never touched, which is what makes the
+  // procedure subtraction-free.
+  Matrix w = q;
+  for (std::size_t i = 0; i < n; ++i) w(i, i) = 0.0;
+
+  // Censoring elimination, folding state k into states 0..k-1.
+  for (std::size_t k = n - 1; k >= 1; --k) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < k; ++j) s += w(k, j);
+    if (s <= 0.0) {
+      throw NumericalError(
+          "GTH: zero departure rate to eliminated block; chain is reducible");
+    }
+    for (std::size_t i = 0; i < k; ++i) w(i, k) /= s;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double wik = w(i, k);
+      if (wik == 0.0) continue;
+      for (std::size_t j = 0; j < k; ++j) {
+        if (j != i) w(i, j) += wik * w(k, j);
+      }
+    }
+  }
+
+  Vector x(n, 0.0);
+  x[0] = 1.0;
+  for (std::size_t k = 1; k < n; ++k) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < k; ++i) s += x[i] * w(i, k);
+    x[k] = s;
+  }
+  double total = 0.0;
+  for (double v : x) total += v;
+  for (double& v : x) v /= total;
+  return x;
+}
+
+Vector gth_stationary_dtmc(const Matrix& p) {
+  GS_CHECK(p.is_square(), "GTH needs a square transition matrix");
+  // pi P = pi is pi (P - I) = 0; P - I has the generator sign pattern and
+  // the same off-diagonal entries as P, which are all GTH looks at.
+  return gth_stationary(p);
+}
+
+}  // namespace gs::linalg

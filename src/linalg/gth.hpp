@@ -1,0 +1,26 @@
+// Grassmann–Taksar–Heyman (GTH) stationary solver.
+//
+// GTH computes the stationary vector of an irreducible Markov chain using
+// only additions, multiplications and divisions of non-negative quantities,
+// so it is immune to the catastrophic cancellation that plagues naive
+// global-balance solves (eq. (9) of the paper). We use it wherever a full
+// stationary vector of a moderate-size chain is needed: the drift condition
+// of Theorem 4.4 and the small fitted-PH sanity checks.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace gs::linalg {
+
+/// Stationary distribution pi of an irreducible CTMC with generator Q:
+/// pi Q = 0, pi e = 1. Only off-diagonal entries of Q are read, so any
+/// matrix whose off-diagonal part holds the transition rates is accepted.
+/// Throws gs::NumericalError if the chain is reducible (a zero pivot).
+Vector gth_stationary(const Matrix& q);
+
+/// Stationary distribution of an irreducible DTMC with transition matrix P:
+/// pi P = pi, pi e = 1. Implemented via gth_stationary(P - I), which has
+/// the same off-diagonal structure.
+Vector gth_stationary_dtmc(const Matrix& p);
+
+}  // namespace gs::linalg

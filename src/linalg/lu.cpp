@@ -1,0 +1,113 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace gs::linalg {
+
+Lu::Lu(const Matrix& a, double pivot_tol) {
+  GS_CHECK(a.is_square(), "LU needs a square matrix");
+  n_ = a.rows();
+  lu_ = a;
+  perm_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) perm_[i] = i;
+  const double scale = std::max(a.max_abs(), 1.0);
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Partial pivoting: bring the largest remaining entry of column k up.
+    std::size_t piv = k;
+    double best = std::fabs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n_; ++r) {
+      const double v = std::fabs(lu_(r, k));
+      if (v > best) {
+        best = v;
+        piv = r;
+      }
+    }
+    if (best < pivot_tol * scale) {
+      throw NumericalError("LU: matrix is singular to working precision");
+    }
+    if (piv != k) {
+      for (std::size_t c = 0; c < n_; ++c) std::swap(lu_(k, c), lu_(piv, c));
+      std::swap(perm_[k], perm_[piv]);
+      perm_sign_ = -perm_sign_;
+    }
+    const double inv_pivot = 1.0 / lu_(k, k);
+    for (std::size_t r = k + 1; r < n_; ++r) {
+      const double m = lu_(r, k) * inv_pivot;
+      lu_(r, k) = m;
+      if (m == 0.0) continue;
+      for (std::size_t c = k + 1; c < n_; ++c) lu_(r, c) -= m * lu_(k, c);
+    }
+  }
+}
+
+Vector Lu::solve(const Vector& b) const {
+  GS_CHECK(b.size() == n_, "LU solve: rhs length mismatch");
+  Vector y(n_);
+  // Forward substitution with L (unit diagonal), applying P to b.
+  for (std::size_t i = 0; i < n_; ++i) {
+    double s = b[perm_[i]];
+    for (std::size_t j = 0; j < i; ++j) s -= lu_(i, j) * y[j];
+    y[i] = s;
+  }
+  // Back substitution with U.
+  for (std::size_t ii = n_; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t j = ii + 1; j < n_; ++j) s -= lu_(ii, j) * y[j];
+    y[ii] = s / lu_(ii, ii);
+  }
+  return y;
+}
+
+Matrix Lu::solve(const Matrix& b) const {
+  GS_CHECK(b.rows() == n_, "LU solve: rhs row count mismatch");
+  Matrix x(n_, b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    Vector col = solve(b.col(c));
+    for (std::size_t r = 0; r < n_; ++r) x(r, c) = col[r];
+  }
+  return x;
+}
+
+Vector Lu::solve_left(const Vector& b) const {
+  GS_CHECK(b.size() == n_, "LU solve_left: rhs length mismatch");
+  // x A = b  <=>  A^T x^T = b^T, and A^T = U^T L^T P.
+  // 1) U^T y = b : forward substitution (U^T is lower triangular).
+  Vector y(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    double s = b[i];
+    for (std::size_t j = 0; j < i; ++j) s -= lu_(j, i) * y[j];
+    y[i] = s / lu_(i, i);
+  }
+  // 2) L^T z = y : back substitution (unit diagonal).
+  Vector z(n_);
+  for (std::size_t ii = n_; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t j = ii + 1; j < n_; ++j) s -= lu_(j, ii) * z[j];
+    z[ii] = s;
+  }
+  // 3) P x = z, i.e. x[perm_[i]] = z[i].
+  Vector x(n_);
+  for (std::size_t i = 0; i < n_; ++i) x[perm_[i]] = z[i];
+  return x;
+}
+
+Matrix Lu::inverse() const {
+  return solve(Matrix::identity(n_));
+}
+
+double Lu::determinant() const {
+  double d = perm_sign_;
+  for (std::size_t i = 0; i < n_; ++i) d *= lu_(i, i);
+  return d;
+}
+
+Vector solve(const Matrix& a, const Vector& b) { return Lu(a).solve(b); }
+Vector solve_left(const Matrix& a, const Vector& b) {
+  return Lu(a).solve_left(b);
+}
+Matrix inverse(const Matrix& a) { return Lu(a).inverse(); }
+
+}  // namespace gs::linalg

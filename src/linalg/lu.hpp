@@ -1,0 +1,50 @@
+// LU decomposition with partial pivoting, and the solve/inverse helpers the
+// matrix-geometric solver is built on.
+//
+// The QBD algorithms repeatedly solve systems against the *same* matrix
+// (e.g. (I-U)^{-1} inside logarithmic reduction), so the factorization is a
+// first-class object that can be reused across right-hand sides. Row
+// systems x A = b reuse the same factors via A^T = U^T L^T P.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace gs::linalg {
+
+class Lu {
+ public:
+  /// Factor PA = LU. Throws gs::NumericalError if A is singular to working
+  /// precision (pivot below `pivot_tol` * max|A|).
+  explicit Lu(const Matrix& a, double pivot_tol = 1e-13);
+
+  std::size_t size() const { return n_; }
+
+  /// Solve A x = b (column system).
+  Vector solve(const Vector& b) const;
+  /// Solve A X = B column-by-column.
+  Matrix solve(const Matrix& b) const;
+  /// Solve x A = b (row system), reusing the same factors.
+  Vector solve_left(const Vector& b) const;
+
+  /// A^{-1} (use sparingly; prefer solve()).
+  Matrix inverse() const;
+
+  /// det(A), including pivoting sign.
+  double determinant() const;
+
+ private:
+  std::size_t n_ = 0;
+  Matrix lu_;  // packed L (unit diagonal implied) and U
+  // Row permutation: row i of PA is row perm_[i] of A.
+  std::vector<std::size_t> perm_;
+  int perm_sign_ = 1;
+};
+
+/// One-shot convenience: solve A x = b.
+Vector solve(const Matrix& a, const Vector& b);
+/// One-shot convenience: solve x A = b.
+Vector solve_left(const Matrix& a, const Vector& b);
+/// One-shot convenience: A^{-1}.
+Matrix inverse(const Matrix& a);
+
+}  // namespace gs::linalg

@@ -1,0 +1,112 @@
+// Dense row-major matrix of doubles.
+//
+// This is the workhorse of the matrix-geometric machinery. The chains the
+// gang model produces have O(10..1000) states per level, so a simple dense
+// representation beats any sparse format in both clarity and speed at this
+// scale. Value semantics throughout (CppCoreGuidelines C.20/F.15): matrices
+// are copied and moved like ints.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <vector>
+
+namespace gs::linalg {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Construct from nested initializer lists; all rows must be equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  static Matrix identity(std::size_t n);
+  static Matrix zeros(std::size_t rows, std::size_t cols);
+  /// Diagonal matrix from a vector.
+  static Matrix diag(const Vector& d);
+  /// Kronecker product A (x) B.
+  static Matrix kron(const Matrix& a, const Matrix& b);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+  bool is_square() const { return rows_ == cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked access (throws gs::InvalidArgument).
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  const double* data() const { return data_.data(); }
+  double* data() { return data_.data(); }
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double s);
+
+  Matrix transpose() const;
+
+  Vector row(std::size_t r) const;
+  Vector col(std::size_t c) const;
+  /// Sum of each row, i.e. A e.
+  Vector row_sums() const;
+
+  /// max_{i,j} |a_ij|
+  double max_abs() const;
+  /// Infinity norm: max row sum of absolute values.
+  double norm_inf() const;
+
+  /// Copy `src` into this matrix with its (0,0) at (r0, c0); must fit.
+  void insert_block(std::size_t r0, std::size_t c0, const Matrix& src);
+  /// Extract the block of shape (nr, nc) whose top-left corner is (r0, c0).
+  Matrix block(std::size_t r0, std::size_t c0, std::size_t nr,
+               std::size_t nc) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+Matrix operator+(Matrix a, const Matrix& b);
+Matrix operator-(Matrix a, const Matrix& b);
+Matrix operator*(const Matrix& a, const Matrix& b);
+Matrix operator*(double s, Matrix a);
+Matrix operator*(Matrix a, double s);
+
+/// Row vector times matrix: y = x A (x has a.rows() entries).
+Vector operator*(const Vector& x, const Matrix& a);
+/// Matrix times column vector: y = A x (x has a.cols() entries).
+Vector operator*(const Matrix& a, const Vector& x);
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m);
+
+// --- small vector helpers shared across the library -------------------
+
+/// Vector of n ones.
+Vector ones(std::size_t n);
+double dot(const Vector& a, const Vector& b);
+double sum(const Vector& v);
+/// max_i |v_i|
+double norm_inf(const Vector& v);
+/// y += s * x
+void axpy(double s, const Vector& x, Vector& y);
+Vector scaled(const Vector& v, double s);
+/// Elementwise |a - b| max — convergence tests.
+double max_abs_diff(const Vector& a, const Vector& b);
+double max_abs_diff(const Matrix& a, const Matrix& b);
+
+}  // namespace gs::linalg

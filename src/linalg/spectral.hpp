@@ -1,0 +1,26 @@
+// Spectral radius of a non-negative matrix via power iteration.
+//
+// The stability test sp(R) < 1 (Theorem 4.2/4.4) and the convergence
+// diagnostics of the R-matrix iterations need the dominant eigenvalue of R.
+// R is entrywise non-negative, so by Perron–Frobenius its spectral radius
+// is a real eigenvalue with a non-negative eigenvector and plain power
+// iteration converges.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace gs::linalg {
+
+struct SpectralResult {
+  double radius = 0.0;
+  bool converged = false;
+  int iterations = 0;
+};
+
+/// Spectral radius of a non-negative square matrix. Throws
+/// gs::InvalidArgument on a negative entry (use only where non-negativity
+/// is structural, as for R matrices and sub-stochastic kernels).
+SpectralResult spectral_radius(const Matrix& a, double tol = 1e-12,
+                               int max_iter = 10000);
+
+}  // namespace gs::linalg

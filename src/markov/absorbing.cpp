@@ -1,0 +1,74 @@
+#include "markov/absorbing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/lu.hpp"
+#include "util/error.hpp"
+
+namespace gs::markov {
+
+AbsorbingChain::AbsorbingChain(Matrix t, Matrix r)
+    : t_(std::move(t)), r_(std::move(r)) {
+  GS_CHECK(t_.is_square(), "absorbing chain: T must be square");
+  GS_CHECK(r_.rows() == t_.rows(),
+           "absorbing chain: R must have one row per transient state");
+  GS_CHECK(r_.cols() >= 1, "absorbing chain needs an absorbing state");
+  const std::size_t n = t_.rows();
+  const double scale = std::max({t_.max_abs(), r_.max_abs(), 1.0});
+  for (std::size_t i = 0; i < n; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j)
+        GS_CHECK(t_(i, j) >= -1e-9 * scale,
+                 "absorbing chain: T off-diagonal must be non-negative");
+      row += t_(i, j);
+    }
+    GS_CHECK(t_(i, i) < 0.0,
+             "absorbing chain: T diagonal must be strictly negative");
+    for (std::size_t j = 0; j < r_.cols(); ++j) {
+      GS_CHECK(r_(i, j) >= -1e-9 * scale,
+               "absorbing chain: R must be non-negative");
+      row += r_(i, j);
+    }
+    GS_CHECK(std::fabs(row) <= 1e-7 * scale,
+             "absorbing chain: [T R] row sums must be zero");
+  }
+}
+
+Matrix AbsorbingChain::fundamental_matrix() const {
+  Matrix neg_t = t_;
+  neg_t *= -1.0;
+  return linalg::inverse(neg_t);
+}
+
+Vector AbsorbingChain::mean_absorption_time() const {
+  Matrix neg_t = t_;
+  neg_t *= -1.0;
+  return linalg::Lu(neg_t).solve(linalg::ones(transient_states()));
+}
+
+Matrix AbsorbingChain::absorption_probabilities() const {
+  Matrix neg_t = t_;
+  neg_t *= -1.0;
+  return linalg::Lu(neg_t).solve(r_);
+}
+
+double AbsorbingChain::absorption_time_moment(const Vector& alpha,
+                                              int k) const {
+  GS_CHECK(alpha.size() == transient_states(),
+           "absorption_time_moment: alpha size mismatch");
+  GS_CHECK(k >= 1, "absorption_time_moment: k must be >= 1");
+  Matrix neg_t = t_;
+  neg_t *= -1.0;
+  linalg::Lu lu(neg_t);
+  Vector v = linalg::ones(transient_states());
+  double factorial = 1.0;
+  for (int j = 1; j <= k; ++j) {
+    v = lu.solve(v);
+    factorial *= j;
+  }
+  return factorial * linalg::dot(alpha, v);
+}
+
+}  // namespace gs::markov

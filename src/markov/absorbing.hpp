@@ -1,0 +1,55 @@
+// Absorbing-chain analysis over the transient block T of a CTMC whose
+// state space is partitioned into transient states and one or more
+// absorbing states:
+//
+//        Q = [ T  R ]
+//            [ 0  0 ]
+//
+// This is the machinery behind Theorem 4.3's process X_b^p: the class-p
+// serving states with transitions to waiting states redirected to an
+// absorbing state. The fundamental matrix N = (-T)^{-1} yields expected
+// times and absorption probabilities.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace gs::markov {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+class AbsorbingChain {
+ public:
+  /// `t` is the transient-to-transient rate block (a PH-style
+  /// sub-generator: off-diagonal >= 0, strictly negative diagonal, row sums
+  /// <= 0); `r` is the transient-to-absorbing rate block (columns are
+  /// absorbing states). Row sums of [T R] must vanish.
+  AbsorbingChain(Matrix t, Matrix r);
+
+  std::size_t transient_states() const { return t_.rows(); }
+  std::size_t absorbing_states() const { return r_.cols(); }
+  const Matrix& transient_block() const { return t_; }
+  const Matrix& absorbing_block() const { return r_; }
+
+  /// Expected total time spent in transient state j when starting in i:
+  /// N = (-T)^{-1}.
+  Matrix fundamental_matrix() const;
+
+  /// Expected time to absorption from each transient state: (-T)^{-1} e.
+  Vector mean_absorption_time() const;
+
+  /// Probability of ending in each absorbing state, per starting state:
+  /// B = (-T)^{-1} R (rows: start states, cols: absorbing states).
+  Matrix absorption_probabilities() const;
+
+  /// Raw k-th moment of the absorption time from initial distribution
+  /// `alpha` over transient states (alpha may be defective: missing mass
+  /// is treated as instant absorption, contributing zero).
+  double absorption_time_moment(const Vector& alpha, int k) const;
+
+ private:
+  Matrix t_;
+  Matrix r_;
+};
+
+}  // namespace gs::markov

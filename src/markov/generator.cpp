@@ -1,0 +1,59 @@
+#include "markov/generator.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace gs::markov {
+
+Generator::Generator(Matrix q, double tol) : q_(std::move(q)) {
+  GS_CHECK(q_.is_square(), "generator must be square");
+  const std::size_t n = q_.rows();
+  GS_CHECK(n > 0, "generator must be non-empty");
+  const double scale = std::max(q_.max_abs(), 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double off = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      GS_CHECK(q_(i, j) >= -tol * scale,
+               "generator off-diagonal entries must be non-negative");
+      q_(i, j) = std::max(q_(i, j), 0.0);
+      off += q_(i, j);
+    }
+    GS_CHECK(std::fabs(q_(i, i) + off) <= tol * scale,
+             "generator row sums must be zero");
+    q_(i, i) = -off;  // make the row sum exactly zero
+  }
+}
+
+Generator Generator::from_rates(const Matrix& off_diagonal_rates) {
+  Matrix q = off_diagonal_rates;
+  const std::size_t n = q.rows();
+  GS_CHECK(q.is_square(), "rate matrix must be square");
+  for (std::size_t i = 0; i < n; ++i) {
+    double off = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) off += q(i, j);
+    }
+    q(i, i) = -off;
+  }
+  return Generator(std::move(q));
+}
+
+double Generator::max_exit_rate() const {
+  double q = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) q = std::max(q, -q_(i, i));
+  return q;
+}
+
+Uniformized Generator::uniformize(double margin) const {
+  Uniformized out;
+  out.rate = max_exit_rate() * (1.0 + margin);
+  GS_CHECK(out.rate > 0.0, "cannot uniformize the zero generator");
+  out.p = q_;
+  out.p *= 1.0 / out.rate;
+  for (std::size_t i = 0; i < size(); ++i) out.p(i, i) += 1.0;
+  return out;
+}
+
+}  // namespace gs::markov

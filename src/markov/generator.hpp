@@ -1,0 +1,47 @@
+// CTMC infinitesimal generator (Section 2.2 of the paper): a validated
+// wrapper around a dense rate matrix, plus uniformization (Section 2.4).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace gs::markov {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+/// Result of uniformizing a generator: the DTMC P = Q/q + I and the
+/// uniformization rate q >= max_i |q_ii|.
+struct Uniformized {
+  Matrix p;
+  double rate = 0.0;
+};
+
+class Generator {
+ public:
+  /// Validates: square, off-diagonal >= 0, every row sums to 0 within
+  /// `tol` * scale (and re-balances the diagonal exactly so downstream
+  /// algebra sees row sums of exactly zero).
+  explicit Generator(Matrix q, double tol = 1e-9);
+
+  /// Incremental construction: start from an all-zero n x n rate matrix,
+  /// add rates with add_rate(), then finalize() to fix the diagonal.
+  static Generator from_rates(const Matrix& off_diagonal_rates);
+
+  std::size_t size() const { return q_.rows(); }
+  const Matrix& matrix() const { return q_; }
+  double rate(std::size_t from, std::size_t to) const { return q_(from, to); }
+
+  /// Maximum total exit rate max_i |q_ii|.
+  double max_exit_rate() const;
+
+  /// P = Q/q + I with q = max_exit_rate() * (1 + margin); margin keeps a
+  /// strictly positive self-loop at the fastest state, which makes the
+  /// uniformized chain aperiodic.
+  Uniformized uniformize(double margin = 1e-6) const;
+
+ private:
+  Generator() = default;
+  Matrix q_;
+};
+
+}  // namespace gs::markov

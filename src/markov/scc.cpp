@@ -1,0 +1,101 @@
+#include "markov/scc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace gs::markov {
+
+namespace {
+
+// Iterative Tarjan (explicit stack): the per-class chains can have tens of
+// thousands of states once truncated, so recursion depth is a real hazard.
+struct Tarjan {
+  const linalg::Matrix& m;
+  double threshold;
+  std::size_t n;
+  std::vector<int> index, low, comp;
+  std::vector<bool> on_stack;
+  std::vector<std::size_t> stack;
+  int next_index = 0;
+  int next_comp = 0;
+
+  explicit Tarjan(const linalg::Matrix& mat, double thr)
+      : m(mat),
+        threshold(thr),
+        n(mat.rows()),
+        index(n, -1),
+        low(n, 0),
+        comp(n, -1),
+        on_stack(n, false) {}
+
+  bool edge(std::size_t i, std::size_t j) const {
+    return i != j && std::fabs(m(i, j)) > threshold;
+  }
+
+  void run(std::size_t root) {
+    // Frame: (vertex, next neighbour to try).
+    std::vector<std::pair<std::size_t, std::size_t>> frames;
+    frames.emplace_back(root, 0);
+    index[root] = low[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!frames.empty()) {
+      auto& [v, next] = frames.back();
+      bool descended = false;
+      while (next < n) {
+        const std::size_t w = next++;
+        if (!edge(v, w)) continue;
+        if (index[w] == -1) {
+          index[w] = low[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.emplace_back(w, 0);
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) low[v] = std::min(low[v], index[w]);
+      }
+      if (descended) continue;
+      // v is finished.
+      if (low[v] == index[v]) {
+        for (;;) {
+          const std::size_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          comp[w] = next_comp;
+          if (w == v) break;
+        }
+        ++next_comp;
+      }
+      const std::size_t child = v;
+      frames.pop_back();
+      if (!frames.empty()) {
+        const std::size_t parent = frames.back().first;
+        low[parent] = std::min(low[parent], low[child]);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<int> strongly_connected_components(const linalg::Matrix& m,
+                                               double threshold) {
+  GS_CHECK(m.is_square(), "SCC needs a square matrix");
+  Tarjan t(m, threshold);
+  for (std::size_t v = 0; v < t.n; ++v) {
+    if (t.index[v] == -1) t.run(v);
+  }
+  return t.comp;
+}
+
+bool is_irreducible(const linalg::Matrix& m, double threshold) {
+  const auto comp = strongly_connected_components(m, threshold);
+  return std::all_of(comp.begin(), comp.end(),
+                     [](int c) { return c == 0; });
+}
+
+}  // namespace gs::markov

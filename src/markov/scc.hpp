@@ -1,0 +1,24 @@
+// Irreducibility checking (Section 4.4 of the paper): a Markov chain is
+// irreducible iff its transition graph is one strongly connected component.
+// The paper verifies irreducibility of the per-class QBD by checking that
+// the boundary plus the first repeating level is strongly connected; we
+// expose Tarjan's SCC algorithm over the non-zero structure of a rate
+// matrix for exactly that check.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace gs::markov {
+
+/// Strongly connected components of the directed graph whose edge (i, j)
+/// exists when |m(i,j)| > threshold, i != j. Returns the component id of
+/// each vertex (ids are in reverse topological order, 0-based).
+std::vector<int> strongly_connected_components(const linalg::Matrix& m,
+                                               double threshold = 0.0);
+
+/// True iff the graph above is a single SCC.
+bool is_irreducible(const linalg::Matrix& m, double threshold = 0.0);
+
+}  // namespace gs::markov

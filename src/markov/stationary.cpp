@@ -1,0 +1,33 @@
+#include "markov/stationary.hpp"
+
+#include "linalg/gth.hpp"
+
+namespace gs::markov {
+
+Vector stationary_gth(const Generator& q) {
+  return linalg::gth_stationary(q.matrix());
+}
+
+PowerResult stationary_power(const Generator& q, const PowerOptions& opts) {
+  const Uniformized u = q.uniformize();
+  const std::size_t n = q.size();
+  PowerResult out;
+  Vector pi(n, 1.0 / static_cast<double>(n));
+  for (int it = 1; it <= opts.max_iter; ++it) {
+    Vector next = pi * u.p;
+    // Renormalize to absorb round-off drift.
+    const double total = linalg::sum(next);
+    for (double& v : next) v /= total;
+    out.iterations = it;
+    if (linalg::max_abs_diff(pi, next) <= opts.tol) {
+      out.pi = std::move(next);
+      out.converged = true;
+      return out;
+    }
+    pi = std::move(next);
+  }
+  out.pi = std::move(pi);
+  return out;
+}
+
+}  // namespace gs::markov

@@ -1,0 +1,32 @@
+// Stationary distributions of finite CTMCs (Theorem 2.4: solve pi Q = 0,
+// pi e = 1), with two interchangeable backends:
+//  * GTH — subtraction-free, O(n^3); the default for the chain sizes the
+//    gang model produces directly.
+//  * power iteration on the uniformized chain (Section 2.4) — O(n^2) per
+//    sweep; useful as an independent cross-check and for larger chains.
+#pragma once
+
+#include "markov/generator.hpp"
+
+namespace gs::markov {
+
+/// Stationary vector via GTH. Throws gs::NumericalError if the chain is
+/// reducible.
+Vector stationary_gth(const Generator& q);
+
+struct PowerOptions {
+  double tol = 1e-12;
+  int max_iter = 200000;
+};
+
+struct PowerResult {
+  Vector pi;
+  bool converged = false;
+  int iterations = 0;
+};
+
+/// Stationary vector via repeated multiplication with the uniformized
+/// transition matrix, started from uniform.
+PowerResult stationary_power(const Generator& q, const PowerOptions& opts = {});
+
+}  // namespace gs::markov

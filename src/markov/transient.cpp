@@ -1,0 +1,18 @@
+#include "markov/transient.hpp"
+
+#include <cmath>
+
+#include "phase/uniformization.hpp"
+#include "util/error.hpp"
+
+namespace gs::markov {
+
+Vector transient_distribution(const Generator& q, const Vector& pi0,
+                              double t) {
+  GS_CHECK(pi0.size() == q.size(), "transient: initial vector size mismatch");
+  GS_CHECK(std::fabs(linalg::sum(pi0) - 1.0) <= 1e-9,
+           "transient: initial vector must be a probability distribution");
+  return phase::exp_action(pi0, q.matrix(), t);
+}
+
+}  // namespace gs::markov

@@ -1,0 +1,15 @@
+// Transient CTMC analysis: the state distribution pi(t) = pi(0) exp(Qt),
+// evaluated by uniformization. Used by tests to cross-check stationary
+// solutions (pi(t) must converge to pi) and by the simulator's validation
+// harness.
+#pragma once
+
+#include "markov/generator.hpp"
+
+namespace gs::markov {
+
+/// pi(t) = pi0 exp(Q t); pi0 must be a probability vector over q's states.
+Vector transient_distribution(const Generator& q, const Vector& pi0,
+                              double t);
+
+}  // namespace gs::markov

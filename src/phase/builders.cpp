@@ -1,0 +1,78 @@
+#include "phase/builders.hpp"
+
+#include "util/error.hpp"
+
+namespace gs::phase {
+
+PhaseType exponential(double rate) {
+  GS_CHECK(rate > 0.0, "exponential PH needs a positive rate");
+  return PhaseType({1.0}, Matrix{{-rate}});
+}
+
+PhaseType erlang(int k, double mean) {
+  GS_CHECK(k >= 1, "Erlang PH needs at least one stage");
+  GS_CHECK(mean > 0.0, "Erlang PH needs a positive mean");
+  const double rate = static_cast<double>(k) / mean;
+  const auto n = static_cast<std::size_t>(k);
+  Matrix s(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s(i, i) = -rate;
+    if (i + 1 < n) s(i, i + 1) = rate;
+  }
+  Vector alpha(n, 0.0);
+  alpha[0] = 1.0;
+  return PhaseType(std::move(alpha), std::move(s));
+}
+
+PhaseType hyperexponential(const Vector& probs, const Vector& rates) {
+  GS_CHECK(!probs.empty() && probs.size() == rates.size(),
+           "hyperexponential needs matching probs and rates");
+  const std::size_t n = probs.size();
+  Matrix s(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    GS_CHECK(rates[i] > 0.0, "hyperexponential rates must be positive");
+    s(i, i) = -rates[i];
+  }
+  return PhaseType(probs, std::move(s));
+}
+
+PhaseType hypoexponential(const Vector& rates) {
+  GS_CHECK(!rates.empty(), "hypoexponential needs at least one stage");
+  const std::size_t n = rates.size();
+  Matrix s(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    GS_CHECK(rates[i] > 0.0, "hypoexponential rates must be positive");
+    s(i, i) = -rates[i];
+    if (i + 1 < n) s(i, i + 1) = rates[i];
+  }
+  Vector alpha(n, 0.0);
+  alpha[0] = 1.0;
+  return PhaseType(std::move(alpha), std::move(s));
+}
+
+PhaseType coxian(const Vector& rates, const Vector& continue_probs) {
+  GS_CHECK(!rates.empty(), "Coxian needs at least one stage");
+  GS_CHECK(continue_probs.size() + 1 == rates.size(),
+           "Coxian needs rates.size()-1 continuation probabilities");
+  const std::size_t n = rates.size();
+  Matrix s(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    GS_CHECK(rates[i] > 0.0, "Coxian rates must be positive");
+    s(i, i) = -rates[i];
+    if (i + 1 < n) {
+      const double p = continue_probs[i];
+      GS_CHECK(p >= 0.0 && p <= 1.0,
+               "Coxian continuation probabilities must lie in [0,1]");
+      s(i, i + 1) = p * rates[i];
+    }
+  }
+  Vector alpha(n, 0.0);
+  alpha[0] = 1.0;
+  return PhaseType(std::move(alpha), std::move(s));
+}
+
+PhaseType near_deterministic(double value, int stages) {
+  return erlang(stages, value);
+}
+
+}  // namespace gs::phase

@@ -1,0 +1,36 @@
+// Constructors for the standard phase-type families used throughout the
+// paper's experiments: exponential interarrivals/services/overheads and
+// K-stage Erlang quanta (Figure 1), plus the richer families
+// (hyper-/hypo-exponential, Coxian) the analysis supports.
+#pragma once
+
+#include "phase/phase_type.hpp"
+
+namespace gs::phase {
+
+/// Exponential with the given rate (order 1).
+PhaseType exponential(double rate);
+
+/// Erlang with k stages and the given *total* mean (each stage has rate
+/// k/mean). SCV = 1/k. The paper's quantum distribution (Fig. 1).
+PhaseType erlang(int k, double mean);
+
+/// Hyperexponential: with probability probs[i], exponential(rates[i]).
+/// SCV >= 1.
+PhaseType hyperexponential(const Vector& probs, const Vector& rates);
+
+/// Hypoexponential (generalized Erlang): stages with the given rates in
+/// series. SCV <= 1.
+PhaseType hypoexponential(const Vector& rates);
+
+/// Coxian: stage i has rate `rates[i]`; after stage i the process continues
+/// to stage i+1 with probability `continue_probs[i]` (size rates.size()-1)
+/// and absorbs otherwise. The canonical dense-in-distribution family.
+PhaseType coxian(const Vector& rates, const Vector& continue_probs);
+
+/// A numerically convenient stand-in for a deterministic value: Erlang with
+/// `stages` stages (SCV = 1/stages). Used by ablations probing the effect
+/// of quantum variability.
+PhaseType near_deterministic(double value, int stages = 64);
+
+}  // namespace gs::phase

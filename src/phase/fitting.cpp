@@ -1,0 +1,82 @@
+#include "phase/fitting.hpp"
+
+#include <cmath>
+
+#include "phase/builders.hpp"
+#include "util/error.hpp"
+
+namespace gs::phase {
+
+PhaseType fit_mean_scv(double mean, double scv, int max_order) {
+  GS_CHECK(mean > 0.0, "fit_mean_scv needs a positive mean");
+  GS_CHECK(scv > 0.0, "fit_mean_scv needs a positive SCV");
+
+  if (std::fabs(scv - 1.0) <= 1e-9) return exponential(1.0 / mean);
+
+  if (scv > 1.0) {
+    // Balanced-means H2: p1/l1 == p2/l2 (Whitt / Tijms). Matches mean and
+    // SCV exactly for any scv > 1.
+    const double p1 = 0.5 * (1.0 + std::sqrt((scv - 1.0) / (scv + 1.0)));
+    const double p2 = 1.0 - p1;
+    const double l1 = 2.0 * p1 / mean;
+    const double l2 = 2.0 * p2 / mean;
+    return hyperexponential({p1, p2}, {l1, l2});
+  }
+
+  // scv < 1: Erlang(k-1)/Erlang(k) mixture with common rate; pick k with
+  // 1/k <= scv <= 1/(k-1).
+  const int k = static_cast<int>(std::ceil(1.0 / scv - 1e-12));
+  GS_CHECK(k <= max_order,
+           "fit_mean_scv: SCV too small for the allowed PH order");
+  // p solves scv = (k - p^2) / (k - p)^2 (Tijms 1994, eq. for the E_{k-1,k}
+  // distribution).
+  const double kk = static_cast<double>(k);
+  const double disc = kk * (1.0 + scv) - kk * kk * scv;
+  GS_ASSERT(disc >= -1e-12);
+  const double p =
+      (kk * scv - std::sqrt(std::max(disc, 0.0))) / (1.0 + scv);
+  const double rate = (kk - p) / mean;
+
+  // Compact order-k realization: a k-stage chain with rate `rate`; start in
+  // stage 2 with probability p (needing k-1 stages) else stage 1.
+  const auto n = static_cast<std::size_t>(k);
+  Matrix s(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s(i, i) = -rate;
+    if (i + 1 < n) s(i, i + 1) = rate;
+  }
+  Vector alpha(n, 0.0);
+  if (n == 1) {
+    alpha[0] = 1.0;
+  } else {
+    alpha[0] = 1.0 - p;
+    alpha[1] = p;
+  }
+  return PhaseType(std::move(alpha), std::move(s));
+}
+
+PhaseType with_atom(const PhaseType& ph, double atom) {
+  GS_CHECK(atom >= 0.0 && atom < 1.0, "atom mass must lie in [0, 1)");
+  const PhaseType positive = ph.conditional_positive();
+  Vector alpha = positive.alpha();
+  for (double& a : alpha) a *= (1.0 - atom);
+  return PhaseType(std::move(alpha), positive.generator());
+}
+
+PhaseType fit_atom_and_moments(double atom, double m1, double m2,
+                               int max_order) {
+  GS_CHECK(atom >= 0.0 && atom < 1.0, "atom mass must lie in [0, 1)");
+  GS_CHECK(m1 > 0.0, "fit_atom_and_moments needs a positive mean");
+  GS_CHECK(m2 > 0.0, "fit_atom_and_moments needs a positive second moment");
+  // Conditional moments of the positive part.
+  const double q = 1.0 - atom;
+  const double c1 = m1 / q;
+  const double c2 = m2 / q;
+  double scv = (c2 - c1 * c1) / (c1 * c1);
+  // Guard against slightly (or badly) non-realizable inputs from truncation
+  // noise; clamping to 1/max_order keeps the fitted order bounded.
+  scv = std::max(scv, 1.0 / static_cast<double>(max_order));
+  return with_atom(fit_mean_scv(c1, scv, max_order), atom);
+}
+
+}  // namespace gs::phase

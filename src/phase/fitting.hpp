@@ -1,0 +1,40 @@
+// Moment-matching of phase-type distributions.
+//
+// Two uses: (a) letting users specify workloads as (mean, SCV) pairs as is
+// customary in the scheduling literature, and (b) the MomentMatched mode of
+// the Theorem-4.3 fixed point, which replaces the exact (large) effective-
+// quantum representation by a small PH with the same first two moments
+// (plus the atom at zero). The fitted families are the classical minimal
+// ones (e.g. Tijms 1994): exponential at SCV = 1, a balanced-means
+// two-phase hyperexponential for SCV > 1, and a shifted-start Erlang
+// mixture for SCV < 1.
+#pragma once
+
+#include "phase/phase_type.hpp"
+
+namespace gs::phase {
+
+/// A PH distribution with the given mean > 0 and SCV > 0.
+///  * scv == 1 (±1e-9): exponential, order 1.
+///  * scv  > 1: hyperexponential H2 with balanced means, order 2.
+///  * scv  < 1: mixture of Erlang(k-1) and Erlang(k) with common rate,
+///    1/k <= scv <= 1/(k-1), realized compactly as a k-stage chain entered
+///    at stage 1 or 2 — order k.
+/// Throws gs::InvalidArgument if scv < 1e-6 would need more than
+/// `max_order` stages.
+PhaseType fit_mean_scv(double mean, double scv, int max_order = 1024);
+
+/// Re-weight a PH distribution's initial vector so it carries an atom at
+/// zero of the given mass (the continuous part keeps its shape).
+PhaseType with_atom(const PhaseType& ph, double atom);
+
+/// Fit a (possibly defective) PH to an atom at zero plus the first two
+/// moments m1 = E[X], m2 = E[X^2] of the *overall* distribution. The
+/// continuous part is fitted to the conditional moments given X > 0; an
+/// SCV below 1/max_order (possible from truncation noise in the effective-
+/// quantum moments) is clamped to 1/max_order so the representation stays
+/// small.
+PhaseType fit_atom_and_moments(double atom, double m1, double m2,
+                               int max_order = 64);
+
+}  // namespace gs::phase

@@ -1,0 +1,76 @@
+#include "phase/ops.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace gs::phase {
+
+PhaseType convolve(const PhaseType& f, const PhaseType& g) {
+  const std::size_t nf = f.order();
+  const std::size_t ng = g.order();
+  Matrix s(nf + ng, nf + ng);
+  s.insert_block(0, 0, f.generator());
+  s.insert_block(nf, nf, g.generator());
+  // Exiting F hands over to G's initial phases: block s0_F * alpha_G.
+  const Vector& exit_f = f.exit_rates();
+  const Vector& alpha_g = g.alpha();
+  for (std::size_t i = 0; i < nf; ++i)
+    for (std::size_t j = 0; j < ng; ++j)
+      s(i, nf + j) = exit_f[i] * alpha_g[j];
+
+  Vector alpha(nf + ng, 0.0);
+  for (std::size_t i = 0; i < nf; ++i) alpha[i] = f.alpha()[i];
+  // F's atom at zero starts the sum directly inside G.
+  const double af = f.atom_at_zero();
+  for (std::size_t j = 0; j < ng; ++j) alpha[nf + j] = af * alpha_g[j];
+  return PhaseType(std::move(alpha), std::move(s));
+}
+
+PhaseType convolve_all(const std::vector<PhaseType>& parts) {
+  GS_CHECK(!parts.empty(), "convolve_all needs at least one distribution");
+  PhaseType acc = parts.front();
+  for (std::size_t i = 1; i < parts.size(); ++i) acc = convolve(acc, parts[i]);
+  return acc;
+}
+
+PhaseType mixture(const std::vector<double>& weights,
+                  const std::vector<PhaseType>& parts) {
+  GS_CHECK(!parts.empty() && weights.size() == parts.size(),
+           "mixture needs matching weights and distributions");
+  double total = 0.0;
+  for (double w : weights) {
+    GS_CHECK(w >= 0.0, "mixture weights must be non-negative");
+    total += w;
+  }
+  GS_CHECK(std::fabs(total - 1.0) <= 1e-9, "mixture weights must sum to 1");
+
+  std::size_t n = 0;
+  for (const auto& p : parts) n += p.order();
+  Matrix s(n, n);
+  Vector alpha(n, 0.0);
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    s.insert_block(off, off, parts[i].generator());
+    for (std::size_t j = 0; j < parts[i].order(); ++j)
+      alpha[off + j] = weights[i] * parts[i].alpha()[j];
+    off += parts[i].order();
+  }
+  return PhaseType(std::move(alpha), std::move(s));
+}
+
+PhaseType minimum(const PhaseType& f, const PhaseType& g) {
+  const std::size_t nf = f.order();
+  const std::size_t ng = g.order();
+  // Kronecker sum S_F ⊕ S_G = S_F ⊗ I + I ⊗ S_G: both clocks run until
+  // either absorbs.
+  Matrix s = Matrix::kron(f.generator(), Matrix::identity(ng));
+  s += Matrix::kron(Matrix::identity(nf), g.generator());
+  Vector alpha(nf * ng, 0.0);
+  for (std::size_t i = 0; i < nf; ++i)
+    for (std::size_t j = 0; j < ng; ++j)
+      alpha[i * ng + j] = f.alpha()[i] * g.alpha()[j];
+  return PhaseType(std::move(alpha), std::move(s));
+}
+
+}  // namespace gs::phase

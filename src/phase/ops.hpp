@@ -1,0 +1,34 @@
+// Closure operations on phase-type distributions.
+//
+// The heart of Theorems 4.1 and 4.3: the away-period distribution F_p is a
+// convolution of the other classes' (effective) quanta and all the switch
+// overheads, assembled with the block construction of Theorem 2.5. All
+// operations honour defective initial vectors (atoms at zero), which
+// Theorem 4.3's effective quanta require.
+#pragma once
+
+#include <vector>
+
+#include "phase/phase_type.hpp"
+
+namespace gs::phase {
+
+/// Convolution F * G (Theorem 2.5), i.e. the law of X + Y for independent
+/// X ~ F, Y ~ G. Order n_F + n_G. With atoms a_F, a_G the result has
+/// initial vector [alpha_F, a_F * alpha_G] and atom a_F * a_G.
+PhaseType convolve(const PhaseType& f, const PhaseType& g);
+
+/// Fold convolve() over a non-empty list, left to right.
+PhaseType convolve_all(const std::vector<PhaseType>& parts);
+
+/// Probabilistic mixture: with probability weights[i] draw from parts[i].
+/// Weights must be non-negative and sum to 1 (tolerance 1e-9).
+PhaseType mixture(const std::vector<double>& weights,
+                  const std::vector<PhaseType>& parts);
+
+/// min(X, Y) for independent X ~ F, Y ~ G: PH on the Kronecker-product
+/// space with sub-generator S_F ⊕ S_G (Kronecker sum). Atoms at zero make
+/// the minimum zero, so the result's atom is a_F + a_G - a_F a_G.
+PhaseType minimum(const PhaseType& f, const PhaseType& g);
+
+}  // namespace gs::phase

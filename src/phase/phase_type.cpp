@@ -1,0 +1,144 @@
+#include "phase/phase_type.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "linalg/lu.hpp"
+#include "phase/uniformization.hpp"
+#include "util/error.hpp"
+
+namespace gs::phase {
+
+namespace {
+constexpr double kTol = 1e-9;
+}
+
+PhaseType::PhaseType(Vector alpha, Matrix s)
+    : alpha_(std::move(alpha)), s_(std::move(s)) {
+  GS_CHECK(s_.is_square(), "PH sub-generator must be square");
+  GS_CHECK(alpha_.size() == s_.rows(),
+           "PH initial vector length must match the sub-generator order");
+  GS_CHECK(!alpha_.empty(), "PH distribution needs at least one phase");
+
+  double mass = 0.0;
+  for (double a : alpha_) {
+    GS_CHECK(a >= -kTol, "PH initial vector has a negative entry");
+    mass += a;
+  }
+  GS_CHECK(mass <= 1.0 + kTol, "PH initial vector mass exceeds 1");
+  // Clean tiny negative round-off so downstream algebra stays signed
+  // correctly.
+  for (double& a : alpha_) a = std::max(a, 0.0);
+  atom_ = std::max(0.0, 1.0 - mass);
+  if (atom_ < kTol) atom_ = 0.0;
+
+  const std::size_t n = s_.rows();
+  exit_.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    GS_CHECK(s_(i, i) < 0.0, "PH sub-generator diagonal must be negative");
+    double row = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) {
+        GS_CHECK(s_(i, j) >= -kTol,
+                 "PH sub-generator off-diagonal must be non-negative");
+        s_(i, j) = std::max(s_(i, j), 0.0);
+      }
+      row += s_(i, j);
+    }
+    GS_CHECK(row <= kTol * std::fabs(s_(i, i)) + kTol,
+             "PH sub-generator row sum must be <= 0");
+    exit_[i] = std::max(0.0, -row);
+  }
+}
+
+double PhaseType::mean() const { return moment(1); }
+
+double PhaseType::moment(int k) const {
+  GS_CHECK(k >= 1, "PH moment order must be >= 1");
+  // E[X^k] = k! alpha (-S)^{-k} e. Solve iteratively: v_0 = e,
+  // v_j = (-S)^{-1} v_{j-1}; then E[X^k] = k! alpha . v_k.
+  Matrix neg_s = s_;
+  neg_s *= -1.0;
+  linalg::Lu lu(neg_s);
+  Vector v = linalg::ones(order());
+  double factorial = 1.0;
+  for (int j = 1; j <= k; ++j) {
+    v = lu.solve(v);
+    factorial *= j;
+  }
+  return factorial * linalg::dot(alpha_, v);
+}
+
+double PhaseType::variance() const {
+  const double m1 = moment(1);
+  return moment(2) - m1 * m1;
+}
+
+double PhaseType::scv() const {
+  const double m = mean();
+  GS_CHECK(m > 0.0, "SCV undefined for a zero-mean PH distribution");
+  return variance() / (m * m);
+}
+
+double PhaseType::sf(double t) const {
+  GS_CHECK(t >= 0.0, "PH survival function needs t >= 0");
+  if (t == 0.0) return 1.0 - atom_;
+  const Vector at = exp_action(alpha_, s_, t);
+  return linalg::sum(at);
+}
+
+double PhaseType::cdf(double t) const { return 1.0 - sf(t); }
+
+double PhaseType::pdf(double t) const {
+  GS_CHECK(t > 0.0, "PH density defined for t > 0");
+  const Vector at = exp_action(alpha_, s_, t);
+  return linalg::dot(at, exit_);
+}
+
+double PhaseType::sample(util::Rng& rng) const {
+  // Pick the initial phase; the defective remainder is the atom at zero.
+  std::size_t phase = rng.discrete(alpha_, 1.0);
+  if (phase >= order()) return 0.0;
+  double t = 0.0;
+  const std::size_t n = order();
+  // Walk the transient chain until absorption.
+  std::vector<double> weights(n + 1);
+  for (;;) {
+    const double hold_rate = -s_(phase, phase);
+    t += rng.exponential(hold_rate);
+    // Next phase or absorption, proportional to the off-diagonal rates and
+    // the exit rate.
+    for (std::size_t j = 0; j < n; ++j)
+      weights[j] = (j == phase) ? 0.0 : s_(phase, j);
+    weights[n] = exit_[phase];
+    const std::size_t next = rng.discrete(weights);
+    if (next == n) return t;
+    phase = next;
+  }
+}
+
+PhaseType PhaseType::scaled(double c) const {
+  GS_CHECK(c > 0.0, "PH time scale factor must be positive");
+  Matrix s = s_;
+  s *= 1.0 / c;
+  return PhaseType(alpha_, std::move(s));
+}
+
+PhaseType PhaseType::conditional_positive() const {
+  GS_CHECK(atom_ < 1.0, "PH distribution is a pure atom at zero");
+  if (atom_ == 0.0) return *this;
+  Vector a = alpha_;
+  const double norm = 1.0 - atom_;
+  for (double& x : a) x /= norm;
+  return PhaseType(std::move(a), s_);
+}
+
+std::string PhaseType::describe() const {
+  std::ostringstream os;
+  os << "PH(order=" << order() << ", mean=" << mean() << ", scv=" << scv();
+  if (atom_ > 0.0) os << ", atom0=" << atom_;
+  os << ")";
+  return os.str();
+}
+
+}  // namespace gs::phase

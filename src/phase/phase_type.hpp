@@ -1,0 +1,78 @@
+// Phase-type (PH) distributions — Section 2.5 of the paper.
+//
+// A PH distribution is the law of the time to absorption of a CTMC on
+// states {1..m} ∪ {absorbing}, given by an initial (row) vector alpha over
+// the transient states and an m x m sub-generator S whose exit vector is
+// s0 = -S e. Every model parameter of the gang-scheduling analysis
+// (interarrival, service, quantum, switch overhead) is PH, and Theorem 4.3
+// additionally needs *defective* representations: sum(alpha) < 1 leaves an
+// atom of probability mass at zero (quanta that begin with an empty queue).
+#pragma once
+
+#include <string>
+
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace gs::phase {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+class PhaseType {
+ public:
+  /// Build and validate PH(alpha, S). Requirements (throws
+  /// gs::InvalidArgument otherwise):
+  ///  * S square, alpha.size() == S.rows() >= 1
+  ///  * off-diagonal S entries >= 0, diagonal < 0, row sums <= 0
+  ///  * alpha entries >= 0, sum(alpha) <= 1 (+ tolerance); the deficit
+  ///    1 - sum(alpha) is the atom at zero.
+  PhaseType(Vector alpha, Matrix s);
+
+  std::size_t order() const { return alpha_.size(); }
+  const Vector& alpha() const { return alpha_; }
+  const Matrix& generator() const { return s_; }
+  /// Exit rate vector s0 = -S e (rate of absorbing from each phase).
+  const Vector& exit_rates() const { return exit_; }
+  /// Probability mass at zero: 1 - sum(alpha).
+  double atom_at_zero() const { return atom_; }
+
+  /// E[X] = alpha (-S)^{-1} e.
+  double mean() const;
+  /// Raw k-th moment E[X^k] = k! alpha (-S)^{-k} e, k >= 1.
+  double moment(int k) const;
+  double variance() const;
+  /// Squared coefficient of variation Var/Mean^2.
+  double scv() const;
+
+  /// P(X <= t) = 1 - alpha exp(S t) e, computed by uniformization (exact up
+  /// to a 1e-14 Poisson-tail cutoff; no subtraction of large terms).
+  double cdf(double t) const;
+  /// Density f(t) = alpha exp(S t) s0 for t > 0 (the atom at zero is not a
+  /// density contribution).
+  double pdf(double t) const;
+
+  /// Complementary CDF evaluated without the 1-cdf cancellation:
+  /// P(X > t) = alpha exp(S t) e.
+  double sf(double t) const;
+
+  /// Exact sample of the absorption time: walks the phase process.
+  double sample(util::Rng& rng) const;
+
+  /// The same distribution with time scaled by c > 0 (mean multiplied by
+  /// c): PH(alpha, S / c).
+  PhaseType scaled(double c) const;
+
+  /// Renormalized conditional distribution given X > 0 (removes the atom).
+  PhaseType conditional_positive() const;
+
+  std::string describe() const;
+
+ private:
+  Vector alpha_;
+  Matrix s_;
+  Vector exit_;
+  double atom_ = 0.0;
+};
+
+}  // namespace gs::phase

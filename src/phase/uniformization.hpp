@@ -1,0 +1,26 @@
+// Uniformization (Section 2.4): evaluate the action of a matrix
+// exponential row-vector product v exp(Mt) for a (sub-)generator M.
+//
+// Writing M = q (P - I) with q >= max_i |m_ii| makes P = M/q + I entrywise
+// non-negative (stochastic when M is a generator, sub-stochastic when M is
+// a PH sub-generator), and
+//     v exp(Mt) = e^{-qt} sum_k (qt)^k / k!  v P^k.
+// All terms are non-negative, so the sum is evaluated without cancellation;
+// we truncate when the remaining Poisson tail is below `tail_eps`.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace gs::phase {
+
+/// v exp(Mt) for a generator or sub-generator M (off-diagonal >= 0, row
+/// sums <= 0). Returns v unchanged when t == 0.
+linalg::Vector exp_action(const linalg::Vector& v, const linalg::Matrix& m,
+                          double t, double tail_eps = 1e-14);
+
+/// Dense exp(Mt) by applying exp_action to each unit row. Fine at the
+/// state-space sizes this library handles.
+linalg::Matrix exp_dense(const linalg::Matrix& m, double t,
+                         double tail_eps = 1e-14);
+
+}  // namespace gs::phase

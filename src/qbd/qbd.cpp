@@ -1,0 +1,127 @@
+#include "qbd/qbd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/gth.hpp"
+#include "markov/scc.hpp"
+#include "util/error.hpp"
+
+namespace gs::qbd {
+
+QbdProcess::QbdProcess(QbdBlocks blocks,
+                       std::vector<std::size_t> boundary_level_dims)
+    : blocks_(std::move(blocks)), boundary_dims_(std::move(boundary_level_dims)) {
+  const std::size_t d = blocks_.a1.rows();
+  GS_CHECK(d > 0, "QBD repeating blocks must be non-empty");
+  GS_CHECK(blocks_.a0.rows() == d && blocks_.a0.cols() == d &&
+               blocks_.a1.cols() == d && blocks_.a2.rows() == d &&
+               blocks_.a2.cols() == d,
+           "QBD repeating blocks A0/A1/A2 must all be d x d");
+  GS_CHECK(blocks_.b11.rows() == d && blocks_.b11.cols() == d,
+           "QBD level-b block B11 must be d x d");
+
+  const std::size_t D =
+      std::accumulate(boundary_dims_.begin(), boundary_dims_.end(),
+                      std::size_t{0});
+  GS_CHECK(blocks_.b00.rows() == D && blocks_.b00.cols() == D,
+           "QBD boundary block B00 must match the boundary level dims");
+  GS_CHECK(blocks_.b01.rows() == D && blocks_.b01.cols() == d,
+           "QBD block B01 must be D x d");
+  GS_CHECK(blocks_.b10.rows() == d && blocks_.b10.cols() == D,
+           "QBD block B10 must be d x D");
+
+  // Row-sum validation (generator rows must vanish).
+  const double scale = std::max(
+      {blocks_.b00.max_abs(), blocks_.b11.max_abs(), blocks_.a0.max_abs(),
+       blocks_.a1.max_abs(), blocks_.a2.max_abs(), 1.0});
+  const double tol = 1e-8 * scale;
+
+  const Vector r00 = blocks_.b00.row_sums();
+  const Vector r01 = blocks_.b01.row_sums();
+  for (std::size_t i = 0; i < D; ++i)
+    GS_CHECK(std::fabs(r00[i] + r01[i]) <= tol,
+             "QBD boundary row sums must vanish");
+
+  const Vector r10 = blocks_.b10.row_sums();
+  const Vector r11 = blocks_.b11.row_sums();
+  const Vector ra0 = blocks_.a0.row_sums();
+  for (std::size_t i = 0; i < d; ++i)
+    GS_CHECK(std::fabs(r10[i] + r11[i] + ra0[i]) <= tol,
+             "QBD level-b row sums must vanish");
+
+  const Vector ra1 = blocks_.a1.row_sums();
+  const Vector ra2 = blocks_.a2.row_sums();
+  for (std::size_t i = 0; i < d; ++i)
+    GS_CHECK(std::fabs(ra0[i] + ra1[i] + ra2[i]) <= tol,
+             "QBD repeating row sums must vanish");
+
+  // Off-diagonal non-negativity of every block (the diagonal lives in B00,
+  // B11, A1 only).
+  auto check_nonneg = [&](const Matrix& m, bool has_diag, const char* name) {
+    for (std::size_t i = 0; i < m.rows(); ++i)
+      for (std::size_t j = 0; j < m.cols(); ++j) {
+        if (has_diag && i == j) continue;
+        GS_CHECK(m(i, j) >= -tol,
+                 std::string("QBD block ") + name +
+                     " has a negative off-diagonal entry");
+      }
+  };
+  check_nonneg(blocks_.b00, true, "B00");
+  check_nonneg(blocks_.b01, false, "B01");
+  check_nonneg(blocks_.b10, false, "B10");
+  check_nonneg(blocks_.b11, true, "B11");
+  check_nonneg(blocks_.a0, false, "A0");
+  check_nonneg(blocks_.a1, true, "A1");
+  check_nonneg(blocks_.a2, false, "A2");
+}
+
+QbdProcess::Drift QbdProcess::drift() const {
+  Drift out;
+  const Matrix a = blocks_.a0 + blocks_.a1 + blocks_.a2;
+  // A is itself a generator (rows sum to zero); its stationary vector y is
+  // the phase process ignoring the level.
+  out.y = linalg::gth_stationary(a);
+  out.up_drift = linalg::dot(out.y, blocks_.a0.row_sums());
+  out.down_drift = linalg::dot(out.y, blocks_.a2.row_sums());
+  out.stable = out.up_drift < out.down_drift;
+  return out;
+}
+
+Matrix QbdProcess::corner(std::size_t repeating_levels) const {
+  const std::size_t D = boundary_size();
+  const std::size_t d = repeating_size();
+  const std::size_t n = D + d * (1 + repeating_levels);
+  Matrix q(n, n);
+  q.insert_block(0, 0, blocks_.b00);
+  q.insert_block(0, D, blocks_.b01);
+  q.insert_block(D, 0, blocks_.b10);
+  q.insert_block(D, D, blocks_.b11);
+  for (std::size_t k = 0; k <= repeating_levels; ++k) {
+    const std::size_t r0 = D + k * d;
+    if (k > 0) {
+      q.insert_block(r0, r0, blocks_.a1);
+      q.insert_block(r0, r0 - d, blocks_.a2);
+    }
+    if (k < repeating_levels) q.insert_block(r0, r0 + d, blocks_.a0);
+  }
+  return q;
+}
+
+bool QbdProcess::is_irreducible() const {
+  // Section 4.4: the boundary plus the first repeating level strongly
+  // connected implies irreducibility of the whole process, because levels
+  // repeat identically from there on. The top corner's last level lacks
+  // its up-block, which could only *remove* connectivity, so we include
+  // two repeating levels and test the sub-corner reachability on the first.
+  const Matrix q = corner(2);
+  const auto comp = markov::strongly_connected_components(q);
+  const std::size_t check = boundary_size() + 2 * repeating_size();
+  for (std::size_t i = 0; i < check; ++i) {
+    if (comp[i] != comp[0]) return false;
+  }
+  return true;
+}
+
+}  // namespace gs::qbd

@@ -1,0 +1,86 @@
+// Quasi-birth-death (QBD) processes with a heterogeneous boundary —
+// the structure of equation (20) in the paper.
+//
+// The generator is block-tridiagonal in the *level* (for the gang model:
+// the number of class-p jobs in the system). Levels 0..b-1 form the
+// boundary interior (their state spaces may differ level to level; we keep
+// them aggregated in one D x D block), level b is the last boundary level
+// whose within-level space already matches the repeating portion, and from
+// level b+1 onward the process repeats with blocks A0 (up), A1 (local),
+// A2 (down):
+//
+//        [ B00  B01              ]
+//    Q = [ B10  B11  A0          ]
+//        [      A2   A1  A0      ]
+//        [           A2  A1  A0  ]
+//        [               ...     ]
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace gs::qbd {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+struct QbdBlocks {
+  Matrix b00;  ///< boundary-interior -> boundary-interior (D x D)
+  Matrix b01;  ///< boundary-interior -> level b            (D x d)
+  Matrix b10;  ///< level b -> boundary-interior            (d x D)
+  Matrix b11;  ///< within level b                          (d x d)
+  Matrix a0;   ///< level n -> n+1, n >= b                  (d x d)
+  Matrix a1;   ///< within level n, n >= b+1                (d x d)
+  Matrix a2;   ///< level n -> n-1, n >= b+1                (d x d)
+};
+
+class QbdProcess {
+ public:
+  /// `boundary_level_dims` gives the state-count of each boundary-interior
+  /// level 0..b-1 (their sum must equal D = b00.rows()); it may be empty
+  /// (b = 0, no boundary interior). Validates the block shapes and that
+  /// every generator row sums to zero:
+  ///   boundary rows:  B00 e + B01 e = 0
+  ///   level-b rows:   B10 e + B11 e + A0 e = 0
+  ///   repeating rows: A2 e + A1 e + A0 e = 0
+  QbdProcess(QbdBlocks blocks, std::vector<std::size_t> boundary_level_dims);
+
+  const QbdBlocks& blocks() const { return blocks_; }
+  /// Number of boundary-interior levels b.
+  std::size_t boundary_levels() const { return boundary_dims_.size(); }
+  const std::vector<std::size_t>& boundary_level_dims() const {
+    return boundary_dims_;
+  }
+  /// D: total states across boundary-interior levels.
+  std::size_t boundary_size() const { return blocks_.b00.rows(); }
+  /// d: states per repeating level.
+  std::size_t repeating_size() const { return blocks_.a1.rows(); }
+
+  /// Mean-drift stability data (Theorem 4.4, eq. 36): y is the stationary
+  /// vector of A = A0 + A1 + A2; the process is positive recurrent iff
+  /// up_drift = y A0 e < down_drift = y A2 e.
+  struct Drift {
+    Vector y;
+    double up_drift = 0.0;
+    double down_drift = 0.0;
+    bool stable = false;
+  };
+  Drift drift() const;
+
+  /// The finite north-west corner of the generator covering boundary
+  /// levels plus `repeating_levels` repeating levels — used for the
+  /// irreducibility check of Section 4.4 (boundary plus one repeating
+  /// level strongly connected implies the whole chain is irreducible) and
+  /// by truncation-based cross-checks in tests.
+  Matrix corner(std::size_t repeating_levels) const;
+
+  /// Section 4.4's irreducibility criterion.
+  bool is_irreducible() const;
+
+ private:
+  QbdBlocks blocks_;
+  std::vector<std::size_t> boundary_dims_;
+};
+
+}  // namespace gs::qbd

@@ -1,0 +1,91 @@
+#include "qbd/rmatrix.hpp"
+
+#include <cmath>
+
+#include "linalg/lu.hpp"
+#include "util/error.hpp"
+
+namespace gs::qbd {
+
+double r_residual(const Matrix& r, const Matrix& a0, const Matrix& a1,
+                  const Matrix& a2) {
+  return (a0 + r * a1 + r * r * a2).max_abs();
+}
+
+RSolveResult solve_r_substitution(const Matrix& a0, const Matrix& a1,
+                                  const Matrix& a2,
+                                  const RSolveOptions& opts) {
+  const std::size_t d = a1.rows();
+  GS_CHECK(a0.rows() == d && a2.rows() == d, "R solve: block size mismatch");
+
+  // A1 is strictly diagonally dominant by columns? By rows: |a1_ii| >=
+  // off-diag + exits, so -A1 is an M-matrix and invertible.
+  Matrix neg_a1 = a1;
+  neg_a1 *= -1.0;
+  const Matrix inv_neg_a1 = linalg::inverse(neg_a1);
+
+  RSolveResult out;
+  Matrix r(d, d);
+  for (int it = 1; it <= opts.max_iter; ++it) {
+    const Matrix next = (a0 + r * r * a2) * inv_neg_a1;
+    const double delta = linalg::max_abs_diff(next, r);
+    r = next;
+    out.iterations = it;
+    if (delta <= opts.tol) break;
+  }
+  out.residual = r_residual(r, a0, a1, a2);
+  if (out.residual > 1e-8 * std::max(1.0, a1.max_abs())) {
+    throw NumericalError(
+        "successive substitution for R did not converge; the chain is "
+        "likely not positive recurrent");
+  }
+  out.r = std::move(r);
+  return out;
+}
+
+RSolveResult solve_r_logreduction(const Matrix& a0, const Matrix& a1,
+                                  const Matrix& a2,
+                                  const RSolveOptions& opts) {
+  const std::size_t d = a1.rows();
+  GS_CHECK(a0.rows() == d && a2.rows() == d, "R solve: block size mismatch");
+  const Matrix eye = Matrix::identity(d);
+
+  Matrix neg_a1 = a1;
+  neg_a1 *= -1.0;
+  linalg::Lu lu(neg_a1);
+  // H: one-step up kernel; L: one-step down kernel of the censored chain.
+  Matrix h = lu.solve(a0);
+  Matrix l = lu.solve(a2);
+
+  RSolveResult out;
+  Matrix g = l;
+  Matrix t = h;
+  for (int it = 1; it <= opts.max_iter; ++it) {
+    const Matrix u = h * l + l * h;
+    const Matrix m_h = h * h;
+    const Matrix m_l = l * l;
+    linalg::Lu lu_u(eye - u);
+    h = lu_u.solve(m_h);
+    l = lu_u.solve(m_l);
+    const Matrix incr = t * l;
+    g += incr;
+    t = t * h;
+    out.iterations = it;
+    // Quadratic convergence: both the increment just added and the carry
+    // matrix T collapse to zero.
+    if (incr.max_abs() <= opts.tol && t.max_abs() <= opts.tol) break;
+  }
+
+  // U = A1 + A0 G; R = A0 (-U)^{-1}.
+  Matrix neg_u = a1 + a0 * g;
+  neg_u *= -1.0;
+  out.r = a0 * linalg::inverse(neg_u);
+  out.g = std::move(g);
+  out.residual = r_residual(out.r, a0, a1, a2);
+  if (out.residual > 1e-8 * std::max(1.0, a1.max_abs())) {
+    throw NumericalError("logarithmic reduction for R did not converge");
+  }
+  return out;
+}
+
+}  // namespace gs::qbd

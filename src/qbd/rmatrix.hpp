@@ -1,0 +1,47 @@
+// Solvers for Neuts' R matrix: the minimal non-negative solution of
+//
+//     A0 + R A1 + R^2 A2 = 0                      (eq. 23 of the paper)
+//
+// under the convention pi_{n+1} = pi_n R for the repeating levels.
+// Two algorithms:
+//  * successive substitution  R <- -(A0 + R^2 A2) A1^{-1}  (linear
+//    convergence, trivially correct — kept as a cross-check), and
+//  * logarithmic reduction (Latouche–Ramaswami) for G, the first-passage
+//    matrix solving A2 + A1 G + A0 G^2 = 0, followed by
+//    R = A0 (-(A1 + A0 G))^{-1}  (quadratic convergence — the default).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace gs::qbd {
+
+using linalg::Matrix;
+
+struct RSolveOptions {
+  double tol = 1e-13;
+  int max_iter = 100000;
+};
+
+struct RSolveResult {
+  Matrix r;
+  Matrix g;        ///< only filled by the logarithmic-reduction path
+  int iterations = 0;
+  double residual = 0.0;  ///< max|A0 + R A1 + R^2 A2|
+};
+
+/// Successive substitution from R = 0.
+RSolveResult solve_r_substitution(const Matrix& a0, const Matrix& a1,
+                                  const Matrix& a2,
+                                  const RSolveOptions& opts = {});
+
+/// Logarithmic reduction. Works for both recurrent and transient chains
+/// (G comes out stochastic respectively sub-stochastic).
+RSolveResult solve_r_logreduction(const Matrix& a0, const Matrix& a1,
+                                  const Matrix& a2,
+                                  const RSolveOptions& opts = {});
+
+/// max|A0 + R A1 + R^2 A2| — the defining-equation residual.
+double r_residual(const Matrix& r, const Matrix& a0, const Matrix& a1,
+                  const Matrix& a2);
+
+}  // namespace gs::qbd

@@ -1,0 +1,76 @@
+// Full stationary solution of a QBD process (Theorem 4.2):
+//   * R from the repeating blocks,
+//   * boundary vector from the finite balance system (eqs. 21–22, 25–26),
+//   * normalization via the matrix-geometric tail (eq. 24),
+// and the performance measures built on it (eq. 37).
+#pragma once
+
+#include <vector>
+
+#include "qbd/qbd.hpp"
+#include "qbd/rmatrix.hpp"
+
+namespace gs::qbd {
+
+enum class RMethod { kLogReduction, kSubstitution };
+
+struct SolveOptions {
+  RMethod r_method = RMethod::kLogReduction;
+  RSolveOptions r_options{};
+  /// When false (default) an unstable chain (drift condition violated)
+  /// raises gs::NumericalError before any expensive work.
+  bool skip_stability_check = false;
+};
+
+class QbdSolution {
+ public:
+  QbdSolution(std::vector<Vector> boundary_pi, Matrix r, double sp_r);
+
+  /// pi_i for a boundary level 0 <= i <= b.
+  const Vector& boundary_level(std::size_t i) const;
+  /// Number of boundary vectors available (= b + 1).
+  std::size_t boundary_levels() const { return boundary_pi_.size(); }
+  /// pi_{b+n} = pi_b R^n for any level >= b; boundary levels are returned
+  /// directly.
+  Vector level(std::size_t i) const;
+  /// Total probability mass of a level, pi_i e.
+  double level_mass(std::size_t i) const;
+
+  const Matrix& r() const { return r_; }
+  double spectral_radius_r() const { return sp_r_; }
+
+  /// Mean level E[N] — the generalized eq. (37):
+  /// sum_{i<b} i pi_i e + b pi_b (I-R)^{-1} e + pi_b R (I-R)^{-2} e.
+  double mean_level() const;
+
+  /// E[N^2] via the same geometric-series algebra (for variance of the
+  /// queue length).
+  double second_moment_level() const;
+
+  /// P(N > level b - 1 + k): mass at or above repeating level b+k.
+  double tail_mass_from(std::size_t k) const;
+
+  /// tail_mass_from(k) for k = 0..count-1, computed incrementally in one
+  /// pass (O(count d^2) instead of O(count^2 d^2)) — used by deep
+  /// truncation scans.
+  std::vector<double> tail_mass_sequence(std::size_t count) const;
+
+  /// Aggregated phase distribution over the repeating portion:
+  /// sum_{n>=0} pi_{b+n} = pi_b (I-R)^{-1}.
+  Vector repeating_phase_mass() const;
+
+  /// Consistency: total probability (should be 1 up to solver tolerance).
+  double total_mass() const;
+
+ private:
+  std::vector<Vector> boundary_pi_;  // levels 0..b
+  Matrix r_;
+  Matrix i_minus_r_inv_;
+  double sp_r_ = 0.0;
+};
+
+/// Solve the QBD. Throws gs::NumericalError when the drift condition
+/// fails (unless skipped) or the linear algebra breaks down.
+QbdSolution solve(const QbdProcess& process, const SolveOptions& opts = {});
+
+}  // namespace gs::qbd

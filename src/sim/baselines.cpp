@@ -1,0 +1,336 @@
+#include "sim/baselines.hpp"
+
+#include <deque>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/quantile.hpp"
+#include "sim/stats.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace gs::sim {
+
+namespace {
+
+struct Job {
+  std::size_t cls = 0;
+  double arrival = 0.0;
+  double remaining = 0.0;
+  double demand = 0.0;  // total sampled service requirement
+};
+
+/// Measurement plumbing shared by both baselines.
+class Recorder {
+ public:
+  Recorder(const gang::SystemParams& params, const SimConfig& config)
+      : params_(params),
+        config_(config),
+        n_jobs_(params.num_classes()),
+        response_(params.num_classes(), Tally(20)),
+        slowdown_(params.num_classes(), Tally(20)),
+        percentiles_(params.num_classes()),
+        completions_(params.num_classes(), 0),
+        arrivals_(params.num_classes(), 0) {
+    for (auto& n : n_jobs_) n.reset(0.0, 0.0);
+    busy_.reset(0.0, 0.0);
+    overhead_.reset(0.0, 0.0);
+  }
+
+  void maybe_start(double t) {
+    if (measuring_ || t < config_.warmup) return;
+    measuring_ = true;
+    for (auto& n : n_jobs_) n.reset(config_.warmup, n.current());
+    busy_.reset(config_.warmup, busy_.current());
+    overhead_.reset(config_.warmup, overhead_.current());
+  }
+
+  void arrival(double t, std::size_t p) {
+    if (measuring_) ++arrivals_[p];
+    n_jobs_[p].set(t, n_jobs_[p].current() + 1.0);
+  }
+  void completion(double t, std::size_t p, double response,
+                  double demand) {
+    n_jobs_[p].set(t, n_jobs_[p].current() - 1.0);
+    if (measuring_) {
+      response_[p].add(response);
+      percentiles_[p].add(response);
+      if (demand > 0.0) slowdown_[p].add(response / demand);
+      ++completions_[p];
+    }
+  }
+  void busy_delta(double t, double delta) {
+    busy_.set(t, busy_.current() + delta);
+  }
+  void overhead_on(double t) { overhead_.set(t, 1.0); }
+  void overhead_off(double t) { overhead_.set(t, 0.0); }
+
+  SimResult finish() const {
+    const double t_end = config_.horizon;
+    const double span = t_end - config_.warmup;
+    SimResult out;
+    out.measured_time = span;
+    out.per_class.resize(params_.num_classes());
+    for (std::size_t p = 0; p < params_.num_classes(); ++p) {
+      ClassStats& s = out.per_class[p];
+      s.name = params_.cls(p).name.empty() ? "class" + std::to_string(p)
+                                           : params_.cls(p).name;
+      s.mean_jobs = n_jobs_[p].average(t_end);
+      s.mean_response = response_[p].mean();
+      s.response_ci = response_[p].ci_half_width();
+      s.mean_slowdown = slowdown_[p].mean();
+      s.response_p50 = percentiles_[p].p50();
+      s.response_p95 = percentiles_[p].p95();
+      s.response_p99 = percentiles_[p].p99();
+      s.completions = completions_[p];
+      s.throughput = static_cast<double>(completions_[p]) / span;
+      s.observed_arrival_rate = static_cast<double>(arrivals_[p]) / span;
+      out.total_mean_jobs += s.mean_jobs;
+    }
+    out.processor_utilization =
+        busy_.average(t_end) / static_cast<double>(params_.processors());
+    out.overhead_fraction = overhead_.average(t_end);
+    return out;
+  }
+
+ private:
+  const gang::SystemParams& params_;
+  const SimConfig& config_;
+  bool measuring_ = false;
+  std::vector<TimeWeighted> n_jobs_;
+  TimeWeighted busy_;
+  TimeWeighted overhead_;
+  std::vector<Tally> response_;
+  std::vector<Tally> slowdown_;
+  std::vector<ResponsePercentiles> percentiles_;
+  std::vector<std::size_t> completions_;
+  std::vector<std::size_t> arrivals_;
+};
+
+// ---- pure time-sharing -------------------------------------------------
+
+enum class TsKind { kArrival, kSliceEnd, kOverheadEnd };
+struct TsEv {
+  TsKind kind;
+  std::size_t cls = 0;
+  std::uint64_t epoch = 0;
+};
+
+class TimeSharingEngine {
+ public:
+  TimeSharingEngine(const gang::SystemParams& params, const SimConfig& config)
+      : params_(params), config_(config), rng_(config.seed), rec_(params, config) {}
+
+  SimResult run() {
+    for (std::size_t p = 0; p < params_.num_classes(); ++p)
+      schedule_arrival(p, 0.0);
+    while (!events_.empty() && events_.next_time() <= config_.horizon) {
+      const auto entry = events_.pop();
+      rec_.maybe_start(entry.time);
+      dispatch(entry.time, entry.payload);
+    }
+    return rec_.finish();
+  }
+
+ private:
+  void schedule_arrival(std::size_t p, double now) {
+    events_.push(now + params_.cls(p).arrival.sample(rng_),
+                 TsEv{TsKind::kArrival, p, 0});
+  }
+
+  void start_next(double now) {
+    if (queue_.empty()) {
+      running_ = false;
+      return;
+    }
+    running_ = true;
+    current_ = queue_.front();
+    queue_.pop_front();
+    const Job& job = jobs_[current_];
+    const double quantum = params_.cls(job.cls).quantum.sample(rng_);
+    slice_end_ = now + std::min(quantum, job.remaining);
+    job_finishes_ = job.remaining <= quantum;
+    rec_.busy_delta(now, static_cast<double>(
+                             params_.cls(job.cls).partition_size));
+    events_.push(slice_end_, TsEv{TsKind::kSliceEnd, 0, ++epoch_});
+    slice_start_ = now;
+  }
+
+  void dispatch(double t, const TsEv& ev) {
+    switch (ev.kind) {
+      case TsKind::kArrival: {
+        schedule_arrival(ev.cls, t);
+        const std::size_t batch =
+            1 + rng_.discrete(params_.cls(ev.cls).batch_pmf);
+        for (std::size_t b = 0; b < batch; ++b) {
+          rec_.arrival(t, ev.cls);
+          Job job;
+          job.cls = ev.cls;
+          job.arrival = t;
+          job.remaining = job.demand =
+              params_.cls(ev.cls).service.sample(rng_);
+          const std::size_t id = jobs_.size();
+          jobs_.push_back(job);
+          queue_.push_back(id);
+        }
+        // An idle machine starts the newcomer immediately (no overhead).
+        if (!running_ && !switching_) start_next(t);
+        break;
+      }
+      case TsKind::kSliceEnd: {
+        if (ev.epoch != epoch_) break;
+        Job& job = jobs_[current_];
+        rec_.busy_delta(t, -static_cast<double>(
+                                params_.cls(job.cls).partition_size));
+        if (job_finishes_) {
+          rec_.completion(t, job.cls, t - job.arrival, job.demand);
+        } else {
+          job.remaining -= (t - slice_start_);
+          queue_.push_back(current_);
+        }
+        running_ = false;
+        // Switch overhead of the class that just ran.
+        switching_ = true;
+        rec_.overhead_on(t);
+        events_.push(t + params_.cls(job.cls).overhead.sample(rng_),
+                     TsEv{TsKind::kOverheadEnd, 0, ++epoch_});
+        break;
+      }
+      case TsKind::kOverheadEnd: {
+        if (ev.epoch != epoch_) break;
+        switching_ = false;
+        rec_.overhead_off(t);
+        start_next(t);
+        break;
+      }
+    }
+  }
+
+  const gang::SystemParams& params_;
+  const SimConfig& config_;
+  util::Rng rng_;
+  Recorder rec_;
+  EventQueue<TsEv> events_;
+  std::vector<Job> jobs_;
+  std::deque<std::size_t> queue_;
+  bool running_ = false;
+  bool switching_ = false;
+  std::size_t current_ = 0;
+  double slice_start_ = 0.0;
+  double slice_end_ = 0.0;
+  bool job_finishes_ = false;
+  std::uint64_t epoch_ = 0;
+};
+
+// ---- pure space-sharing --------------------------------------------------
+
+enum class SsKind { kArrival, kCompletion };
+struct SsEv {
+  SsKind kind;
+  std::size_t cls = 0;
+  std::size_t job = 0;
+};
+
+class SpaceSharingEngine {
+ public:
+  SpaceSharingEngine(const gang::SystemParams& params, const SimConfig& config)
+      : params_(params),
+        config_(config),
+        rng_(config.seed),
+        rec_(params, config),
+        free_(params.processors()) {}
+
+  SimResult run() {
+    for (std::size_t p = 0; p < params_.num_classes(); ++p)
+      schedule_arrival(p, 0.0);
+    while (!events_.empty() && events_.next_time() <= config_.horizon) {
+      const auto entry = events_.pop();
+      rec_.maybe_start(entry.time);
+      dispatch(entry.time, entry.payload);
+    }
+    return rec_.finish();
+  }
+
+ private:
+  void schedule_arrival(std::size_t p, double now) {
+    events_.push(now + params_.cls(p).arrival.sample(rng_),
+                 SsEv{SsKind::kArrival, p, 0});
+  }
+
+  void try_start(double now) {
+    // Strict FCFS: only the head may start.
+    while (!queue_.empty()) {
+      const std::size_t id = queue_.front();
+      const std::size_t need = params_.cls(jobs_[id].cls).partition_size;
+      if (need > free_) break;
+      queue_.pop_front();
+      free_ -= need;
+      rec_.busy_delta(now, static_cast<double>(need));
+      events_.push(now + jobs_[id].remaining,
+                   SsEv{SsKind::kCompletion, 0, id});
+    }
+  }
+
+  void dispatch(double t, const SsEv& ev) {
+    switch (ev.kind) {
+      case SsKind::kArrival: {
+        schedule_arrival(ev.cls, t);
+        const std::size_t batch =
+            1 + rng_.discrete(params_.cls(ev.cls).batch_pmf);
+        for (std::size_t b = 0; b < batch; ++b) {
+          rec_.arrival(t, ev.cls);
+          Job job;
+          job.cls = ev.cls;
+          job.arrival = t;
+          job.remaining = job.demand =
+              params_.cls(ev.cls).service.sample(rng_);
+          const std::size_t id = jobs_.size();
+          jobs_.push_back(job);
+          queue_.push_back(id);
+        }
+        try_start(t);
+        break;
+      }
+      case SsKind::kCompletion: {
+        const Job& job = jobs_[ev.job];
+        const std::size_t need = params_.cls(job.cls).partition_size;
+        free_ += need;
+        rec_.busy_delta(t, -static_cast<double>(need));
+        rec_.completion(t, job.cls, t - job.arrival, job.demand);
+        try_start(t);
+        break;
+      }
+    }
+  }
+
+  const gang::SystemParams& params_;
+  const SimConfig& config_;
+  util::Rng rng_;
+  Recorder rec_;
+  EventQueue<SsEv> events_;
+  std::vector<Job> jobs_;
+  std::deque<std::size_t> queue_;
+  std::size_t free_;
+};
+
+}  // namespace
+
+TimeSharingSimulator::TimeSharingSimulator(gang::SystemParams params,
+                                           SimConfig config)
+    : params_(std::move(params)), config_(config) {}
+
+SimResult TimeSharingSimulator::run() {
+  TimeSharingEngine engine(params_, config_);
+  return engine.run();
+}
+
+SpaceSharingSimulator::SpaceSharingSimulator(gang::SystemParams params,
+                                             SimConfig config)
+    : params_(std::move(params)), config_(config) {}
+
+SimResult SpaceSharingSimulator::run() {
+  SpaceSharingEngine engine(params_, config_);
+  return engine.run();
+}
+
+}  // namespace gs::sim

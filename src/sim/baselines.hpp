@@ -1,0 +1,44 @@
+// Baseline schedulers the paper's introduction motivates gang scheduling
+// against:
+//
+//  * Pure time-sharing: one job holds the machine at a time (using its
+//    g(p) processors; the rest idle — the paper's "all processors work on
+//    a single job"), round-robin over a single global FCFS queue with the
+//    job's class quantum, and a class switch overhead after every slice.
+//    A job arriving to an idle system starts immediately.
+//
+//  * Pure space-sharing: run-to-completion FCFS. The head job waits until
+//    g(p) processors are free, then runs undisturbed; no preemption and no
+//    context-switch overheads. Strict FCFS (no backfill), which is the
+//    classic non-multiprogrammed partitioned machine.
+//
+// Both consume the same SystemParams, so benches compare policies on
+// identical workloads.
+#pragma once
+
+#include "gang/params.hpp"
+#include "sim/types.hpp"
+
+namespace gs::sim {
+
+class TimeSharingSimulator {
+ public:
+  TimeSharingSimulator(gang::SystemParams params, SimConfig config);
+  SimResult run();
+
+ private:
+  gang::SystemParams params_;
+  SimConfig config_;
+};
+
+class SpaceSharingSimulator {
+ public:
+  SpaceSharingSimulator(gang::SystemParams params, SimConfig config);
+  SimResult run();
+
+ private:
+  gang::SystemParams params_;
+  SimConfig config_;
+};
+
+}  // namespace gs::sim

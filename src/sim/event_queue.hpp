@@ -1,0 +1,55 @@
+// A minimal future-event list: a binary min-heap on (time, sequence).
+// The sequence number breaks ties deterministically in insertion order, so
+// simulations are bit-reproducible for a fixed seed.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace gs::sim {
+
+template <typename Payload>
+class EventQueue {
+ public:
+  struct Entry {
+    double time;
+    std::uint64_t seq;
+    Payload payload;
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  void push(double time, Payload payload) {
+    heap_.push_back(Entry{time, next_seq_++, std::move(payload)});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  }
+
+  double next_time() const {
+    GS_CHECK(!heap_.empty(), "event queue is empty");
+    return heap_.front().time;
+  }
+
+  Entry pop() {
+    GS_CHECK(!heap_.empty(), "event queue is empty");
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    Entry out = std::move(heap_.back());
+    heap_.pop_back();
+    return out;
+  }
+
+  void clear() { heap_.clear(); }
+
+ private:
+  std::vector<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace gs::sim

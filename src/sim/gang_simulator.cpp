@@ -1,0 +1,446 @@
+#include "sim/gang_simulator.hpp"
+
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/quantile.hpp"
+#include "sim/stats.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace gs::sim {
+
+namespace {
+
+enum class Kind { kArrival, kCompletion, kQuantumEnd, kSwitchEnd };
+
+struct Ev {
+  Kind kind;
+  std::size_t cls = 0;       // kArrival
+  std::size_t job = 0;       // kCompletion
+  std::uint64_t epoch = 0;   // kCompletion: job epoch; scheduler events:
+                             // scheduler epoch
+};
+
+struct Job {
+  std::size_t cls = 0;
+  double arrival = 0.0;
+  double remaining = 0.0;
+  double demand = 0.0;         // total sampled service requirement
+  double first_service = -1.0;  // when the job first ran (-1: not yet)
+  double completion_at = 0.0;  // valid while in service
+  std::uint64_t epoch = 0;     // bumps on pause/free: invalidates events
+  bool active = false;
+  bool in_service = false;
+};
+
+class Engine {
+ public:
+  Engine(const gang::SystemParams& params, const SimConfig& config)
+      : params_(params),
+        config_(config),
+        rng_(config.seed),
+        L_(params.num_classes()),
+        waiting_(L_),
+        in_service_(L_),
+        n_jobs_(L_),
+        response_(L_, Tally(20)),
+        slowdown_(L_, Tally(20)),
+        first_wait_(L_, Tally(20)),
+        percentiles_(L_),
+        immediate_(L_, 0),
+        completions_(L_, 0),
+        arrivals_(L_, 0) {
+    GS_CHECK(config_.horizon > config_.warmup,
+             "simulation horizon must exceed the warmup");
+  }
+
+  SimResult run() {
+    const double t0 = 0.0;
+    for (std::size_t p = 0; p < L_; ++p) {
+      n_jobs_[p].reset(t0, 0.0);
+      schedule_arrival(p, t0);
+    }
+    busy_.reset(t0, 0.0);
+    overhead_.reset(t0, 0.0);
+    for (std::size_t p = 0; p < L_; ++p)
+      overhead_means_.push_back(params_.cls(p).overhead.mean());
+    // The machine starts empty: the scheduler parks until the first
+    // arrival (see start_slice for the parking rationale).
+    current_ = 0;
+    parked_ = true;
+
+    while (!events_.empty() && events_.next_time() <= config_.horizon) {
+      const auto entry = events_.pop();
+      const double t = entry.time;
+      if (!measuring_ && t >= config_.warmup) start_measuring();
+      dispatch(t, entry.payload);
+    }
+    return finish();
+  }
+
+ private:
+  // ---- scheduling helpers -------------------------------------------
+
+  void schedule_arrival(std::size_t p, double now) {
+    const double dt = params_.cls(p).arrival.sample(rng_);
+    events_.push(now + dt, Ev{Kind::kArrival, p, 0, 0});
+  }
+
+  void schedule_completion(std::size_t job_id, double now) {
+    Job& job = jobs_[job_id];
+    job.completion_at = now + job.remaining;
+    events_.push(job.completion_at,
+                 Ev{Kind::kCompletion, 0, job_id, job.epoch});
+  }
+
+  void enter_service(std::size_t job_id, double now) {
+    Job& job = jobs_[job_id];
+    if (job.first_service < 0.0) job.first_service = now;
+    job.in_service = true;
+    in_service_[job.cls].push_back(job_id);
+    busy_.set(now, busy_.current() +
+                       static_cast<double>(params_.cls(job.cls).partition_size));
+    schedule_completion(job_id, now);
+  }
+
+  void begin_switch(double now) {
+    state_serving_ = false;
+    overhead_.set(now, 1.0);
+    const double dt = params_.cls(current_).overhead.sample(rng_);
+    events_.push(now + dt, Ev{Kind::kSwitchEnd, 0, 0, ++sched_epoch_});
+  }
+
+  void start_slice(double now) {
+    GS_ASSERT(in_service_[current_].empty());
+    if (waiting_[current_].empty()) {
+      if (total_jobs_ == 0) {
+        // Fully idle: park instead of spinning through zero-length slices
+        // and overheads (with small overheads that spin would dominate the
+        // event count). On the next arrival the cycle position is resumed
+        // from its time-stationary law over the overhead cycle — exact for
+        // exponential overheads after a long idle period, and an error of
+        // at most one overhead cycle otherwise.
+        parked_ = true;
+        return;
+      }
+      // Zero-length slice; the overhead is still incurred.
+      begin_switch(now);
+      return;
+    }
+    state_serving_ = true;
+    const double quantum = params_.cls(current_).quantum.sample(rng_);
+    events_.push(now + quantum, Ev{Kind::kQuantumEnd, 0, 0, ++sched_epoch_});
+    const std::size_t c = params_.partitions(current_);
+    while (!waiting_[current_].empty() && in_service_[current_].size() < c) {
+      const std::size_t job_id = waiting_[current_].front();
+      waiting_[current_].pop_front();
+      enter_service(job_id, now);
+    }
+  }
+
+  void pause_class(std::size_t p, double now) {
+    // Preempt every in-service job, preserving FCFS order at the head of
+    // the waiting queue.
+    auto& running = in_service_[p];
+    for (std::size_t i = running.size(); i-- > 0;) {
+      const std::size_t job_id = running[i];
+      Job& job = jobs_[job_id];
+      job.remaining = job.completion_at - now;
+      GS_ASSERT(job.remaining >= -1e-9);
+      job.remaining = std::max(job.remaining, 0.0);
+      ++job.epoch;  // invalidate its completion event
+      job.in_service = false;
+      waiting_[p].push_front(job_id);
+      busy_.set(now, busy_.current() -
+                         static_cast<double>(params_.cls(p).partition_size));
+    }
+    running.clear();
+  }
+
+  // ---- event handlers -----------------------------------------------
+
+  void dispatch(double t, const Ev& ev) {
+    switch (ev.kind) {
+      case Kind::kArrival:
+        on_arrival(t, ev.cls);
+        break;
+      case Kind::kCompletion:
+        if (jobs_[ev.job].active && jobs_[ev.job].epoch == ev.epoch)
+          on_completion(t, ev.job);
+        break;
+      case Kind::kQuantumEnd:
+        if (ev.epoch == sched_epoch_) on_quantum_end(t);
+        break;
+      case Kind::kSwitchEnd:
+        if (ev.epoch == sched_epoch_) on_switch_end(t);
+        break;
+    }
+  }
+
+  void on_arrival(double t, std::size_t p) {
+    schedule_arrival(p, t);
+    const std::size_t batch =
+        1 + rng_.discrete(params_.cls(p).batch_pmf);
+    for (std::size_t b = 0; b < batch; ++b) {
+      const std::size_t job_id = allocate_job(p, t);
+      if (measuring_) ++arrivals_[p];
+      ++total_jobs_;
+      n_jobs_[p].set(t, n_jobs_[p].current() + 1.0);
+      if (parked_) {
+        parked_ = false;
+        // Resume mid-cycle: overhead k is in progress with probability
+        // proportional to its mean; its remainder is approximated by a
+        // fresh draw (exact for exponential overheads).
+        current_ = rng_.discrete(overhead_means_);
+        begin_switch(t);
+      }
+      // A job arriving during its class's slice takes a free partition
+      // immediately.
+      if (state_serving_ && current_ == p &&
+          in_service_[p].size() < params_.partitions(p) &&
+          waiting_[p].empty()) {
+        enter_service(job_id, t);
+      } else {
+        waiting_[p].push_back(job_id);
+      }
+    }
+  }
+
+  void on_completion(double t, std::size_t job_id) {
+    Job& job = jobs_[job_id];
+    const std::size_t p = job.cls;
+    GS_ASSERT(state_serving_ && current_ == p && job.in_service);
+    // Remove from the in-service set.
+    auto& running = in_service_[p];
+    for (std::size_t i = 0; i < running.size(); ++i) {
+      if (running[i] == job_id) {
+        running[i] = running.back();
+        running.pop_back();
+        break;
+      }
+    }
+    busy_.set(t, busy_.current() -
+                     static_cast<double>(params_.cls(p).partition_size));
+    --total_jobs_;
+    n_jobs_[p].set(t, n_jobs_[p].current() - 1.0);
+    if (measuring_) {
+      response_[p].add(t - job.arrival);
+      percentiles_[p].add(t - job.arrival);
+      if (job.demand > 0.0) slowdown_[p].add((t - job.arrival) / job.demand);
+      const double first_wait = job.first_service - job.arrival;
+      first_wait_[p].add(first_wait);
+      if (first_wait <= 0.0) ++immediate_[p];
+      ++completions_[p];
+    }
+    release_job(job_id);
+
+    if (!waiting_[p].empty()) {
+      // The freed partition goes to the head of the queue.
+      const std::size_t next = waiting_[p].front();
+      waiting_[p].pop_front();
+      enter_service(next, t);
+    } else if (running.empty()) {
+      // Queue drained before the quantum expired: early switch.
+      ++sched_epoch_;  // cancels the pending quantum end
+      begin_switch(t);
+    }
+  }
+
+  void on_quantum_end(double t) {
+    GS_ASSERT(state_serving_);
+    pause_class(current_, t);
+    begin_switch(t);
+  }
+
+  void on_switch_end(double t) {
+    overhead_.set(t, 0.0);
+    current_ = (current_ + 1) % L_;
+    start_slice(t);
+  }
+
+  // ---- job slab ------------------------------------------------------
+
+  std::size_t allocate_job(std::size_t p, double t) {
+    std::size_t id;
+    if (!free_jobs_.empty()) {
+      id = free_jobs_.back();
+      free_jobs_.pop_back();
+    } else {
+      id = jobs_.size();
+      jobs_.emplace_back();
+    }
+    Job& job = jobs_[id];
+    job.cls = p;
+    job.arrival = t;
+    job.remaining = job.demand = params_.cls(p).service.sample(rng_);
+    job.first_service = -1.0;
+    ++job.epoch;
+    job.active = true;
+    job.in_service = false;
+    return id;
+  }
+
+  void release_job(std::size_t id) {
+    jobs_[id].active = false;
+    ++jobs_[id].epoch;
+    free_jobs_.push_back(id);
+  }
+
+  // ---- measurement ----------------------------------------------------
+
+  void start_measuring() {
+    measuring_ = true;
+    const double t = config_.warmup;
+    for (std::size_t p = 0; p < L_; ++p)
+      n_jobs_[p].reset(t, n_jobs_[p].current());
+    busy_.reset(t, busy_.current());
+    overhead_.reset(t, overhead_.current());
+  }
+
+  SimResult finish() {
+    const double t_end = config_.horizon;
+    const double span = t_end - config_.warmup;
+    SimResult out;
+    out.measured_time = span;
+    out.per_class.resize(L_);
+    for (std::size_t p = 0; p < L_; ++p) {
+      ClassStats& s = out.per_class[p];
+      s.name = params_.cls(p).name.empty() ? "class" + std::to_string(p)
+                                           : params_.cls(p).name;
+      s.mean_jobs = n_jobs_[p].average(t_end);
+      s.mean_response = response_[p].mean();
+      s.response_ci = response_[p].ci_half_width();
+      s.mean_slowdown = slowdown_[p].mean();
+      s.mean_first_wait = first_wait_[p].mean();
+      s.prob_immediate =
+          completions_[p] > 0
+              ? static_cast<double>(immediate_[p]) /
+                    static_cast<double>(completions_[p])
+              : 0.0;
+      s.response_p50 = percentiles_[p].p50();
+      s.response_p95 = percentiles_[p].p95();
+      s.response_p99 = percentiles_[p].p99();
+      s.completions = completions_[p];
+      s.throughput = static_cast<double>(completions_[p]) / span;
+      s.observed_arrival_rate = static_cast<double>(arrivals_[p]) / span;
+      out.total_mean_jobs += s.mean_jobs;
+    }
+    out.processor_utilization =
+        busy_.average(t_end) / static_cast<double>(params_.processors());
+    out.overhead_fraction = overhead_.average(t_end);
+    return out;
+  }
+
+  const gang::SystemParams& params_;
+  const SimConfig& config_;
+  util::Rng rng_;
+  std::size_t L_;
+
+  EventQueue<Ev> events_;
+  std::vector<Job> jobs_;
+  std::vector<std::size_t> free_jobs_;
+  std::vector<std::deque<std::size_t>> waiting_;
+  std::vector<std::vector<std::size_t>> in_service_;
+
+  std::size_t current_ = 0;
+  bool state_serving_ = false;
+  bool parked_ = false;
+  std::size_t total_jobs_ = 0;
+  std::vector<double> overhead_means_;
+  std::uint64_t sched_epoch_ = 0;
+
+  bool measuring_ = false;
+  std::vector<TimeWeighted> n_jobs_;
+  TimeWeighted busy_;
+  TimeWeighted overhead_;
+  std::vector<Tally> response_;
+  std::vector<Tally> slowdown_;
+  std::vector<Tally> first_wait_;
+  std::vector<ResponsePercentiles> percentiles_;
+  std::vector<std::size_t> immediate_;
+  std::vector<std::size_t> completions_;
+  std::vector<std::size_t> arrivals_;
+};
+
+}  // namespace
+
+GangSimulator::GangSimulator(gang::SystemParams params, SimConfig config)
+    : params_(std::move(params)), config_(config) {}
+
+SimResult GangSimulator::run() {
+  Engine engine(params_, config_);
+  return engine.run();
+}
+
+SimResult run_replicated(const gang::SystemParams& params,
+                         const SimConfig& config, std::size_t replications) {
+  GS_CHECK(replications >= 1, "need at least one replication");
+  std::vector<SimResult> runs;
+  runs.reserve(replications);
+  for (std::size_t r = 0; r < replications; ++r) {
+    SimConfig c = config;
+    c.seed = config.seed + 0x9E3779B97F4A7C15ull * (r + 1);
+    runs.push_back(GangSimulator(params, c).run());
+  }
+  SimResult out = runs.front();
+  const std::size_t L = out.per_class.size();
+  // Average means across replications; CI from the replication spread.
+  for (std::size_t p = 0; p < L; ++p) {
+    Tally jobs(4), resp(4);
+    ClassStats& s = out.per_class[p];
+    s.mean_jobs = s.mean_response = s.throughput = 0.0;
+    s.mean_slowdown = s.mean_first_wait = s.prob_immediate = 0.0;
+    s.observed_arrival_rate = 0.0;
+    s.completions = 0;
+    std::vector<double> resp_means;
+    s.response_p50 = s.response_p95 = s.response_p99 = 0.0;
+    for (const auto& r : runs) {
+      s.mean_jobs += r.per_class[p].mean_jobs;
+      s.mean_response += r.per_class[p].mean_response;
+      s.throughput += r.per_class[p].throughput;
+      s.observed_arrival_rate += r.per_class[p].observed_arrival_rate;
+      s.completions += r.per_class[p].completions;
+      s.mean_slowdown += r.per_class[p].mean_slowdown;
+      s.mean_first_wait += r.per_class[p].mean_first_wait;
+      s.prob_immediate += r.per_class[p].prob_immediate;
+      s.response_p50 += r.per_class[p].response_p50;
+      s.response_p95 += r.per_class[p].response_p95;
+      s.response_p99 += r.per_class[p].response_p99;
+      resp_means.push_back(r.per_class[p].mean_response);
+    }
+    const double n = static_cast<double>(replications);
+    s.mean_jobs /= n;
+    s.mean_response /= n;
+    s.throughput /= n;
+    s.observed_arrival_rate /= n;
+    s.mean_slowdown /= n;
+    s.mean_first_wait /= n;
+    s.prob_immediate /= n;
+    s.response_p50 /= n;
+    s.response_p95 /= n;
+    s.response_p99 /= n;
+    if (replications >= 2) {
+      double var = 0.0;
+      for (double v : resp_means)
+        var += (v - s.mean_response) * (v - s.mean_response);
+      var /= (n - 1.0);
+      s.response_ci = 1.96 * std::sqrt(var / n);
+    }
+  }
+  out.total_mean_jobs = 0.0;
+  out.processor_utilization = 0.0;
+  out.overhead_fraction = 0.0;
+  for (const auto& r : runs) {
+    out.processor_utilization += r.processor_utilization;
+    out.overhead_fraction += r.overhead_fraction;
+  }
+  out.processor_utilization /= static_cast<double>(replications);
+  out.overhead_fraction /= static_cast<double>(replications);
+  for (const auto& s : out.per_class) out.total_mean_jobs += s.mean_jobs;
+  return out;
+}
+
+}  // namespace gs::sim

@@ -1,0 +1,398 @@
+#include "sim/local_switch.hpp"
+
+#include <deque>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/quantile.hpp"
+#include "sim/stats.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace gs::sim {
+
+namespace {
+
+enum class Kind {
+  kArrival,
+  kCompletion,
+  kQuantumEnd,
+  kSwitchEnd,
+  kLoanStart  // a lent partition finishes its per-partition overhead
+};
+
+struct Ev {
+  Kind kind;
+  std::size_t cls = 0;
+  std::size_t job = 0;
+  std::uint64_t epoch = 0;
+};
+
+struct Job {
+  std::size_t cls = 0;
+  double arrival = 0.0;
+  double remaining = 0.0;
+  double demand = 0.0;  // total sampled service requirement
+  double completion_at = 0.0;
+  std::uint64_t epoch = 0;
+  bool active = false;
+  bool in_service = false;
+};
+
+class Engine {
+ public:
+  Engine(const gang::SystemParams& params, const SimConfig& config)
+      : params_(params),
+        config_(config),
+        rng_(config.seed),
+        L_(params.num_classes()),
+        waiting_(L_),
+        running_(L_),
+        claimed_loans_(L_, 0),
+        pending_by_class_(L_, 0),
+        n_jobs_(L_),
+        response_(L_, Tally(20)),
+        slowdown_(L_, Tally(20)),
+        percentiles_(L_),
+        completions_(L_, 0),
+        arrivals_(L_, 0) {}
+
+  SimResult run() {
+    for (std::size_t p = 0; p < L_; ++p) {
+      n_jobs_[p].reset(0.0, 0.0);
+      schedule_arrival(p, 0.0);
+    }
+    busy_.reset(0.0, 0.0);
+    overhead_.reset(0.0, 0.0);
+    for (std::size_t p = 0; p < L_; ++p)
+      overhead_means_.push_back(params_.cls(p).overhead.mean());
+    free_procs_ = params_.processors();
+    current_ = 0;
+    parked_ = true;  // empty machine: park until the first arrival
+
+    while (!events_.empty() && events_.next_time() <= config_.horizon) {
+      const auto entry = events_.pop();
+      if (!measuring_ && entry.time >= config_.warmup) start_measuring();
+      dispatch(entry.time, entry.payload);
+    }
+    return finish();
+  }
+
+ private:
+  void schedule_arrival(std::size_t p, double now) {
+    events_.push(now + params_.cls(p).arrival.sample(rng_),
+                 Ev{Kind::kArrival, p, 0, 0});
+  }
+
+  void start_job(std::size_t job_id, double now) {
+    Job& job = jobs_[job_id];
+    const std::size_t g = params_.cls(job.cls).partition_size;
+    GS_ASSERT(free_procs_ >= g);
+    free_procs_ -= g;
+    job.in_service = true;
+    running_[job.cls].push_back(job_id);
+    busy_.set(now, busy_.current() + static_cast<double>(g));
+    job.completion_at = now + job.remaining;
+    events_.push(job.completion_at,
+                 Ev{Kind::kCompletion, 0, job_id, job.epoch});
+  }
+
+  void pause_all(double now) {
+    for (std::size_t p = 0; p < L_; ++p) {
+      auto& run = running_[p];
+      for (std::size_t i = run.size(); i-- > 0;) {
+        Job& job = jobs_[run[i]];
+        job.remaining = std::max(job.completion_at - now, 0.0);
+        ++job.epoch;
+        job.in_service = false;
+        waiting_[p].push_front(run[i]);
+        const std::size_t g = params_.cls(p).partition_size;
+        free_procs_ += g;
+        busy_.set(now, busy_.current() - static_cast<double>(g));
+      }
+      run.clear();
+    }
+    // Pending loan overheads are abandoned at a switch point, and no
+    // lent partition survives it.
+    ++loan_epoch_;
+    pending_loans_ = 0;
+    pending_loan_procs_ = 0;
+    std::fill(claimed_loans_.begin(), claimed_loans_.end(), 0);
+    std::fill(pending_by_class_.begin(), pending_by_class_.end(), 0);
+  }
+
+  void begin_switch(double now) {
+    serving_ = false;
+    overhead_.set(now, 1.0);
+    events_.push(now + params_.cls(current_).overhead.sample(rng_),
+                 Ev{Kind::kSwitchEnd, 0, 0, ++sched_epoch_});
+  }
+
+  void start_slice(double now) {
+    if (waiting_[current_].empty()) {
+      if (total_jobs_ == 0) {
+        // Fully idle: park rather than spin through zero slices (see the
+        // base gang simulator for the resumption rule).
+        parked_ = true;
+        return;
+      }
+      // Zero-length slice, but idle processors may still be lent out for
+      // the duration of the switch chain.
+      begin_switch(now);
+      lend_out(now);
+      return;
+    }
+    serving_ = true;
+    events_.push(now + params_.cls(current_).quantum.sample(rng_),
+                 Ev{Kind::kQuantumEnd, 0, 0, ++sched_epoch_});
+    const std::size_t c = params_.partitions(current_);
+    while (!waiting_[current_].empty() && running_[current_].size() < c &&
+           pop_and_start(current_, now)) {
+    }
+    lend_out(now);
+  }
+
+  /// Start the head-of-queue job of class p if a partition's worth of
+  /// processors is actually free (the owner class can find its processors
+  /// lent out mid-slice; they return at the next switch point).
+  bool pop_and_start(std::size_t p, double now) {
+    if (free_procs_ < params_.cls(p).partition_size) return false;
+    const std::size_t id = waiting_[p].front();
+    waiting_[p].pop_front();
+    start_job(id, now);
+    return true;
+  }
+
+  /// Lend free processors to later classes in cycle order; each lent
+  /// partition pays that class's switch overhead before its job starts.
+  void lend_out(double now) {
+    for (std::size_t step = 1; step < L_; ++step) {
+      const std::size_t q = (current_ + step) % L_;
+      const std::size_t g = params_.cls(q).partition_size;
+      while (free_procs_ >= g + pending_loan_procs_ && lendable(q) > 0) {
+        pending_loan_procs_ += g;
+        ++pending_loans_;
+        ++pending_by_class_[q];
+        events_.push(now + params_.cls(q).overhead.sample(rng_),
+                     Ev{Kind::kLoanStart, q, 0, loan_epoch_});
+      }
+    }
+  }
+
+  /// Jobs of class q not yet covered by a running or pending partition.
+  std::size_t lendable(std::size_t q) const {
+    const std::size_t covered = claimed_loans_[q] + pending_by_class_[q];
+    return waiting_[q].size() > covered ? waiting_[q].size() - covered : 0;
+  }
+
+  void dispatch(double t, const Ev& ev) {
+    switch (ev.kind) {
+      case Kind::kArrival:
+        on_arrival(t, ev.cls);
+        break;
+      case Kind::kCompletion:
+        if (jobs_[ev.job].active && jobs_[ev.job].epoch == ev.epoch)
+          on_completion(t, ev.job);
+        break;
+      case Kind::kQuantumEnd:
+        if (ev.epoch == sched_epoch_) {
+          pause_all(t);
+          begin_switch(t);
+        }
+        break;
+      case Kind::kSwitchEnd:
+        if (ev.epoch == sched_epoch_) {
+          overhead_.set(t, 0.0);
+          current_ = (current_ + 1) % L_;
+          start_slice(t);
+        }
+        break;
+      case Kind::kLoanStart:
+        if (ev.epoch == loan_epoch_) on_loan_start(t, ev.cls);
+        break;
+    }
+  }
+
+  void on_arrival(double t, std::size_t p) {
+    schedule_arrival(p, t);
+    const std::size_t batch =
+        1 + rng_.discrete(params_.cls(p).batch_pmf);
+    for (std::size_t b = 0; b < batch; ++b) {
+      const std::size_t id = allocate_job(p, t);
+      if (measuring_) ++arrivals_[p];
+      ++total_jobs_;
+      n_jobs_[p].set(t, n_jobs_[p].current() + 1.0);
+      waiting_[p].push_back(id);
+      if (parked_) {
+        parked_ = false;
+        current_ = rng_.discrete(overhead_means_);
+        begin_switch(t);
+        continue;
+      }
+      if (serving_ && current_ == p &&
+          running_[p].size() < params_.partitions(p)) {
+        pop_and_start(p, t);
+      } else {
+        lend_out(t);
+      }
+    }
+  }
+
+  void on_loan_start(double t, std::size_t q) {
+    const std::size_t g = params_.cls(q).partition_size;
+    GS_ASSERT(pending_loan_procs_ >= g && pending_loans_ > 0);
+    pending_loan_procs_ -= g;
+    --pending_loans_;
+    if (pending_by_class_[q] > 0) --pending_by_class_[q];
+    if (waiting_[q].empty() || free_procs_ < g) return;  // moot by now
+    ++claimed_loans_[q];
+    pop_and_start(q, t);
+  }
+
+  void on_completion(double t, std::size_t job_id) {
+    Job& job = jobs_[job_id];
+    const std::size_t p = job.cls;
+    auto& run = running_[p];
+    for (std::size_t i = 0; i < run.size(); ++i) {
+      if (run[i] == job_id) {
+        run[i] = run.back();
+        run.pop_back();
+        break;
+      }
+    }
+    const std::size_t g = params_.cls(p).partition_size;
+    free_procs_ += g;
+    busy_.set(t, busy_.current() - static_cast<double>(g));
+    --total_jobs_;
+    n_jobs_[p].set(t, n_jobs_[p].current() - 1.0);
+    if (measuring_) {
+      response_[p].add(t - job.arrival);
+      percentiles_[p].add(t - job.arrival);
+      if (job.demand > 0.0) slowdown_[p].add((t - job.arrival) / job.demand);
+      ++completions_[p];
+    }
+    if (claimed_loans_[p] > 0 && (!serving_ || current_ != p))
+      --claimed_loans_[p];
+    release_job(job_id);
+
+    if (serving_ && current_ == p && !waiting_[p].empty()) {
+      pop_and_start(p, t);
+    } else if (serving_ && current_ == p && running_[p].empty()) {
+      // The owner class drained: early switch (pausing lent jobs too,
+      // keeping the variant's reallocation points identical to gang's).
+      pause_all(t);
+      ++sched_epoch_;
+      begin_switch(t);
+    } else {
+      lend_out(t);
+    }
+  }
+
+  std::size_t allocate_job(std::size_t p, double t) {
+    std::size_t id;
+    if (!free_jobs_.empty()) {
+      id = free_jobs_.back();
+      free_jobs_.pop_back();
+    } else {
+      id = jobs_.size();
+      jobs_.emplace_back();
+    }
+    Job& job = jobs_[id];
+    job.cls = p;
+    job.arrival = t;
+    job.remaining = job.demand = params_.cls(p).service.sample(rng_);
+    ++job.epoch;
+    job.active = true;
+    job.in_service = false;
+    return id;
+  }
+
+  void release_job(std::size_t id) {
+    jobs_[id].active = false;
+    ++jobs_[id].epoch;
+    free_jobs_.push_back(id);
+  }
+
+  void start_measuring() {
+    measuring_ = true;
+    const double t = config_.warmup;
+    for (auto& n : n_jobs_) n.reset(t, n.current());
+    busy_.reset(t, busy_.current());
+    overhead_.reset(t, overhead_.current());
+  }
+
+  SimResult finish() {
+    const double t_end = config_.horizon;
+    const double span = t_end - config_.warmup;
+    SimResult out;
+    out.measured_time = span;
+    out.per_class.resize(L_);
+    for (std::size_t p = 0; p < L_; ++p) {
+      ClassStats& s = out.per_class[p];
+      s.name = params_.cls(p).name.empty() ? "class" + std::to_string(p)
+                                           : params_.cls(p).name;
+      s.mean_jobs = n_jobs_[p].average(t_end);
+      s.mean_response = response_[p].mean();
+      s.response_ci = response_[p].ci_half_width();
+      s.mean_slowdown = slowdown_[p].mean();
+      s.response_p50 = percentiles_[p].p50();
+      s.response_p95 = percentiles_[p].p95();
+      s.response_p99 = percentiles_[p].p99();
+      s.completions = completions_[p];
+      s.throughput = static_cast<double>(completions_[p]) / span;
+      s.observed_arrival_rate = static_cast<double>(arrivals_[p]) / span;
+      out.total_mean_jobs += s.mean_jobs;
+    }
+    out.processor_utilization =
+        busy_.average(t_end) / static_cast<double>(params_.processors());
+    out.overhead_fraction = overhead_.average(t_end);
+    return out;
+  }
+
+  const gang::SystemParams& params_;
+  const SimConfig& config_;
+  util::Rng rng_;
+  std::size_t L_;
+
+  EventQueue<Ev> events_;
+  std::vector<Job> jobs_;
+  std::vector<std::size_t> free_jobs_;
+  std::vector<std::deque<std::size_t>> waiting_;
+  std::vector<std::vector<std::size_t>> running_;
+
+  std::size_t current_ = 0;
+  bool serving_ = false;
+  bool parked_ = false;
+  std::size_t total_jobs_ = 0;
+  std::vector<double> overhead_means_;
+  std::uint64_t sched_epoch_ = 0;
+  std::uint64_t loan_epoch_ = 0;
+  std::size_t free_procs_ = 0;
+  std::size_t pending_loan_procs_ = 0;
+  std::size_t pending_loans_ = 0;
+  std::vector<std::size_t> claimed_loans_;
+  std::vector<std::size_t> pending_by_class_;
+
+  bool measuring_ = false;
+  std::vector<TimeWeighted> n_jobs_;
+  TimeWeighted busy_;
+  TimeWeighted overhead_;
+  std::vector<Tally> response_;
+  std::vector<Tally> slowdown_;
+  std::vector<ResponsePercentiles> percentiles_;
+  std::vector<std::size_t> completions_;
+  std::vector<std::size_t> arrivals_;
+};
+
+}  // namespace
+
+LocalSwitchGangSimulator::LocalSwitchGangSimulator(gang::SystemParams params,
+                                                   SimConfig config)
+    : params_(std::move(params)), config_(config) {}
+
+SimResult LocalSwitchGangSimulator::run() {
+  Engine engine(params_, config_);
+  return engine.run();
+}
+
+}  // namespace gs::sim

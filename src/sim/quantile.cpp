@@ -1,0 +1,92 @@
+#include "sim/quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace gs::sim {
+
+P2Quantile::P2Quantile(double q) : quantile_(q) {
+  GS_CHECK(q > 0.0 && q < 1.0, "quantile must lie strictly in (0, 1)");
+  pos_ = {1.0, 2.0, 3.0, 4.0, 5.0};
+  desired_ = {1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0};
+  increment_ = {0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0};
+}
+
+double P2Quantile::parabolic(int i, double d) const {
+  // Piecewise-parabolic prediction of the marker height (eq. in the P^2
+  // paper); d is +1 or -1.
+  const double qi = height_[i];
+  const double nm = pos_[i - 1], ni = pos_[i], np = pos_[i + 1];
+  return qi + d / (np - nm) *
+                  ((ni - nm + d) * (height_[i + 1] - qi) / (np - ni) +
+                   (np - ni - d) * (qi - height_[i - 1]) / (ni - nm));
+}
+
+double P2Quantile::linear(int i, double d) const {
+  const int j = i + static_cast<int>(d);
+  return height_[i] +
+         d * (height_[j] - height_[i]) / (pos_[j] - pos_[i]);
+}
+
+void P2Quantile::add(double x) {
+  if (count_ < 5) {
+    height_[count_] = x;
+    ++count_;
+    if (count_ == 5) std::sort(height_.begin(), height_.end());
+    return;
+  }
+  ++count_;
+
+  // Find the cell and update extreme markers.
+  int k;
+  if (x < height_[0]) {
+    height_[0] = x;
+    k = 0;
+  } else if (x < height_[1]) {
+    k = 0;
+  } else if (x < height_[2]) {
+    k = 1;
+  } else if (x < height_[3]) {
+    k = 2;
+  } else if (x <= height_[4]) {
+    k = 3;
+  } else {
+    height_[4] = x;
+    k = 3;
+  }
+  for (int i = k + 1; i < 5; ++i) pos_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increment_[i];
+
+  // Adjust the interior markers toward their desired positions.
+  for (int i = 1; i <= 3; ++i) {
+    const double diff = desired_[i] - pos_[i];
+    if ((diff >= 1.0 && pos_[i + 1] - pos_[i] > 1.0) ||
+        (diff <= -1.0 && pos_[i - 1] - pos_[i] < -1.0)) {
+      const double d = diff >= 0 ? 1.0 : -1.0;
+      double candidate = parabolic(i, d);
+      if (height_[i - 1] < candidate && candidate < height_[i + 1]) {
+        height_[i] = candidate;
+      } else {
+        height_[i] = linear(i, d);
+      }
+      pos_[i] += d;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Order statistic on the partial buffer.
+    std::array<double, 5> sorted = height_;
+    std::sort(sorted.begin(), sorted.begin() + count_);
+    const auto idx = static_cast<std::size_t>(
+        quantile_ * static_cast<double>(count_ - 1) + 0.5);
+    return sorted[std::min(idx, count_ - 1)];
+  }
+  return height_[2];
+}
+
+}  // namespace gs::sim

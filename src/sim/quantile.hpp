@@ -1,0 +1,61 @@
+// Streaming quantile estimation via the P-squared algorithm (Jain &
+// Chlamtac 1985): five markers track a single quantile in O(1) memory and
+// O(1) per observation — the right tool for response-time percentiles over
+// millions of simulated completions.
+//
+// Interactive response time is the paper's motivation for gang scheduling,
+// and means hide exactly the tail the interactive user feels; the
+// simulators report P50/P95/P99 through this estimator.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace gs::sim {
+
+class P2Quantile {
+ public:
+  /// Track the q-quantile, 0 < q < 1.
+  explicit P2Quantile(double q);
+
+  void add(double x);
+  std::size_t count() const { return count_; }
+
+  /// Current estimate. Exact while fewer than 5 observations have been
+  /// seen (falls back to the order statistic).
+  double value() const;
+
+ private:
+  double quantile_;
+  std::size_t count_ = 0;
+  // Marker heights and positions (1-based positions as in the paper).
+  std::array<double, 5> height_{};
+  std::array<double, 5> pos_{};
+  std::array<double, 5> desired_{};
+  std::array<double, 5> increment_{};
+
+  double parabolic(int i, double d) const;
+  double linear(int i, double d) const;
+};
+
+/// Convenience bundle for the percentiles the result tables report.
+class ResponsePercentiles {
+ public:
+  ResponsePercentiles() : p50_(0.5), p95_(0.95), p99_(0.99) {}
+  void add(double x) {
+    p50_.add(x);
+    p95_.add(x);
+    p99_.add(x);
+  }
+  double p50() const { return p50_.value(); }
+  double p95() const { return p95_.value(); }
+  double p99() const { return p99_.value(); }
+  std::size_t count() const { return p50_.count(); }
+
+ private:
+  P2Quantile p50_;
+  P2Quantile p95_;
+  P2Quantile p99_;
+};
+
+}  // namespace gs::sim

@@ -1,0 +1,103 @@
+#include "sim/stats.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace gs::sim {
+
+void TimeWeighted::reset(double t, double current_value) {
+  start_ = last_ = t;
+  value_ = current_value;
+  integral_ = 0.0;
+  started_ = true;
+}
+
+void TimeWeighted::set(double t, double value) {
+  GS_CHECK(started_, "TimeWeighted::reset must be called first");
+  GS_CHECK(t >= last_ - 1e-12, "time must be non-decreasing");
+  integral_ += value_ * (t - last_);
+  last_ = t;
+  value_ = value;
+}
+
+double TimeWeighted::average(double t) const {
+  GS_CHECK(started_ && t >= start_, "invalid averaging window");
+  if (t == start_) return value_;
+  const double integral = integral_ + value_ * (t - last_);
+  return integral / (t - start_);
+}
+
+Tally::Tally(std::size_t batches) : batches_(batches) {
+  GS_CHECK(batches_ >= 4, "batch means needs at least 4 batches");
+  batch_sum_.reserve(2 * batches_);
+  batch_count_.reserve(2 * batches_);
+}
+
+void Tally::add(double x) {
+  ++count_;
+  sum_ += x;
+  sum_sq_ += x * x;
+  // Contiguous batching with doubling batch size: the current batch is the
+  // last slot; once 2*batches_ batches complete, adjacent pairs merge.
+  if (batch_count_.empty() ||
+      batch_count_.back() >= current_batch_target()) {
+    batch_sum_.push_back(0.0);
+    batch_count_.push_back(0);
+  }
+  batch_sum_.back() += x;
+  ++batch_count_.back();
+  if (batch_sum_.size() > 2 * batches_) {
+    // Merge adjacent pairs; batch size doubles implicitly.
+    std::vector<double> ns;
+    std::vector<std::size_t> nc;
+    for (std::size_t i = 0; i + 1 < batch_sum_.size(); i += 2) {
+      ns.push_back(batch_sum_[i] + batch_sum_[i + 1]);
+      nc.push_back(batch_count_[i] + batch_count_[i + 1]);
+    }
+    if (batch_sum_.size() % 2 == 1) {
+      ns.push_back(batch_sum_.back());
+      nc.push_back(batch_count_.back());
+    }
+    batch_sum_ = std::move(ns);
+    batch_count_ = std::move(nc);
+  }
+}
+
+std::size_t Tally::current_batch_target() const {
+  // Target per-batch size grows as the sample does, keeping the number of
+  // batches within [batches_, 2*batches_].
+  std::size_t target = 1;
+  while (target * 2 * batches_ < count_) target *= 2;
+  return target;
+}
+
+double Tally::mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double Tally::variance() const {
+  if (count_ < 2) return 0.0;
+  const double n = static_cast<double>(count_);
+  return (sum_sq_ - sum_ * sum_ / n) / (n - 1.0);
+}
+
+double Tally::ci_half_width() const {
+  // Use only full batches (all but possibly the last, which may be
+  // partial); need a handful for a meaningful variance of batch means.
+  std::vector<double> means;
+  for (std::size_t i = 0; i + 1 < batch_sum_.size(); ++i) {
+    if (batch_count_[i] > 0)
+      means.push_back(batch_sum_[i] / static_cast<double>(batch_count_[i]));
+  }
+  if (means.size() < 4) return 0.0;
+  double m = 0.0;
+  for (double v : means) m += v;
+  m /= static_cast<double>(means.size());
+  double var = 0.0;
+  for (double v : means) var += (v - m) * (v - m);
+  var /= static_cast<double>(means.size() - 1);
+  return 1.96 * std::sqrt(var / static_cast<double>(means.size()));
+}
+
+}  // namespace gs::sim

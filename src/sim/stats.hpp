@@ -1,0 +1,64 @@
+// Simulation statistics: time-weighted averages (for E[N]), tallies with
+// batch-means confidence intervals (for response times), and utilization
+// accounting. Batch means is the standard way to get an honest CI from one
+// long, autocorrelated run: the post-warmup observations are split into a
+// fixed number of batches whose means are approximately i.i.d.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gs::sim {
+
+/// Time-weighted average of a piecewise-constant process (e.g. number of
+/// jobs in the system): call set(t, value) at every change; the average is
+/// the integral divided by elapsed time since the measurement start.
+class TimeWeighted {
+ public:
+  /// Begin measuring at time t with the given current value.
+  void reset(double t, double current_value);
+  /// Record that the process takes `value` from time t on.
+  void set(double t, double value);
+  /// Time-average over [reset_time, t].
+  double average(double t) const;
+  double current() const { return value_; }
+
+ private:
+  double start_ = 0.0;
+  double last_ = 0.0;
+  double value_ = 0.0;
+  double integral_ = 0.0;
+  bool started_ = false;
+};
+
+/// Mean/variance tally with batch-means confidence intervals.
+class Tally {
+ public:
+  explicit Tally(std::size_t batches = 20);
+
+  void add(double x);
+  std::size_t count() const { return count_; }
+  double mean() const;
+  /// Sample variance of the individual observations.
+  double variance() const;
+
+  /// Half-width of the ~95% confidence interval from batch means (normal
+  /// approximation, 1.96 sigma). Returns 0 with fewer than 2 complete
+  /// batches' worth of data.
+  double ci_half_width() const;
+
+ private:
+  std::size_t current_batch_target() const;
+
+  std::size_t batches_;
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  // Contiguous batches with a batch size that doubles as the sample grows,
+  // so the batch count stays within [batches_, 2*batches_] without knowing
+  // the final sample size in advance.
+  std::vector<double> batch_sum_;
+  std::vector<std::size_t> batch_count_;
+};
+
+}  // namespace gs::sim

@@ -1,0 +1,44 @@
+// Shared configuration and result records for every simulator in this
+// library (the gang scheduler, its local-switch variant, and the pure
+// time-/space-sharing baselines).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gs::sim {
+
+struct SimConfig {
+  double warmup = 2000.0;    ///< simulated time discarded before measuring
+  double horizon = 50000.0;  ///< total simulated time
+  std::uint64_t seed = 12345;
+};
+
+struct ClassStats {
+  std::string name;
+  double mean_jobs = 0.0;          ///< time-average number in system
+  double mean_response = 0.0;      ///< mean response time of completions
+  double response_ci = 0.0;        ///< 95% CI half-width (batch means)
+  double response_p50 = 0.0;       ///< median response time (P^2 estimate)
+  double response_p95 = 0.0;
+  double response_p99 = 0.0;
+  std::size_t completions = 0;
+  double mean_slowdown = 0.0;      ///< E[response / service demand]
+  double mean_first_wait = 0.0;    ///< E[time until first service]
+  double prob_immediate = 0.0;     ///< P(service starts at arrival)
+  double throughput = 0.0;         ///< completions per unit time
+  double observed_arrival_rate = 0.0;
+};
+
+struct SimResult {
+  std::vector<ClassStats> per_class;
+  double total_mean_jobs = 0.0;
+  double processor_utilization = 0.0;  ///< busy processor-time / (P * T)
+  double overhead_fraction = 0.0;      ///< fraction of time spent switching
+  double measured_time = 0.0;
+
+  const ClassStats& cls(std::size_t p) const { return per_class.at(p); }
+};
+
+}  // namespace gs::sim

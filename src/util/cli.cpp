@@ -1,0 +1,108 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace gs::util {
+
+Cli::Cli(std::string program, std::string summary)
+    : program_(std::move(program)), summary_(std::move(summary)) {}
+
+void Cli::add_flag(const std::string& name, const std::string& default_value,
+                   const std::string& help) {
+  for (const auto& f : flags_)
+    GS_CHECK(f.name != name, "duplicate flag --" + name);
+  flags_.push_back(Flag{name, default_value, default_value, help});
+}
+
+bool Cli::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_help();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument '%s'\n",
+                   arg.c_str());
+      print_help();
+      return false;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    } else {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s needs a value\n", name.c_str());
+        print_help();
+        return false;
+      }
+      value = argv[++i];
+    }
+    bool found = false;
+    for (auto& f : flags_) {
+      if (f.name == name) {
+        f.value = value;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
+      print_help();
+      return false;
+    }
+  }
+  return true;
+}
+
+const Cli::Flag& Cli::find(const std::string& name) const {
+  for (const auto& f : flags_)
+    if (f.name == name) return f;
+  throw InvalidArgument("flag --" + name + " was never declared");
+}
+
+std::string Cli::get_string(const std::string& name) const {
+  return find(name).value;
+}
+
+double Cli::get_double(const std::string& name) const {
+  const auto& f = find(name);
+  char* end = nullptr;
+  double v = std::strtod(f.value.c_str(), &end);
+  GS_CHECK(end && *end == '\0', "flag --" + name + " expects a number, got '" +
+                                    f.value + "'");
+  return v;
+}
+
+int Cli::get_int(const std::string& name) const {
+  const auto& f = find(name);
+  char* end = nullptr;
+  long v = std::strtol(f.value.c_str(), &end, 10);
+  GS_CHECK(end && *end == '\0', "flag --" + name + " expects an integer, got '" +
+                                    f.value + "'");
+  return static_cast<int>(v);
+}
+
+bool Cli::get_bool(const std::string& name) const {
+  const auto& v = find(name).value;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw InvalidArgument("flag --" + name + " expects a boolean, got '" + v +
+                        "'");
+}
+
+void Cli::print_help() const {
+  std::fprintf(stderr, "%s — %s\n\nflags:\n", program_.c_str(),
+               summary_.c_str());
+  for (const auto& f : flags_) {
+    std::fprintf(stderr, "  --%-24s %s (default: %s)\n", f.name.c_str(),
+                 f.help.c_str(), f.default_value.c_str());
+  }
+}
+
+}  // namespace gs::util

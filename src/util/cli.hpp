@@ -1,0 +1,47 @@
+// Tiny declarative command-line parser for the example and bench binaries.
+// Supports `--name value` and `--name=value` flags with typed accessors and
+// an auto-generated --help.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gs::util {
+
+class Cli {
+ public:
+  /// `program` and `summary` feed the --help banner.
+  Cli(std::string program, std::string summary);
+
+  /// Declare a flag with a default value (all values are stored as text and
+  /// converted on access). Declaration order drives --help output.
+  void add_flag(const std::string& name, const std::string& default_value,
+                const std::string& help);
+
+  /// Parse argv. Returns false (after printing usage) when --help was given
+  /// or an unknown/malformed flag was seen.
+  bool parse(int argc, char** argv);
+
+  std::string get_string(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  int get_int(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  void print_help() const;
+
+ private:
+  struct Flag {
+    std::string name;
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+  const Flag& find(const std::string& name) const;
+
+  std::string program_;
+  std::string summary_;
+  std::vector<Flag> flags_;
+};
+
+}  // namespace gs::util

@@ -1,0 +1,23 @@
+#include "util/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace gs::detail {
+
+void throw_check_failure(const char* expr, const char* file, int line,
+                         const std::string& msg) {
+  std::ostringstream os;
+  os << msg << " [check `" << expr << "` failed at " << file << ":" << line
+     << "]";
+  throw InvalidArgument(os.str());
+}
+
+void assert_failure(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "gangsched internal assertion `%s` failed at %s:%d\n",
+               expr, file, line);
+  std::abort();
+}
+
+}  // namespace gs::detail

@@ -1,0 +1,30 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace gs::log {
+
+namespace {
+std::atomic<Level> g_level{Level::kWarn};
+
+const char* tag(Level level) {
+  switch (level) {
+    case Level::kDebug: return "debug";
+    case Level::kInfo:  return "info ";
+    case Level::kWarn:  return "warn ";
+    case Level::kError: return "error";
+    default:            return "?";
+  }
+}
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void write(Level lvl, const std::string& message) {
+  std::fprintf(stderr, "[gangsched %s] %s\n", tag(lvl), message.c_str());
+}
+
+}  // namespace gs::log

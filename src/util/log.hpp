@@ -1,0 +1,51 @@
+// Minimal leveled logger. Benches and the fixed-point solver use it to
+// report iteration progress; it writes to stderr so table output on stdout
+// stays machine-parsable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace gs::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded. Defaults to kWarn so
+/// library users see nothing unless something is off.
+void set_level(Level level);
+Level level();
+
+/// Emit one line at the given level (newline appended).
+void write(Level level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void debug(Args&&... args) {
+  if (level() <= Level::kDebug)
+    write(Level::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void info(Args&&... args) {
+  if (level() <= Level::kInfo)
+    write(Level::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void warn(Args&&... args) {
+  if (level() <= Level::kWarn)
+    write(Level::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void error(Args&&... args) {
+  if (level() <= Level::kError)
+    write(Level::kError, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace gs::log

@@ -1,0 +1,92 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace gs::util {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> uniform on [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_pos() {
+  return 1.0 - uniform();
+}
+
+double Rng::exponential(double rate) {
+  GS_CHECK(rate > 0.0, "exponential variate needs a positive rate");
+  return -std::log(uniform_pos()) / rate;
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) {
+  GS_CHECK(n > 0, "uniform_int needs n > 0");
+  // Rejection to kill modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+  std::uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return v % n;
+}
+
+std::size_t Rng::discrete(const std::vector<double>& weights,
+                          double defective_total) {
+  double total = 0.0;
+  for (double w : weights) {
+    GS_CHECK(w >= 0.0, "discrete weights must be non-negative");
+    total += w;
+  }
+  const double mass = defective_total > total ? defective_total : total;
+  GS_CHECK(mass > 0.0, "discrete distribution has zero mass");
+  double u = uniform() * mass;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (u < weights[i]) return i;
+    u -= weights[i];
+  }
+  // Either the defective tail was drawn, or rounding pushed us past the
+  // end; both map to the sentinel / last non-zero weight respectively.
+  if (defective_total > total) return weights.size();
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  return 0;
+}
+
+Rng Rng::split() {
+  return Rng(next_u64());
+}
+
+}  // namespace gs::util

@@ -1,0 +1,52 @@
+// Deterministic, seedable pseudo-random generator (xoshiro256++) with the
+// variate helpers the simulator and the phase-type sampler need.
+//
+// We ship our own generator rather than <random>'s mt19937 for two reasons:
+// reproducibility of streams across standard-library implementations (the
+// distributions in <random> are not bit-stable across vendors), and cheap
+// split-off of independent streams per job class.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gs::util {
+
+class Rng {
+ public:
+  /// Seeds the four 64-bit words of state from `seed` via splitmix64, which
+  /// guarantees a well-mixed non-zero state for any seed.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next raw 64-bit output.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in (0, 1] — safe to pass to log().
+  double uniform_pos();
+
+  /// Exponential variate with the given rate (mean 1/rate).
+  double exponential(double rate);
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  /// Sample an index from a discrete distribution given by non-negative
+  /// weights (need not be normalized). Returns weights.size() if the total
+  /// residual mass (1 - sum) is drawn when `defective_total` > sum; used for
+  /// sub-stochastic initial vectors of phase-type distributions.
+  std::size_t discrete(const std::vector<double>& weights,
+                       double defective_total = -1.0);
+
+  /// Independent stream derived from this one (jump-free split via
+  /// splitmix64 of a fresh draw; streams overlap with negligible
+  /// probability for simulation-scale draws).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace gs::util

@@ -1,0 +1,82 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace gs::util {
+
+Table::Table(std::vector<std::string> headers, int double_precision)
+    : headers_(std::move(headers)), double_precision_(double_precision) {
+  GS_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<Cell> row) {
+  GS_CHECK(row.size() == headers_.size(),
+           "row width does not match header count");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::render(const Cell& cell) const {
+  if (const auto* s = std::get_if<std::string>(&cell)) return *s;
+  if (const auto* i = std::get_if<long long>(&cell)) return std::to_string(*i);
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(double_precision_)
+     << std::get<double>(cell);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> out;
+    out.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out.push_back(render(row[c]));
+      width[c] = std::max(width[c], out.back().size());
+    }
+    rendered.push_back(std::move(out));
+  }
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::setw(static_cast<int>(width[c])) << cells[c];
+      os << (c + 1 == cells.size() ? "\n" : "  ");
+    }
+  };
+  emit(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    rule.append(width[c], '-');
+    if (c + 1 != width.size()) rule.append("  ");
+  }
+  os << rule << "\n";
+  for (const auto& row : rendered) emit(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << quote(headers_[c]) << (c + 1 == headers_.size() ? "\n" : ",");
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << quote(render(row[c])) << (c + 1 == row.size() ? "\n" : ",");
+  }
+}
+
+}  // namespace gs::util

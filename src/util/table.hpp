@@ -1,0 +1,42 @@
+// Aligned-column table writer used by every bench binary to print the
+// rows/series of the paper's figures, plus a CSV sink for post-processing.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace gs::util {
+
+/// A cell is a string, an integer, or a double (printed with fixed
+/// precision chosen per table).
+using Cell = std::variant<std::string, long long, double>;
+
+/// Collects rows and renders them either as an aligned text table (for
+/// human-readable bench output) or as CSV.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int double_precision = 4);
+
+  /// Append one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<Cell> row);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return headers_.size(); }
+
+  /// Render with columns padded so they line up, separated by two spaces.
+  void print(std::ostream& os) const;
+
+  /// Render as RFC-4180-ish CSV (quotes only when a cell contains , or ").
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::string render(const Cell& cell) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int double_precision_;
+};
+
+}  // namespace gs::util

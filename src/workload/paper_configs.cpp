@@ -1,0 +1,53 @@
+#include "workload/paper_configs.hpp"
+
+#include "phase/builders.hpp"
+#include "util/error.hpp"
+
+namespace gs::workload {
+
+using gang::ClassParams;
+using gang::SystemParams;
+
+SystemParams paper_system(const PaperKnobs& knobs) {
+  GS_CHECK(knobs.arrival_rate > 0.0, "arrival rate must be positive");
+  GS_CHECK(knobs.quantum_mean > 0.0, "quantum mean must be positive");
+  GS_CHECK(knobs.overhead_mean > 0.0, "overhead mean must be positive");
+  const double ladder[4] = {0.5, 1.0, 2.0, 4.0};
+  std::vector<ClassParams> cls;
+  cls.reserve(4);
+  for (int p = 0; p < 4; ++p) {
+    const double mu = knobs.uniform_service_rate > 0.0
+                          ? knobs.uniform_service_rate
+                          : ladder[p] * knobs.service_scale;
+    cls.push_back(ClassParams{
+        phase::exponential(knobs.arrival_rate), phase::exponential(mu),
+        phase::erlang(knobs.quantum_stages, knobs.quantum_mean),
+        phase::exponential(1.0 / knobs.overhead_mean),
+        static_cast<std::size_t>(1) << p, "class" + std::to_string(p)});
+  }
+  return SystemParams(8, std::move(cls));
+}
+
+SystemParams figure5_system(std::size_t favored, double fraction,
+                            double total_quantum_budget, int quantum_stages,
+                            double overhead_mean) {
+  GS_CHECK(favored < 4, "favored class index must be 0..3");
+  GS_CHECK(fraction > 0.0 && fraction < 1.0,
+           "cycle fraction must lie strictly between 0 and 1");
+  const double ladder[4] = {0.5, 1.0, 2.0, 4.0};
+  std::vector<ClassParams> cls;
+  cls.reserve(4);
+  for (std::size_t p = 0; p < 4; ++p) {
+    const double quantum =
+        p == favored ? fraction * total_quantum_budget
+                     : (1.0 - fraction) * total_quantum_budget / 3.0;
+    cls.push_back(ClassParams{
+        phase::exponential(0.6), phase::exponential(ladder[p]),
+        phase::erlang(quantum_stages, quantum),
+        phase::exponential(1.0 / overhead_mean),
+        static_cast<std::size_t>(1) << p, "class" + std::to_string(p)});
+  }
+  return SystemParams(8, std::move(cls));
+}
+
+}  // namespace gs::workload

@@ -1,0 +1,38 @@
+// Constructors for the exact experimental configurations of Section 5
+// (Figures 2-5) and the knobs the ablation benches sweep.
+//
+// Common setting: P = 8 processors; four classes p = 0..3 with 2^{3-p}
+// partitions each (g = 1, 2, 4, 8); Poisson arrivals; exponential service
+// with mu_0 : mu_1 : mu_2 : mu_3 = 0.5 : 1 : 2 : 4; Erlang-K quanta (the
+// paper's Figure 1 uses a K-stage Erlang but never states K; we default to
+// K = 2 and expose it); exponential switch overhead with mean 0.01.
+#pragma once
+
+#include "gang/params.hpp"
+
+namespace gs::workload {
+
+struct PaperKnobs {
+  double arrival_rate = 0.4;      ///< lambda_p, identical across classes
+  double quantum_mean = 1.0;      ///< 1/gamma_p, identical across classes
+  int quantum_stages = 2;         ///< Erlang K of the quantum distribution
+  double overhead_mean = 0.01;    ///< 1/delta_p
+  double service_scale = 1.0;     ///< multiplies every mu_p
+  /// When set (> 0), every class's service rate is this value instead of
+  /// the 0.5:1:2:4 ladder — Figure 4's x-axis.
+  double uniform_service_rate = 0.0;
+};
+
+/// The Section 5 system. With the default knobs this is Figure 2's
+/// rho = 0.4 configuration; arrival_rate = 0.9 gives Figure 3.
+gang::SystemParams paper_system(const PaperKnobs& knobs = {});
+
+/// Figure 5's system: the total quantum budget per cycle is fixed and
+/// class `favored` receives `fraction` of it, the others splitting the
+/// remainder equally. lambda_p = 0.6 for all classes (rho = 0.6).
+gang::SystemParams figure5_system(std::size_t favored, double fraction,
+                                  double total_quantum_budget = 4.0,
+                                  int quantum_stages = 2,
+                                  double overhead_mean = 0.01);
+
+}  // namespace gs::workload

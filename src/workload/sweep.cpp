@@ -1,0 +1,79 @@
+#include "workload/sweep.hpp"
+
+#include "sim/gang_simulator.hpp"
+#include "util/error.hpp"
+
+namespace gs::workload {
+
+std::vector<SweepPoint> sweep(
+    const std::vector<double>& xs,
+    const std::function<gang::SystemParams(double)>& make_system,
+    const SweepOptions& opts) {
+  std::vector<SweepPoint> out;
+  out.reserve(xs.size());
+  for (double x : xs) {
+    SweepPoint point;
+    point.x = x;
+    const gang::SystemParams sys = make_system(x);
+    try {
+      const gang::SolveReport rep =
+          gang::GangSolver(sys, opts.solver).solve();
+      point.iterations = rep.iterations;
+      for (const auto& r : rep.per_class) point.model_n.push_back(r.mean_jobs);
+    } catch (const Error& e) {
+      point.error = e.what();
+    }
+    if (opts.sim_horizon > 0.0) {
+      sim::SimConfig cfg;
+      cfg.warmup = opts.sim_warmup;
+      cfg.horizon = opts.sim_horizon;
+      cfg.seed = opts.sim_seed;
+      const sim::SimResult sr =
+          sim::run_replicated(sys, cfg, opts.sim_replications);
+      for (const auto& s : sr.per_class) point.sim_n.push_back(s.mean_jobs);
+    }
+    out.push_back(std::move(point));
+  }
+  return out;
+}
+
+util::Table sweep_table(const std::string& x_name,
+                        const std::vector<SweepPoint>& points,
+                        std::size_t num_classes) {
+  const bool with_sim =
+      !points.empty() && !points.front().sim_n.empty();
+  std::vector<std::string> headers = {x_name};
+  for (std::size_t p = 0; p < num_classes; ++p)
+    headers.push_back("N" + std::to_string(p));
+  if (with_sim) {
+    for (std::size_t p = 0; p < num_classes; ++p)
+      headers.push_back("sim_N" + std::to_string(p));
+  }
+  headers.push_back("note");
+
+  util::Table table(std::move(headers));
+  for (const auto& pt : points) {
+    std::vector<util::Cell> row;
+    row.emplace_back(pt.x);
+    if (pt.model_n.empty()) {
+      for (std::size_t p = 0; p < num_classes; ++p)
+        row.emplace_back(std::string("-"));
+    } else {
+      for (double n : pt.model_n) row.emplace_back(n);
+    }
+    if (with_sim) {
+      if (pt.sim_n.empty()) {
+        for (std::size_t p = 0; p < num_classes; ++p)
+          row.emplace_back(std::string("-"));
+      } else {
+        for (double n : pt.sim_n) row.emplace_back(n);
+      }
+    }
+    row.emplace_back(pt.error.empty() ? std::string("")
+                                      : std::string("unstable"));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace gs::workload

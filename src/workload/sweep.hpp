@@ -1,0 +1,51 @@
+// Parameter-sweep driver shared by the figure benches: runs the analytic
+// solver (and optionally the simulator) across a series of x-values and
+// collects one row per point.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gang/params.hpp"
+#include "gang/solver.hpp"
+#include "sim/types.hpp"
+#include "util/table.hpp"
+
+namespace gs::workload {
+
+struct SweepPoint {
+  double x = 0.0;
+  /// Per-class mean jobs from the analysis; empty when the solve failed
+  /// (unstable point), with `error` carrying the reason.
+  std::vector<double> model_n;
+  /// Per-class mean jobs from the simulator (empty unless simulation was
+  /// requested).
+  std::vector<double> sim_n;
+  int iterations = 0;
+  std::string error;
+};
+
+struct SweepOptions {
+  gang::GangSolveOptions solver{};
+  /// When > 0, also simulate each point with this horizon.
+  double sim_horizon = 0.0;
+  double sim_warmup = 5000.0;
+  std::size_t sim_replications = 1;
+  std::uint64_t sim_seed = 20260706;
+};
+
+/// Evaluate `make_system(x)` at each x; unstable points are recorded, not
+/// fatal (the paper's sweeps cross stability boundaries).
+std::vector<SweepPoint> sweep(
+    const std::vector<double>& xs,
+    const std::function<gang::SystemParams(double)>& make_system,
+    const SweepOptions& opts = {});
+
+/// Render sweep results as the bench's output table: one row per x with
+/// N_p per class (and sim columns when present).
+util::Table sweep_table(const std::string& x_name,
+                        const std::vector<SweepPoint>& points,
+                        std::size_t num_classes);
+
+}  // namespace gs::workload

@@ -1,0 +1,65 @@
+// Shared model constructors for the gang tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "gang/params.hpp"
+#include "phase/builders.hpp"
+
+namespace gs::gang::testing {
+
+/// A single class occupying the whole machine (c = 1): with a huge quantum
+/// and negligible overhead this approaches M/M/1.
+inline SystemParams single_class_whole_machine(double lambda, double mu,
+                                               double quantum_mean = 1e3,
+                                               double overhead_mean = 1e-6,
+                                               std::size_t P = 4) {
+  ClassParams c{phase::exponential(lambda), phase::exponential(mu),
+                phase::exponential(1.0 / quantum_mean),
+                phase::exponential(1.0 / overhead_mean), P, "solo"};
+  return SystemParams(P, {c});
+}
+
+/// A single class of sequential jobs (g = 1, c = P): with a huge quantum
+/// and negligible overhead this approaches M/M/P.
+inline SystemParams single_class_sequential(double lambda, double mu,
+                                            std::size_t P,
+                                            double quantum_mean = 1e3,
+                                            double overhead_mean = 1e-6) {
+  ClassParams c{phase::exponential(lambda), phase::exponential(mu),
+                phase::exponential(1.0 / quantum_mean),
+                phase::exponential(1.0 / overhead_mean), 1, "seq"};
+  return SystemParams(P, {c});
+}
+
+/// The Section 5 configuration: P = 8, classes p = 0..3 with g = 2^p
+/// (i.e. 2^{3-p} partitions each), mu ratios 0.5:1:2:4, Erlang-K quanta
+/// with a common mean, exponential overheads with mean 0.01.
+inline SystemParams paper_system(double lambda, double quantum_mean,
+                                 int quantum_stages = 2,
+                                 double overhead_mean = 0.01) {
+  const double mus[4] = {0.5, 1.0, 2.0, 4.0};
+  std::vector<ClassParams> cls;
+  for (int p = 0; p < 4; ++p) {
+    cls.push_back(ClassParams{
+        phase::exponential(lambda), phase::exponential(mus[p]),
+        phase::erlang(quantum_stages, quantum_mean),
+        phase::exponential(1.0 / overhead_mean),
+        static_cast<std::size_t>(1) << p, "class" + std::to_string(p)});
+  }
+  return SystemParams(8, std::move(cls));
+}
+
+/// A small two-class system cheap enough for exact-mode fixed points.
+inline SystemParams two_class_small(double lambda0 = 0.3,
+                                    double lambda1 = 0.3) {
+  ClassParams c0{phase::exponential(lambda0), phase::exponential(1.0),
+                 phase::erlang(2, 1.0), phase::exponential(100.0), 2,
+                 "small"};
+  ClassParams c1{phase::exponential(lambda1), phase::exponential(2.0),
+                 phase::erlang(2, 1.0), phase::exponential(100.0), 4, "big"};
+  return SystemParams(4, {c0, c1});
+}
+
+}  // namespace gs::gang::testing

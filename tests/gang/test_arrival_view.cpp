@@ -1,0 +1,113 @@
+// Tests of the arrival-point (Palm) decomposition: what a class-p arrival
+// finds (immediate service / wait for the next slice / queue). Anchored to
+// Erlang-C in the M/M/c limit and cross-validated against the simulator's
+// measured time-to-first-service.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gang/solver.hpp"
+#include "gang_test_util.hpp"
+#include "sim/gang_simulator.hpp"
+
+namespace {
+
+using namespace gs::gang;
+namespace gt = gs::gang::testing;
+
+double erlang_c(double a, std::size_t c) {
+  double term = 1.0, sum = 1.0;
+  for (std::size_t k = 1; k < c; ++k) {
+    term *= a / static_cast<double>(k);
+    sum += term;
+  }
+  term *= a / static_cast<double>(c);
+  const double rho = a / static_cast<double>(c);
+  const double last = term / (1.0 - rho);
+  return last / (sum + last);
+}
+
+TEST(ArrivalView, DecompositionIsAProbabilityDistribution) {
+  const SolveReport rep = GangSolver(gt::paper_system(0.6, 1.0)).solve();
+  for (const auto& r : rep.per_class) {
+    EXPECT_NEAR(r.arrive_immediate + r.arrive_wait_slice + r.arrive_queued,
+                1.0, 1e-9)
+        << r.name;
+    EXPECT_GE(r.arrive_immediate, 0.0);
+    EXPECT_GE(r.arrive_wait_slice, 0.0);
+    EXPECT_GE(r.arrive_queued, 0.0);
+    EXPECT_GT(r.mean_slice_wait, 0.0);
+  }
+}
+
+TEST(ArrivalView, MmcLimitQueueingProbabilityIsErlangC) {
+  // g = 1, huge quantum, negligible overhead: the away period vanishes, so
+  // prob_queued -> Erlang-C and prob_wait_for_slice -> 0.
+  const double lambda = 2.8;
+  const std::size_t P = 4;
+  const SolveReport rep =
+      GangSolver(gt::single_class_sequential(lambda, 1.0, P)).solve();
+  const auto& r = rep.per_class[0];
+  EXPECT_NEAR(r.arrive_queued, erlang_c(lambda, P), 5e-3);
+  // Arrivals to an EMPTY system land in the (vanishing) away period —
+  // level 0 carries only away phases — so they count as wait_for_slice
+  // with a ~zero residual. Effective immediacy is immediate + wait_slice.
+  EXPECT_NEAR(r.arrive_immediate + r.arrive_wait_slice,
+              1.0 - erlang_c(lambda, P), 0.01);
+  EXPECT_LT(r.mean_slice_wait, 1e-4);
+}
+
+TEST(ArrivalView, SliceWaitBoundedByAwayPeriod) {
+  // The mean residual of the away period cannot exceed... the full away
+  // period mean is an upper bound only for NBUE laws, but the residual is
+  // always bounded by m2/(2 m1) <= full mean for the Erlang-ish mixes
+  // here; assert the loose structural bounds instead: positive and below
+  // the heavy-traffic away mean times a small factor.
+  const SystemParams sys = gt::paper_system(0.5, 1.0);
+  const SolveReport rep = GangSolver(sys).solve();
+  for (std::size_t p = 0; p < 4; ++p) {
+    double away_full = 0.0;
+    for (std::size_t q = 0; q < 4; ++q) {
+      away_full += sys.cls(q).overhead.mean();
+      if (q != p) away_full += sys.cls(q).quantum.mean();
+    }
+    EXPECT_GT(rep.per_class[p].mean_slice_wait, 0.0);
+    EXPECT_LT(rep.per_class[p].mean_slice_wait, away_full);
+  }
+}
+
+TEST(ArrivalView, HigherLoadShiftsMassTowardQueued) {
+  const SolveReport light = GangSolver(gt::paper_system(0.3, 1.0)).solve();
+  const SolveReport heavy = GangSolver(gt::paper_system(0.85, 1.0)).solve();
+  for (std::size_t p = 0; p < 4; ++p) {
+    EXPECT_GT(heavy.per_class[p].arrive_queued,
+              light.per_class[p].arrive_queued)
+        << "class " << p;
+  }
+}
+
+TEST(ArrivalView, MatchesSimulatedFirstServiceBehaviour) {
+  // The simulator measures P(service starts at arrival) and E[time to
+  // first service]. The model's immediate probability and its slice-wait
+  // component must line up (the queued component's wait is not modeled,
+  // so compare where queueing is rare: light load).
+  const SystemParams sys = gt::paper_system(0.3, 1.0);
+  const SolveReport model = GangSolver(sys).solve();
+  gs::sim::SimConfig cfg;
+  cfg.warmup = 5000.0;
+  cfg.horizon = 200000.0;
+  cfg.seed = 99;
+  const gs::sim::SimResult sim = gs::sim::GangSimulator(sys, cfg).run();
+  for (std::size_t p = 0; p < 4; ++p) {
+    EXPECT_NEAR(model.per_class[p].arrive_immediate,
+                sim.per_class[p].prob_immediate, 0.06)
+        << "class " << p;
+    // Model lower bound on E[first wait]: slice-wait mass times its mean
+    // (queued arrivals wait at least as long).
+    const double lb = model.per_class[p].arrive_wait_slice *
+                      model.per_class[p].mean_slice_wait;
+    EXPECT_GT(sim.per_class[p].mean_first_wait, 0.6 * lb) << "class " << p;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,78 @@
+#include "gang/away_period.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gang_test_util.hpp"
+#include "phase/builders.hpp"
+#include "phase/fitting.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace gs::gang;
+namespace gt = gs::gang::testing;
+
+TEST(AwayPeriod, HeavyTrafficMeanIsCycleMinusOwnQuantum) {
+  // E[F_p] = sum of all overheads + sum of the *other* classes' quanta
+  // (Theorem 4.1 / eq. 13-14).
+  const SystemParams sys = gt::paper_system(0.4, 1.5);
+  for (std::size_t p = 0; p < 4; ++p) {
+    const PhaseType f = away_period_heavy_traffic(sys, p);
+    double expected = 0.0;
+    for (std::size_t q = 0; q < 4; ++q) {
+      expected += sys.cls(q).overhead.mean();
+      if (q != p) expected += sys.cls(q).quantum.mean();
+    }
+    EXPECT_NEAR(f.mean(), expected, 1e-9) << "class " << p;
+    EXPECT_DOUBLE_EQ(f.atom_at_zero(), 0.0);
+  }
+}
+
+TEST(AwayPeriod, HeavyTrafficOrderMatchesTheorem41) {
+  // N_p = sum_q m_C_q + sum_{q != p} M_q (eq. 13): with Erlang-2 quanta and
+  // exponential overheads that is 4 + 3*2 = 10.
+  const SystemParams sys = gt::paper_system(0.4, 1.0);
+  EXPECT_EQ(away_period_heavy_traffic(sys, 0).order(), 10u);
+}
+
+TEST(AwayPeriod, SingleClassIsJustOwnOverhead) {
+  // L = 1: the away period is only the class's own switch overhead.
+  const SystemParams sys = gt::single_class_whole_machine(0.5, 1.0, 10.0, 0.25);
+  const PhaseType f = away_period_heavy_traffic(sys, 0);
+  EXPECT_NEAR(f.mean(), 0.25, 1e-12);
+  EXPECT_EQ(f.order(), 1u);
+}
+
+TEST(AwayPeriod, EffectiveSlicesShortenTheAwayPeriod) {
+  const SystemParams sys = gt::paper_system(0.4, 1.0);
+  std::vector<PhaseType> slices;
+  for (std::size_t q = 0; q < 4; ++q)
+    slices.push_back(gs::phase::with_atom(sys.cls(q).quantum, 0.5));
+  const PhaseType eff = away_period(sys, 1, slices);
+  const PhaseType full = away_period_heavy_traffic(sys, 1);
+  EXPECT_LT(eff.mean(), full.mean());
+  // Overheads keep the away period free of an atom at zero.
+  EXPECT_DOUBLE_EQ(eff.atom_at_zero(), 0.0);
+}
+
+TEST(AwayPeriod, SliceListMustMatchClassCount) {
+  const SystemParams sys = gt::paper_system(0.4, 1.0);
+  EXPECT_THROW(away_period(sys, 0, {sys.cls(0).quantum}),
+               gs::InvalidArgument);
+  EXPECT_THROW(away_period(sys, 9,
+                           {sys.cls(0).quantum, sys.cls(1).quantum,
+                            sys.cls(2).quantum, sys.cls(3).quantum}),
+               gs::InvalidArgument);
+}
+
+TEST(AwayPeriod, OwnSliceIsIgnored) {
+  const SystemParams sys = gt::two_class_small();
+  std::vector<PhaseType> a = {sys.cls(0).quantum, sys.cls(1).quantum};
+  std::vector<PhaseType> b = {gs::phase::exponential(1e-3),
+                              sys.cls(1).quantum};
+  // Changing class 0's own slice must not affect F_0.
+  EXPECT_NEAR(away_period(sys, 0, a).mean(), away_period(sys, 0, b).mean(),
+              1e-12);
+}
+
+}  // namespace

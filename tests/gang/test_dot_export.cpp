@@ -1,0 +1,87 @@
+#include "gang/dot_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gang/away_period.hpp"
+#include "gang_test_util.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace gs::gang;
+namespace gt = gs::gang::testing;
+
+ClassProcess fig1_chain() {
+  // The paper's Figure 1 special case for class 0 of a two-class system.
+  ClassParams tagged{gs::phase::exponential(0.5), gs::phase::exponential(1.0),
+                     gs::phase::erlang(2, 1.0), gs::phase::exponential(100.0),
+                     1, "fig1"};
+  ClassParams other{gs::phase::exponential(0.5), gs::phase::exponential(1.0),
+                    gs::phase::exponential(1.0),
+                    gs::phase::exponential(100.0), 3, "other"};
+  SystemParams sys(3, {tagged, other});
+  return ClassProcess(sys, 0, away_period_heavy_traffic(sys, 0));
+}
+
+TEST(DotExport, EmitsValidDigraphWithAllRequestedStates) {
+  const ClassProcess chain = fig1_chain();
+  std::ostringstream os;
+  DotOptions opt;
+  opt.levels = 2;
+  const std::size_t nodes = write_dot(os, chain, opt);
+  const std::string dot = os.str();
+  EXPECT_EQ(nodes, chain.level_dim(0) + chain.level_dim(1) +
+                       chain.level_dim(2));
+  EXPECT_NE(dot.find("digraph class0"), std::string::npos);
+  EXPECT_NE(dot.find("i=0 F1"), std::string::npos);
+  EXPECT_NE(dot.find("i=1 G1"), std::string::npos);
+  EXPECT_NE(dot.find("i=2 G2"), std::string::npos);
+  // Balanced braces and a closing line.
+  EXPECT_EQ(dot.back(), '\n');
+  EXPECT_NE(dot.rfind("}\n"), std::string::npos);
+}
+
+TEST(DotExport, EdgesCarryModelTransitions) {
+  const ClassProcess chain = fig1_chain();
+  std::ostringstream os;
+  DotOptions opt;
+  opt.levels = 1;
+  write_dot(os, chain, opt);
+  const std::string dot = os.str();
+  // Arrival from the empty state into level 1 (rate 0.5) and an away exit
+  // into the quantum (F -> G edges must exist at level 1).
+  EXPECT_NE(dot.find("s0_0 -> s1_"), std::string::npos);
+  EXPECT_NE(dot.find("-> s1_0"), std::string::npos);
+}
+
+TEST(DotExport, NodeBudgetEnforced) {
+  const ClassProcess chain = fig1_chain();
+  std::ostringstream os;
+  DotOptions opt;
+  opt.levels = 3;
+  EXPECT_THROW(write_dot(os, chain, opt, /*max_nodes=*/5),
+               gs::InvalidArgument);
+}
+
+TEST(DotExport, MultiPhaseLabelsIncludeConfigAndArrivalPhase) {
+  // Erlang-2 arrivals and Erlang-2 service exercise the richer labels.
+  ClassParams tagged{gs::phase::erlang(2, 2.0), gs::phase::erlang(2, 1.0),
+                     gs::phase::erlang(2, 1.0), gs::phase::exponential(100.0),
+                     1, ""};
+  ClassParams other{gs::phase::exponential(0.5), gs::phase::exponential(1.0),
+                    gs::phase::exponential(1.0),
+                    gs::phase::exponential(100.0), 2, ""};
+  SystemParams sys(2, {tagged, other});
+  ClassProcess chain(sys, 0, away_period_heavy_traffic(sys, 0));
+  std::ostringstream os;
+  DotOptions opt;
+  opt.levels = 2;
+  write_dot(os, chain, opt, 1000);
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("a1"), std::string::npos);
+  EXPECT_NE(dot.find("s(1,1)"), std::string::npos);  // both service phases
+}
+
+}  // namespace

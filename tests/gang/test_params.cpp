@@ -1,0 +1,84 @@
+#include "gang/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gang_test_util.hpp"
+#include "phase/builders.hpp"
+#include "phase/fitting.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace gs::gang;
+namespace gt = gs::gang::testing;
+
+TEST(Params, PaperUtilizationFormula) {
+  // Section 5: lambda = 0.4 per class with mu = (0.5,1,2,4) and g =
+  // (1,2,4,8) on P = 8 gives rho = 0.4.
+  const SystemParams sys = gt::paper_system(0.4, 1.0);
+  EXPECT_NEAR(sys.total_utilization(), 0.4, 1e-12);
+  for (std::size_t p = 0; p < 4; ++p)
+    EXPECT_NEAR(sys.class_utilization(p), 0.1, 1e-12);
+  // And lambda = 0.9 gives rho = 0.9 (Figure 3).
+  EXPECT_NEAR(gt::paper_system(0.9, 1.0).total_utilization(), 0.9, 1e-12);
+}
+
+TEST(Params, PartitionsPerClass) {
+  const SystemParams sys = gt::paper_system(0.4, 1.0);
+  EXPECT_EQ(sys.partitions(0), 8u);
+  EXPECT_EQ(sys.partitions(1), 4u);
+  EXPECT_EQ(sys.partitions(2), 2u);
+  EXPECT_EQ(sys.partitions(3), 1u);
+}
+
+TEST(Params, RatesDeriveFromMeans) {
+  const SystemParams sys = gt::paper_system(0.4, 1.0);
+  EXPECT_NEAR(sys.cls(0).arrival_rate(), 0.4, 1e-12);
+  EXPECT_NEAR(sys.cls(0).service_rate(), 0.5, 1e-12);
+  EXPECT_NEAR(sys.cls(3).service_rate(), 4.0, 1e-12);
+}
+
+TEST(Params, RejectsNonDividingPartition) {
+  ClassParams c{gs::phase::exponential(1.0), gs::phase::exponential(1.0),
+                gs::phase::exponential(1.0), gs::phase::exponential(1.0), 3,
+                ""};
+  EXPECT_THROW(SystemParams(8, {c}), gs::InvalidArgument);
+}
+
+TEST(Params, RejectsOversizedPartition) {
+  ClassParams c{gs::phase::exponential(1.0), gs::phase::exponential(1.0),
+                gs::phase::exponential(1.0), gs::phase::exponential(1.0), 16,
+                ""};
+  EXPECT_THROW(SystemParams(8, {c}), gs::InvalidArgument);
+}
+
+TEST(Params, RejectsZeroPartitionAndEmptySystem) {
+  ClassParams c{gs::phase::exponential(1.0), gs::phase::exponential(1.0),
+                gs::phase::exponential(1.0), gs::phase::exponential(1.0), 0,
+                ""};
+  EXPECT_THROW(SystemParams(8, {c}), gs::InvalidArgument);
+  EXPECT_THROW(SystemParams(8, {}), gs::InvalidArgument);
+}
+
+TEST(Params, RejectsDefectiveDistributions) {
+  const auto defective =
+      gs::phase::with_atom(gs::phase::exponential(1.0), 0.2);
+  ClassParams c{gs::phase::exponential(1.0), gs::phase::exponential(1.0),
+                defective, gs::phase::exponential(1.0), 1, ""};
+  EXPECT_THROW(SystemParams(8, {c}), gs::InvalidArgument);
+}
+
+TEST(Params, ClassIndexBoundsChecked) {
+  const SystemParams sys = gt::paper_system(0.4, 1.0);
+  EXPECT_THROW(sys.cls(4), gs::InvalidArgument);
+  EXPECT_THROW(sys.partitions(4), gs::InvalidArgument);
+}
+
+TEST(Params, DescribeIncludesKeyNumbers) {
+  const std::string d = gt::paper_system(0.4, 1.0).describe();
+  EXPECT_NE(d.find("P=8"), std::string::npos);
+  EXPECT_NE(d.find("L=4"), std::string::npos);
+  EXPECT_NE(d.find("class0"), std::string::npos);
+}
+
+}  // namespace

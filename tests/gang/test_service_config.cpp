@@ -1,0 +1,85 @@
+#include "gang/service_config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace {
+
+using gs::gang::Config;
+using gs::gang::ServiceConfigSpace;
+
+// binomial(n + k - 1, k - 1): compositions of n into k parts.
+std::size_t compositions(std::size_t n, std::size_t k) {
+  // small numbers: direct product formula
+  std::size_t num = 1, den = 1;
+  for (std::size_t i = 1; i < k; ++i) {
+    num *= n + i;
+    den *= i;
+  }
+  return num / den;
+}
+
+TEST(ServiceConfig, SinglePhaseHasOneConfigPerTotal) {
+  const ServiceConfigSpace s(1, 8);
+  for (std::size_t t = 0; t <= 8; ++t) {
+    EXPECT_EQ(s.count(t), 1u);
+    EXPECT_EQ(s.configs(t)[0][0], static_cast<int>(t));
+  }
+}
+
+TEST(ServiceConfig, CountsMatchBinomial) {
+  for (std::size_t phases : {2u, 3u, 4u}) {
+    const ServiceConfigSpace s(phases, 6);
+    for (std::size_t t = 0; t <= 6; ++t)
+      EXPECT_EQ(s.count(t), compositions(t, phases))
+          << "phases=" << phases << " total=" << t;
+  }
+}
+
+TEST(ServiceConfig, ConfigsSumToTotalAndAreDistinct) {
+  const ServiceConfigSpace s(3, 5);
+  for (std::size_t t = 0; t <= 5; ++t) {
+    std::set<Config> seen;
+    for (const Config& c : s.configs(t)) {
+      EXPECT_EQ(std::accumulate(c.begin(), c.end(), 0), static_cast<int>(t));
+      EXPECT_TRUE(seen.insert(c).second) << "duplicate configuration";
+    }
+  }
+}
+
+TEST(ServiceConfig, IndexOfRoundTrips) {
+  const ServiceConfigSpace s(3, 4);
+  for (std::size_t t = 0; t <= 4; ++t) {
+    const auto& cfgs = s.configs(t);
+    for (std::size_t i = 0; i < cfgs.size(); ++i)
+      EXPECT_EQ(s.index_of(cfgs[i]), i);
+  }
+}
+
+TEST(ServiceConfig, NeighbourOperations) {
+  const ServiceConfigSpace s(3, 4);
+  const Config c{1, 2, 0};
+  EXPECT_EQ(s.with_added(c, 2), (Config{1, 2, 1}));
+  EXPECT_EQ(s.with_removed(c, 1), (Config{1, 1, 0}));
+  EXPECT_EQ(s.with_moved(c, 0, 2), (Config{0, 2, 1}));
+  EXPECT_THROW(s.with_removed(c, 2), gs::InvalidArgument);
+  EXPECT_THROW(s.with_moved(c, 2, 0), gs::InvalidArgument);
+  EXPECT_THROW(s.with_added(c, 5), gs::InvalidArgument);
+}
+
+TEST(ServiceConfig, RejectsImpracticalSpaces) {
+  EXPECT_THROW(ServiceConfigSpace(0, 4), gs::InvalidArgument);
+  EXPECT_THROW(ServiceConfigSpace(9, 4), gs::InvalidArgument);
+  EXPECT_THROW(ServiceConfigSpace(2, 300), gs::InvalidArgument);
+}
+
+TEST(ServiceConfig, UnknownConfigThrows) {
+  const ServiceConfigSpace s(2, 3);
+  EXPECT_THROW(s.index_of(Config{5, 5}), gs::InvalidArgument);
+}
+
+}  // namespace

@@ -1,0 +1,118 @@
+// Limit-case anchors: with one class, an (almost) infinite quantum and a
+// negligible switch overhead, gang scheduling degenerates to a dedicated
+// machine, so the analysis must reproduce M/M/1 (g = P) and M/M/c (g = 1)
+// closed forms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gang/solver.hpp"
+#include "gang_test_util.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace gs::gang;
+namespace gt = gs::gang::testing;
+
+double erlang_c(double a, std::size_t c) {
+  double term = 1.0, sum = 1.0;
+  for (std::size_t k = 1; k < c; ++k) {
+    term *= a / static_cast<double>(k);
+    sum += term;
+  }
+  term *= a / static_cast<double>(c);
+  const double rho = a / static_cast<double>(c);
+  const double last = term / (1.0 - rho);
+  return last / (sum + last);
+}
+
+class Mm1Limit : public ::testing::TestWithParam<double> {};
+
+TEST_P(Mm1Limit, WholeMachineClassMatchesMm1) {
+  const double rho = GetParam();
+  const GangSolver solver(gt::single_class_whole_machine(rho, 1.0));
+  const SolveReport rep = solver.solve();
+  ASSERT_TRUE(rep.converged);
+  EXPECT_NEAR(rep.per_class[0].mean_jobs, rho / (1.0 - rho),
+              1e-3 * (1.0 + rho / (1.0 - rho)))
+      << "rho=" << rho;
+  // Little's law wiring.
+  EXPECT_NEAR(rep.per_class[0].response_time,
+              rep.per_class[0].mean_jobs / rho, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(LoadSweep, Mm1Limit,
+                         ::testing::Values(0.2, 0.5, 0.8));
+
+struct McCase {
+  double lambda;
+  std::size_t P;
+};
+
+class MmcLimit : public ::testing::TestWithParam<McCase> {};
+
+TEST_P(MmcLimit, SequentialClassMatchesMmc) {
+  const auto [lambda, P] = GetParam();
+  const GangSolver solver(gt::single_class_sequential(lambda, 1.0, P));
+  const SolveReport rep = solver.solve();
+  ASSERT_TRUE(rep.converged);
+  const double a = lambda;  // mu = 1
+  const double rho = a / static_cast<double>(P);
+  const double expected = a + erlang_c(a, P) * rho / (1.0 - rho);
+  EXPECT_NEAR(rep.per_class[0].mean_jobs, expected, 1e-3 * (1.0 + expected))
+      << "lambda=" << lambda << " P=" << P;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, MmcLimit,
+                         ::testing::Values(McCase{0.8, 2}, McCase{1.6, 2},
+                                           McCase{2.0, 4}, McCase{3.2, 4}));
+
+TEST(SolverLimits, UnstableSystemThrows) {
+  // rho > 1 outright.
+  EXPECT_THROW(GangSolver(gt::paper_system(1.1, 1.0)).solve(),
+               gs::NumericalError);
+}
+
+TEST(SolverLimits, OverheadDominatedSystemThrows) {
+  // rho < 1 but the overhead eats nearly the whole cycle: each class gets
+  // a 1-mean quantum per ~41 time units of cycle, far below what rho = 0.6
+  // needs.
+  const SystemParams sys = gt::paper_system(0.6, 1.0, 2, 10.0);
+  EXPECT_THROW(GangSolver(sys).solve(), gs::NumericalError);
+}
+
+TEST(SolverLimits, HeavyTrafficOnlyModeRunsOneIteration) {
+  GangSolveOptions opt;
+  opt.fixed_point = false;
+  const GangSolver solver(gt::paper_system(0.4, 1.0), opt);
+  const SolveReport rep = solver.solve();
+  EXPECT_EQ(rep.iterations, 1);
+  EXPECT_TRUE(rep.converged);
+}
+
+TEST(SolverLimits, FixedPointReducesMeanJobsVsHeavyTraffic) {
+  // The heavy-traffic away periods are the longest possible, so the fixed
+  // point can only improve (shorten) them: N_p drops for every class.
+  GangSolveOptions ht;
+  ht.fixed_point = false;
+  const SolveReport heavy = GangSolver(gt::paper_system(0.4, 1.0), ht).solve();
+  const SolveReport fixed = GangSolver(gt::paper_system(0.4, 1.0)).solve();
+  for (std::size_t p = 0; p < 4; ++p) {
+    EXPECT_LT(fixed.per_class[p].mean_jobs, heavy.per_class[p].mean_jobs)
+        << "class " << p;
+  }
+}
+
+TEST(SolverLimits, PaperConfigConvergesAtBothLoads) {
+  for (double lambda : {0.4, 0.9}) {
+    const SolveReport rep = GangSolver(gt::paper_system(lambda, 1.0)).solve();
+    EXPECT_TRUE(rep.converged) << "lambda=" << lambda;
+    for (const auto& r : rep.per_class) {
+      EXPECT_GT(r.mean_jobs, 0.0);
+      EXPECT_LT(r.sp_r, 1.0);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+// Property-style tests of the full solver: monotonicity in load and
+// service rate, the Figure-2 U-shape in the quantum length, and internal
+// consistency of the report.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gang/solver.hpp"
+#include "gang_test_util.hpp"
+
+namespace {
+
+using namespace gs::gang;
+namespace gt = gs::gang::testing;
+
+SolveReport solve_paper(double lambda, double quantum_mean) {
+  return GangSolver(gt::paper_system(lambda, quantum_mean)).solve();
+}
+
+TEST(SolverProperties, MeanJobsIncreaseWithArrivalRate) {
+  double prev_total = 0.0;
+  for (double lambda : {0.2, 0.4, 0.6, 0.8}) {
+    const SolveReport rep = solve_paper(lambda, 1.0);
+    EXPECT_GT(rep.total_mean_jobs(), prev_total) << "lambda=" << lambda;
+    prev_total = rep.total_mean_jobs();
+  }
+}
+
+TEST(SolverProperties, QuantumSweepIsUShapedAtModerateLoad) {
+  // Figure 2's headline: tiny quanta are overhead-dominated, very long
+  // quanta behave like exhaustive service and also hurt; a moderate
+  // quantum sits in the valley.
+  const double tiny = solve_paper(0.4, 0.05).total_mean_jobs();
+  const double valley = solve_paper(0.4, 0.7).total_mean_jobs();
+  const double huge = solve_paper(0.4, 12.0).total_mean_jobs();
+  EXPECT_GT(tiny, valley);
+  EXPECT_GT(huge, valley);
+}
+
+TEST(SolverProperties, ClassOrderingMatchesFigure2) {
+  // Slower service (class 0) keeps more jobs in the system than faster
+  // classes at the paper's parameterization.
+  const SolveReport rep = solve_paper(0.4, 1.0);
+  for (std::size_t p = 0; p + 1 < 4; ++p) {
+    EXPECT_GT(rep.per_class[p].mean_jobs, rep.per_class[p + 1].mean_jobs)
+        << "class " << p;
+  }
+}
+
+TEST(SolverProperties, FasterServiceShrinksQueues) {
+  // Figure 4's property on a cheap two-class system: scaling every service
+  // rate up monotonically reduces N.
+  double prev = 1e18;
+  for (double scale : {1.0, 2.0, 4.0}) {
+    ClassParams c0{gs::phase::exponential(0.3),
+                   gs::phase::exponential(1.0 * scale),
+                   gs::phase::erlang(2, 1.0), gs::phase::exponential(100.0),
+                   2, ""};
+    ClassParams c1{gs::phase::exponential(0.3),
+                   gs::phase::exponential(2.0 * scale),
+                   gs::phase::erlang(2, 1.0), gs::phase::exponential(100.0),
+                   4, ""};
+    const SolveReport rep = GangSolver(SystemParams(4, {c0, c1})).solve();
+    EXPECT_LT(rep.total_mean_jobs(), prev) << "scale=" << scale;
+    prev = rep.total_mean_jobs();
+  }
+}
+
+TEST(SolverProperties, LargerOwnQuantumShareHelpsTheClass) {
+  // Figure 5's property: growing class p's share of the cycle (holding the
+  // total quantum budget fixed) reduces N_p.
+  const double budget = 2.0;
+  double prev_n0 = 1e18;
+  for (double share : {0.25, 0.5, 0.75}) {
+    const double own = budget * share;
+    const double other = budget * (1.0 - share);
+    ClassParams c0{gs::phase::exponential(0.3), gs::phase::exponential(1.0),
+                   gs::phase::erlang(2, own), gs::phase::exponential(100.0),
+                   2, ""};
+    ClassParams c1{gs::phase::exponential(0.3), gs::phase::exponential(2.0),
+                   gs::phase::erlang(2, other),
+                   gs::phase::exponential(100.0), 4, ""};
+    const SolveReport rep = GangSolver(SystemParams(4, {c0, c1})).solve();
+    EXPECT_LT(rep.per_class[0].mean_jobs, prev_n0) << "share=" << share;
+    prev_n0 = rep.per_class[0].mean_jobs;
+  }
+}
+
+TEST(SolverProperties, ReportInternallyConsistent) {
+  GangSolveOptions opt;
+  opt.queue_dist_levels = 6;
+  const SolveReport rep = GangSolver(gt::paper_system(0.4, 1.0), opt).solve();
+  double serving_total = 0.0;
+  for (const auto& r : rep.per_class) {
+    // Queue distribution is a (partial) probability distribution whose
+    // head matches prob_empty.
+    ASSERT_EQ(r.queue_dist.size(), 6u);
+    EXPECT_NEAR(r.queue_dist[0], r.prob_empty, 1e-12);
+    double mass = 0.0;
+    double partial_mean = 0.0;
+    for (std::size_t n = 0; n < r.queue_dist.size(); ++n) {
+      EXPECT_GE(r.queue_dist[n], 0.0);
+      mass += r.queue_dist[n];
+      partial_mean += static_cast<double>(n) * r.queue_dist[n];
+    }
+    EXPECT_LE(mass, 1.0 + 1e-9);
+    EXPECT_LE(partial_mean, r.mean_jobs + 1e-9);
+    // Effective quantum: an atom in [0,1] and a mean no longer than the
+    // full quantum's.
+    EXPECT_GE(r.eff_quantum_atom, 0.0);
+    EXPECT_LE(r.eff_quantum_atom, 1.0);
+    EXPECT_LE(r.eff_quantum_mean, 1.0 + 1e-6);  // full quantum mean is 1
+    serving_total += r.serving_fraction;
+  }
+  // The four classes cannot be served more than all of the time.
+  EXPECT_LT(serving_total, 1.0);
+  EXPECT_GT(serving_total, 0.0);
+}
+
+TEST(SolverProperties, ExactAndMomentMatchedAgree) {
+  // On a small two-class system the exact (truncated) effective-quantum
+  // representation and the two-moment fit give close answers.
+  GangSolveOptions exact;
+  exact.eff_mode = EffQuantumMode::kExact;
+  GangSolveOptions fitted;
+  fitted.eff_mode = EffQuantumMode::kMomentMatched;
+  const SystemParams sys = gt::two_class_small(0.25, 0.25);
+  const SolveReport a = GangSolver(sys, exact).solve();
+  const SolveReport b = GangSolver(sys, fitted).solve();
+  for (std::size_t p = 0; p < 2; ++p) {
+    EXPECT_NEAR(a.per_class[p].mean_jobs, b.per_class[p].mean_jobs,
+                0.05 * (1.0 + a.per_class[p].mean_jobs))
+        << "class " << p;
+  }
+}
+
+TEST(SolverProperties, DeterministicAcrossRuns) {
+  const SolveReport a = solve_paper(0.4, 1.0);
+  const SolveReport b = solve_paper(0.4, 1.0);
+  for (std::size_t p = 0; p < 4; ++p)
+    EXPECT_DOUBLE_EQ(a.per_class[p].mean_jobs, b.per_class[p].mean_jobs);
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+// End-to-end integration: one scenario driven through every public
+// surface of the library — workload construction, analytic solve,
+// simulation, tuner, dot export — with cross-consistency assertions
+// between the pieces. Complements the per-module suites by catching
+// interface drift between subsystems.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "gang/away_period.hpp"
+#include "gang/dot_export.hpp"
+#include "gang/solver.hpp"
+#include "gang/tuner.hpp"
+#include "sim/gang_simulator.hpp"
+#include "workload/paper_configs.hpp"
+#include "workload/sweep.hpp"
+
+namespace {
+
+using namespace gs;
+
+TEST(FullPipeline, PaperScenarioEndToEnd) {
+  // 1. Build the paper's system from the workload layer.
+  workload::PaperKnobs knobs;
+  knobs.arrival_rate = 0.6;
+  const gang::SystemParams sys = workload::paper_system(knobs);
+  ASSERT_NEAR(sys.total_utilization(), 0.6, 1e-12);
+
+  // 2. Analytic solve with full reporting.
+  gang::GangSolveOptions opt;
+  opt.queue_dist_levels = 8;
+  const gang::SolveReport model = gang::GangSolver(sys, opt).solve();
+  ASSERT_TRUE(model.converged);
+  ASSERT_EQ(model.per_class.size(), 4u);
+  EXPECT_GT(model.mean_cycle_length, 0.0);
+
+  // 3. Simulate the same system.
+  sim::SimConfig cfg;
+  cfg.warmup = 5000.0;
+  cfg.horizon = 120000.0;
+  cfg.seed = 20260707;
+  const sim::SimResult sim = sim::GangSimulator(sys, cfg).run();
+
+  // 4. Cross-consistency between the two implementations.
+  for (std::size_t p = 0; p < 4; ++p) {
+    const auto& m = model.per_class[p];
+    const auto& s = sim.per_class[p];
+    // Mean jobs within the decomposition's documented envelope at rho=0.6.
+    EXPECT_LT(m.mean_jobs, s.mean_jobs * 1.10) << "class " << p;
+    EXPECT_GT(m.mean_jobs, s.mean_jobs * 0.75) << "class " << p;
+    // Probabilities are probabilities.
+    EXPECT_NEAR(m.arrive_immediate + m.arrive_wait_slice + m.arrive_queued,
+                1.0, 1e-9);
+    // Little's law internally on both sides.
+    EXPECT_NEAR(m.response_time * sys.cls(p).arrival_rate(), m.mean_jobs,
+                1e-9);
+    EXPECT_NEAR(s.observed_arrival_rate * s.mean_response, s.mean_jobs,
+                0.08 * (1.0 + s.mean_jobs));
+    // Percentile ordering from the simulator.
+    EXPECT_LE(s.response_p50, s.response_p95);
+    EXPECT_LE(s.response_p95, s.response_p99);
+  }
+
+  // 5. The sweep driver reproduces the solver's numbers.
+  const auto points = workload::sweep(
+      {0.6}, [&](double rate) {
+        workload::PaperKnobs k2;
+        k2.arrival_rate = rate;
+        return workload::paper_system(k2);
+      });
+  ASSERT_EQ(points.size(), 1u);
+  for (std::size_t p = 0; p < 4; ++p)
+    EXPECT_NEAR(points[0].model_n[p], model.per_class[p].mean_jobs, 1e-9);
+
+  // 6. The tuner improves on a deliberately bad quantum.
+  workload::PaperKnobs bad = knobs;
+  bad.quantum_mean = 0.05;  // overhead-dominated
+  gang::TuneOptions topt;
+  topt.bracket_points = 8;
+  topt.tol = 1e-2;
+  topt.solver.tol = 1e-4;
+  const auto tuned =
+      gang::tune_common_quantum(workload::paper_system(bad), {}, topt);
+  const double bad_n =
+      gang::GangSolver(workload::paper_system(bad)).solve().total_mean_jobs();
+  EXPECT_LT(tuned.objective, bad_n);
+
+  // 7. The diagram of the solved chain emits.
+  gang::ClassProcess chain(sys, 3,
+                           gang::away_period_heavy_traffic(sys, 3));
+  std::ostringstream dot;
+  gang::DotOptions dopt;
+  dopt.levels = 1;
+  EXPECT_GT(gang::write_dot(dot, chain, dopt), 0u);
+  EXPECT_NE(dot.str().find("digraph class3"), std::string::npos);
+}
+
+}  // namespace

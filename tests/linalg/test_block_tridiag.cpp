@@ -1,0 +1,157 @@
+#include "linalg/block_tridiag.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/lu.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using gs::linalg::block_tridiag_solve;
+using gs::linalg::block_tridiag_solve_left;
+using gs::linalg::Matrix;
+using gs::linalg::Vector;
+
+// Assemble the dense equivalent for cross-checking.
+Matrix assemble(const std::vector<Matrix>& diag,
+                const std::vector<Matrix>& upper,
+                const std::vector<Matrix>& lower) {
+  std::size_t n = 0;
+  for (const auto& d : diag) n += d.rows();
+  Matrix m(n, n);
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < diag.size(); ++i) {
+    m.insert_block(off, off, diag[i]);
+    if (i + 1 < diag.size()) {
+      m.insert_block(off, off + diag[i].rows(), upper[i]);
+      m.insert_block(off + diag[i].rows(), off, lower[i]);
+    }
+    off += diag[i].rows();
+  }
+  return m;
+}
+
+TEST(BlockTridiag, SingleBlockIsPlainSolve) {
+  const Matrix d{{4.0, 1.0}, {1.0, 3.0}};
+  const Vector b{5.0, 4.0};
+  const Vector x = block_tridiag_solve({d}, {}, {}, b);
+  const Vector expect = gs::linalg::solve(d, b);
+  EXPECT_LT(gs::linalg::max_abs_diff(x, expect), 1e-12);
+}
+
+TEST(BlockTridiag, ScalarBlocksMatchThomasAlgorithm) {
+  // Classic tridiagonal system with 1x1 blocks.
+  std::vector<Matrix> diag, upper, lower;
+  const std::size_t n = 8;
+  for (std::size_t i = 0; i < n; ++i) {
+    diag.push_back(Matrix{{4.0}});
+    if (i + 1 < n) {
+      upper.push_back(Matrix{{1.0}});
+      lower.push_back(Matrix{{1.5}});
+    }
+  }
+  Vector b(n, 1.0);
+  const Vector x = block_tridiag_solve(diag, upper, lower, b);
+  const Matrix dense = assemble(diag, upper, lower);
+  EXPECT_LT(gs::linalg::max_abs_diff(dense * x, b), 1e-12);
+}
+
+TEST(BlockTridiag, MixedBlockSizesMatchDenseSolve) {
+  // Blocks of sizes 1, 3, 2 — the gang boundary's shape.
+  gs::util::Rng rng(404);
+  auto rand_block = [&](std::size_t r, std::size_t c, bool dominant) {
+    Matrix m(r, c);
+    for (std::size_t i = 0; i < r; ++i)
+      for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.uniform();
+    if (dominant) {
+      for (std::size_t i = 0; i < r && i < c; ++i) m(i, i) += 6.0;
+    }
+    return m;
+  };
+  const std::vector<std::size_t> sizes = {1, 3, 2};
+  std::vector<Matrix> diag, upper, lower;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    diag.push_back(rand_block(sizes[i], sizes[i], true));
+    if (i + 1 < sizes.size()) {
+      upper.push_back(rand_block(sizes[i], sizes[i + 1], false));
+      lower.push_back(rand_block(sizes[i + 1], sizes[i], false));
+    }
+  }
+  Vector b(6);
+  for (auto& v : b) v = rng.uniform() * 4.0 - 2.0;
+  const Vector x = block_tridiag_solve(diag, upper, lower, b);
+  const Matrix dense = assemble(diag, upper, lower);
+  const Vector expect = gs::linalg::solve(dense, b);
+  EXPECT_LT(gs::linalg::max_abs_diff(x, expect), 1e-10);
+}
+
+TEST(BlockTridiag, LeftSolveMatchesDense) {
+  gs::util::Rng rng(7);
+  std::vector<Matrix> diag, upper, lower;
+  const std::size_t blocks = 5, bs = 2;
+  for (std::size_t i = 0; i < blocks; ++i) {
+    Matrix d(bs, bs);
+    for (std::size_t r = 0; r < bs; ++r) {
+      for (std::size_t c = 0; c < bs; ++c) d(r, c) = rng.uniform();
+      d(r, r) += 5.0;
+    }
+    diag.push_back(d);
+    if (i + 1 < blocks) {
+      Matrix u(bs, bs), l(bs, bs);
+      for (std::size_t r = 0; r < bs; ++r)
+        for (std::size_t c = 0; c < bs; ++c) {
+          u(r, c) = rng.uniform();
+          l(r, c) = rng.uniform();
+        }
+      upper.push_back(u);
+      lower.push_back(l);
+    }
+  }
+  Vector b(blocks * bs);
+  for (auto& v : b) v = rng.uniform();
+  const Vector x = block_tridiag_solve_left(diag, upper, lower, b);
+  const Vector back = x * assemble(diag, upper, lower);
+  EXPECT_LT(gs::linalg::max_abs_diff(back, b), 1e-10);
+}
+
+TEST(BlockTridiag, DeepChainStable) {
+  // 2000 levels of a (negated) birth-death sub-generator — the effective
+  // quantum use case: solve (-T) x = e and check the residual.
+  const std::size_t n = 2000;
+  std::vector<Matrix> diag(n, Matrix{{3.0}});
+  std::vector<Matrix> upper(n - 1, Matrix{{-1.0}});
+  std::vector<Matrix> lower(n - 1, Matrix{{-1.5}});
+  const Vector x = block_tridiag_solve(diag, upper, lower, Vector(n, 1.0));
+  // Residual check at a few positions.
+  for (std::size_t i : {std::size_t{0}, n / 2, n - 1}) {
+    double r = 3.0 * x[i];
+    if (i > 0) r -= 1.5 * x[i - 1];
+    if (i + 1 < n) r -= 1.0 * x[i + 1];
+    EXPECT_NEAR(r, 1.0, 1e-9) << "row " << i;
+  }
+}
+
+TEST(BlockTridiag, ValidationRejectsBadShapes) {
+  EXPECT_THROW(block_tridiag_solve({}, {}, {}, {}), gs::InvalidArgument);
+  // Wrong off-diagonal count.
+  EXPECT_THROW(
+      block_tridiag_solve({Matrix{{1.0}}, Matrix{{1.0}}}, {}, {}, {1.0, 1.0}),
+      gs::InvalidArgument);
+  // Wrong rhs length.
+  EXPECT_THROW(block_tridiag_solve({Matrix{{1.0}}}, {}, {}, {1.0, 2.0}),
+               gs::InvalidArgument);
+  // Off-diagonal shape mismatch.
+  EXPECT_THROW(block_tridiag_solve({Matrix{{1.0}}, Matrix{{1.0}}},
+                                   {Matrix(2, 1)}, {Matrix(1, 1)},
+                                   {1.0, 1.0}),
+               gs::InvalidArgument);
+}
+
+TEST(BlockTridiag, SingularPivotThrows) {
+  EXPECT_THROW(
+      block_tridiag_solve({Matrix{{0.0}}}, {}, {}, {1.0}),
+      gs::NumericalError);
+}
+
+}  // namespace

@@ -1,0 +1,87 @@
+#include "linalg/gth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using gs::linalg::gth_stationary;
+using gs::linalg::gth_stationary_dtmc;
+using gs::linalg::Matrix;
+using gs::linalg::Vector;
+
+TEST(Gth, TwoStateChainClosedForm) {
+  // 0 -> 1 at rate a, 1 -> 0 at rate b: pi = (b, a)/(a+b).
+  const double a = 2.0, b = 3.0;
+  Matrix q{{-a, a}, {b, -b}};
+  const Vector pi = gth_stationary(q);
+  EXPECT_NEAR(pi[0], b / (a + b), 1e-14);
+  EXPECT_NEAR(pi[1], a / (a + b), 1e-14);
+}
+
+TEST(Gth, SingleStateChain) {
+  Matrix q{{0.0}};
+  const Vector pi = gth_stationary(q);
+  ASSERT_EQ(pi.size(), 1u);
+  EXPECT_DOUBLE_EQ(pi[0], 1.0);
+}
+
+TEST(Gth, BirthDeathChainGeometric) {
+  // M/M/1/K truncated queue: lambda = 1, mu = 2 on 6 states. pi_i ~ rho^i.
+  const double lambda = 1.0, mu = 2.0, rho = lambda / mu;
+  const std::size_t n = 6;
+  Matrix q(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 1 < n) q(i, i + 1) = lambda;
+    if (i > 0) q(i, i - 1) = mu;
+    q(i, i) = -((i + 1 < n ? lambda : 0.0) + (i > 0 ? mu : 0.0));
+  }
+  const Vector pi = gth_stationary(q);
+  double geo = 0.0;
+  for (std::size_t i = 0; i < n; ++i) geo += std::pow(rho, double(i));
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(pi[i], std::pow(rho, double(i)) / geo, 1e-13);
+}
+
+TEST(Gth, SatisfiesGlobalBalance) {
+  // Random irreducible generator: verify pi Q = 0 and pi e = 1.
+  gs::util::Rng rng(777);
+  const std::size_t n = 8;
+  Matrix q(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double off = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      q(i, j) = 0.05 + rng.uniform();  // strictly positive => irreducible
+      off += q(i, j);
+    }
+    q(i, i) = -off;
+  }
+  const Vector pi = gth_stationary(q);
+  EXPECT_NEAR(gs::linalg::sum(pi), 1.0, 1e-13);
+  const Vector flow = pi * q;
+  EXPECT_LT(gs::linalg::norm_inf(flow), 1e-12);
+}
+
+TEST(Gth, ReducibleChainThrows) {
+  // Two disconnected 1-cycles.
+  Matrix q{{-1.0, 1.0, 0.0, 0.0},
+           {1.0, -1.0, 0.0, 0.0},
+           {0.0, 0.0, -2.0, 2.0},
+           {0.0, 0.0, 2.0, -2.0}};
+  EXPECT_THROW(gth_stationary(q), gs::NumericalError);
+}
+
+TEST(Gth, DtmcStationary) {
+  // Two-state DTMC: P(0->1)=0.3, P(1->0)=0.6: pi = (2/3, 1/3).
+  Matrix p{{0.7, 0.3}, {0.6, 0.4}};
+  const Vector pi = gth_stationary_dtmc(p);
+  EXPECT_NEAR(pi[0], 2.0 / 3.0, 1e-14);
+  EXPECT_NEAR(pi[1], 1.0 / 3.0, 1e-14);
+}
+
+}  // namespace

@@ -1,0 +1,102 @@
+#include "linalg/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using gs::linalg::Lu;
+using gs::linalg::Matrix;
+using gs::linalg::Vector;
+
+TEST(Lu, SolvesKnownSystem) {
+  Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const Vector x = Lu(a).solve(Vector{3.0, 5.0});
+  EXPECT_NEAR(x[0], 0.8, 1e-12);
+  EXPECT_NEAR(x[1], 1.4, 1e-12);
+}
+
+TEST(Lu, SolveLeftMatchesTransposedSolve) {
+  Matrix a{{2.0, 1.0, 0.0}, {1.0, 3.0, 1.0}, {0.0, 1.0, 4.0}};
+  const Vector b{1.0, 2.0, 3.0};
+  const Vector x = Lu(a).solve_left(b);
+  // x A = b  <=>  A^T x = b
+  const Vector y = Lu(a.transpose()).solve(b);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(x[i], y[i], 1e-12);
+}
+
+TEST(Lu, PivotingHandlesZeroLeadingEntry) {
+  Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  const Vector x = Lu(a).solve(Vector{3.0, 7.0});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, SingularMatrixThrows) {
+  Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW(Lu{a}, gs::NumericalError);
+}
+
+TEST(Lu, NonSquareThrows) {
+  Matrix a(2, 3);
+  EXPECT_THROW(Lu{a}, gs::InvalidArgument);
+}
+
+TEST(Lu, InverseTimesOriginalIsIdentity) {
+  Matrix a{{4.0, 1.0, 0.5}, {1.0, 3.0, 1.0}, {0.5, 1.0, 5.0}};
+  const Matrix inv = gs::linalg::inverse(a);
+  const Matrix prod = a * inv;
+  EXPECT_LT(gs::linalg::max_abs_diff(prod, Matrix::identity(3)), 1e-12);
+}
+
+TEST(Lu, DeterminantMatchesClosedForm) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_NEAR(Lu(a).determinant(), -2.0, 1e-12);
+  // Triangular: product of diagonal.
+  Matrix t{{2.0, 5.0}, {0.0, 3.0}};
+  EXPECT_NEAR(Lu(t).determinant(), 6.0, 1e-12);
+}
+
+TEST(Lu, MatrixRhsSolve) {
+  Matrix a{{2.0, 0.0}, {0.0, 4.0}};
+  Matrix b{{2.0, 4.0}, {8.0, 12.0}};
+  const Matrix x = Lu(a).solve(b);
+  EXPECT_NEAR(x(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(x(0, 1), 2.0, 1e-12);
+  EXPECT_NEAR(x(1, 0), 2.0, 1e-12);
+  EXPECT_NEAR(x(1, 1), 3.0, 1e-12);
+}
+
+// Property: solve() then multiply recovers the RHS on random
+// diagonally-dominant systems (well-conditioned by construction).
+TEST(Lu, RandomRoundTrip) {
+  gs::util::Rng rng(424242);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.uniform_int(12);
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      double off = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        a(i, j) = rng.uniform() * 2.0 - 1.0;
+        off += std::fabs(a(i, j));
+      }
+      a(i, i) = off + 1.0 + rng.uniform();
+    }
+    Vector b(n);
+    for (auto& v : b) v = rng.uniform() * 10.0 - 5.0;
+    Lu lu(a);
+    const Vector x = lu.solve(b);
+    const Vector back = a * x;
+    EXPECT_LT(gs::linalg::max_abs_diff(back, b), 1e-9);
+    const Vector xl = lu.solve_left(b);
+    const Vector backl = xl * a;
+    EXPECT_LT(gs::linalg::max_abs_diff(backl, b), 1e-9);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace {
+
+using gs::linalg::Matrix;
+using gs::linalg::Vector;
+
+TEST(Matrix, InitializerListAndAccess) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), gs::InvalidArgument);
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), gs::InvalidArgument);
+  EXPECT_THROW(m.at(0, 2), gs::InvalidArgument);
+  EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(Matrix, IdentityAndDiag) {
+  const Matrix i = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(i(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(i(0, 1), 0.0);
+  const Matrix d = Matrix::diag({2.0, 5.0});
+  EXPECT_DOUBLE_EQ(d(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(Matrix, ArithmeticMatchesHandComputation) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(0, 0), 6.0);
+  const Matrix diff = b - a;
+  EXPECT_DOUBLE_EQ(diff(1, 1), 4.0);
+  const Matrix prod = a * b;
+  EXPECT_DOUBLE_EQ(prod(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(prod(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(prod(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(prod(1, 1), 50.0);
+  const Matrix scaled = 2.0 * a;
+  EXPECT_DOUBLE_EQ(scaled(1, 0), 6.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 3), b(2, 2);
+  EXPECT_THROW(a + b, gs::InvalidArgument);
+  EXPECT_THROW(a * a, gs::InvalidArgument);
+}
+
+TEST(Matrix, VectorProducts) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Vector left = Vector{1.0, 1.0} * a;  // column sums
+  EXPECT_DOUBLE_EQ(left[0], 4.0);
+  EXPECT_DOUBLE_EQ(left[1], 6.0);
+  const Vector right = a * Vector{1.0, 1.0};  // row sums
+  EXPECT_DOUBLE_EQ(right[0], 3.0);
+  EXPECT_DOUBLE_EQ(right[1], 7.0);
+}
+
+TEST(Matrix, TransposeRoundTrips) {
+  Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = a.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_DOUBLE_EQ(gs::linalg::max_abs_diff(t.transpose(), a), 0.0);
+}
+
+TEST(Matrix, KroneckerProduct) {
+  Matrix a{{1.0, 2.0}};
+  Matrix b{{0.0, 3.0}, {4.0, 0.0}};
+  const Matrix k = Matrix::kron(a, b);
+  EXPECT_EQ(k.rows(), 2u);
+  EXPECT_EQ(k.cols(), 4u);
+  EXPECT_DOUBLE_EQ(k(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(k(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(k(0, 3), 6.0);
+  EXPECT_DOUBLE_EQ(k(1, 2), 8.0);
+}
+
+TEST(Matrix, BlockInsertAndExtract) {
+  Matrix m(4, 4);
+  Matrix b{{1.0, 2.0}, {3.0, 4.0}};
+  m.insert_block(1, 2, b);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.0);
+  EXPECT_DOUBLE_EQ(m(2, 3), 4.0);
+  const Matrix back = m.block(1, 2, 2, 2);
+  EXPECT_DOUBLE_EQ(gs::linalg::max_abs_diff(back, b), 0.0);
+  EXPECT_THROW(m.insert_block(3, 3, b), gs::InvalidArgument);
+  EXPECT_THROW(m.block(3, 3, 2, 2), gs::InvalidArgument);
+}
+
+TEST(Matrix, NormsAndRowSums) {
+  Matrix a{{1.0, -2.0}, {-3.0, 0.5}};
+  EXPECT_DOUBLE_EQ(a.max_abs(), 3.0);
+  EXPECT_DOUBLE_EQ(a.norm_inf(), 3.5);
+  const Vector rs = a.row_sums();
+  EXPECT_DOUBLE_EQ(rs[0], -1.0);
+  EXPECT_DOUBLE_EQ(rs[1], -2.5);
+}
+
+TEST(VectorHelpers, DotSumAxpyNorm) {
+  Vector a{1.0, 2.0, 3.0};
+  Vector b{4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(gs::linalg::dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(gs::linalg::sum(a), 6.0);
+  gs::linalg::axpy(2.0, a, b);
+  EXPECT_DOUBLE_EQ(b[2], 12.0);
+  EXPECT_DOUBLE_EQ(gs::linalg::norm_inf(Vector{-5.0, 2.0}), 5.0);
+  EXPECT_DOUBLE_EQ(gs::linalg::max_abs_diff(a, Vector{1.0, 2.0, 4.0}), 1.0);
+}
+
+}  // namespace

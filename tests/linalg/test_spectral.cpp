@@ -1,0 +1,59 @@
+#include "linalg/spectral.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace {
+
+using gs::linalg::Matrix;
+using gs::linalg::spectral_radius;
+
+TEST(Spectral, DiagonalMatrix) {
+  const auto r = spectral_radius(Matrix::diag({0.2, 0.9, 0.5}));
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.radius, 0.9, 1e-10);
+}
+
+TEST(Spectral, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  Matrix a{{2.0, 1.0}, {1.0, 2.0}};
+  const auto r = spectral_radius(a);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.radius, 3.0, 1e-9);
+}
+
+TEST(Spectral, StochasticMatrixHasRadiusOne) {
+  Matrix p{{0.5, 0.5, 0.0}, {0.25, 0.5, 0.25}, {0.0, 1.0, 0.0}};
+  const auto r = spectral_radius(p);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.radius, 1.0, 1e-9);
+}
+
+TEST(Spectral, NilpotentMatrixHasRadiusZero) {
+  Matrix a{{0.0, 1.0}, {0.0, 0.0}};
+  const auto r = spectral_radius(a);
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.radius, 0.0);
+}
+
+TEST(Spectral, ZeroMatrix) {
+  const auto r = spectral_radius(Matrix(3, 3));
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.radius, 0.0);
+}
+
+TEST(Spectral, SubstochasticBelowOne) {
+  Matrix a{{0.3, 0.3}, {0.2, 0.4}};
+  const auto r = spectral_radius(a);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.radius, 1.0);
+  EXPECT_GT(r.radius, 0.3);
+}
+
+TEST(Spectral, NegativeEntryRejected) {
+  Matrix a{{1.0, -0.1}, {0.0, 1.0}};
+  EXPECT_THROW(spectral_radius(a), gs::InvalidArgument);
+}
+
+}  // namespace

@@ -1,0 +1,73 @@
+#include "markov/absorbing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "phase/builders.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using gs::linalg::Matrix;
+using gs::linalg::Vector;
+using gs::markov::AbsorbingChain;
+
+TEST(Absorbing, SingleExponentialState) {
+  // One transient state exiting at rate 2 into one absorbing state.
+  const AbsorbingChain c(Matrix{{-2.0}}, Matrix{{2.0}});
+  EXPECT_NEAR(c.mean_absorption_time()[0], 0.5, 1e-14);
+  EXPECT_NEAR(c.fundamental_matrix()(0, 0), 0.5, 1e-14);
+  EXPECT_NEAR(c.absorption_probabilities()(0, 0), 1.0, 1e-14);
+}
+
+TEST(Absorbing, CompetingAbsorbingStates) {
+  // One state, two exits with rates 1 and 3: absorption probs 1/4 and 3/4.
+  const AbsorbingChain c(Matrix{{-4.0}}, Matrix{{1.0, 3.0}});
+  const Matrix b = c.absorption_probabilities();
+  EXPECT_NEAR(b(0, 0), 0.25, 1e-14);
+  EXPECT_NEAR(b(0, 1), 0.75, 1e-14);
+  EXPECT_NEAR(c.mean_absorption_time()[0], 0.25, 1e-14);
+}
+
+TEST(Absorbing, TandemStagesAddMeans) {
+  // Stage 0 (rate 2) -> stage 1 (rate 4) -> absorb.
+  const AbsorbingChain c(Matrix{{-2.0, 2.0}, {0.0, -4.0}},
+                         Matrix{{0.0}, {4.0}});
+  const Vector m = c.mean_absorption_time();
+  EXPECT_NEAR(m[0], 0.5 + 0.25, 1e-14);
+  EXPECT_NEAR(m[1], 0.25, 1e-14);
+}
+
+TEST(Absorbing, MomentsMatchPhaseTypeMoments) {
+  // The absorption time from an Erlang sub-generator is the Erlang law.
+  const auto e = gs::phase::erlang(3, 2.0);
+  Matrix r(3, 1);
+  for (std::size_t i = 0; i < 3; ++i) r(i, 0) = e.exit_rates()[i];
+  const AbsorbingChain c(e.generator(), r);
+  for (int k = 1; k <= 3; ++k) {
+    EXPECT_NEAR(c.absorption_time_moment(e.alpha(), k), e.moment(k), 1e-10)
+        << "k=" << k;
+  }
+}
+
+TEST(Absorbing, DefectiveInitialVectorContributesZero) {
+  const AbsorbingChain c(Matrix{{-1.0}}, Matrix{{1.0}});
+  // Half the mass absorbs instantly: mean halves.
+  EXPECT_NEAR(c.absorption_time_moment({0.5}, 1), 0.5, 1e-14);
+}
+
+TEST(Absorbing, ValidationCatchesBrokenBlocks) {
+  // Row sums must vanish.
+  EXPECT_THROW(AbsorbingChain(Matrix{{-2.0}}, Matrix{{1.0}}),
+               gs::InvalidArgument);
+  // T diagonal must be negative.
+  EXPECT_THROW(AbsorbingChain(Matrix{{0.0}}, Matrix{{0.0}}),
+               gs::InvalidArgument);
+  // Negative rate in R.
+  EXPECT_THROW(AbsorbingChain(Matrix{{-1.0}}, Matrix{{2.0, -1.0}}),
+               gs::InvalidArgument);
+  // Shape mismatch.
+  EXPECT_THROW(AbsorbingChain(Matrix{{-1.0}}, Matrix(2, 1)),
+               gs::InvalidArgument);
+}
+
+}  // namespace

@@ -1,0 +1,69 @@
+#include "markov/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace {
+
+using gs::linalg::Matrix;
+using gs::markov::Generator;
+
+TEST(Generator, AcceptsValidGeneratorAndRebalancesDiagonal) {
+  Matrix q{{-2.0, 2.0}, {3.0, -3.0}};
+  const Generator g(q);
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_DOUBLE_EQ(g.rate(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(g.rate(0, 0), -2.0);
+}
+
+TEST(Generator, RejectsNegativeOffDiagonal) {
+  Matrix q{{-1.0, 1.0}, {-0.5, 0.5}};
+  EXPECT_THROW(Generator{q}, gs::InvalidArgument);
+}
+
+TEST(Generator, RejectsNonZeroRowSum) {
+  Matrix q{{-1.0, 2.0}, {1.0, -1.0}};
+  EXPECT_THROW(Generator{q}, gs::InvalidArgument);
+}
+
+TEST(Generator, RejectsNonSquare) {
+  EXPECT_THROW(Generator{Matrix(2, 3)}, gs::InvalidArgument);
+}
+
+TEST(Generator, FromRatesFixesDiagonal) {
+  Matrix rates(3, 3);
+  rates(0, 1) = 1.0;
+  rates(1, 2) = 2.0;
+  rates(2, 0) = 3.0;
+  const Generator g = Generator::from_rates(rates);
+  EXPECT_DOUBLE_EQ(g.rate(0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(g.rate(1, 1), -2.0);
+  EXPECT_DOUBLE_EQ(g.rate(2, 2), -3.0);
+}
+
+TEST(Generator, MaxExitRate) {
+  const Generator g(Matrix{{-2.0, 2.0}, {5.0, -5.0}});
+  EXPECT_DOUBLE_EQ(g.max_exit_rate(), 5.0);
+}
+
+TEST(Generator, UniformizeProducesStochasticMatrix) {
+  const Generator g(Matrix{{-2.0, 2.0}, {5.0, -5.0}});
+  const auto u = g.uniformize();
+  EXPECT_GE(u.rate, 5.0);
+  for (std::size_t i = 0; i < 2; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_GE(u.p(i, j), 0.0);
+      row += u.p(i, j);
+    }
+    EXPECT_NEAR(row, 1.0, 1e-12);
+  }
+}
+
+TEST(Generator, UniformizeZeroGeneratorThrows) {
+  const Generator g(Matrix(2, 2));
+  EXPECT_THROW(g.uniformize(), gs::InvalidArgument);
+}
+
+}  // namespace

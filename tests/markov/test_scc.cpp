@@ -1,0 +1,93 @@
+#include "markov/scc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace {
+
+using gs::linalg::Matrix;
+using gs::markov::is_irreducible;
+using gs::markov::strongly_connected_components;
+
+int component_count(const std::vector<int>& comp) {
+  return static_cast<int>(std::set<int>(comp.begin(), comp.end()).size());
+}
+
+TEST(Scc, SingleCycleIsOneComponent) {
+  Matrix m(4, 4);
+  m(0, 1) = m(1, 2) = m(2, 3) = m(3, 0) = 1.0;
+  EXPECT_TRUE(is_irreducible(m));
+  EXPECT_EQ(component_count(strongly_connected_components(m)), 1);
+}
+
+TEST(Scc, ChainWithoutBackEdgesIsAllSingletons) {
+  Matrix m(4, 4);
+  m(0, 1) = m(1, 2) = m(2, 3) = 1.0;
+  EXPECT_FALSE(is_irreducible(m));
+  EXPECT_EQ(component_count(strongly_connected_components(m)), 4);
+}
+
+TEST(Scc, TwoIslands) {
+  Matrix m(4, 4);
+  m(0, 1) = m(1, 0) = 1.0;
+  m(2, 3) = m(3, 2) = 1.0;
+  const auto comp = strongly_connected_components(m);
+  EXPECT_EQ(component_count(comp), 2);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_FALSE(is_irreducible(m));
+}
+
+TEST(Scc, ComponentIdsAreReverseTopological) {
+  // 0 <-> 1 feeds into 2 <-> 3: sink component gets the lower id.
+  Matrix m(4, 4);
+  m(0, 1) = m(1, 0) = 1.0;
+  m(1, 2) = 1.0;
+  m(2, 3) = m(3, 2) = 1.0;
+  const auto comp = strongly_connected_components(m);
+  EXPECT_EQ(component_count(comp), 2);
+  EXPECT_LT(comp[2], comp[0]);
+}
+
+TEST(Scc, ThresholdFiltersWeakEdges) {
+  Matrix m(2, 2);
+  m(0, 1) = 1e-15;
+  m(1, 0) = 1.0;
+  EXPECT_FALSE(is_irreducible(m, 1e-12));
+  EXPECT_TRUE(is_irreducible(m, 0.0));
+}
+
+TEST(Scc, DiagonalIsIgnored) {
+  Matrix m(2, 2);
+  m(0, 0) = m(1, 1) = -5.0;
+  m(0, 1) = m(1, 0) = 1.0;
+  EXPECT_TRUE(is_irreducible(m));
+}
+
+TEST(Scc, NegativeRatesCountAsEdges) {
+  // SCC looks at |m(i,j)| so generator matrices can be passed directly.
+  Matrix m(2, 2);
+  m(0, 1) = -1.0;
+  m(1, 0) = 1.0;
+  EXPECT_TRUE(is_irreducible(m));
+}
+
+TEST(Scc, LargeRingStaysLinearDepth) {
+  // Exercises the iterative (non-recursive) Tarjan on a long cycle.
+  const std::size_t n = 2000;
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, (i + 1) % n) = 1.0;
+  EXPECT_TRUE(is_irreducible(m));
+}
+
+TEST(Scc, RejectsNonSquare) {
+  EXPECT_THROW(strongly_connected_components(Matrix(2, 3)),
+               gs::InvalidArgument);
+}
+
+}  // namespace

@@ -1,0 +1,63 @@
+#include "markov/stationary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using gs::linalg::Matrix;
+using gs::linalg::Vector;
+using gs::markov::Generator;
+
+Generator random_irreducible(std::size_t n, std::uint64_t seed) {
+  gs::util::Rng rng(seed);
+  Matrix rates(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (i != j) rates(i, j) = 0.02 + rng.uniform();
+  return Generator::from_rates(rates);
+}
+
+TEST(Stationary, GthMatchesClosedFormTwoState) {
+  const Generator g(Matrix{{-1.0, 1.0}, {4.0, -4.0}});
+  const Vector pi = gs::markov::stationary_gth(g);
+  EXPECT_NEAR(pi[0], 0.8, 1e-14);
+  EXPECT_NEAR(pi[1], 0.2, 1e-14);
+}
+
+TEST(Stationary, PowerMatchesGth) {
+  for (std::uint64_t seed : {11u, 22u, 33u}) {
+    const Generator g = random_irreducible(7, seed);
+    const Vector gth = gs::markov::stationary_gth(g);
+    const auto power = gs::markov::stationary_power(g);
+    ASSERT_TRUE(power.converged);
+    EXPECT_LT(gs::linalg::max_abs_diff(gth, power.pi), 1e-9);
+  }
+}
+
+TEST(Stationary, PowerSatisfiesBalance) {
+  const Generator g = random_irreducible(10, 99);
+  const auto r = gs::markov::stationary_power(g);
+  ASSERT_TRUE(r.converged);
+  const Vector flow = r.pi * g.matrix();
+  EXPECT_LT(gs::linalg::norm_inf(flow), 1e-9);
+  EXPECT_NEAR(gs::linalg::sum(r.pi), 1.0, 1e-12);
+}
+
+// Periodic-in-the-embedded-chain structures must still converge because
+// uniformize() leaves a self-loop (aperiodicity margin).
+TEST(Stationary, PowerHandlesCyclicChain) {
+  Matrix rates(3, 3);
+  rates(0, 1) = 1.0;
+  rates(1, 2) = 1.0;
+  rates(2, 0) = 1.0;
+  const Generator g = Generator::from_rates(rates);
+  const auto r = gs::markov::stationary_power(g);
+  ASSERT_TRUE(r.converged);
+  for (double v : r.pi) EXPECT_NEAR(v, 1.0 / 3.0, 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,51 @@
+#include "markov/transient.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "markov/stationary.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using gs::linalg::Matrix;
+using gs::linalg::Vector;
+using gs::markov::Generator;
+using gs::markov::transient_distribution;
+
+TEST(Transient, TwoStateClosedForm) {
+  const double a = 1.5, b = 0.5;
+  const Generator g(Matrix{{-a, a}, {b, -b}});
+  for (double t : {0.2, 1.0, 4.0}) {
+    const Vector pit = transient_distribution(g, {1.0, 0.0}, t);
+    const double p00 = b / (a + b) + a / (a + b) * std::exp(-(a + b) * t);
+    EXPECT_NEAR(pit[0], p00, 1e-12);
+    EXPECT_NEAR(pit[1], 1.0 - p00, 1e-12);
+  }
+}
+
+TEST(Transient, ConvergesToStationary) {
+  const Generator g(Matrix{{-2.0, 1.0, 1.0},
+                           {1.0, -3.0, 2.0},
+                           {0.5, 0.5, -1.0}});
+  const Vector pi = gs::markov::stationary_gth(g);
+  const Vector pit = transient_distribution(g, {1.0, 0.0, 0.0}, 100.0);
+  EXPECT_LT(gs::linalg::max_abs_diff(pi, pit), 1e-9);
+}
+
+TEST(Transient, TimeZeroIsInitialDistribution) {
+  const Generator g(Matrix{{-1.0, 1.0}, {1.0, -1.0}});
+  const Vector pit = transient_distribution(g, {0.25, 0.75}, 0.0);
+  EXPECT_DOUBLE_EQ(pit[0], 0.25);
+  EXPECT_DOUBLE_EQ(pit[1], 0.75);
+}
+
+TEST(Transient, RejectsBadInitialVector) {
+  const Generator g(Matrix{{-1.0, 1.0}, {1.0, -1.0}});
+  EXPECT_THROW(transient_distribution(g, {0.5, 0.2}, 1.0),
+               gs::InvalidArgument);
+  EXPECT_THROW(transient_distribution(g, {1.0}, 1.0), gs::InvalidArgument);
+}
+
+}  // namespace

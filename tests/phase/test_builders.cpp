@@ -1,0 +1,82 @@
+#include "phase/builders.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace {
+
+using namespace gs::phase;
+
+TEST(Builders, ExponentialBasics) {
+  const PhaseType e = exponential(4.0);
+  EXPECT_EQ(e.order(), 1u);
+  EXPECT_NEAR(e.mean(), 0.25, 1e-14);
+  EXPECT_THROW(exponential(0.0), gs::InvalidArgument);
+  EXPECT_THROW(exponential(-1.0), gs::InvalidArgument);
+}
+
+TEST(Builders, ErlangStagesReduceVariance) {
+  double prev_scv = 2.0;
+  for (int k = 1; k <= 16; k *= 2) {
+    const PhaseType e = erlang(k, 5.0);
+    EXPECT_EQ(e.order(), static_cast<std::size_t>(k));
+    EXPECT_NEAR(e.mean(), 5.0, 1e-12);
+    EXPECT_NEAR(e.scv(), 1.0 / k, 1e-11);
+    EXPECT_LT(e.scv(), prev_scv);
+    prev_scv = e.scv();
+  }
+  EXPECT_THROW(erlang(0, 1.0), gs::InvalidArgument);
+  EXPECT_THROW(erlang(2, -1.0), gs::InvalidArgument);
+}
+
+TEST(Builders, HyperexponentialMeanAndHighVariance) {
+  // mean = 0.5/1 + 0.5/3 = 2/3; SCV > 1 for distinct rates.
+  const PhaseType h = hyperexponential({0.5, 0.5}, {1.0, 3.0});
+  EXPECT_NEAR(h.mean(), 0.5 + 0.5 / 3.0, 1e-13);
+  EXPECT_GT(h.scv(), 1.0);
+  EXPECT_THROW(hyperexponential({0.5, 0.5}, {1.0}), gs::InvalidArgument);
+  EXPECT_THROW(hyperexponential({0.5, 0.5}, {1.0, 0.0}),
+               gs::InvalidArgument);
+}
+
+TEST(Builders, HypoexponentialIsSumOfStages) {
+  const PhaseType h = hypoexponential({1.0, 2.0, 4.0});
+  EXPECT_NEAR(h.mean(), 1.0 + 0.5 + 0.25, 1e-13);
+  // Variance is the sum of stage variances.
+  EXPECT_NEAR(h.variance(), 1.0 + 0.25 + 1.0 / 16.0, 1e-12);
+  EXPECT_LT(h.scv(), 1.0);
+}
+
+TEST(Builders, EqualRateHypoexponentialIsErlang) {
+  const PhaseType h = hypoexponential({2.0, 2.0, 2.0});
+  const PhaseType e = erlang(3, 1.5);
+  EXPECT_NEAR(h.mean(), e.mean(), 1e-13);
+  EXPECT_NEAR(h.moment(2), e.moment(2), 1e-12);
+  EXPECT_NEAR(h.cdf(1.0), e.cdf(1.0), 1e-12);
+}
+
+TEST(Builders, CoxianDegeneratesToExponentialAndErlang) {
+  // No continuation: plain exponential.
+  const PhaseType c1 = coxian({3.0}, {});
+  EXPECT_NEAR(c1.mean(), 1.0 / 3.0, 1e-13);
+  // Continuation probability 1 everywhere: hypoexponential.
+  const PhaseType c2 = coxian({2.0, 2.0}, {1.0});
+  EXPECT_NEAR(c2.mean(), 1.0, 1e-13);
+  EXPECT_NEAR(c2.scv(), 0.5, 1e-12);
+  // Probabilistic early exit shortens the mean.
+  const PhaseType c3 = coxian({2.0, 2.0}, {0.5});
+  EXPECT_NEAR(c3.mean(), 0.5 + 0.5 * 0.5, 1e-13);
+  EXPECT_THROW(coxian({1.0, 1.0}, {1.5}), gs::InvalidArgument);
+  EXPECT_THROW(coxian({1.0, 1.0}, {}), gs::InvalidArgument);
+}
+
+TEST(Builders, NearDeterministicHasTinyVariance) {
+  const PhaseType d = near_deterministic(3.0, 64);
+  EXPECT_NEAR(d.mean(), 3.0, 1e-11);
+  EXPECT_NEAR(d.scv(), 1.0 / 64.0, 1e-10);
+}
+
+}  // namespace

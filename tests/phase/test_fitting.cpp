@@ -1,0 +1,92 @@
+#include "phase/fitting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace {
+
+using namespace gs::phase;
+
+TEST(Fitting, ExactAtScvOne) {
+  const PhaseType p = fit_mean_scv(2.0, 1.0);
+  EXPECT_EQ(p.order(), 1u);
+  EXPECT_NEAR(p.mean(), 2.0, 1e-13);
+  EXPECT_NEAR(p.scv(), 1.0, 1e-12);
+}
+
+TEST(Fitting, HyperexponentialBranchAboveOne) {
+  for (double scv : {1.5, 2.0, 5.0, 25.0}) {
+    const PhaseType p = fit_mean_scv(3.0, scv);
+    EXPECT_EQ(p.order(), 2u);
+    EXPECT_NEAR(p.mean(), 3.0, 1e-11) << "scv=" << scv;
+    EXPECT_NEAR(p.scv(), scv, 1e-9) << "scv=" << scv;
+  }
+}
+
+TEST(Fitting, ErlangMixtureBranchBelowOne) {
+  for (double scv : {0.9, 0.5, 0.34, 0.2, 0.05}) {
+    const PhaseType p = fit_mean_scv(1.7, scv);
+    EXPECT_NEAR(p.mean(), 1.7, 1e-11) << "scv=" << scv;
+    EXPECT_NEAR(p.scv(), scv, 1e-9) << "scv=" << scv;
+    // Order is the k with 1/k <= scv.
+    EXPECT_LE(p.order(), static_cast<std::size_t>(std::ceil(1.0 / scv)) + 1);
+  }
+}
+
+TEST(Fitting, ExactErlangBoundaries) {
+  // scv = 1/k lands exactly on Erlang(k).
+  for (int k : {2, 3, 5}) {
+    const PhaseType p = fit_mean_scv(1.0, 1.0 / k);
+    EXPECT_NEAR(p.scv(), 1.0 / k, 1e-10);
+    EXPECT_EQ(p.order(), static_cast<std::size_t>(k));
+  }
+}
+
+TEST(Fitting, RejectsInvalidInputs) {
+  EXPECT_THROW(fit_mean_scv(0.0, 1.0), gs::InvalidArgument);
+  EXPECT_THROW(fit_mean_scv(1.0, 0.0), gs::InvalidArgument);
+  EXPECT_THROW(fit_mean_scv(1.0, -0.5), gs::InvalidArgument);
+  // SCV so small it would need more stages than allowed.
+  EXPECT_THROW(fit_mean_scv(1.0, 1e-5, 100), gs::InvalidArgument);
+}
+
+TEST(Fitting, WithAtomPreservesShapeAndAddsMass) {
+  const PhaseType base = fit_mean_scv(2.0, 0.5);
+  const PhaseType d = with_atom(base, 0.25);
+  EXPECT_NEAR(d.atom_at_zero(), 0.25, 1e-12);
+  EXPECT_NEAR(d.mean(), 0.75 * 2.0, 1e-11);
+  const PhaseType cond = d.conditional_positive();
+  EXPECT_NEAR(cond.mean(), 2.0, 1e-11);
+  EXPECT_NEAR(cond.scv(), 0.5, 1e-9);
+  EXPECT_THROW(with_atom(base, 1.0), gs::InvalidArgument);
+  EXPECT_THROW(with_atom(base, -0.1), gs::InvalidArgument);
+}
+
+TEST(Fitting, AtomAndMomentsRoundTrip) {
+  // Construct a target with a known atom and conditional moments, fit it,
+  // and verify the overall first two moments match.
+  const double atom = 0.3;
+  const double cm1 = 1.4;        // conditional mean
+  const double cscv = 0.6;       // conditional SCV
+  const double cm2 = (cscv + 1.0) * cm1 * cm1;
+  const double m1 = (1.0 - atom) * cm1;
+  const double m2 = (1.0 - atom) * cm2;
+  const PhaseType p = fit_atom_and_moments(atom, m1, m2);
+  EXPECT_NEAR(p.atom_at_zero(), atom, 1e-10);
+  EXPECT_NEAR(p.mean(), m1, 1e-10);
+  EXPECT_NEAR(p.moment(2), m2, 1e-9);
+}
+
+TEST(Fitting, AtomAndMomentsGuardsDegenerateScv) {
+  // Second moment implying scv ~ 0 must not throw or explode in order: the
+  // fitter clamps the SCV at 1/max_order.
+  const double m1 = 1.0, m2 = 1.0 * 1.0 * 1.0001;
+  const PhaseType p = fit_atom_and_moments(0.0, m1, m2);
+  EXPECT_LE(p.order(), 64u);
+  EXPECT_NEAR(p.mean(), m1, 1e-10);
+}
+
+}  // namespace

@@ -1,0 +1,88 @@
+#include "phase/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phase/builders.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace gs::phase;
+
+TEST(Ops, ConvolutionOfExponentialsIsErlang) {
+  const PhaseType e = exponential(2.0);
+  const PhaseType conv = convolve(convolve(e, e), e);
+  const PhaseType target = erlang(3, 1.5);
+  EXPECT_EQ(conv.order(), 3u);
+  EXPECT_NEAR(conv.mean(), target.mean(), 1e-13);
+  EXPECT_NEAR(conv.moment(2), target.moment(2), 1e-12);
+  for (double t : {0.2, 1.0, 2.5})
+    EXPECT_NEAR(conv.cdf(t), target.cdf(t), 1e-11);
+}
+
+TEST(Ops, ConvolutionMeansAdd) {
+  const PhaseType a = erlang(2, 1.0);
+  const PhaseType b = hyperexponential({0.3, 0.7}, {1.0, 5.0});
+  const PhaseType c = convolve(a, b);
+  EXPECT_NEAR(c.mean(), a.mean() + b.mean(), 1e-12);
+  // Variances of independent summands add too.
+  EXPECT_NEAR(c.variance(), a.variance() + b.variance(), 1e-11);
+}
+
+TEST(Ops, ConvolveAllMatchesPairwise) {
+  const std::vector<PhaseType> parts = {exponential(1.0), erlang(2, 0.5),
+                                        exponential(3.0)};
+  const PhaseType all = convolve_all(parts);
+  const PhaseType pair = convolve(convolve(parts[0], parts[1]), parts[2]);
+  EXPECT_EQ(all.order(), 4u);
+  EXPECT_NEAR(all.mean(), pair.mean(), 1e-13);
+  EXPECT_NEAR(all.moment(3), pair.moment(3), 1e-10);
+  EXPECT_THROW(convolve_all({}), gs::InvalidArgument);
+}
+
+TEST(Ops, ConvolutionWithAtomAtZero) {
+  // X has a 30% atom at zero; X + Y then has mean 0.7*E[X'] + E[Y].
+  const PhaseType defective({0.7}, gs::linalg::Matrix{{-2.0}});
+  const PhaseType y = exponential(1.0);
+  const PhaseType c = convolve(defective, y);
+  EXPECT_NEAR(c.mean(), 0.7 * 0.5 + 1.0, 1e-12);
+  EXPECT_NEAR(c.atom_at_zero(), 0.0, 1e-12);  // Y has no atom
+  // Convolving two defectives multiplies the atoms.
+  const PhaseType c2 = convolve(defective, defective);
+  EXPECT_NEAR(c2.atom_at_zero(), 0.09, 1e-12);
+  EXPECT_NEAR(c2.mean(), 2.0 * 0.7 * 0.5, 1e-12);
+}
+
+TEST(Ops, MixtureMatchesLawOfTotalProbability) {
+  const PhaseType a = exponential(1.0);
+  const PhaseType b = exponential(4.0);
+  const PhaseType m = mixture({0.25, 0.75}, {a, b});
+  EXPECT_NEAR(m.mean(), 0.25 * 1.0 + 0.75 * 0.25, 1e-13);
+  for (double t : {0.3, 1.0})
+    EXPECT_NEAR(m.cdf(t), 0.25 * a.cdf(t) + 0.75 * b.cdf(t), 1e-12);
+  EXPECT_THROW(mixture({0.5, 0.6}, {a, b}), gs::InvalidArgument);
+  EXPECT_THROW(mixture({1.0}, {a, b}), gs::InvalidArgument);
+}
+
+TEST(Ops, MinimumOfExponentialsIsExponential) {
+  // min(Exp(a), Exp(b)) = Exp(a+b).
+  const PhaseType m = minimum(exponential(2.0), exponential(3.0));
+  EXPECT_NEAR(m.mean(), 1.0 / 5.0, 1e-13);
+  for (double t : {0.1, 0.7})
+    EXPECT_NEAR(m.sf(t), std::exp(-5.0 * t), 1e-12);
+}
+
+TEST(Ops, MinimumIsBoundedByBothArguments) {
+  const PhaseType f = erlang(3, 2.0);
+  const PhaseType g = hyperexponential({0.5, 0.5}, {0.5, 4.0});
+  const PhaseType m = minimum(f, g);
+  EXPECT_LT(m.mean(), f.mean());
+  EXPECT_LT(m.mean(), g.mean());
+  // Survival of the min is the product of survivals (independence).
+  for (double t : {0.5, 1.5, 3.0})
+    EXPECT_NEAR(m.sf(t), f.sf(t) * g.sf(t), 1e-10);
+}
+
+}  // namespace

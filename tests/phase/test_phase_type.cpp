@@ -1,0 +1,118 @@
+#include "phase/phase_type.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phase/builders.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using gs::phase::erlang;
+using gs::phase::exponential;
+using gs::phase::Matrix;
+using gs::phase::PhaseType;
+using gs::phase::Vector;
+
+TEST(PhaseType, ExponentialMomentsClosedForm) {
+  const PhaseType e = exponential(2.0);
+  EXPECT_NEAR(e.mean(), 0.5, 1e-14);
+  EXPECT_NEAR(e.moment(2), 2.0 * 0.25, 1e-14);  // E[X^2] = 2/rate^2
+  EXPECT_NEAR(e.variance(), 0.25, 1e-14);
+  EXPECT_NEAR(e.scv(), 1.0, 1e-12);
+}
+
+TEST(PhaseType, ErlangMomentsClosedForm) {
+  const int k = 4;
+  const double mean = 2.0;
+  const PhaseType e = erlang(k, mean);
+  EXPECT_NEAR(e.mean(), mean, 1e-13);
+  EXPECT_NEAR(e.scv(), 1.0 / k, 1e-12);
+  // Third moment of Erlang(k, rate): k(k+1)(k+2)/rate^3.
+  const double rate = k / mean;
+  EXPECT_NEAR(e.moment(3), k * (k + 1.0) * (k + 2.0) / std::pow(rate, 3),
+              1e-10);
+}
+
+TEST(PhaseType, ExponentialCdfClosedForm) {
+  const double rate = 1.7;
+  const PhaseType e = exponential(rate);
+  for (double t : {0.1, 0.5, 1.0, 3.0}) {
+    EXPECT_NEAR(e.cdf(t), 1.0 - std::exp(-rate * t), 1e-12);
+    EXPECT_NEAR(e.pdf(t), rate * std::exp(-rate * t), 1e-12);
+    EXPECT_NEAR(e.sf(t), std::exp(-rate * t), 1e-12);
+  }
+  EXPECT_NEAR(e.cdf(0.0), 0.0, 1e-14);
+}
+
+TEST(PhaseType, CdfIsMonotoneAndReachesOne) {
+  const PhaseType e = erlang(3, 1.0);
+  double prev = -1.0;
+  for (double t = 0.0; t <= 10.0; t += 0.25) {
+    const double c = e.cdf(t);
+    EXPECT_GE(c, prev - 1e-12);
+    EXPECT_LE(c, 1.0 + 1e-12);
+    prev = c;
+  }
+  EXPECT_NEAR(e.cdf(50.0), 1.0, 1e-10);
+}
+
+TEST(PhaseType, DefectiveAlphaCreatesAtom) {
+  // 40% of the mass is an atom at zero.
+  const PhaseType p({0.6}, Matrix{{-1.0}});
+  EXPECT_NEAR(p.atom_at_zero(), 0.4, 1e-12);
+  EXPECT_NEAR(p.mean(), 0.6, 1e-12);       // 0.6 * 1.0
+  EXPECT_NEAR(p.cdf(0.0), 0.4, 1e-12);     // the atom
+  EXPECT_NEAR(p.sf(0.0), 0.6, 1e-12);
+  const PhaseType cond = p.conditional_positive();
+  EXPECT_NEAR(cond.atom_at_zero(), 0.0, 1e-12);
+  EXPECT_NEAR(cond.mean(), 1.0, 1e-12);
+}
+
+TEST(PhaseType, ScaledMultipliesMean) {
+  const PhaseType e = erlang(2, 3.0);
+  const PhaseType s = e.scaled(2.5);
+  EXPECT_NEAR(s.mean(), 7.5, 1e-12);
+  EXPECT_NEAR(s.scv(), e.scv(), 1e-12);  // shape preserved
+}
+
+TEST(PhaseType, ValidationRejectsBadInputs) {
+  // alpha/sub-generator size mismatch
+  EXPECT_THROW(PhaseType({1.0, 0.0}, Matrix{{-1.0}}), gs::InvalidArgument);
+  // negative alpha entry
+  EXPECT_THROW(PhaseType({-0.2, 1.2}, Matrix{{-1.0, 0.0}, {0.0, -1.0}}),
+               gs::InvalidArgument);
+  // alpha mass above one
+  EXPECT_THROW(PhaseType({0.7, 0.7}, Matrix{{-1.0, 0.0}, {0.0, -1.0}}),
+               gs::InvalidArgument);
+  // positive row sum
+  EXPECT_THROW(PhaseType({1.0}, Matrix{{1.0}}), gs::InvalidArgument);
+  // negative off-diagonal
+  EXPECT_THROW(
+      PhaseType({1.0, 0.0}, Matrix{{-1.0, -0.5}, {0.0, -1.0}}),
+      gs::InvalidArgument);
+  // row sum > 0 via big off-diagonal
+  EXPECT_THROW(
+      PhaseType({1.0, 0.0}, Matrix{{-1.0, 2.0}, {0.0, -1.0}}),
+      gs::InvalidArgument);
+}
+
+TEST(PhaseType, ExitRatesAreNegatedRowSums) {
+  // Two phases: phase 0 moves to phase 1 at rate 1 and exits at rate 2.
+  const PhaseType p({1.0, 0.0}, Matrix{{-3.0, 1.0}, {0.0, -4.0}});
+  EXPECT_NEAR(p.exit_rates()[0], 2.0, 1e-14);
+  EXPECT_NEAR(p.exit_rates()[1], 4.0, 1e-14);
+}
+
+TEST(PhaseType, MomentRequiresPositiveOrder) {
+  EXPECT_THROW(exponential(1.0).moment(0), gs::InvalidArgument);
+}
+
+TEST(PhaseType, DescribeMentionsOrderAndMean) {
+  const std::string d = erlang(3, 2.0).describe();
+  EXPECT_NE(d.find("order=3"), std::string::npos);
+  EXPECT_NE(d.find("mean=2"), std::string::npos);
+}
+
+}  // namespace

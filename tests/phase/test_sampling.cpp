@@ -1,0 +1,84 @@
+// Statistical tests of PhaseType::sample against the analytic moments and
+// CDF. Tolerances are ~5 sigma for the sample sizes used, so flakes are
+// vanishingly unlikely while real errors (wrong rate, wrong branch
+// probabilities) are caught immediately.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phase/builders.hpp"
+#include "phase/ops.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gs::phase;
+using gs::util::Rng;
+
+struct SampleStats {
+  double mean = 0.0;
+  double var = 0.0;
+  int zeros = 0;
+};
+
+SampleStats draw(const PhaseType& ph, int n, std::uint64_t seed) {
+  Rng rng(seed);
+  SampleStats s;
+  std::vector<double> xs(n);
+  for (int i = 0; i < n; ++i) {
+    xs[i] = ph.sample(rng);
+    s.mean += xs[i];
+    if (xs[i] == 0.0) ++s.zeros;
+  }
+  s.mean /= n;
+  for (int i = 0; i < n; ++i) s.var += (xs[i] - s.mean) * (xs[i] - s.mean);
+  s.var /= (n - 1);
+  return s;
+}
+
+TEST(Sampling, ExponentialMomentsMatch) {
+  const PhaseType e = exponential(2.0);
+  const auto s = draw(e, 200000, 1);
+  EXPECT_NEAR(s.mean, 0.5, 0.006);
+  EXPECT_NEAR(s.var, 0.25, 0.01);
+}
+
+TEST(Sampling, ErlangMomentsMatch) {
+  const PhaseType e = erlang(4, 2.0);
+  const auto s = draw(e, 200000, 2);
+  EXPECT_NEAR(s.mean, 2.0, 0.012);
+  EXPECT_NEAR(s.var, e.variance(), 0.03);
+}
+
+TEST(Sampling, HyperexponentialMomentsMatch) {
+  const PhaseType h = hyperexponential({0.2, 0.8}, {0.25, 4.0});
+  const auto s = draw(h, 400000, 3);
+  EXPECT_NEAR(s.mean, h.mean(), 0.02);
+  EXPECT_NEAR(s.var, h.variance(), 0.15);
+}
+
+TEST(Sampling, DefectiveAtomFrequencyMatches) {
+  const PhaseType d({0.6}, gs::linalg::Matrix{{-1.0}});
+  const auto s = draw(d, 100000, 4);
+  EXPECT_NEAR(s.zeros / 100000.0, 0.4, 0.008);
+  EXPECT_NEAR(s.mean, d.mean(), 0.02);
+}
+
+TEST(Sampling, EmpiricalCdfMatchesAnalytic) {
+  const PhaseType p = convolve(erlang(2, 1.0), exponential(3.0));
+  Rng rng(5);
+  const int n = 100000;
+  const std::vector<double> probe = {0.5, 1.0, 2.0, 4.0};
+  std::vector<int> below(probe.size(), 0);
+  for (int i = 0; i < n; ++i) {
+    const double x = p.sample(rng);
+    for (std::size_t j = 0; j < probe.size(); ++j)
+      if (x <= probe[j]) ++below[j];
+  }
+  for (std::size_t j = 0; j < probe.size(); ++j) {
+    EXPECT_NEAR(below[j] / static_cast<double>(n), p.cdf(probe[j]), 0.01)
+        << "t=" << probe[j];
+  }
+}
+
+}  // namespace

@@ -1,0 +1,88 @@
+// Anchors the boundary handling against the M/M/c queue's Erlang-C
+// closed forms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qbd/solver.hpp"
+#include "qbd_test_util.hpp"
+
+namespace {
+
+namespace qt = gs::qbd::testing;
+
+// Erlang-C: probability an arrival waits, offered load a = lambda/mu,
+// c servers.
+double erlang_c(double a, std::size_t c) {
+  double term = 1.0;  // a^k / k!
+  double sum = 1.0;
+  for (std::size_t k = 1; k < c; ++k) {
+    term *= a / static_cast<double>(k);
+    sum += term;
+  }
+  term *= a / static_cast<double>(c);  // a^c / c!
+  const double rho = a / static_cast<double>(c);
+  const double last = term / (1.0 - rho);
+  return last / (sum + last);
+}
+
+double mmc_mean_number(double lambda, double mu, std::size_t c) {
+  const double a = lambda / mu;
+  const double rho = a / static_cast<double>(c);
+  return a + erlang_c(a, c) * rho / (1.0 - rho);
+}
+
+struct MmcCase {
+  double lambda;
+  double mu;
+  std::size_t c;
+};
+
+class MmcSweep : public ::testing::TestWithParam<MmcCase> {};
+
+TEST_P(MmcSweep, MeanNumberMatchesErlangC) {
+  const auto [lambda, mu, c] = GetParam();
+  const auto sol = gs::qbd::solve(qt::mmc(lambda, mu, c));
+  EXPECT_NEAR(sol.mean_level(), mmc_mean_number(lambda, mu, c), 1e-8)
+      << "lambda=" << lambda << " mu=" << mu << " c=" << c;
+}
+
+TEST_P(MmcSweep, EmptyProbabilityMatchesClosedForm) {
+  const auto [lambda, mu, c] = GetParam();
+  const auto sol = gs::qbd::solve(qt::mmc(lambda, mu, c));
+  // P0 = [sum_{k<c} a^k/k! + a^c/(c!(1-rho))]^{-1}.
+  const double a = lambda / mu;
+  double term = 1.0, sum = 1.0;
+  for (std::size_t k = 1; k < c; ++k) {
+    term *= a / static_cast<double>(k);
+    sum += term;
+  }
+  term *= a / static_cast<double>(c);
+  sum += term / (1.0 - a / static_cast<double>(c));
+  EXPECT_NEAR(sol.level_mass(0), 1.0 / sum, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, MmcSweep,
+    ::testing::Values(MmcCase{0.5, 1.0, 2}, MmcCase{1.5, 1.0, 2},
+                      MmcCase{2.0, 1.0, 4}, MmcCase{3.5, 1.0, 4},
+                      MmcCase{6.0, 1.0, 8}, MmcCase{7.6, 1.0, 8}));
+
+TEST(SolverMmc, ReducesToMm1WhenCIsOne) {
+  // mmc with c = 1 must match the mm1 construction.
+  const auto a = gs::qbd::solve(qt::mmc(0.7, 1.0, 1));
+  const auto b = gs::qbd::solve(qt::mm1(0.7, 1.0));
+  EXPECT_NEAR(a.mean_level(), b.mean_level(), 1e-9);
+  EXPECT_NEAR(a.level_mass(0), b.level_mass(0), 1e-10);
+}
+
+TEST(SolverMmc, BoundaryVectorsExposeAllLevels) {
+  const auto sol = gs::qbd::solve(qt::mmc(2.0, 1.0, 4));
+  EXPECT_EQ(sol.boundary_levels(), 5u);  // levels 0..4
+  double mass = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) mass += sol.level_mass(i);
+  mass += sol.tail_mass_from(0);
+  EXPECT_NEAR(mass, 1.0, 1e-10);
+}
+
+}  // namespace

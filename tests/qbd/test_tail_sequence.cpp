@@ -1,0 +1,33 @@
+#include <gtest/gtest.h>
+
+#include "qbd/solver.hpp"
+#include "qbd_test_util.hpp"
+
+namespace {
+
+namespace qt = gs::qbd::testing;
+
+TEST(TailSequence, MatchesPointwiseTailMass) {
+  const auto sol = gs::qbd::solve(qt::me21(0.7, 1.0));
+  const auto seq = sol.tail_mass_sequence(40);
+  ASSERT_EQ(seq.size(), 40u);
+  for (std::size_t k : {0u, 1u, 5u, 17u, 39u})
+    EXPECT_NEAR(seq[k], sol.tail_mass_from(k), 1e-13) << "k=" << k;
+}
+
+TEST(TailSequence, GeometricDecayOnMm1) {
+  const double rho = 0.8;
+  const auto sol = gs::qbd::solve(qt::mm1(rho, 1.0));
+  const auto seq = sol.tail_mass_sequence(30);
+  for (std::size_t k = 1; k < seq.size(); ++k)
+    EXPECT_NEAR(seq[k] / seq[k - 1], rho, 1e-10) << "k=" << k;
+}
+
+TEST(TailSequence, MonotoneNonIncreasing) {
+  const auto sol = gs::qbd::solve(qt::mmc(3.0, 1.0, 4));
+  const auto seq = sol.tail_mass_sequence(50);
+  for (std::size_t k = 1; k < seq.size(); ++k)
+    EXPECT_LE(seq[k], seq[k - 1] + 1e-15);
+}
+
+}  // namespace

@@ -1,0 +1,56 @@
+// Shared helpers for the simulator tests.
+#pragma once
+
+#include "gang/params.hpp"
+#include "phase/builders.hpp"
+#include "sim/types.hpp"
+
+namespace gs::sim::testing {
+
+inline gang::SystemParams single_class(double lambda, double mu,
+                                       std::size_t g, std::size_t P,
+                                       double quantum_mean = 1e4,
+                                       double overhead_mean = 1e-6) {
+  gang::ClassParams c{phase::exponential(lambda), phase::exponential(mu),
+                      phase::exponential(1.0 / quantum_mean),
+                      phase::exponential(1.0 / overhead_mean), g, "solo"};
+  return gang::SystemParams(P, {c});
+}
+
+inline gang::SystemParams paper_mix(double lambda, double quantum_mean = 1.0,
+                                    double overhead_mean = 0.01) {
+  const double mus[4] = {0.5, 1.0, 2.0, 4.0};
+  std::vector<gang::ClassParams> cls;
+  for (int p = 0; p < 4; ++p) {
+    cls.push_back(gang::ClassParams{
+        phase::exponential(lambda), phase::exponential(mus[p]),
+        phase::erlang(2, quantum_mean),
+        phase::exponential(1.0 / overhead_mean),
+        static_cast<std::size_t>(1) << p, "class" + std::to_string(p)});
+  }
+  return gang::SystemParams(8, std::move(cls));
+}
+
+inline SimConfig quick_config(std::uint64_t seed = 7) {
+  SimConfig c;
+  c.warmup = 2000.0;
+  c.horizon = 60000.0;
+  c.seed = seed;
+  return c;
+}
+
+// M/M/c mean number in system.
+inline double mmc_mean(double lambda, double mu, std::size_t c) {
+  const double a = lambda / mu;
+  double term = 1.0, sum = 1.0;
+  for (std::size_t k = 1; k < c; ++k) {
+    term *= a / static_cast<double>(k);
+    sum += term;
+  }
+  term *= a / static_cast<double>(c);
+  const double rho = a / static_cast<double>(c);
+  const double erlc = (term / (1.0 - rho)) / (sum + term / (1.0 - rho));
+  return a + erlc * rho / (1.0 - rho);
+}
+
+}  // namespace gs::sim::testing

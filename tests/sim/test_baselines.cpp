@@ -1,0 +1,91 @@
+#include "sim/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/gang_simulator.hpp"
+#include "sim_test_util.hpp"
+
+namespace {
+
+using gs::sim::SimResult;
+using gs::sim::SpaceSharingSimulator;
+using gs::sim::TimeSharingSimulator;
+namespace st = gs::sim::testing;
+
+TEST(SpaceSharing, SingleWholeMachineClassIsMm1) {
+  // Run-to-completion FCFS with g = P is exactly M/M/1.
+  const auto sys = st::single_class(0.7, 1.0, 4, 4);
+  const SimResult r = SpaceSharingSimulator(sys, st::quick_config()).run();
+  EXPECT_NEAR(r.per_class[0].mean_jobs, 0.7 / 0.3, 0.25);
+}
+
+TEST(SpaceSharing, SequentialClassIsMmc) {
+  const auto sys = st::single_class(2.4, 1.0, 1, 4);
+  const SimResult r = SpaceSharingSimulator(sys, st::quick_config()).run();
+  EXPECT_NEAR(r.per_class[0].mean_jobs, st::mmc_mean(2.4, 1.0, 4), 0.2);
+}
+
+TEST(SpaceSharing, NoOverheadEverRecorded) {
+  const SimResult r =
+      SpaceSharingSimulator(st::paper_mix(0.4), st::quick_config()).run();
+  EXPECT_DOUBLE_EQ(r.overhead_fraction, 0.0);
+}
+
+TEST(TimeSharing, SingleWholeMachineClassWithHugeQuantumIsMm1) {
+  // One job at a time with a quantum far above service times is FCFS
+  // M/M/1 (overheads are negligible by construction).
+  const auto sys = st::single_class(0.7, 1.0, 4, 4);
+  const SimResult r = TimeSharingSimulator(sys, st::quick_config()).run();
+  EXPECT_NEAR(r.per_class[0].mean_jobs, 0.7 / 0.3, 0.25);
+}
+
+TEST(TimeSharing, WastesProcessorsOnSmallJobs) {
+  // Sequential jobs (g = 1) on P = 4 under pure time-sharing use one
+  // processor at a time: utilization caps at 1/P of the machine per busy
+  // period; the same load that M/M/4 absorbs easily piles up or saturates.
+  const auto sys = st::single_class(0.8, 1.0, 1, 4);
+  const SimResult ts = TimeSharingSimulator(sys, st::quick_config()).run();
+  const SimResult ss = SpaceSharingSimulator(sys, st::quick_config()).run();
+  EXPECT_GT(ts.per_class[0].mean_jobs, 2.0 * ss.per_class[0].mean_jobs);
+}
+
+TEST(Baselines, GangBeatsTimeSharingOnTheMixedWorkload) {
+  // The introduction's motivation: on the parallel mix, gang scheduling's
+  // space-sharing keeps far fewer jobs in the system than pure
+  // time-sharing.
+  const auto sys = st::paper_mix(0.5);
+  const SimResult gang =
+      gs::sim::GangSimulator(sys, st::quick_config()).run();
+  const SimResult ts = TimeSharingSimulator(sys, st::quick_config()).run();
+  EXPECT_LT(gang.total_mean_jobs, ts.total_mean_jobs);
+}
+
+TEST(Baselines, DeterministicForFixedSeed) {
+  const auto sys = st::paper_mix(0.4);
+  const SimResult a = TimeSharingSimulator(sys, st::quick_config(3)).run();
+  const SimResult b = TimeSharingSimulator(sys, st::quick_config(3)).run();
+  EXPECT_DOUBLE_EQ(a.total_mean_jobs, b.total_mean_jobs);
+  const SimResult c = SpaceSharingSimulator(sys, st::quick_config(3)).run();
+  const SimResult d = SpaceSharingSimulator(sys, st::quick_config(3)).run();
+  EXPECT_DOUBLE_EQ(c.total_mean_jobs, d.total_mean_jobs);
+}
+
+TEST(Baselines, LittlesLawHolds) {
+  for (int which = 0; which < 2; ++which) {
+    // Pure time-sharing serves one job at a time, so its stability needs
+    // sum lambda_p/mu_p < 1: use a light mix for it.
+    const auto sys = st::paper_mix(which == 0 ? 0.15 : 0.4);
+    gs::sim::SimConfig cfg = st::quick_config();
+    cfg.horizon = 120000.0;
+    const SimResult r =
+        which == 0 ? TimeSharingSimulator(sys, cfg).run()
+                   : SpaceSharingSimulator(sys, cfg).run();
+    for (const auto& s : r.per_class) {
+      const double little = s.observed_arrival_rate * s.mean_response;
+      EXPECT_NEAR(s.mean_jobs, little, 0.08 * (1.0 + little))
+          << (which == 0 ? "ts " : "ss ") << s.name;
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,133 @@
+// Tests of the simulator extensions: batch arrivals (the paper's noted
+// model extension, implemented on the simulation side), slowdown, and
+// response-time percentiles — anchored to closed forms where they exist.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/baselines.hpp"
+#include "gang/solver.hpp"
+#include "sim/gang_simulator.hpp"
+#include "sim_test_util.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using gs::sim::GangSimulator;
+using gs::sim::SimResult;
+namespace st = gs::sim::testing;
+
+gs::gang::SystemParams with_batches(std::vector<double> pmf,
+                                    double event_rate) {
+  gs::gang::ClassParams c{gs::phase::exponential(event_rate),
+                          gs::phase::exponential(1.0),
+                          gs::phase::exponential(1e-4),
+                          gs::phase::exponential(1e6),
+                          4,
+                          "batched",
+                          std::move(pmf)};
+  return gs::gang::SystemParams(4, {c});
+}
+
+TEST(BatchArrivals, UtilizationAccountsForBatchSize) {
+  // Mean batch 2 doubles the offered load.
+  const auto sys = with_batches({0.0, 1.0}, 0.3);
+  EXPECT_NEAR(sys.cls(0).mean_batch_size(), 2.0, 1e-12);
+  EXPECT_NEAR(sys.total_utilization(), 0.6, 1e-12);
+}
+
+TEST(BatchArrivals, ValidationRejectsBadPmf) {
+  EXPECT_THROW(with_batches({}, 0.3), gs::InvalidArgument);
+  EXPECT_THROW(with_batches({0.5, 0.4}, 0.3), gs::InvalidArgument);
+  EXPECT_THROW(with_batches({1.5, -0.5}, 0.3), gs::InvalidArgument);
+}
+
+TEST(BatchArrivals, AnalyticSolverRejectsBatches) {
+  const auto sys = with_batches({0.5, 0.5}, 0.2);
+  EXPECT_THROW(gs::gang::GangSolver(sys).solve(), gs::InvalidArgument);
+}
+
+TEST(BatchArrivals, ObservedRateCountsJobsNotEvents) {
+  const auto sys = with_batches({0.0, 0.0, 1.0}, 0.2);  // batches of 3
+  const SimResult r = GangSimulator(sys, st::quick_config()).run();
+  EXPECT_NEAR(r.per_class[0].observed_arrival_rate, 0.6, 0.05);
+  EXPECT_NEAR(r.per_class[0].throughput, 0.6, 0.05);
+}
+
+TEST(BatchArrivals, MatchMxM1ClosedForm) {
+  // M[X]/M/1 with fixed batch size 2: for batch Poisson arrivals of rate
+  // lambda_B, job rate lambda = 2 lambda_B, rho = lambda/mu, and
+  // L = rho/(1-rho) * (1 + (E[X(X-1)])/(2 E[X])) evaluated for constant
+  // X=2: L = rho/(1-rho) * 1.5.
+  const double event_rate = 0.3, mu = 1.0;  // rho = 0.6
+  gs::gang::ClassParams c{gs::phase::exponential(event_rate),
+                          gs::phase::exponential(mu),
+                          gs::phase::exponential(1e-4),
+                          gs::phase::exponential(1e6),
+                          4,
+                          "mx",
+                          {0.0, 1.0}};
+  const gs::gang::SystemParams sys(4, {c});
+  gs::sim::SimConfig cfg = st::quick_config();
+  cfg.horizon = 150000.0;
+  const SimResult r = GangSimulator(sys, cfg).run();
+  const double rho = 0.6;
+  const double expected = rho / (1.0 - rho) * 1.5;
+  EXPECT_NEAR(r.per_class[0].mean_jobs, expected, 0.1 * expected);
+}
+
+TEST(BatchArrivals, BurstierArrivalsKeepMoreJobs) {
+  // Same job rate, batchier arrivals: N must grow.
+  const auto single = with_batches({1.0}, 0.6);
+  const auto batched = with_batches({0.0, 0.0, 1.0}, 0.2);
+  gs::sim::SimConfig cfg = st::quick_config();
+  cfg.horizon = 120000.0;
+  const SimResult a = GangSimulator(single, cfg).run();
+  const SimResult b = GangSimulator(batched, cfg).run();
+  EXPECT_GT(b.per_class[0].mean_jobs, a.per_class[0].mean_jobs * 1.2);
+}
+
+TEST(Metrics, Mm1ResponseQuantilesMatchClosedForm) {
+  // In M/M/1-FCFS the response time is Exp(mu - lambda); quantile q is
+  // -ln(1-q)/(mu-lambda). The whole-machine single class with a huge
+  // quantum realizes it.
+  const auto sys = st::single_class(0.5, 1.0, 4, 4);
+  gs::sim::SimConfig cfg = st::quick_config();
+  cfg.horizon = 200000.0;
+  const SimResult r = GangSimulator(sys, cfg).run();
+  const double scale = 1.0 / (1.0 - 0.5);
+  EXPECT_NEAR(r.per_class[0].response_p50, std::log(2.0) * scale, 0.1);
+  EXPECT_NEAR(r.per_class[0].response_p95, -std::log(0.05) * scale, 0.4);
+  EXPECT_NEAR(r.per_class[0].response_p99, -std::log(0.01) * scale, 1.2);
+  // Percentile ordering.
+  EXPECT_LT(r.per_class[0].response_p50, r.per_class[0].response_p95);
+  EXPECT_LT(r.per_class[0].response_p95, r.per_class[0].response_p99);
+}
+
+TEST(Metrics, SlowdownAtLeastOneAndLoadSensitive) {
+  // Response >= service demand, so mean slowdown >= 1; more load, more
+  // slowdown.
+  const SimResult light =
+      GangSimulator(st::paper_mix(0.3), st::quick_config()).run();
+  const SimResult heavy =
+      GangSimulator(st::paper_mix(0.8), st::quick_config()).run();
+  for (std::size_t p = 0; p < 4; ++p) {
+    EXPECT_GE(light.per_class[p].mean_slowdown, 1.0) << "class " << p;
+    EXPECT_GT(heavy.per_class[p].mean_slowdown,
+              light.per_class[p].mean_slowdown)
+        << "class " << p;
+  }
+}
+
+TEST(Metrics, BaselinesReportSlowdownToo) {
+  const auto sys = st::paper_mix(0.3);
+  const SimResult ss =
+      gs::sim::SpaceSharingSimulator(sys, st::quick_config()).run();
+  for (const auto& s : ss.per_class) EXPECT_GE(s.mean_slowdown, 1.0);
+  const SimResult ts =
+      gs::sim::TimeSharingSimulator(st::paper_mix(0.1), st::quick_config())
+          .run();
+  for (const auto& s : ts.per_class) EXPECT_GE(s.mean_slowdown, 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,62 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using gs::sim::EventQueue;
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue<int> q;
+  q.push(3.0, 3);
+  q.push(1.0, 1);
+  q.push(2.0, 2);
+  EXPECT_EQ(q.pop().payload, 1);
+  EXPECT_EQ(q.pop().payload, 2);
+  EXPECT_EQ(q.pop().payload, 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TiesBreakInInsertionOrder) {
+  EventQueue<int> q;
+  for (int i = 0; i < 10; ++i) q.push(5.0, i);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(q.pop().payload, i);
+}
+
+TEST(EventQueue, NextTimePeeks) {
+  EventQueue<int> q;
+  q.push(7.0, 0);
+  q.push(4.0, 1);
+  EXPECT_DOUBLE_EQ(q.next_time(), 4.0);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(EventQueue, EmptyAccessThrows) {
+  EventQueue<int> q;
+  EXPECT_THROW(q.pop(), gs::InvalidArgument);
+  EXPECT_THROW(q.next_time(), gs::InvalidArgument);
+}
+
+TEST(EventQueue, RandomStressStaysSorted) {
+  gs::util::Rng rng(7);
+  EventQueue<int> q;
+  for (int i = 0; i < 5000; ++i) q.push(rng.uniform() * 100.0, i);
+  double last = -1.0;
+  while (!q.empty()) {
+    const auto e = q.pop();
+    EXPECT_GE(e.time, last);
+    last = e.time;
+  }
+}
+
+TEST(EventQueue, ClearEmpties) {
+  EventQueue<int> q;
+  q.push(1.0, 1);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace

@@ -1,0 +1,105 @@
+#include "sim/gang_simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim_test_util.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using gs::sim::GangSimulator;
+using gs::sim::SimResult;
+namespace st = gs::sim::testing;
+
+TEST(GangSimulator, SingleClassWholeMachineMatchesMm1) {
+  // g = P, huge quantum, negligible overhead: M/M/1 with rho = 0.6.
+  const auto sys = st::single_class(0.6, 1.0, 4, 4);
+  const SimResult r = GangSimulator(sys, st::quick_config()).run();
+  EXPECT_NEAR(r.per_class[0].mean_jobs, 0.6 / 0.4, 0.12);
+  EXPECT_NEAR(r.processor_utilization, 0.6, 0.02);
+}
+
+TEST(GangSimulator, SingleClassSequentialMatchesMmc) {
+  // g = 1 on P = 4: M/M/4 with a = 2.4.
+  const auto sys = st::single_class(2.4, 1.0, 1, 4);
+  const SimResult r = GangSimulator(sys, st::quick_config()).run();
+  EXPECT_NEAR(r.per_class[0].mean_jobs, st::mmc_mean(2.4, 1.0, 4), 0.15);
+}
+
+TEST(GangSimulator, LittlesLawHoldsPerClass) {
+  const auto sys = st::paper_mix(0.6);
+  gs::sim::SimConfig cfg = st::quick_config();
+  cfg.horizon = 120000.0;
+  const SimResult r = GangSimulator(sys, cfg).run();
+  for (const auto& s : r.per_class) {
+    const double little = s.observed_arrival_rate * s.mean_response;
+    EXPECT_NEAR(s.mean_jobs, little, 0.06 * (1.0 + little)) << s.name;
+  }
+}
+
+TEST(GangSimulator, ThroughputMatchesArrivalRateWhenStable) {
+  const auto sys = st::paper_mix(0.5);
+  const SimResult r = GangSimulator(sys, st::quick_config()).run();
+  for (const auto& s : r.per_class) {
+    EXPECT_NEAR(s.throughput, 0.5, 0.05) << s.name;
+    EXPECT_NEAR(s.observed_arrival_rate, 0.5, 0.05) << s.name;
+  }
+}
+
+TEST(GangSimulator, DeterministicForFixedSeed) {
+  const auto sys = st::paper_mix(0.4);
+  const SimResult a = GangSimulator(sys, st::quick_config(11)).run();
+  const SimResult b = GangSimulator(sys, st::quick_config(11)).run();
+  for (std::size_t p = 0; p < 4; ++p) {
+    EXPECT_DOUBLE_EQ(a.per_class[p].mean_jobs, b.per_class[p].mean_jobs);
+    EXPECT_EQ(a.per_class[p].completions, b.per_class[p].completions);
+  }
+}
+
+TEST(GangSimulator, SeedsProduceIndependentRuns) {
+  const auto sys = st::paper_mix(0.4);
+  const SimResult a = GangSimulator(sys, st::quick_config(11)).run();
+  const SimResult b = GangSimulator(sys, st::quick_config(12)).run();
+  EXPECT_NE(a.per_class[0].mean_jobs, b.per_class[0].mean_jobs);
+}
+
+TEST(GangSimulator, OverheadFractionGrowsWithOverheadMean) {
+  const SimResult small =
+      GangSimulator(st::paper_mix(0.4, 1.0, 0.01), st::quick_config()).run();
+  const SimResult large =
+      GangSimulator(st::paper_mix(0.4, 1.0, 0.2), st::quick_config()).run();
+  EXPECT_LT(small.overhead_fraction, large.overhead_fraction);
+  EXPECT_GT(small.overhead_fraction, 0.0);
+  EXPECT_LT(large.overhead_fraction, 1.0);
+}
+
+TEST(GangSimulator, TinyQuantaHurtThroughputOfWork) {
+  // Overhead-dominated regime: the same workload keeps more jobs queued.
+  const SimResult tiny =
+      GangSimulator(st::paper_mix(0.4, 0.05), st::quick_config()).run();
+  const SimResult moderate =
+      GangSimulator(st::paper_mix(0.4, 0.7), st::quick_config()).run();
+  EXPECT_GT(tiny.total_mean_jobs, moderate.total_mean_jobs);
+}
+
+TEST(GangSimulator, ReplicationTightensCi) {
+  const auto sys = st::paper_mix(0.6);
+  gs::sim::SimConfig cfg = st::quick_config();
+  const SimResult rep = gs::sim::run_replicated(sys, cfg, 4);
+  for (const auto& s : rep.per_class) {
+    EXPECT_GT(s.response_ci, 0.0) << s.name;
+    EXPECT_LT(s.response_ci, 0.5 * s.mean_response) << s.name;
+  }
+}
+
+TEST(GangSimulator, RejectsDegenerateWindow) {
+  gs::sim::SimConfig cfg;
+  cfg.warmup = 100.0;
+  cfg.horizon = 50.0;
+  EXPECT_THROW(GangSimulator(st::paper_mix(0.4), cfg).run(),
+               gs::InvalidArgument);
+}
+
+}  // namespace

@@ -1,0 +1,67 @@
+#include "sim/local_switch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/gang_simulator.hpp"
+#include "sim_test_util.hpp"
+
+namespace {
+
+using gs::sim::GangSimulator;
+using gs::sim::LocalSwitchGangSimulator;
+using gs::sim::SimResult;
+namespace st = gs::sim::testing;
+
+TEST(LocalSwitch, SingleClassMatchesGang) {
+  // With one class there is nothing to lend: both policies coincide in
+  // distribution.
+  const auto sys = st::single_class(0.6, 1.0, 4, 4);
+  const SimResult ls =
+      LocalSwitchGangSimulator(sys, st::quick_config()).run();
+  const SimResult gg = GangSimulator(sys, st::quick_config()).run();
+  EXPECT_NEAR(ls.per_class[0].mean_jobs, gg.per_class[0].mean_jobs, 0.2);
+}
+
+TEST(LocalSwitch, NeverLosesToGangOnTheMixedWorkload) {
+  // Lending idle partitions only adds service capacity: total mean jobs
+  // should not be (meaningfully) worse than system-wide switching.
+  for (double lambda : {0.4, 0.7}) {
+    const auto sys = st::paper_mix(lambda);
+    gs::sim::SimConfig cfg = st::quick_config();
+    cfg.horizon = 100000.0;
+    const SimResult ls = LocalSwitchGangSimulator(sys, cfg).run();
+    const SimResult gg = GangSimulator(sys, cfg).run();
+    EXPECT_LT(ls.total_mean_jobs, gg.total_mean_jobs * 1.05)
+        << "lambda=" << lambda;
+  }
+}
+
+TEST(LocalSwitch, LittlesLawHolds) {
+  const auto sys = st::paper_mix(0.5);
+  gs::sim::SimConfig cfg = st::quick_config();
+  cfg.horizon = 120000.0;
+  const SimResult r = LocalSwitchGangSimulator(sys, cfg).run();
+  for (const auto& s : r.per_class) {
+    const double little = s.observed_arrival_rate * s.mean_response;
+    EXPECT_NEAR(s.mean_jobs, little, 0.08 * (1.0 + little)) << s.name;
+  }
+}
+
+TEST(LocalSwitch, ThroughputConserved) {
+  const auto sys = st::paper_mix(0.5);
+  const SimResult r =
+      LocalSwitchGangSimulator(sys, st::quick_config()).run();
+  for (const auto& s : r.per_class)
+    EXPECT_NEAR(s.throughput, 0.5, 0.06) << s.name;
+}
+
+TEST(LocalSwitch, DeterministicForFixedSeed) {
+  const auto sys = st::paper_mix(0.4);
+  const SimResult a =
+      LocalSwitchGangSimulator(sys, st::quick_config(21)).run();
+  const SimResult b =
+      LocalSwitchGangSimulator(sys, st::quick_config(21)).run();
+  EXPECT_DOUBLE_EQ(a.total_mean_jobs, b.total_mean_jobs);
+}
+
+}  // namespace

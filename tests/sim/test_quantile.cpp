@@ -1,0 +1,89 @@
+#include "sim/quantile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using gs::sim::P2Quantile;
+using gs::sim::ResponsePercentiles;
+using gs::util::Rng;
+
+TEST(P2Quantile, ExactForFewObservations) {
+  P2Quantile q(0.5);
+  q.add(3.0);
+  EXPECT_DOUBLE_EQ(q.value(), 3.0);
+  q.add(1.0);
+  q.add(2.0);
+  EXPECT_DOUBLE_EQ(q.value(), 2.0);  // median of {1,2,3}
+}
+
+TEST(P2Quantile, RejectsDegenerateQuantiles) {
+  EXPECT_THROW(P2Quantile(0.0), gs::InvalidArgument);
+  EXPECT_THROW(P2Quantile(1.0), gs::InvalidArgument);
+  EXPECT_THROW(P2Quantile(-0.5), gs::InvalidArgument);
+}
+
+TEST(P2Quantile, UniformQuantilesAccurate) {
+  Rng rng(101);
+  for (double target : {0.5, 0.9, 0.99}) {
+    P2Quantile q(target);
+    for (int i = 0; i < 200000; ++i) q.add(rng.uniform());
+    EXPECT_NEAR(q.value(), target, 0.01) << "q=" << target;
+  }
+}
+
+TEST(P2Quantile, ExponentialQuantilesAccurate) {
+  Rng rng(202);
+  const double rate = 0.5;
+  P2Quantile p50(0.5), p95(0.95), p99(0.99);
+  for (int i = 0; i < 300000; ++i) {
+    const double x = rng.exponential(rate);
+    p50.add(x);
+    p95.add(x);
+    p99.add(x);
+  }
+  // Quantile of Exp(rate): -ln(1-q)/rate.
+  EXPECT_NEAR(p50.value(), std::log(2.0) / rate, 0.03);
+  EXPECT_NEAR(p95.value(), -std::log(0.05) / rate, 0.15);
+  EXPECT_NEAR(p99.value(), -std::log(0.01) / rate, 0.5);
+}
+
+TEST(P2Quantile, MatchesSortOnModerateSample) {
+  Rng rng(303);
+  std::vector<double> xs;
+  P2Quantile q(0.9);
+  for (int i = 0; i < 20000; ++i) {
+    // Bimodal: stresses the parabolic interpolation.
+    const double x =
+        rng.uniform() < 0.7 ? rng.exponential(2.0) : 5.0 + rng.uniform();
+    xs.push_back(x);
+    q.add(x);
+  }
+  std::sort(xs.begin(), xs.end());
+  const double exact = xs[static_cast<std::size_t>(0.9 * xs.size())];
+  EXPECT_NEAR(q.value(), exact, 0.05 * (1.0 + exact));
+}
+
+TEST(P2Quantile, MonotoneAcrossQuantiles) {
+  Rng rng(404);
+  ResponsePercentiles pct;
+  for (int i = 0; i < 50000; ++i) pct.add(rng.exponential(1.0));
+  EXPECT_LT(pct.p50(), pct.p95());
+  EXPECT_LT(pct.p95(), pct.p99());
+  EXPECT_EQ(pct.count(), 50000u);
+}
+
+TEST(P2Quantile, ConstantStreamIsDegenerate) {
+  P2Quantile q(0.95);
+  for (int i = 0; i < 1000; ++i) q.add(7.0);
+  EXPECT_NEAR(q.value(), 7.0, 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,97 @@
+// Cross-validation of the two independent implementations: the matrix-
+// geometric analysis (Section 4) against the discrete-event simulation of
+// the same system (Section 3).
+//
+// The decomposition of Section 4.3 is exact in heavy traffic and an
+// approximation otherwise (the paper's footnote 2: the away-period law is
+// used unconditionally rather than conditioned on the other classes'
+// populations). The tolerances encode that: tight at high load, looser —
+// with a known downward bias of the model — at light load.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gang/solver.hpp"
+#include "sim/gang_simulator.hpp"
+#include "sim_test_util.hpp"
+
+namespace {
+
+namespace st = gs::sim::testing;
+
+gs::sim::SimResult simulate(const gs::gang::SystemParams& sys,
+                            double horizon = 150000.0,
+                            std::size_t replications = 2) {
+  gs::sim::SimConfig cfg;
+  cfg.warmup = 10000.0;
+  cfg.horizon = horizon;
+  cfg.seed = 20260706;
+  return gs::sim::run_replicated(sys, cfg, replications);
+}
+
+TEST(SimVsModel, HeavyLoadAgreesClosely) {
+  const auto sys = st::paper_mix(0.9);
+  const auto model = gs::gang::GangSolver(sys).solve();
+  // Heavy-load queue lengths are strongly autocorrelated; long runs keep
+  // the statistical error well below the tolerance.
+  const auto sim = simulate(sys, 400000.0, 3);
+  for (std::size_t p = 0; p < 4; ++p) {
+    const double m = model.per_class[p].mean_jobs;
+    const double s = sim.per_class[p].mean_jobs;
+    EXPECT_NEAR(m, s, 0.12 * s) << "class " << p;
+  }
+}
+
+TEST(SimVsModel, ModerateLoadWithinDecompositionError) {
+  const auto sys = st::paper_mix(0.6);
+  const auto model = gs::gang::GangSolver(sys).solve();
+  const auto sim = simulate(sys);
+  for (std::size_t p = 0; p < 4; ++p) {
+    const double m = model.per_class[p].mean_jobs;
+    const double s = sim.per_class[p].mean_jobs;
+    // Known signature: the unconditional away period makes the model
+    // optimistic; it must stay within ~25% and below the simulation.
+    EXPECT_LT(m, s * 1.05) << "class " << p;
+    EXPECT_GT(m, s * 0.72) << "class " << p;
+  }
+}
+
+TEST(SimVsModel, SingleClassLimitsAgreeTightly) {
+  // With one class the decomposition is exact up to the quantum/overhead
+  // renewal structure, so model and simulation agree tightly.
+  const auto sys = st::single_class(0.7, 1.0, 4, 4, /*quantum=*/5.0,
+                                    /*overhead=*/0.05);
+  const auto model = gs::gang::GangSolver(sys).solve();
+  const auto sim = simulate(sys);
+  EXPECT_NEAR(model.per_class[0].mean_jobs, sim.per_class[0].mean_jobs,
+              0.07 * sim.per_class[0].mean_jobs);
+}
+
+TEST(SimVsModel, ResponseTimesAgreeViaLittle) {
+  const auto sys = st::paper_mix(0.9);
+  const auto model = gs::gang::GangSolver(sys).solve();
+  const auto sim = simulate(sys, 400000.0, 3);
+  for (std::size_t p = 0; p < 4; ++p) {
+    EXPECT_NEAR(model.per_class[p].response_time,
+                sim.per_class[p].mean_response,
+                0.14 * sim.per_class[p].mean_response)
+        << "class " << p;
+  }
+}
+
+TEST(SimVsModel, ServingFractionsMatchUtilization) {
+  // The model's per-class serving fraction, weighted by how much of the
+  // machine the class actually uses, cannot exceed the simulator's
+  // measured utilization by much (they describe the same system).
+  const auto sys = st::paper_mix(0.6);
+  const auto model = gs::gang::GangSolver(sys).solve();
+  const auto sim = simulate(sys, 60000.0);
+  double model_serving = 0.0;
+  for (const auto& r : model.per_class) model_serving += r.serving_fraction;
+  // Total slice share + overhead share + idle-cycling share = 1; the
+  // simulator reports the overhead fraction directly.
+  EXPECT_LT(model_serving + sim.overhead_fraction, 1.05);
+  EXPECT_GT(model_serving, 0.3);
+}
+
+}  // namespace

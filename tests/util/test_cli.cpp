@@ -1,0 +1,89 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace {
+
+using gs::util::Cli;
+
+std::vector<char*> argv_of(std::vector<std::string>& args) {
+  std::vector<char*> out;
+  out.reserve(args.size());
+  for (auto& a : args) out.push_back(a.data());
+  return out;
+}
+
+TEST(Cli, DefaultsApplyWhenFlagsAbsent) {
+  Cli cli("prog", "test");
+  cli.add_flag("rho", "0.4", "utilization");
+  std::vector<std::string> args = {"prog"};
+  auto argv = argv_of(args);
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_DOUBLE_EQ(cli.get_double("rho"), 0.4);
+}
+
+TEST(Cli, ParsesSeparateAndEqualsForms) {
+  Cli cli("prog", "test");
+  cli.add_flag("n", "1", "count");
+  cli.add_flag("name", "x", "label");
+  std::vector<std::string> args = {"prog", "--n", "7", "--name=figure2"};
+  auto argv = argv_of(args);
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_int("n"), 7);
+  EXPECT_EQ(cli.get_string("name"), "figure2");
+}
+
+TEST(Cli, ParsesBooleans) {
+  Cli cli("prog", "test");
+  cli.add_flag("csv", "false", "emit csv");
+  std::vector<std::string> args = {"prog", "--csv", "true"};
+  auto argv = argv_of(args);
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(cli.get_bool("csv"));
+}
+
+TEST(Cli, RejectsUnknownFlag) {
+  Cli cli("prog", "test");
+  cli.add_flag("a", "1", "a");
+  std::vector<std::string> args = {"prog", "--nope", "2"};
+  auto argv = argv_of(args);
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Cli, RejectsMissingValue) {
+  Cli cli("prog", "test");
+  cli.add_flag("a", "1", "a");
+  std::vector<std::string> args = {"prog", "--a"};
+  auto argv = argv_of(args);
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  Cli cli("prog", "test");
+  std::vector<std::string> args = {"prog", "--help"};
+  auto argv = argv_of(args);
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Cli, TypeErrorsThrow) {
+  Cli cli("prog", "test");
+  cli.add_flag("n", "abc", "count");
+  std::vector<std::string> args = {"prog"};
+  auto argv = argv_of(args);
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_THROW(cli.get_int("n"), gs::InvalidArgument);
+  EXPECT_THROW(cli.get_double("n"), gs::InvalidArgument);
+  EXPECT_THROW(cli.get_bool("n"), gs::InvalidArgument);
+}
+
+TEST(Cli, DuplicateFlagRejected) {
+  Cli cli("prog", "test");
+  cli.add_flag("a", "1", "a");
+  EXPECT_THROW(cli.add_flag("a", "2", "again"), gs::InvalidArgument);
+}
+
+}  // namespace

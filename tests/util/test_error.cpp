@@ -1,0 +1,29 @@
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Error, CheckThrowsInvalidArgumentWithContext) {
+  try {
+    GS_CHECK(1 == 2, "numbers disagree");
+    FAIL() << "GS_CHECK did not throw";
+  } catch (const gs::InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("numbers disagree"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("test_error.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckPassesSilently) {
+  EXPECT_NO_THROW(GS_CHECK(2 + 2 == 4, "arithmetic broke"));
+}
+
+TEST(Error, HierarchyIsCatchable) {
+  EXPECT_THROW(throw gs::NumericalError("x"), gs::Error);
+  EXPECT_THROW(throw gs::InvalidArgument("x"), gs::Error);
+  EXPECT_THROW(throw gs::Error("x"), std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,56 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace {
+
+using gs::util::Table;
+
+TEST(Table, AlignsColumnsAndFormatsDoubles) {
+  Table t({"class", "N", "T"}, 2);
+  t.add_row({std::string("0"), 1.5, 0.25});
+  t.add_row({std::string("long-name"), 10.0, 123.456});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("class"), std::string::npos);
+  EXPECT_NE(out.find("1.50"), std::string::npos);
+  EXPECT_NE(out.find("123.46"), std::string::npos);
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, PrintsIntegersWithoutDecimals) {
+  Table t({"k"});
+  t.add_row({static_cast<long long>(42)});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("42"), std::string::npos);
+  EXPECT_EQ(os.str().find("42.0"), std::string::npos);
+}
+
+TEST(Table, CsvQuotesOnlyWhenNeeded) {
+  Table t({"a", "b"});
+  t.add_row({std::string("plain"), std::string("needs,quote")});
+  t.add_row({std::string("has\"quote"), std::string("x")});
+  std::ostringstream os;
+  t.print_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("plain,\"needs,quote\""), std::string::npos);
+  EXPECT_NE(out.find("\"has\"\"quote\",x"), std::string::npos);
+}
+
+TEST(Table, RejectsRaggedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("only-one")}), gs::InvalidArgument);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), gs::InvalidArgument);
+}
+
+}  // namespace

@@ -1,0 +1,86 @@
+#include "workload/paper_configs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace {
+
+using namespace gs::workload;
+
+TEST(PaperConfigs, DefaultIsFigure2Setting) {
+  const auto sys = paper_system({});
+  EXPECT_EQ(sys.processors(), 8u);
+  EXPECT_EQ(sys.num_classes(), 4u);
+  EXPECT_NEAR(sys.total_utilization(), 0.4, 1e-12);
+  for (std::size_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(sys.cls(p).partition_size, std::size_t{1} << p);
+    EXPECT_NEAR(sys.cls(p).overhead.mean(), 0.01, 1e-12);
+    EXPECT_NEAR(sys.cls(p).quantum.mean(), 1.0, 1e-12);
+    EXPECT_EQ(sys.cls(p).quantum.order(), 2u);  // Erlang-2 default
+  }
+  // The 0.5:1:2:4 service ladder.
+  EXPECT_NEAR(sys.cls(0).service_rate(), 0.5, 1e-12);
+  EXPECT_NEAR(sys.cls(3).service_rate(), 4.0, 1e-12);
+}
+
+TEST(PaperConfigs, Figure3LoadKnob) {
+  PaperKnobs knobs;
+  knobs.arrival_rate = 0.9;
+  EXPECT_NEAR(paper_system(knobs).total_utilization(), 0.9, 1e-12);
+}
+
+TEST(PaperConfigs, UniformServiceRateOverridesLadder) {
+  PaperKnobs knobs;
+  knobs.arrival_rate = 0.6;
+  knobs.uniform_service_rate = 5.0;
+  const auto sys = paper_system(knobs);
+  for (std::size_t p = 0; p < 4; ++p)
+    EXPECT_NEAR(sys.cls(p).service_rate(), 5.0, 1e-12);
+  // Figure 4's utilization: 0.6 * (1+2+4+8) / (8 * 5).
+  EXPECT_NEAR(sys.total_utilization(), 0.6 * 15.0 / 40.0, 1e-12);
+}
+
+TEST(PaperConfigs, QuantumKnobs) {
+  PaperKnobs knobs;
+  knobs.quantum_mean = 2.5;
+  knobs.quantum_stages = 4;
+  const auto sys = paper_system(knobs);
+  EXPECT_NEAR(sys.cls(1).quantum.mean(), 2.5, 1e-12);
+  EXPECT_EQ(sys.cls(1).quantum.order(), 4u);
+  EXPECT_NEAR(sys.cls(1).quantum.scv(), 0.25, 1e-10);
+}
+
+TEST(PaperConfigs, RejectsBadKnobs) {
+  PaperKnobs bad;
+  bad.arrival_rate = 0.0;
+  EXPECT_THROW(paper_system(bad), gs::InvalidArgument);
+  bad = {};
+  bad.quantum_mean = -1.0;
+  EXPECT_THROW(paper_system(bad), gs::InvalidArgument);
+  bad = {};
+  bad.overhead_mean = 0.0;
+  EXPECT_THROW(paper_system(bad), gs::InvalidArgument);
+}
+
+TEST(PaperConfigs, Figure5SplitsTheBudget) {
+  const double budget = 4.0;
+  const auto sys = figure5_system(1, 0.4, budget);
+  EXPECT_NEAR(sys.cls(1).quantum.mean(), 0.4 * budget, 1e-12);
+  for (std::size_t p : {0u, 2u, 3u})
+    EXPECT_NEAR(sys.cls(p).quantum.mean(), 0.6 * budget / 3.0, 1e-12);
+  // Total budget conserved.
+  double total = 0.0;
+  for (std::size_t p = 0; p < 4; ++p) total += sys.cls(p).quantum.mean();
+  EXPECT_NEAR(total, budget, 1e-12);
+  // Figure 5's load: lambda = 0.6 everywhere -> rho = 0.6.
+  EXPECT_NEAR(sys.total_utilization(), 0.6, 1e-12);
+}
+
+TEST(PaperConfigs, Figure5Validation) {
+  EXPECT_THROW(figure5_system(4, 0.5), gs::InvalidArgument);
+  EXPECT_THROW(figure5_system(0, 0.0), gs::InvalidArgument);
+  EXPECT_THROW(figure5_system(0, 1.0), gs::InvalidArgument);
+}
+
+}  // namespace

@@ -1,0 +1,78 @@
+#include "workload/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/paper_configs.hpp"
+
+namespace {
+
+using namespace gs::workload;
+
+TEST(Sweep, CollectsModelResultsPerPoint) {
+  const auto make = [](double quantum) {
+    PaperKnobs knobs;
+    knobs.quantum_mean = quantum;
+    return paper_system(knobs);
+  };
+  const auto pts = sweep({0.5, 1.0, 2.0}, make);
+  ASSERT_EQ(pts.size(), 3u);
+  for (const auto& pt : pts) {
+    EXPECT_TRUE(pt.error.empty());
+    ASSERT_EQ(pt.model_n.size(), 4u);
+    for (double n : pt.model_n) EXPECT_GT(n, 0.0);
+    EXPECT_GE(pt.iterations, 1);
+    EXPECT_TRUE(pt.sim_n.empty());  // simulation not requested
+  }
+  EXPECT_DOUBLE_EQ(pts[1].x, 1.0);
+}
+
+TEST(Sweep, UnstablePointsAreRecordedNotFatal) {
+  const auto make = [](double rate) {
+    PaperKnobs knobs;
+    knobs.arrival_rate = rate;
+    return paper_system(knobs);
+  };
+  const auto pts = sweep({0.4, 1.2}, make);
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_TRUE(pts[0].error.empty());
+  EXPECT_FALSE(pts[1].error.empty());
+  EXPECT_TRUE(pts[1].model_n.empty());
+}
+
+TEST(Sweep, SimulationColumnsWhenRequested) {
+  const auto make = [](double quantum) {
+    PaperKnobs knobs;
+    knobs.quantum_mean = quantum;
+    return paper_system(knobs);
+  };
+  SweepOptions opts;
+  opts.sim_horizon = 20000.0;
+  opts.sim_warmup = 1000.0;
+  const auto pts = sweep({1.0}, make, opts);
+  ASSERT_EQ(pts.size(), 1u);
+  ASSERT_EQ(pts[0].sim_n.size(), 4u);
+  // Model and a short simulation agree to the decomposition error.
+  for (std::size_t p = 0; p < 4; ++p)
+    EXPECT_NEAR(pts[0].model_n[p], pts[0].sim_n[p],
+                0.5 * (1.0 + pts[0].sim_n[p]));
+}
+
+TEST(Sweep, TableLaysOutPointsAndNotes) {
+  const auto make = [](double rate) {
+    PaperKnobs knobs;
+    knobs.arrival_rate = rate;
+    return paper_system(knobs);
+  };
+  const auto pts = sweep({0.4, 1.5}, make);
+  const auto table = sweep_table("rho", pts, 4);
+  EXPECT_EQ(table.rows(), 2u);
+  EXPECT_EQ(table.cols(), 6u);  // x + 4 classes + note
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_NE(os.str().find("unstable"), std::string::npos);
+  EXPECT_NE(os.str().find("rho"), std::string::npos);
+}
+
+}  // namespace
