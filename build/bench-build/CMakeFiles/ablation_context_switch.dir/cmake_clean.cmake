@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_context_switch"
+  "../bench/ablation_context_switch.pdb"
+  "CMakeFiles/ablation_context_switch.dir/ablation_context_switch.cpp.o"
+  "CMakeFiles/ablation_context_switch.dir/ablation_context_switch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_context_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

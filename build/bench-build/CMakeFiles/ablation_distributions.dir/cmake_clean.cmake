@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_distributions"
+  "../bench/ablation_distributions.pdb"
+  "CMakeFiles/ablation_distributions.dir/ablation_distributions.cpp.o"
+  "CMakeFiles/ablation_distributions.dir/ablation_distributions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/baseline_policies"
+  "../bench/baseline_policies.pdb"
+  "CMakeFiles/baseline_policies.dir/baseline_policies.cpp.o"
+  "CMakeFiles/baseline_policies.dir/baseline_policies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/extension_local_switch.cpp" "bench-build/CMakeFiles/extension_local_switch.dir/extension_local_switch.cpp.o" "gcc" "bench-build/CMakeFiles/extension_local_switch.dir/extension_local_switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/gs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gang/CMakeFiles/gs_gang.dir/DependInfo.cmake"
+  "/root/repo/build/src/qbd/CMakeFiles/gs_qbd.dir/DependInfo.cmake"
+  "/root/repo/build/src/phase/CMakeFiles/gs_phase.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/gs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/gs_markov.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

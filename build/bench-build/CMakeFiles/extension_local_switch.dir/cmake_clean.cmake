@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_local_switch"
+  "../bench/extension_local_switch.pdb"
+  "CMakeFiles/extension_local_switch.dir/extension_local_switch.cpp.o"
+  "CMakeFiles/extension_local_switch.dir/extension_local_switch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_local_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

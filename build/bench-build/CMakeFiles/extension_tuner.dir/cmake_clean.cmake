@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_tuner"
+  "../bench/extension_tuner.pdb"
+  "CMakeFiles/extension_tuner.dir/extension_tuner.cpp.o"
+  "CMakeFiles/extension_tuner.dir/extension_tuner.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

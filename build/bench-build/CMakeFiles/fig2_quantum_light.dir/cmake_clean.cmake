@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_quantum_light"
+  "../bench/fig2_quantum_light.pdb"
+  "CMakeFiles/fig2_quantum_light.dir/fig2_quantum_light.cpp.o"
+  "CMakeFiles/fig2_quantum_light.dir/fig2_quantum_light.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_quantum_light.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_quantum_heavy"
+  "../bench/fig3_quantum_heavy.pdb"
+  "CMakeFiles/fig3_quantum_heavy.dir/fig3_quantum_heavy.cpp.o"
+  "CMakeFiles/fig3_quantum_heavy.dir/fig3_quantum_heavy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_quantum_heavy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

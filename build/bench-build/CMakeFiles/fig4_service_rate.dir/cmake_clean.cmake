@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_service_rate"
+  "../bench/fig4_service_rate.pdb"
+  "CMakeFiles/fig4_service_rate.dir/fig4_service_rate.cpp.o"
+  "CMakeFiles/fig4_service_rate.dir/fig4_service_rate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_service_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_cycle_fraction"
+  "../bench/fig5_cycle_fraction.pdb"
+  "CMakeFiles/fig5_cycle_fraction.dir/fig5_cycle_fraction.cpp.o"
+  "CMakeFiles/fig5_cycle_fraction.dir/fig5_cycle_fraction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_cycle_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

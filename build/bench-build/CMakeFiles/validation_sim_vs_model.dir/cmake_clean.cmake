@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/validation_sim_vs_model"
+  "../bench/validation_sim_vs_model.pdb"
+  "CMakeFiles/validation_sim_vs_model.dir/validation_sim_vs_model.cpp.o"
+  "CMakeFiles/validation_sim_vs_model.dir/validation_sim_vs_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_sim_vs_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

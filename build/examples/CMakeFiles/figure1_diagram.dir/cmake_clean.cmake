@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_diagram.dir/figure1_diagram.cpp.o"
+  "CMakeFiles/figure1_diagram.dir/figure1_diagram.cpp.o.d"
+  "figure1_diagram"
+  "figure1_diagram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_diagram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

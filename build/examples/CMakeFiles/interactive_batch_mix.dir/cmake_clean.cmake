@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_batch_mix.dir/interactive_batch_mix.cpp.o"
+  "CMakeFiles/interactive_batch_mix.dir/interactive_batch_mix.cpp.o.d"
+  "interactive_batch_mix"
+  "interactive_batch_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_batch_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_vs_simulation.dir/model_vs_simulation.cpp.o"
+  "CMakeFiles/model_vs_simulation.dir/model_vs_simulation.cpp.o.d"
+  "model_vs_simulation"
+  "model_vs_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_vs_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantum_tuning.dir/quantum_tuning.cpp.o"
+  "CMakeFiles/quantum_tuning.dir/quantum_tuning.cpp.o.d"
+  "quantum_tuning"
+  "quantum_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantum_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gang/away_period.cpp" "src/gang/CMakeFiles/gs_gang.dir/away_period.cpp.o" "gcc" "src/gang/CMakeFiles/gs_gang.dir/away_period.cpp.o.d"
+  "/root/repo/src/gang/class_process.cpp" "src/gang/CMakeFiles/gs_gang.dir/class_process.cpp.o" "gcc" "src/gang/CMakeFiles/gs_gang.dir/class_process.cpp.o.d"
+  "/root/repo/src/gang/dot_export.cpp" "src/gang/CMakeFiles/gs_gang.dir/dot_export.cpp.o" "gcc" "src/gang/CMakeFiles/gs_gang.dir/dot_export.cpp.o.d"
+  "/root/repo/src/gang/params.cpp" "src/gang/CMakeFiles/gs_gang.dir/params.cpp.o" "gcc" "src/gang/CMakeFiles/gs_gang.dir/params.cpp.o.d"
+  "/root/repo/src/gang/service_config.cpp" "src/gang/CMakeFiles/gs_gang.dir/service_config.cpp.o" "gcc" "src/gang/CMakeFiles/gs_gang.dir/service_config.cpp.o.d"
+  "/root/repo/src/gang/solver.cpp" "src/gang/CMakeFiles/gs_gang.dir/solver.cpp.o" "gcc" "src/gang/CMakeFiles/gs_gang.dir/solver.cpp.o.d"
+  "/root/repo/src/gang/tuner.cpp" "src/gang/CMakeFiles/gs_gang.dir/tuner.cpp.o" "gcc" "src/gang/CMakeFiles/gs_gang.dir/tuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qbd/CMakeFiles/gs_qbd.dir/DependInfo.cmake"
+  "/root/repo/build/src/phase/CMakeFiles/gs_phase.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/gs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/gs_markov.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_gang.dir/away_period.cpp.o"
+  "CMakeFiles/gs_gang.dir/away_period.cpp.o.d"
+  "CMakeFiles/gs_gang.dir/class_process.cpp.o"
+  "CMakeFiles/gs_gang.dir/class_process.cpp.o.d"
+  "CMakeFiles/gs_gang.dir/dot_export.cpp.o"
+  "CMakeFiles/gs_gang.dir/dot_export.cpp.o.d"
+  "CMakeFiles/gs_gang.dir/params.cpp.o"
+  "CMakeFiles/gs_gang.dir/params.cpp.o.d"
+  "CMakeFiles/gs_gang.dir/service_config.cpp.o"
+  "CMakeFiles/gs_gang.dir/service_config.cpp.o.d"
+  "CMakeFiles/gs_gang.dir/solver.cpp.o"
+  "CMakeFiles/gs_gang.dir/solver.cpp.o.d"
+  "CMakeFiles/gs_gang.dir/tuner.cpp.o"
+  "CMakeFiles/gs_gang.dir/tuner.cpp.o.d"
+  "libgs_gang.a"
+  "libgs_gang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_gang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

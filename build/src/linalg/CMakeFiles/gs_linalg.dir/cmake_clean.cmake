@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_linalg.dir/block_tridiag.cpp.o"
+  "CMakeFiles/gs_linalg.dir/block_tridiag.cpp.o.d"
+  "CMakeFiles/gs_linalg.dir/gth.cpp.o"
+  "CMakeFiles/gs_linalg.dir/gth.cpp.o.d"
+  "CMakeFiles/gs_linalg.dir/lu.cpp.o"
+  "CMakeFiles/gs_linalg.dir/lu.cpp.o.d"
+  "CMakeFiles/gs_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/gs_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/gs_linalg.dir/spectral.cpp.o"
+  "CMakeFiles/gs_linalg.dir/spectral.cpp.o.d"
+  "libgs_linalg.a"
+  "libgs_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

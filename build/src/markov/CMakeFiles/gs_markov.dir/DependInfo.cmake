@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/markov/absorbing.cpp" "src/markov/CMakeFiles/gs_markov.dir/absorbing.cpp.o" "gcc" "src/markov/CMakeFiles/gs_markov.dir/absorbing.cpp.o.d"
+  "/root/repo/src/markov/generator.cpp" "src/markov/CMakeFiles/gs_markov.dir/generator.cpp.o" "gcc" "src/markov/CMakeFiles/gs_markov.dir/generator.cpp.o.d"
+  "/root/repo/src/markov/scc.cpp" "src/markov/CMakeFiles/gs_markov.dir/scc.cpp.o" "gcc" "src/markov/CMakeFiles/gs_markov.dir/scc.cpp.o.d"
+  "/root/repo/src/markov/stationary.cpp" "src/markov/CMakeFiles/gs_markov.dir/stationary.cpp.o" "gcc" "src/markov/CMakeFiles/gs_markov.dir/stationary.cpp.o.d"
+  "/root/repo/src/markov/transient.cpp" "src/markov/CMakeFiles/gs_markov.dir/transient.cpp.o" "gcc" "src/markov/CMakeFiles/gs_markov.dir/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phase/CMakeFiles/gs_phase.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/gs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_markov.dir/absorbing.cpp.o"
+  "CMakeFiles/gs_markov.dir/absorbing.cpp.o.d"
+  "CMakeFiles/gs_markov.dir/generator.cpp.o"
+  "CMakeFiles/gs_markov.dir/generator.cpp.o.d"
+  "CMakeFiles/gs_markov.dir/scc.cpp.o"
+  "CMakeFiles/gs_markov.dir/scc.cpp.o.d"
+  "CMakeFiles/gs_markov.dir/stationary.cpp.o"
+  "CMakeFiles/gs_markov.dir/stationary.cpp.o.d"
+  "CMakeFiles/gs_markov.dir/transient.cpp.o"
+  "CMakeFiles/gs_markov.dir/transient.cpp.o.d"
+  "libgs_markov.a"
+  "libgs_markov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

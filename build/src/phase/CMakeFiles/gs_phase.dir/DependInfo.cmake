@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phase/builders.cpp" "src/phase/CMakeFiles/gs_phase.dir/builders.cpp.o" "gcc" "src/phase/CMakeFiles/gs_phase.dir/builders.cpp.o.d"
+  "/root/repo/src/phase/fitting.cpp" "src/phase/CMakeFiles/gs_phase.dir/fitting.cpp.o" "gcc" "src/phase/CMakeFiles/gs_phase.dir/fitting.cpp.o.d"
+  "/root/repo/src/phase/ops.cpp" "src/phase/CMakeFiles/gs_phase.dir/ops.cpp.o" "gcc" "src/phase/CMakeFiles/gs_phase.dir/ops.cpp.o.d"
+  "/root/repo/src/phase/phase_type.cpp" "src/phase/CMakeFiles/gs_phase.dir/phase_type.cpp.o" "gcc" "src/phase/CMakeFiles/gs_phase.dir/phase_type.cpp.o.d"
+  "/root/repo/src/phase/uniformization.cpp" "src/phase/CMakeFiles/gs_phase.dir/uniformization.cpp.o" "gcc" "src/phase/CMakeFiles/gs_phase.dir/uniformization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/gs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_phase.dir/builders.cpp.o"
+  "CMakeFiles/gs_phase.dir/builders.cpp.o.d"
+  "CMakeFiles/gs_phase.dir/fitting.cpp.o"
+  "CMakeFiles/gs_phase.dir/fitting.cpp.o.d"
+  "CMakeFiles/gs_phase.dir/ops.cpp.o"
+  "CMakeFiles/gs_phase.dir/ops.cpp.o.d"
+  "CMakeFiles/gs_phase.dir/phase_type.cpp.o"
+  "CMakeFiles/gs_phase.dir/phase_type.cpp.o.d"
+  "CMakeFiles/gs_phase.dir/uniformization.cpp.o"
+  "CMakeFiles/gs_phase.dir/uniformization.cpp.o.d"
+  "libgs_phase.a"
+  "libgs_phase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_phase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

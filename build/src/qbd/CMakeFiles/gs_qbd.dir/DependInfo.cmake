@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qbd/qbd.cpp" "src/qbd/CMakeFiles/gs_qbd.dir/qbd.cpp.o" "gcc" "src/qbd/CMakeFiles/gs_qbd.dir/qbd.cpp.o.d"
+  "/root/repo/src/qbd/rmatrix.cpp" "src/qbd/CMakeFiles/gs_qbd.dir/rmatrix.cpp.o" "gcc" "src/qbd/CMakeFiles/gs_qbd.dir/rmatrix.cpp.o.d"
+  "/root/repo/src/qbd/solver.cpp" "src/qbd/CMakeFiles/gs_qbd.dir/solver.cpp.o" "gcc" "src/qbd/CMakeFiles/gs_qbd.dir/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/markov/CMakeFiles/gs_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/gs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/phase/CMakeFiles/gs_phase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

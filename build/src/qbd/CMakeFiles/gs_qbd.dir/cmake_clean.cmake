@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_qbd.dir/qbd.cpp.o"
+  "CMakeFiles/gs_qbd.dir/qbd.cpp.o.d"
+  "CMakeFiles/gs_qbd.dir/rmatrix.cpp.o"
+  "CMakeFiles/gs_qbd.dir/rmatrix.cpp.o.d"
+  "CMakeFiles/gs_qbd.dir/solver.cpp.o"
+  "CMakeFiles/gs_qbd.dir/solver.cpp.o.d"
+  "libgs_qbd.a"
+  "libgs_qbd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_qbd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_sim.dir/baselines.cpp.o"
+  "CMakeFiles/gs_sim.dir/baselines.cpp.o.d"
+  "CMakeFiles/gs_sim.dir/gang_simulator.cpp.o"
+  "CMakeFiles/gs_sim.dir/gang_simulator.cpp.o.d"
+  "CMakeFiles/gs_sim.dir/local_switch.cpp.o"
+  "CMakeFiles/gs_sim.dir/local_switch.cpp.o.d"
+  "CMakeFiles/gs_sim.dir/quantile.cpp.o"
+  "CMakeFiles/gs_sim.dir/quantile.cpp.o.d"
+  "CMakeFiles/gs_sim.dir/stats.cpp.o"
+  "CMakeFiles/gs_sim.dir/stats.cpp.o.d"
+  "libgs_sim.a"
+  "libgs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_util.dir/cli.cpp.o"
+  "CMakeFiles/gs_util.dir/cli.cpp.o.d"
+  "CMakeFiles/gs_util.dir/error.cpp.o"
+  "CMakeFiles/gs_util.dir/error.cpp.o.d"
+  "CMakeFiles/gs_util.dir/log.cpp.o"
+  "CMakeFiles/gs_util.dir/log.cpp.o.d"
+  "CMakeFiles/gs_util.dir/rng.cpp.o"
+  "CMakeFiles/gs_util.dir/rng.cpp.o.d"
+  "CMakeFiles/gs_util.dir/table.cpp.o"
+  "CMakeFiles/gs_util.dir/table.cpp.o.d"
+  "libgs_util.a"
+  "libgs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_workload.dir/paper_configs.cpp.o"
+  "CMakeFiles/gs_workload.dir/paper_configs.cpp.o.d"
+  "CMakeFiles/gs_workload.dir/sweep.cpp.o"
+  "CMakeFiles/gs_workload.dir/sweep.cpp.o.d"
+  "libgs_workload.a"
+  "libgs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gang/test_arrival_view.cpp" "tests/gang/CMakeFiles/test_gang.dir/test_arrival_view.cpp.o" "gcc" "tests/gang/CMakeFiles/test_gang.dir/test_arrival_view.cpp.o.d"
+  "/root/repo/tests/gang/test_away_period.cpp" "tests/gang/CMakeFiles/test_gang.dir/test_away_period.cpp.o" "gcc" "tests/gang/CMakeFiles/test_gang.dir/test_away_period.cpp.o.d"
+  "/root/repo/tests/gang/test_class_process.cpp" "tests/gang/CMakeFiles/test_gang.dir/test_class_process.cpp.o" "gcc" "tests/gang/CMakeFiles/test_gang.dir/test_class_process.cpp.o.d"
+  "/root/repo/tests/gang/test_dot_export.cpp" "tests/gang/CMakeFiles/test_gang.dir/test_dot_export.cpp.o" "gcc" "tests/gang/CMakeFiles/test_gang.dir/test_dot_export.cpp.o.d"
+  "/root/repo/tests/gang/test_effective_quantum.cpp" "tests/gang/CMakeFiles/test_gang.dir/test_effective_quantum.cpp.o" "gcc" "tests/gang/CMakeFiles/test_gang.dir/test_effective_quantum.cpp.o.d"
+  "/root/repo/tests/gang/test_params.cpp" "tests/gang/CMakeFiles/test_gang.dir/test_params.cpp.o" "gcc" "tests/gang/CMakeFiles/test_gang.dir/test_params.cpp.o.d"
+  "/root/repo/tests/gang/test_saturated_quantum.cpp" "tests/gang/CMakeFiles/test_gang.dir/test_saturated_quantum.cpp.o" "gcc" "tests/gang/CMakeFiles/test_gang.dir/test_saturated_quantum.cpp.o.d"
+  "/root/repo/tests/gang/test_service_config.cpp" "tests/gang/CMakeFiles/test_gang.dir/test_service_config.cpp.o" "gcc" "tests/gang/CMakeFiles/test_gang.dir/test_service_config.cpp.o.d"
+  "/root/repo/tests/gang/test_solver_extras.cpp" "tests/gang/CMakeFiles/test_gang.dir/test_solver_extras.cpp.o" "gcc" "tests/gang/CMakeFiles/test_gang.dir/test_solver_extras.cpp.o.d"
+  "/root/repo/tests/gang/test_solver_limits.cpp" "tests/gang/CMakeFiles/test_gang.dir/test_solver_limits.cpp.o" "gcc" "tests/gang/CMakeFiles/test_gang.dir/test_solver_limits.cpp.o.d"
+  "/root/repo/tests/gang/test_solver_properties.cpp" "tests/gang/CMakeFiles/test_gang.dir/test_solver_properties.cpp.o" "gcc" "tests/gang/CMakeFiles/test_gang.dir/test_solver_properties.cpp.o.d"
+  "/root/repo/tests/gang/test_tuner.cpp" "tests/gang/CMakeFiles/test_gang.dir/test_tuner.cpp.o" "gcc" "tests/gang/CMakeFiles/test_gang.dir/test_tuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gang/CMakeFiles/gs_gang.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/qbd/CMakeFiles/gs_qbd.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/gs_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/phase/CMakeFiles/gs_phase.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/gs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

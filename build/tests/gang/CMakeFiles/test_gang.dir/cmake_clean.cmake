@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gang.dir/test_arrival_view.cpp.o"
+  "CMakeFiles/test_gang.dir/test_arrival_view.cpp.o.d"
+  "CMakeFiles/test_gang.dir/test_away_period.cpp.o"
+  "CMakeFiles/test_gang.dir/test_away_period.cpp.o.d"
+  "CMakeFiles/test_gang.dir/test_class_process.cpp.o"
+  "CMakeFiles/test_gang.dir/test_class_process.cpp.o.d"
+  "CMakeFiles/test_gang.dir/test_dot_export.cpp.o"
+  "CMakeFiles/test_gang.dir/test_dot_export.cpp.o.d"
+  "CMakeFiles/test_gang.dir/test_effective_quantum.cpp.o"
+  "CMakeFiles/test_gang.dir/test_effective_quantum.cpp.o.d"
+  "CMakeFiles/test_gang.dir/test_params.cpp.o"
+  "CMakeFiles/test_gang.dir/test_params.cpp.o.d"
+  "CMakeFiles/test_gang.dir/test_saturated_quantum.cpp.o"
+  "CMakeFiles/test_gang.dir/test_saturated_quantum.cpp.o.d"
+  "CMakeFiles/test_gang.dir/test_service_config.cpp.o"
+  "CMakeFiles/test_gang.dir/test_service_config.cpp.o.d"
+  "CMakeFiles/test_gang.dir/test_solver_extras.cpp.o"
+  "CMakeFiles/test_gang.dir/test_solver_extras.cpp.o.d"
+  "CMakeFiles/test_gang.dir/test_solver_limits.cpp.o"
+  "CMakeFiles/test_gang.dir/test_solver_limits.cpp.o.d"
+  "CMakeFiles/test_gang.dir/test_solver_properties.cpp.o"
+  "CMakeFiles/test_gang.dir/test_solver_properties.cpp.o.d"
+  "CMakeFiles/test_gang.dir/test_tuner.cpp.o"
+  "CMakeFiles/test_gang.dir/test_tuner.cpp.o.d"
+  "test_gang"
+  "test_gang.pdb"
+  "test_gang[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

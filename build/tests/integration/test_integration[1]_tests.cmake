@@ -1,0 +1,3 @@
+add_test([=[FullPipeline.PaperScenarioEndToEnd]=]  /root/repo/build/tests/integration/test_integration [==[--gtest_filter=FullPipeline.PaperScenarioEndToEnd]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[FullPipeline.PaperScenarioEndToEnd]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests/integration SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_integration_TESTS FullPipeline.PaperScenarioEndToEnd)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/linalg/test_gth.cpp" "tests/linalg/CMakeFiles/test_linalg.dir/test_gth.cpp.o" "gcc" "tests/linalg/CMakeFiles/test_linalg.dir/test_gth.cpp.o.d"
+  "/root/repo/tests/linalg/test_lu.cpp" "tests/linalg/CMakeFiles/test_linalg.dir/test_lu.cpp.o" "gcc" "tests/linalg/CMakeFiles/test_linalg.dir/test_lu.cpp.o.d"
+  "/root/repo/tests/linalg/test_matrix.cpp" "tests/linalg/CMakeFiles/test_linalg.dir/test_matrix.cpp.o" "gcc" "tests/linalg/CMakeFiles/test_linalg.dir/test_matrix.cpp.o.d"
+  "/root/repo/tests/linalg/test_spectral.cpp" "tests/linalg/CMakeFiles/test_linalg.dir/test_spectral.cpp.o" "gcc" "tests/linalg/CMakeFiles/test_linalg.dir/test_spectral.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/gs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/markov/test_absorbing.cpp" "tests/markov/CMakeFiles/test_markov.dir/test_absorbing.cpp.o" "gcc" "tests/markov/CMakeFiles/test_markov.dir/test_absorbing.cpp.o.d"
+  "/root/repo/tests/markov/test_generator.cpp" "tests/markov/CMakeFiles/test_markov.dir/test_generator.cpp.o" "gcc" "tests/markov/CMakeFiles/test_markov.dir/test_generator.cpp.o.d"
+  "/root/repo/tests/markov/test_scc.cpp" "tests/markov/CMakeFiles/test_markov.dir/test_scc.cpp.o" "gcc" "tests/markov/CMakeFiles/test_markov.dir/test_scc.cpp.o.d"
+  "/root/repo/tests/markov/test_stationary.cpp" "tests/markov/CMakeFiles/test_markov.dir/test_stationary.cpp.o" "gcc" "tests/markov/CMakeFiles/test_markov.dir/test_stationary.cpp.o.d"
+  "/root/repo/tests/markov/test_transient.cpp" "tests/markov/CMakeFiles/test_markov.dir/test_transient.cpp.o" "gcc" "tests/markov/CMakeFiles/test_markov.dir/test_transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/markov/CMakeFiles/gs_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/phase/CMakeFiles/gs_phase.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/gs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_markov.dir/test_absorbing.cpp.o"
+  "CMakeFiles/test_markov.dir/test_absorbing.cpp.o.d"
+  "CMakeFiles/test_markov.dir/test_generator.cpp.o"
+  "CMakeFiles/test_markov.dir/test_generator.cpp.o.d"
+  "CMakeFiles/test_markov.dir/test_scc.cpp.o"
+  "CMakeFiles/test_markov.dir/test_scc.cpp.o.d"
+  "CMakeFiles/test_markov.dir/test_stationary.cpp.o"
+  "CMakeFiles/test_markov.dir/test_stationary.cpp.o.d"
+  "CMakeFiles/test_markov.dir/test_transient.cpp.o"
+  "CMakeFiles/test_markov.dir/test_transient.cpp.o.d"
+  "test_markov"
+  "test_markov.pdb"
+  "test_markov[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/phase/test_builders.cpp" "tests/phase/CMakeFiles/test_phase.dir/test_builders.cpp.o" "gcc" "tests/phase/CMakeFiles/test_phase.dir/test_builders.cpp.o.d"
+  "/root/repo/tests/phase/test_fitting.cpp" "tests/phase/CMakeFiles/test_phase.dir/test_fitting.cpp.o" "gcc" "tests/phase/CMakeFiles/test_phase.dir/test_fitting.cpp.o.d"
+  "/root/repo/tests/phase/test_ops.cpp" "tests/phase/CMakeFiles/test_phase.dir/test_ops.cpp.o" "gcc" "tests/phase/CMakeFiles/test_phase.dir/test_ops.cpp.o.d"
+  "/root/repo/tests/phase/test_phase_type.cpp" "tests/phase/CMakeFiles/test_phase.dir/test_phase_type.cpp.o" "gcc" "tests/phase/CMakeFiles/test_phase.dir/test_phase_type.cpp.o.d"
+  "/root/repo/tests/phase/test_properties.cpp" "tests/phase/CMakeFiles/test_phase.dir/test_properties.cpp.o" "gcc" "tests/phase/CMakeFiles/test_phase.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/phase/test_sampling.cpp" "tests/phase/CMakeFiles/test_phase.dir/test_sampling.cpp.o" "gcc" "tests/phase/CMakeFiles/test_phase.dir/test_sampling.cpp.o.d"
+  "/root/repo/tests/phase/test_uniformization.cpp" "tests/phase/CMakeFiles/test_phase.dir/test_uniformization.cpp.o" "gcc" "tests/phase/CMakeFiles/test_phase.dir/test_uniformization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phase/CMakeFiles/gs_phase.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/gs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phase.dir/test_builders.cpp.o"
+  "CMakeFiles/test_phase.dir/test_builders.cpp.o.d"
+  "CMakeFiles/test_phase.dir/test_fitting.cpp.o"
+  "CMakeFiles/test_phase.dir/test_fitting.cpp.o.d"
+  "CMakeFiles/test_phase.dir/test_ops.cpp.o"
+  "CMakeFiles/test_phase.dir/test_ops.cpp.o.d"
+  "CMakeFiles/test_phase.dir/test_phase_type.cpp.o"
+  "CMakeFiles/test_phase.dir/test_phase_type.cpp.o.d"
+  "CMakeFiles/test_phase.dir/test_properties.cpp.o"
+  "CMakeFiles/test_phase.dir/test_properties.cpp.o.d"
+  "CMakeFiles/test_phase.dir/test_sampling.cpp.o"
+  "CMakeFiles/test_phase.dir/test_sampling.cpp.o.d"
+  "CMakeFiles/test_phase.dir/test_uniformization.cpp.o"
+  "CMakeFiles/test_phase.dir/test_uniformization.cpp.o.d"
+  "test_phase"
+  "test_phase.pdb"
+  "test_phase[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

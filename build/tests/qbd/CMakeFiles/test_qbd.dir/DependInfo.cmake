@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/qbd/test_qbd_process.cpp" "tests/qbd/CMakeFiles/test_qbd.dir/test_qbd_process.cpp.o" "gcc" "tests/qbd/CMakeFiles/test_qbd.dir/test_qbd_process.cpp.o.d"
+  "/root/repo/tests/qbd/test_rmatrix.cpp" "tests/qbd/CMakeFiles/test_qbd.dir/test_rmatrix.cpp.o" "gcc" "tests/qbd/CMakeFiles/test_qbd.dir/test_rmatrix.cpp.o.d"
+  "/root/repo/tests/qbd/test_solver_mm1.cpp" "tests/qbd/CMakeFiles/test_qbd.dir/test_solver_mm1.cpp.o" "gcc" "tests/qbd/CMakeFiles/test_qbd.dir/test_solver_mm1.cpp.o.d"
+  "/root/repo/tests/qbd/test_solver_mmc.cpp" "tests/qbd/CMakeFiles/test_qbd.dir/test_solver_mmc.cpp.o" "gcc" "tests/qbd/CMakeFiles/test_qbd.dir/test_solver_mmc.cpp.o.d"
+  "/root/repo/tests/qbd/test_solver_phases.cpp" "tests/qbd/CMakeFiles/test_qbd.dir/test_solver_phases.cpp.o" "gcc" "tests/qbd/CMakeFiles/test_qbd.dir/test_solver_phases.cpp.o.d"
+  "/root/repo/tests/qbd/test_tail_sequence.cpp" "tests/qbd/CMakeFiles/test_qbd.dir/test_tail_sequence.cpp.o" "gcc" "tests/qbd/CMakeFiles/test_qbd.dir/test_tail_sequence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qbd/CMakeFiles/gs_qbd.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/gs_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/phase/CMakeFiles/gs_phase.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/gs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

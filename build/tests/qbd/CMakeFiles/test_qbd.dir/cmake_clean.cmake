@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qbd.dir/test_qbd_process.cpp.o"
+  "CMakeFiles/test_qbd.dir/test_qbd_process.cpp.o.d"
+  "CMakeFiles/test_qbd.dir/test_rmatrix.cpp.o"
+  "CMakeFiles/test_qbd.dir/test_rmatrix.cpp.o.d"
+  "CMakeFiles/test_qbd.dir/test_solver_mm1.cpp.o"
+  "CMakeFiles/test_qbd.dir/test_solver_mm1.cpp.o.d"
+  "CMakeFiles/test_qbd.dir/test_solver_mmc.cpp.o"
+  "CMakeFiles/test_qbd.dir/test_solver_mmc.cpp.o.d"
+  "CMakeFiles/test_qbd.dir/test_solver_phases.cpp.o"
+  "CMakeFiles/test_qbd.dir/test_solver_phases.cpp.o.d"
+  "CMakeFiles/test_qbd.dir/test_tail_sequence.cpp.o"
+  "CMakeFiles/test_qbd.dir/test_tail_sequence.cpp.o.d"
+  "test_qbd"
+  "test_qbd.pdb"
+  "test_qbd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qbd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

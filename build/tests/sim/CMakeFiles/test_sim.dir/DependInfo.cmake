@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_baselines.cpp" "tests/sim/CMakeFiles/test_sim.dir/test_baselines.cpp.o" "gcc" "tests/sim/CMakeFiles/test_sim.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/sim/test_batch_and_metrics.cpp" "tests/sim/CMakeFiles/test_sim.dir/test_batch_and_metrics.cpp.o" "gcc" "tests/sim/CMakeFiles/test_sim.dir/test_batch_and_metrics.cpp.o.d"
+  "/root/repo/tests/sim/test_event_queue.cpp" "tests/sim/CMakeFiles/test_sim.dir/test_event_queue.cpp.o" "gcc" "tests/sim/CMakeFiles/test_sim.dir/test_event_queue.cpp.o.d"
+  "/root/repo/tests/sim/test_gang_simulator.cpp" "tests/sim/CMakeFiles/test_sim.dir/test_gang_simulator.cpp.o" "gcc" "tests/sim/CMakeFiles/test_sim.dir/test_gang_simulator.cpp.o.d"
+  "/root/repo/tests/sim/test_local_switch.cpp" "tests/sim/CMakeFiles/test_sim.dir/test_local_switch.cpp.o" "gcc" "tests/sim/CMakeFiles/test_sim.dir/test_local_switch.cpp.o.d"
+  "/root/repo/tests/sim/test_quantile.cpp" "tests/sim/CMakeFiles/test_sim.dir/test_quantile.cpp.o" "gcc" "tests/sim/CMakeFiles/test_sim.dir/test_quantile.cpp.o.d"
+  "/root/repo/tests/sim/test_sim_vs_model.cpp" "tests/sim/CMakeFiles/test_sim.dir/test_sim_vs_model.cpp.o" "gcc" "tests/sim/CMakeFiles/test_sim.dir/test_sim_vs_model.cpp.o.d"
+  "/root/repo/tests/sim/test_stats.cpp" "tests/sim/CMakeFiles/test_sim.dir/test_stats.cpp.o" "gcc" "tests/sim/CMakeFiles/test_sim.dir/test_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/gs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gang/CMakeFiles/gs_gang.dir/DependInfo.cmake"
+  "/root/repo/build/src/qbd/CMakeFiles/gs_qbd.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/gs_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/phase/CMakeFiles/gs_phase.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/gs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/test_baselines.cpp.o"
+  "CMakeFiles/test_sim.dir/test_baselines.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_batch_and_metrics.cpp.o"
+  "CMakeFiles/test_sim.dir/test_batch_and_metrics.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_event_queue.cpp.o"
+  "CMakeFiles/test_sim.dir/test_event_queue.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_gang_simulator.cpp.o"
+  "CMakeFiles/test_sim.dir/test_gang_simulator.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_local_switch.cpp.o"
+  "CMakeFiles/test_sim.dir/test_local_switch.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_quantile.cpp.o"
+  "CMakeFiles/test_sim.dir/test_quantile.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_sim_vs_model.cpp.o"
+  "CMakeFiles/test_sim.dir/test_sim_vs_model.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_stats.cpp.o"
+  "CMakeFiles/test_sim.dir/test_stats.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
