@@ -24,10 +24,14 @@ int main(int argc, char** argv) {
   cli.add_flag("csv", "false", "emit CSV instead of an aligned table");
   cli.add_flag("budget", "4.0", "total mean quantum budget per cycle");
   cli.add_flag("stages", "2", "Erlang stages of the quantum distribution");
+  cli.add_flag("threads", "1",
+               "worker threads for the per-class chains of each solve");
   if (!cli.parse(argc, argv)) return 1;
 
   const double budget = cli.get_double("budget");
   const int stages = cli.get_int("stages");
+  gang::GangSolveOptions solver_opts;
+  solver_opts.num_threads = cli.get_int("threads");
 
   util::Table table({"fraction", "N0", "N1", "N2", "N3", "note"});
   for (double fraction = 0.1; fraction <= 0.9 + 1e-9; fraction += 0.1) {
@@ -39,7 +43,7 @@ int main(int argc, char** argv) {
           workload::figure5_system(favored, fraction, budget, stages);
       try {
         // Full fixed point when every class is stable.
-        const auto rep = gang::GangSolver(sys).solve();
+        const auto rep = gang::GangSolver(sys, solver_opts).solve();
         row.emplace_back(rep.per_class[favored].mean_jobs);
         continue;
       } catch (const Error&) {

@@ -17,6 +17,9 @@ inline void add_common_flags(util::Cli& cli) {
   cli.add_flag("sim", "false", "add simulation columns (slower)");
   cli.add_flag("sim_horizon", "100000", "simulated time per point");
   cli.add_flag("stages", "2", "Erlang stages of the quantum distribution");
+  cli.add_flag("threads", "1",
+               "worker threads (sweep points / per-class chains / "
+               "simulator replications; 1 = sequential, same results)");
 }
 
 inline workload::SweepOptions sweep_options(const util::Cli& cli) {
@@ -24,6 +27,10 @@ inline workload::SweepOptions sweep_options(const util::Cli& cli) {
   if (cli.get_bool("sim")) {
     opts.sim_horizon = cli.get_double("sim_horizon");
   }
+  // One knob drives every level; the pool's nesting guard keeps the
+  // innermost active level sequential, so results do not depend on it.
+  opts.num_threads = cli.get_int("threads");
+  opts.solver.num_threads = opts.num_threads;
   return opts;
 }
 

@@ -15,6 +15,7 @@
 #include "sim/gang_simulator.hpp"
 #include "util/rng.hpp"
 #include "workload/paper_configs.hpp"
+#include "workload/sweep.hpp"
 
 namespace {
 
@@ -44,6 +45,36 @@ void BM_MatrixMultiply(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MatrixMultiply)->Arg(16)->Arg(64)->Arg(128);
+
+// Naive vs cache-blocked matmul across the size range the QBD chains
+// actually produce (16-512 states per level). The blocked kernel is the
+// one behind operator* and multiply_into; the naive kernel is the
+// reference it must match bit for bit (tests/linalg/test_matrix.cpp).
+void BM_MatmulNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_dd_matrix(n, 1);
+  const Matrix b = random_dd_matrix(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gs::linalg::multiply_naive(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_MatmulNaive)->Arg(16)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_MatmulBlocked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_dd_matrix(n, 1);
+  const Matrix b = random_dd_matrix(n, 2);
+  Matrix out;
+  for (auto _ : state) {
+    gs::linalg::multiply_into(out, a, b);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_MatmulBlocked)->Arg(16)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
 
 void BM_LuSolve(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -145,6 +176,76 @@ void BM_FullFixedPoint(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullFixedPoint)->Arg(4)->Arg(9);
+
+// Wall-clock scaling of the parallel execution layer on a 4-class
+// Figure-5-style sweep (9 cycle-fraction points, full fixed point each).
+// Identical work and bitwise-identical output at every thread count; the
+// time/thread ratio IS the recorded speedup. Run with
+//   ./micro_kernels --benchmark_filter=BM_Fig5SweepThreads
+// and compare real_time across /threads:1 /2 /4 /8.
+void BM_Fig5SweepThreads(benchmark::State& state) {
+  std::vector<double> fractions;
+  for (double f = 0.1; f <= 0.9 + 1e-9; f += 0.1) fractions.push_back(f);
+  const auto make = [](double fraction) {
+    return gs::workload::figure5_system(0, fraction, 4.0, 2);
+  };
+  gs::workload::SweepOptions opts;
+  opts.num_threads = static_cast<int>(state.range(0));
+  opts.solver.num_threads = opts.num_threads;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gs::workload::sweep(fractions, make, opts));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fractions.size()));
+}
+BENCHMARK(BM_Fig5SweepThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Scaling of the other two parallel levels in isolation: the L per-class
+// chains inside one fixed-point solve, and simulator replications.
+void BM_FixedPointThreads(benchmark::State& state) {
+  gs::workload::PaperKnobs knobs;
+  knobs.arrival_rate = 0.8;
+  const auto sys = gs::workload::paper_system(knobs);
+  gs::gang::GangSolveOptions opts;
+  opts.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gs::gang::GangSolver(sys, opts).solve());
+  }
+}
+BENCHMARK(BM_FixedPointThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_ReplicationsThreads(benchmark::State& state) {
+  gs::workload::PaperKnobs knobs;
+  knobs.arrival_rate = 0.6;
+  const auto sys = gs::workload::paper_system(knobs);
+  gs::sim::SimConfig cfg;
+  cfg.warmup = 100.0;
+  cfg.horizon = 2000.0;
+  cfg.seed = 7;
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gs::sim::run_replicated(sys, cfg, 8, threads));
+  }
+}
+BENCHMARK(BM_ReplicationsThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_SimulatorEvents(benchmark::State& state) {
   gs::workload::PaperKnobs knobs;

@@ -3,6 +3,7 @@
 // Quantifies the accuracy of the Section-4.3 decomposition across loads.
 //
 //   $ ./validation_sim_vs_model [--horizon 150000]
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 
@@ -20,7 +21,11 @@ int main(int argc, char** argv) {
   cli.add_flag("replications", "2", "simulation replications per point");
   cli.add_flag("quantum", "1.0", "mean quantum length");
   cli.add_flag("csv", "false", "emit CSV");
+  cli.add_flag("threads", "1",
+               "worker threads (per-class chains and sim replications)");
   if (!cli.parse(argc, argv)) return 1;
+  const auto threads =
+      static_cast<std::size_t>(std::max(1, cli.get_int("threads")));
 
   util::Table table(
       {"rho", "class", "model_N", "sim_N", "rel_err", "model_T", "sim_T"});
@@ -30,13 +35,16 @@ int main(int argc, char** argv) {
     knobs.quantum_mean = cli.get_double("quantum");
     const auto sys = workload::paper_system(knobs);
 
-    const auto model = gang::GangSolver(sys).solve();
+    gang::GangSolveOptions solver_opts;
+    solver_opts.num_threads = static_cast<int>(threads);
+    const auto model = gang::GangSolver(sys, solver_opts).solve();
     sim::SimConfig cfg;
     cfg.warmup = 5000.0;
     cfg.horizon = cli.get_double("horizon");
     cfg.seed = 20260706;
     const auto sim = sim::run_replicated(
-        sys, cfg, static_cast<std::size_t>(cli.get_int("replications")));
+        sys, cfg, static_cast<std::size_t>(cli.get_int("replications")),
+        threads);
 
     for (std::size_t p = 0; p < 4; ++p) {
       const double m = model.per_class[p].mean_jobs;

@@ -7,6 +7,7 @@
 // its known optimism appears (light traffic; the paper's footnote 2).
 //
 //   $ ./model_vs_simulation --quantum 1.0
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 
@@ -25,9 +26,16 @@ int main(int argc, char** argv) {
   cli.add_flag("quantum", "1.0", "mean quantum length");
   cli.add_flag("horizon", "150000", "simulated time per point");
   cli.add_flag("replications", "2", "independent simulation runs per point");
+  cli.add_flag("threads", "1",
+               "worker threads (per-class chains and replications; "
+               "results are identical at any count)");
   if (!cli.parse(argc, argv)) return 1;
 
   const double quantum = cli.get_double("quantum");
+  const auto threads =
+      static_cast<std::size_t>(std::max(1, cli.get_int("threads")));
+  gang::GangSolveOptions solver_opts;
+  solver_opts.num_threads = static_cast<int>(threads);
 
   util::Table table({"rho", "class", "model_N", "sim_N", "rel_err"});
   for (double rho : {0.3, 0.5, 0.7, 0.9}) {
@@ -36,13 +44,15 @@ int main(int argc, char** argv) {
     knobs.quantum_mean = quantum;
     const gang::SystemParams sys = workload::paper_system(knobs);
 
-    const gang::SolveReport model = gang::GangSolver(sys).solve();
+    const gang::SolveReport model =
+        gang::GangSolver(sys, solver_opts).solve();
     sim::SimConfig cfg;
     cfg.warmup = 5000.0;
     cfg.horizon = cli.get_double("horizon");
     cfg.seed = 20260706;
     const sim::SimResult sim = sim::run_replicated(
-        sys, cfg, static_cast<std::size_t>(cli.get_int("replications")));
+        sys, cfg, static_cast<std::size_t>(cli.get_int("replications")),
+        threads);
 
     for (std::size_t p = 0; p < 4; ++p) {
       const double m = model.per_class[p].mean_jobs;

@@ -30,6 +30,8 @@ int main(int argc, char** argv) {
   cli.add_flag("qmin", "0.1", "smallest quantum mean to try");
   cli.add_flag("qmax", "6.0", "largest quantum mean to try");
   cli.add_flag("points", "16", "number of sweep points");
+  cli.add_flag("threads", "1",
+               "worker threads across sweep points (same results)");
   if (!cli.parse(argc, argv)) return 1;
 
   const double rho = cli.get_double("rho");
@@ -52,7 +54,10 @@ int main(int argc, char** argv) {
     return workload::paper_system(knobs);
   };
 
-  const auto results = workload::sweep(xs, make);
+  workload::SweepOptions sweep_opts;
+  sweep_opts.num_threads = cli.get_int("threads");
+  sweep_opts.solver.num_threads = sweep_opts.num_threads;
+  const auto results = workload::sweep(xs, make, sweep_opts);
   workload::sweep_table("quantum", results, 4).print(std::cout);
 
   // Refine the sweep's impression with the library tuner: first a common

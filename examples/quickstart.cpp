@@ -10,12 +10,19 @@
 
 #include "gang/solver.hpp"
 #include "phase/builders.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 #include <iostream>
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gs;
+
+  util::Cli cli("quickstart",
+                "two-class gang-scheduled system, solved analytically");
+  cli.add_flag("threads", "1",
+               "worker threads for the per-class chains (same results)");
+  if (!cli.parse(argc, argv)) return 1;
 
   // --- describe the workload ------------------------------------------
   gang::ClassParams interactive{
@@ -39,6 +46,7 @@ int main() {
   // --- solve ------------------------------------------------------------
   gang::GangSolveOptions options;
   options.queue_dist_levels = 5;
+  options.num_threads = cli.get_int("threads");
   const gang::SolveReport report =
       gang::GangSolver(system, options).solve();
 

@@ -8,6 +8,7 @@
 #include "phase/fitting.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace gs::gang {
 
@@ -75,18 +76,29 @@ SolveReport GangSolver::run(const std::vector<PhaseType>& init_slices) const {
   SolveReport report;
   const int max_iter = options_.fixed_point ? options_.max_iterations : 1;
 
+  // One pool and one scratch Workspace per class for the whole fixed
+  // point: the chains keep their shapes across iterations, so after the
+  // first pass the R-matrix and boundary solves stop allocating. With
+  // num_threads <= 1 (or when this solver already runs on a pool worker,
+  // e.g. inside a parallel sweep) everything below degrades to the exact
+  // sequential path.
+  util::ThreadPool pool(
+      static_cast<std::size_t>(std::max(1, options_.num_threads)));
+  std::vector<qbd::Workspace> workspaces(L);
+
   for (int iter = 1; iter <= max_iter; ++iter) {
-    // Solve every class against the current away periods.
-    std::vector<ClassProcess> procs;
-    std::vector<qbd::QbdSolution> sols;
-    procs.reserve(L);
-    sols.reserve(L);
+    // Solve every class against the current away periods. The per-class
+    // chains are independent given `slices`, so they solve concurrently;
+    // each task touches only its own slots and workspace.
+    std::vector<std::optional<ClassProcess>> procs(L);
+    std::vector<std::optional<qbd::QbdSolution>> sols(L);
     std::vector<double> n(L, 0.0);
-    for (std::size_t p = 0; p < L; ++p) {
-      procs.emplace_back(params_, p, away_period(params_, p, slices));
-      sols.push_back(qbd::solve(procs.back().process(), options_.qbd));
-      n[p] = sols.back().mean_level();
-    }
+    pool.parallel_for(L, [&](std::size_t p) {
+      procs[p].emplace(params_, p, away_period(params_, p, slices));
+      sols[p].emplace(
+          qbd::solve(procs[p]->process(), options_.qbd, &workspaces[p]));
+      n[p] = sols[p]->mean_level();
+    });
 
     double delta = 0.0;
     for (std::size_t p = 0; p < L; ++p)
@@ -99,13 +111,12 @@ SolveReport GangSolver::run(const std::vector<PhaseType>& init_slices) const {
                       iter == max_iter;
 
     // Effective quanta drive both the next iteration and the report.
-    std::vector<EffectiveQuantum> effq;
-    effq.reserve(L);
-    for (std::size_t p = 0; p < L; ++p) {
-      effq.push_back(procs[p].effective_quantum(
-          sols[p], options_.truncation,
-          options_.eff_mode == EffQuantumMode::kExact));
-    }
+    std::vector<EffectiveQuantum> effq(L);
+    pool.parallel_for(L, [&](std::size_t p) {
+      effq[p] = procs[p]->effective_quantum(
+          *sols[p], options_.truncation,
+          options_.eff_mode == EffQuantumMode::kExact);
+    });
 
     if (done) {
       report.converged = !options_.fixed_point || delta < options_.tol;
@@ -117,20 +128,20 @@ SolveReport GangSolver::run(const std::vector<PhaseType>& init_slices) const {
                      ? "class" + std::to_string(p)
                      : params_.cls(p).name;
         r.mean_jobs = n[p];
-        r.var_jobs = sols[p].second_moment_level() - n[p] * n[p];
+        r.var_jobs = sols[p]->second_moment_level() - n[p] * n[p];
         r.response_time = n[p] / params_.cls(p).arrival_rate();
-        r.serving_fraction = procs[p].serving_time_fraction(sols[p]);
-        r.prob_empty = sols[p].level_mass(0);
-        r.sp_r = sols[p].spectral_radius_r();
+        r.serving_fraction = procs[p]->serving_time_fraction(*sols[p]);
+        r.prob_empty = sols[p]->level_mass(0);
+        r.sp_r = sols[p]->spectral_radius_r();
         r.eff_quantum_mean = effq[p].m1;
         r.eff_quantum_atom = effq[p].atom;
-        const auto view = procs[p].arrival_view(sols[p]);
+        const auto view = procs[p]->arrival_view(*sols[p]);
         r.arrive_immediate = view.prob_immediate;
         r.arrive_wait_slice = view.prob_wait_for_slice;
         r.arrive_queued = view.prob_queued;
         r.mean_slice_wait = view.mean_slice_wait;
         for (std::size_t lvl = 0; lvl < options_.queue_dist_levels; ++lvl)
-          r.queue_dist.push_back(sols[p].level_mass(lvl));
+          r.queue_dist.push_back(sols[p]->level_mass(lvl));
         report.mean_cycle_length +=
             effq[p].m1 + params_.cls(p).overhead.mean();
         report.per_class.push_back(std::move(r));

@@ -50,6 +50,12 @@ struct GangSolveOptions {
   /// Number of queue-length probabilities P(N_p = n) to report per class.
   std::size_t queue_dist_levels = 0;
   qbd::SolveOptions qbd{};
+  /// Lanes of concurrency across the L per-class chains of each
+  /// fixed-point iteration (the chains are independent given the away
+  /// periods, so this never reorders any floating-point reduction —
+  /// parallel reports are bitwise identical to sequential ones). <= 1
+  /// runs the exact sequential path.
+  int num_threads = 1;
 };
 
 struct ClassResult {

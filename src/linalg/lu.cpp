@@ -62,13 +62,31 @@ Vector Lu::solve(const Vector& b) const {
 }
 
 Matrix Lu::solve(const Matrix& b) const {
-  GS_CHECK(b.rows() == n_, "LU solve: rhs row count mismatch");
-  Matrix x(n_, b.cols());
-  for (std::size_t c = 0; c < b.cols(); ++c) {
-    Vector col = solve(b.col(c));
-    for (std::size_t r = 0; r < n_; ++r) x(r, c) = col[r];
-  }
+  Matrix x;
+  solve_into(b, x);
   return x;
+}
+
+void Lu::solve_into(const Matrix& b, Matrix& x) const {
+  GS_CHECK(b.rows() == n_, "LU solve: rhs row count mismatch");
+  GS_CHECK(&x != &b, "LU solve_into: x aliases b");
+  x.assign_zero(n_, b.cols());
+  Vector y(n_);  // the one scratch buffer, shared by every column
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    // Same forward/back substitution as solve(const Vector&), with the
+    // permuted load reading straight out of column c of b.
+    for (std::size_t i = 0; i < n_; ++i) {
+      double s = b(perm_[i], c);
+      for (std::size_t j = 0; j < i; ++j) s -= lu_(i, j) * y[j];
+      y[i] = s;
+    }
+    for (std::size_t ii = n_; ii-- > 0;) {
+      double s = y[ii];
+      for (std::size_t j = ii + 1; j < n_; ++j) s -= lu_(ii, j) * y[j];
+      y[ii] = s / lu_(ii, ii);
+    }
+    for (std::size_t r = 0; r < n_; ++r) x(r, c) = y[r];
+  }
 }
 
 Vector Lu::solve_left(const Vector& b) const {

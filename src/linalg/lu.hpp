@@ -23,6 +23,10 @@ class Lu {
   Vector solve(const Vector& b) const;
   /// Solve A X = B column-by-column.
   Matrix solve(const Matrix& b) const;
+  /// Solve A X = B into `x`, reusing its storage (no allocation when the
+  /// shape already matches). `x` must not alias `b`. Same arithmetic,
+  /// bit for bit, as solve(const Matrix&).
+  void solve_into(const Matrix& b, Matrix& x) const;
   /// Solve x A = b (row system), reusing the same factors.
   Vector solve_left(const Vector& b) const;
 

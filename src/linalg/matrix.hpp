@@ -69,6 +69,11 @@ class Matrix {
   /// Infinity norm: max row sum of absolute values.
   double norm_inf() const;
 
+  /// Reshape to rows x cols and zero-fill, reusing the existing
+  /// allocation when it is large enough — the workhorse of the solver
+  /// workspaces, which call the same shapes over and over.
+  void assign_zero(std::size_t rows, std::size_t cols);
+
   /// Copy `src` into this matrix with its (0,0) at (r0, c0); must fit.
   void insert_block(std::size_t r0, std::size_t c0, const Matrix& src);
   /// Extract the block of shape (nr, nc) whose top-left corner is (r0, c0).
@@ -86,6 +91,18 @@ Matrix operator-(Matrix a, const Matrix& b);
 Matrix operator*(const Matrix& a, const Matrix& b);
 Matrix operator*(double s, Matrix a);
 Matrix operator*(Matrix a, double s);
+
+/// out = a b, reusing out's storage (no allocation when the shape was
+/// already right). `out` must not alias `a` or `b`. The kernel is
+/// cache-blocked over (i, k) but accumulates each out(i, j) strictly in
+/// ascending-k order, so the result is bitwise identical to
+/// multiply_naive — blocking changes the traversal, never the arithmetic.
+void multiply_into(Matrix& out, const Matrix& a, const Matrix& b);
+
+/// Reference triple-loop product (i-k-j order). Kept as the ground truth
+/// the blocked kernel is diffed against in tests and benchmarked against
+/// in bench/micro_kernels.
+Matrix multiply_naive(const Matrix& a, const Matrix& b);
 
 /// Row vector times matrix: y = x A (x has a.rows() entries).
 Vector operator*(const Vector& x, const Matrix& a);

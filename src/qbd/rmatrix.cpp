@@ -1,11 +1,25 @@
 #include "qbd/rmatrix.hpp"
 
 #include <cmath>
+#include <string>
 
 #include "linalg/lu.hpp"
 #include "util/error.hpp"
 
 namespace gs::qbd {
+
+namespace {
+
+// ws.iu = I - u, written elementwise into reused storage.
+void identity_minus_into(Matrix& out, const Matrix& u) {
+  const std::size_t d = u.rows();
+  out.assign_zero(d, d);
+  for (std::size_t i = 0; i < d; ++i)
+    for (std::size_t j = 0; j < d; ++j)
+      out(i, j) = (i == j ? 1.0 : 0.0) - u(i, j);
+}
+
+}  // namespace
 
 double r_residual(const Matrix& r, const Matrix& a0, const Matrix& a1,
                   const Matrix& a2) {
@@ -14,9 +28,12 @@ double r_residual(const Matrix& r, const Matrix& a0, const Matrix& a1,
 
 RSolveResult solve_r_substitution(const Matrix& a0, const Matrix& a1,
                                   const Matrix& a2,
-                                  const RSolveOptions& opts) {
+                                  const RSolveOptions& opts, Workspace* ws) {
   const std::size_t d = a1.rows();
   GS_CHECK(a0.rows() == d && a2.rows() == d, "R solve: block size mismatch");
+
+  Workspace local;
+  Workspace& w = ws ? *ws : local;
 
   // A1 is strictly diagonally dominant by columns? By rows: |a1_ii| >=
   // off-diag + exits, so -A1 is an M-matrix and invertible.
@@ -25,65 +42,107 @@ RSolveResult solve_r_substitution(const Matrix& a0, const Matrix& a1,
   const Matrix inv_neg_a1 = linalg::inverse(neg_a1);
 
   RSolveResult out;
-  Matrix r(d, d);
+  w.r_cur.assign_zero(d, d);
+  bool converged = false;
+  double delta = 0.0;
   for (int it = 1; it <= opts.max_iter; ++it) {
-    const Matrix next = (a0 + r * r * a2) * inv_neg_a1;
-    const double delta = linalg::max_abs_diff(next, r);
-    r = next;
+    linalg::multiply_into(w.r_sq, w.r_cur, w.r_cur);
+    linalg::multiply_into(w.r_num, w.r_sq, a2);
+    w.r_num += a0;  // (A0 + R^2 A2)
+    linalg::multiply_into(w.r_next, w.r_num, inv_neg_a1);
+    delta = linalg::max_abs_diff(w.r_next, w.r_cur);
+    std::swap(w.r_cur, w.r_next);
     out.iterations = it;
-    if (delta <= opts.tol) break;
+    if (delta <= opts.tol) {
+      converged = true;
+      break;
+    }
   }
-  out.residual = r_residual(r, a0, a1, a2);
+  out.residual = r_residual(w.r_cur, a0, a1, a2);
+  if (!converged) {
+    throw NumericalError(
+        "successive substitution for R exhausted max_iter=" +
+        std::to_string(opts.max_iter) + " (last step " +
+        std::to_string(delta) + " > tol " + std::to_string(opts.tol) +
+        ", residual " + std::to_string(out.residual) +
+        "); the chain is likely not positive recurrent");
+  }
   if (out.residual > 1e-8 * std::max(1.0, a1.max_abs())) {
     throw NumericalError(
-        "successive substitution for R did not converge; the chain is "
-        "likely not positive recurrent");
+        "successive substitution for R converged in " +
+        std::to_string(out.iterations) + " iterations but the residual " +
+        std::to_string(out.residual) +
+        " fails the defining equation; the chain is likely not positive "
+        "recurrent");
   }
-  out.r = std::move(r);
+  out.r = w.r_cur;
   return out;
 }
 
 RSolveResult solve_r_logreduction(const Matrix& a0, const Matrix& a1,
                                   const Matrix& a2,
-                                  const RSolveOptions& opts) {
+                                  const RSolveOptions& opts, Workspace* ws) {
   const std::size_t d = a1.rows();
   GS_CHECK(a0.rows() == d && a2.rows() == d, "R solve: block size mismatch");
-  const Matrix eye = Matrix::identity(d);
+
+  Workspace local;
+  Workspace& w = ws ? *ws : local;
 
   Matrix neg_a1 = a1;
   neg_a1 *= -1.0;
   linalg::Lu lu(neg_a1);
   // H: one-step up kernel; L: one-step down kernel of the censored chain.
-  Matrix h = lu.solve(a0);
-  Matrix l = lu.solve(a2);
+  lu.solve_into(a0, w.h);
+  lu.solve_into(a2, w.l);
 
   RSolveResult out;
-  Matrix g = l;
-  Matrix t = h;
+  w.g = w.l;
+  w.t = w.h;
+  bool converged = false;
   for (int it = 1; it <= opts.max_iter; ++it) {
-    const Matrix u = h * l + l * h;
-    const Matrix m_h = h * h;
-    const Matrix m_l = l * l;
-    linalg::Lu lu_u(eye - u);
-    h = lu_u.solve(m_h);
-    l = lu_u.solve(m_l);
-    const Matrix incr = t * l;
-    g += incr;
-    t = t * h;
+    // U = H L + L H; the squared kernels H^2, L^2 are formed before H and
+    // L are overwritten by the solves against (I - U).
+    linalg::multiply_into(w.u, w.h, w.l);
+    linalg::multiply_into(w.lh, w.l, w.h);
+    w.u += w.lh;
+    linalg::multiply_into(w.hh, w.h, w.h);
+    linalg::multiply_into(w.ll, w.l, w.l);
+    identity_minus_into(w.iu, w.u);
+    linalg::Lu lu_u(w.iu);
+    lu_u.solve_into(w.hh, w.h);
+    lu_u.solve_into(w.ll, w.l);
+    linalg::multiply_into(w.incr, w.t, w.l);
+    w.g += w.incr;
+    linalg::multiply_into(w.tmp, w.t, w.h);
+    std::swap(w.t, w.tmp);
     out.iterations = it;
     // Quadratic convergence: both the increment just added and the carry
     // matrix T collapse to zero.
-    if (incr.max_abs() <= opts.tol && t.max_abs() <= opts.tol) break;
+    if (w.incr.max_abs() <= opts.tol && w.t.max_abs() <= opts.tol) {
+      converged = true;
+      break;
+    }
   }
 
   // U = A1 + A0 G; R = A0 (-U)^{-1}.
-  Matrix neg_u = a1 + a0 * g;
+  Matrix neg_u = a1 + a0 * w.g;
   neg_u *= -1.0;
   out.r = a0 * linalg::inverse(neg_u);
-  out.g = std::move(g);
+  out.g = w.g;
   out.residual = r_residual(out.r, a0, a1, a2);
+  if (!converged) {
+    throw NumericalError(
+        "logarithmic reduction for R exhausted max_iter=" +
+        std::to_string(opts.max_iter) + " (last increment " +
+        std::to_string(w.incr.max_abs()) + " > tol " +
+        std::to_string(opts.tol) + ", residual " +
+        std::to_string(out.residual) + ")");
+  }
   if (out.residual > 1e-8 * std::max(1.0, a1.max_abs())) {
-    throw NumericalError("logarithmic reduction for R did not converge");
+    throw NumericalError(
+        "logarithmic reduction for R did not converge (residual " +
+        std::to_string(out.residual) + " after " +
+        std::to_string(out.iterations) + " iterations)");
   }
   return out;
 }

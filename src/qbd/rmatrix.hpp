@@ -29,16 +29,40 @@ struct RSolveResult {
   double residual = 0.0;  ///< max|A0 + R A1 + R^2 A2|
 };
 
-/// Successive substitution from R = 0.
+/// Reusable scratch storage for the R-matrix iterations and the QBD
+/// boundary solve. Every matrix-valued temporary of the hot loops lives
+/// here, so a caller that solves the same chain shapes repeatedly (the
+/// gang fixed point re-solves L chains per iteration) stops allocating
+/// after the first pass. One Workspace belongs to one solve at a time —
+/// concurrent per-class solves each carry their own (that is exactly how
+/// gang::GangSolver hands them to its thread-pool tasks). A
+/// default-constructed Workspace is empty; the solvers shape it on use.
+struct Workspace {
+  // Logarithmic reduction: the H/L/G/T iterates and their products.
+  Matrix h, l, g, t;
+  Matrix u, lh, hh, ll, iu, incr, tmp;
+  // Successive substitution: R, R^2, R^2 A2 + A0, and the next iterate.
+  Matrix r_cur, r_sq, r_num, r_next;
+  // Boundary balance system (qbd::solve): R A2, the assembled balance
+  // matrix, and its transpose.
+  Matrix ra2, bal, balt;
+};
+
+/// Successive substitution from R = 0. Throws gs::NumericalError with the
+/// iteration count and residual when `max_iter` is exhausted before the
+/// step size reaches `tol`, or when the converged iterate fails the
+/// defining-equation residual check.
 RSolveResult solve_r_substitution(const Matrix& a0, const Matrix& a1,
                                   const Matrix& a2,
-                                  const RSolveOptions& opts = {});
+                                  const RSolveOptions& opts = {},
+                                  Workspace* ws = nullptr);
 
 /// Logarithmic reduction. Works for both recurrent and transient chains
 /// (G comes out stochastic respectively sub-stochastic).
 RSolveResult solve_r_logreduction(const Matrix& a0, const Matrix& a1,
                                   const Matrix& a2,
-                                  const RSolveOptions& opts = {});
+                                  const RSolveOptions& opts = {},
+                                  Workspace* ws = nullptr);
 
 /// max|A0 + R A1 + R^2 A2| — the defining-equation residual.
 double r_residual(const Matrix& r, const Matrix& a0, const Matrix& a1,

@@ -102,7 +102,10 @@ double QbdSolution::total_mass() const {
   return acc + linalg::sum(repeating_phase_mass());
 }
 
-QbdSolution solve(const QbdProcess& process, const SolveOptions& opts) {
+QbdSolution solve(const QbdProcess& process, const SolveOptions& opts,
+                  Workspace* ws) {
+  Workspace local;
+  Workspace& w = ws ? *ws : local;
   const QbdBlocks& blk = process.blocks();
 
   if (!opts.skip_stability_check) {
@@ -117,8 +120,8 @@ QbdSolution solve(const QbdProcess& process, const SolveOptions& opts) {
 
   const RSolveResult rres =
       opts.r_method == RMethod::kLogReduction
-          ? solve_r_logreduction(blk.a0, blk.a1, blk.a2, opts.r_options)
-          : solve_r_substitution(blk.a0, blk.a1, blk.a2, opts.r_options);
+          ? solve_r_logreduction(blk.a0, blk.a1, blk.a2, opts.r_options, &w)
+          : solve_r_substitution(blk.a0, blk.a1, blk.a2, opts.r_options, &w);
   const Matrix& r = rres.r;
 
   const auto spec = linalg::spectral_radius(r);
@@ -136,16 +139,22 @@ QbdSolution solve(const QbdProcess& process, const SolveOptions& opts) {
   //   level-b columns:   x_B B01 + x_b (B11 + R A2) = 0
   // with one equation replaced by the normalization (eq. 24):
   //   x_B e + x_b (I-R)^{-1} e = 1.
-  Matrix m(n, n);
+  linalg::multiply_into(w.ra2, r, blk.a2);
+  w.ra2 += blk.b11;  // the level-b diagonal block B11 + R A2
+  Matrix& m = w.bal;
+  m.assign_zero(n, n);
   m.insert_block(0, 0, blk.b00);
   m.insert_block(0, D, blk.b01);
   m.insert_block(D, 0, blk.b10);
-  m.insert_block(D, D, blk.b11 + r * blk.a2);
+  m.insert_block(D, D, w.ra2);
 
   // Transpose into column form M^T x^T = 0 and overwrite the first
   // equation with the normalization row (the balance equations have rank
   // n-1 for an irreducible chain, so dropping any single one is safe).
-  Matrix mt = m.transpose();
+  Matrix& mt = w.balt;
+  mt.assign_zero(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) mt(i, j) = m(j, i);
   const Matrix i_minus_r_inv = linalg::inverse(Matrix::identity(d) - r);
   const Vector tail_weights = i_minus_r_inv * linalg::ones(d);
   for (std::size_t j = 0; j < D; ++j) mt(0, j) = 1.0;

@@ -71,6 +71,12 @@ class QbdSolution {
 
 /// Solve the QBD. Throws gs::NumericalError when the drift condition
 /// fails (unless skipped) or the linear algebra breaks down.
-QbdSolution solve(const QbdProcess& process, const SolveOptions& opts = {});
+///
+/// `ws` is optional scratch storage (see qbd::Workspace): callers that
+/// solve same-shaped chains repeatedly — the gang fixed point re-solves L
+/// chains every iteration — pass one Workspace per concurrent solve and
+/// the R-matrix and boundary temporaries stop being reallocated.
+QbdSolution solve(const QbdProcess& process, const SolveOptions& opts = {},
+                  Workspace* ws = nullptr);
 
 }  // namespace gs::qbd

@@ -1,5 +1,6 @@
 #include "sim/gang_simulator.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <deque>
 #include <vector>
@@ -9,6 +10,7 @@
 #include "sim/stats.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace gs::sim {
 
@@ -376,15 +378,19 @@ SimResult GangSimulator::run() {
 }
 
 SimResult run_replicated(const gang::SystemParams& params,
-                         const SimConfig& config, std::size_t replications) {
+                         const SimConfig& config, std::size_t replications,
+                         std::size_t num_threads) {
   GS_CHECK(replications >= 1, "need at least one replication");
-  std::vector<SimResult> runs;
-  runs.reserve(replications);
-  for (std::size_t r = 0; r < replications; ++r) {
+  std::vector<SimResult> runs(replications);
+  // Replications are independent by construction (each derives its own
+  // RNG stream from its index), so they fill their slots concurrently;
+  // everything below this loop reads `runs` in index order.
+  util::ThreadPool pool(std::max<std::size_t>(num_threads, 1));
+  pool.parallel_for(replications, [&](std::size_t r) {
     SimConfig c = config;
     c.seed = config.seed + 0x9E3779B97F4A7C15ull * (r + 1);
-    runs.push_back(GangSimulator(params, c).run());
-  }
+    runs[r] = GangSimulator(params, c).run();
+  });
   SimResult out = runs.front();
   const std::size_t L = out.per_class.size();
   // Average means across replications; CI from the replication spread.

@@ -39,7 +39,15 @@ class GangSimulator {
 /// Convenience: run `replications` independent runs (seeds derived from
 /// config.seed) and average the per-class means; response_ci becomes the
 /// across-replication 95% CI.
+///
+/// Replications execute on up to `num_threads` pool lanes. Each
+/// replication's RNG stream is derived deterministically from its index
+/// (seed + index * odd constant — the same derivation the sequential
+/// path always used) and the averaging pass runs sequentially in
+/// replication order, so the result is bitwise identical at any thread
+/// count.
 SimResult run_replicated(const gang::SystemParams& params,
-                         const SimConfig& config, std::size_t replications);
+                         const SimConfig& config, std::size_t replications,
+                         std::size_t num_threads = 1);
 
 }  // namespace gs::sim

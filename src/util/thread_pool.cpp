@@ -1,0 +1,118 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <memory>
+
+namespace gs::util {
+
+namespace {
+thread_local bool t_on_worker = false;
+}  // namespace
+
+// One parallel_for invocation. Workers and the caller all drain indices
+// from `next`; `completed` counts indices whose slot has been fully
+// accounted for (ran, or was visited after an error), so the caller can
+// wait for exactly n acknowledgements regardless of which thread took
+// which index.
+struct ThreadPool::Batch {
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::size_t completed = 0;
+  // Lowest-index exception — the one a sequential loop would have thrown.
+  std::size_t error_index = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr error;
+
+  void drain() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (i < error_index) {
+          error_index = i;
+          error = std::current_exception();
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (++completed == n) done_cv.notify_all();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads <= 1 || on_worker_thread()) return;
+  workers_.reserve(num_threads - 1);
+  for (std::size_t t = 0; t + 1 < num_threads; ++t)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+bool ThreadPool::on_worker_thread() { return t_on_worker; }
+
+void ThreadPool::worker_loop() {
+  t_on_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (workers_.empty() || n <= 1 || on_worker_thread()) {
+    // The exact sequential path: index order, caller's thread, exceptions
+    // surface straight from the first failing index.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto batch = std::make_shared<Batch>();
+  batch->n = n;
+  batch->fn = &fn;
+
+  // One drain task per worker (capped by n - the caller takes a lane too);
+  // a worker that arrives after the batch is exhausted returns at once.
+  const std::size_t helpers = std::min(workers_.size(), n - 1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t t = 0; t < helpers; ++t)
+      queue_.emplace_back([batch] { batch->drain(); });
+  }
+  cv_.notify_all();
+
+  // The calling thread takes a lane too. While it drains it counts as a
+  // worker, so any nested parallelism it reaches (a solver inside a sweep
+  // point) degrades to sequential instead of spawning a second pool.
+  t_on_worker = true;
+  batch->drain();
+  t_on_worker = false;
+
+  std::unique_lock<std::mutex> lock(batch->mu);
+  batch->done_cv.wait(lock, [&] { return batch->completed == batch->n; });
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+}  // namespace gs::util

@@ -1,0 +1,79 @@
+// Fixed-size thread pool and data-parallel helpers for the solver stack.
+//
+// Design constraints, in order:
+//  * `num_threads <= 1` must be the *exact* sequential path — the caller's
+//    loop body runs on the calling thread, in index order, with no worker
+//    machinery in between. This is what the determinism tests diff against.
+//  * Parallelism only ever partitions independent tasks (per-class chains,
+//    sweep points, simulator replications); it never splits a floating-
+//    point reduction, so a parallel run is bitwise identical to the
+//    sequential one.
+//  * Nested use is safe: a `parallel_for` issued from inside a pool worker
+//    degrades to the sequential path instead of deadlocking on its own
+//    queue (the outer level already owns the concurrency).
+//  * Exceptions thrown by tasks propagate to the caller. When several
+//    tasks throw, the one with the lowest index wins — exactly the
+//    exception a sequential loop would have surfaced.
+//
+// There is deliberately no work stealing and no global singleton pool:
+// each solve/sweep owns a pool sized by its options, and the pool dies
+// with it. Tasks at every level are coarse (a full QBD solve, a full
+// simulator replication), so a mutex-guarded queue is nowhere near the
+// bottleneck.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gs::util {
+
+class ThreadPool {
+ public:
+  /// A pool with `num_threads` total lanes of concurrency, *including*
+  /// the calling thread (which participates in every parallel_for).
+  /// `num_threads <= 1` spawns no workers at all. Constructed from inside
+  /// another pool's worker, it also spawns no workers — nesting degrades
+  /// to sequential execution.
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency: worker threads + the calling thread.
+  std::size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Run fn(i) for every i in [0, n), blocking until all complete.
+  /// Sequential (in index order, on the calling thread) when the pool has
+  /// no workers, n <= 1, or the caller is itself a pool worker. Rethrows
+  /// the lowest-index exception after all indices have been accounted for.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// parallel_for that collects fn(i) into a vector, preserving order.
+  template <typename T, typename F>
+  std::vector<T> parallel_map(std::size_t n, F&& fn) {
+    std::vector<T> out(n);
+    parallel_for(n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+  /// True on a thread owned by *any* ThreadPool — the nesting guard.
+  static bool on_worker_thread();
+
+ private:
+  struct Batch;
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace gs::util

@@ -1,7 +1,10 @@
 #include "workload/sweep.hpp"
 
+#include <algorithm>
+
 #include "sim/gang_simulator.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace gs::workload {
 
@@ -9,12 +12,17 @@ std::vector<SweepPoint> sweep(
     const std::vector<double>& xs,
     const std::function<gang::SystemParams(double)>& make_system,
     const SweepOptions& opts) {
-  std::vector<SweepPoint> out;
-  out.reserve(xs.size());
-  for (double x : xs) {
-    SweepPoint point;
-    point.x = x;
-    const gang::SystemParams sys = make_system(x);
+  std::vector<SweepPoint> out(xs.size());
+  const std::size_t threads =
+      static_cast<std::size_t>(std::max(1, opts.num_threads));
+  util::ThreadPool pool(threads);
+  // Each task owns exactly one output row; errors stay per-point, so one
+  // unstable x never disturbs its neighbours (the paper's sweeps cross
+  // stability boundaries on purpose).
+  pool.parallel_for(xs.size(), [&](std::size_t i) {
+    SweepPoint& point = out[i];
+    point.x = xs[i];
+    const gang::SystemParams sys = make_system(xs[i]);
     try {
       const gang::SolveReport rep =
           gang::GangSolver(sys, opts.solver).solve();
@@ -29,11 +37,10 @@ std::vector<SweepPoint> sweep(
       cfg.horizon = opts.sim_horizon;
       cfg.seed = opts.sim_seed;
       const sim::SimResult sr =
-          sim::run_replicated(sys, cfg, opts.sim_replications);
+          sim::run_replicated(sys, cfg, opts.sim_replications, threads);
       for (const auto& s : sr.per_class) point.sim_n.push_back(s.mean_jobs);
     }
-    out.push_back(std::move(point));
-  }
+  });
   return out;
 }
 

@@ -33,10 +33,19 @@ struct SweepOptions {
   double sim_warmup = 5000.0;
   std::size_t sim_replications = 1;
   std::uint64_t sim_seed = 20260706;
+  /// Lanes of concurrency across the x-points (each point's solve and
+  /// simulation are independent; output keeps row order and per-point
+  /// error capture, and is bitwise identical to the sequential run).
+  /// When > 1, the per-point solver/simulator concurrency degrades to
+  /// sequential inside the pool workers — the sweep level owns the
+  /// threads. <= 1 runs the exact sequential path.
+  int num_threads = 1;
 };
 
 /// Evaluate `make_system(x)` at each x; unstable points are recorded, not
-/// fatal (the paper's sweeps cross stability boundaries).
+/// fatal (the paper's sweeps cross stability boundaries). `make_system`
+/// must be safe to call concurrently when opts.num_threads > 1 (every
+/// factory in workload::paper_configs is a pure function of x).
 std::vector<SweepPoint> sweep(
     const std::vector<double>& xs,
     const std::function<gang::SystemParams(double)>& make_system,

@@ -1,0 +1,85 @@
+// Determinism of the concurrent per-class solves inside GangSolver: with
+// num_threads > 1 the L chains of each fixed-point iteration solve on
+// separate pool lanes (each with its own qbd::Workspace), and the
+// resulting SolveReport must be bitwise identical to the sequential one.
+#include "gang/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/error.hpp"
+#include "workload/paper_configs.hpp"
+
+namespace {
+
+using namespace gs;
+using namespace gs::gang;
+
+void expect_identical(const SolveReport& a, const SolveReport& b) {
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.final_delta, b.final_delta);
+  EXPECT_EQ(a.used_optimistic_init, b.used_optimistic_init);
+  EXPECT_EQ(a.mean_cycle_length, b.mean_cycle_length);
+  ASSERT_EQ(a.per_class.size(), b.per_class.size());
+  for (std::size_t p = 0; p < a.per_class.size(); ++p) {
+    SCOPED_TRACE("class " + std::to_string(p));
+    const ClassResult& x = a.per_class[p];
+    const ClassResult& y = b.per_class[p];
+    EXPECT_EQ(x.name, y.name);
+    EXPECT_EQ(x.mean_jobs, y.mean_jobs);
+    EXPECT_EQ(x.var_jobs, y.var_jobs);
+    EXPECT_EQ(x.response_time, y.response_time);
+    EXPECT_EQ(x.serving_fraction, y.serving_fraction);
+    EXPECT_EQ(x.prob_empty, y.prob_empty);
+    EXPECT_EQ(x.sp_r, y.sp_r);
+    EXPECT_EQ(x.eff_quantum_mean, y.eff_quantum_mean);
+    EXPECT_EQ(x.eff_quantum_atom, y.eff_quantum_atom);
+    EXPECT_EQ(x.arrive_immediate, y.arrive_immediate);
+    EXPECT_EQ(x.arrive_wait_slice, y.arrive_wait_slice);
+    EXPECT_EQ(x.arrive_queued, y.arrive_queued);
+    EXPECT_EQ(x.mean_slice_wait, y.mean_slice_wait);
+    ASSERT_EQ(x.queue_dist.size(), y.queue_dist.size());
+    for (std::size_t i = 0; i < x.queue_dist.size(); ++i)
+      EXPECT_EQ(x.queue_dist[i], y.queue_dist[i]);
+  }
+}
+
+TEST(GangSolverParallel, ReportBitwiseEqualsSequential) {
+  workload::PaperKnobs knobs;
+  knobs.arrival_rate = 0.6;
+  const SystemParams sys = workload::paper_system(knobs);
+
+  GangSolveOptions seq;
+  seq.queue_dist_levels = 6;
+  GangSolveOptions par = seq;
+  par.num_threads = 4;
+
+  expect_identical(GangSolver(sys, seq).solve(),
+                   GangSolver(sys, par).solve());
+}
+
+TEST(GangSolverParallel, RepeatedParallelSolvesAreStable) {
+  // Workspace reuse across iterations must not leak state between solves:
+  // the same solver run twice gives the same bits.
+  workload::PaperKnobs knobs;
+  knobs.arrival_rate = 0.8;
+  const SystemParams sys = workload::paper_system(knobs);
+  GangSolveOptions par;
+  par.num_threads = 4;
+  const GangSolver solver(sys, par);
+  expect_identical(solver.solve(), solver.solve());
+}
+
+TEST(GangSolverParallel, UnstableSystemThrowsAtAnyThreadCount) {
+  workload::PaperKnobs knobs;
+  knobs.arrival_rate = 1.2;  // rho > 1: never stable
+  const SystemParams sys = workload::paper_system(knobs);
+  GangSolveOptions par;
+  par.num_threads = 4;
+  EXPECT_THROW(GangSolver(sys, par).solve(), NumericalError);
+  EXPECT_THROW(GangSolver(sys).solve(), NumericalError);
+}
+
+}  // namespace

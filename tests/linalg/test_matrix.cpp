@@ -110,6 +110,72 @@ TEST(Matrix, NormsAndRowSums) {
   EXPECT_DOUBLE_EQ(rs[1], -2.5);
 }
 
+Matrix pseudo_random(std::size_t rows, std::size_t cols, unsigned salt) {
+  // Deterministic fill with a spread of magnitudes/signs and exact zeros so
+  // the blocked kernel's zero-skip path is exercised.
+  Matrix m(rows, cols);
+  unsigned state = salt * 2654435761u + 12345u;
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      state = state * 1664525u + 1013904223u;
+      if (state % 7u == 0u) continue;  // leave an exact 0.0
+      m(i, j) = (static_cast<double>(state % 2000u) - 1000.0) / 37.0;
+    }
+  }
+  return m;
+}
+
+TEST(Matrix, BlockedMultiplyBitwiseMatchesNaive) {
+  // Sizes straddle the 64-wide cache block: smaller, equal, one tile plus a
+  // ragged remainder, and a tall-thin / short-wide pair.
+  const std::size_t dims[][3] = {
+      {5, 7, 3}, {64, 64, 64}, {130, 150, 97}, {1, 200, 65}, {96, 1, 80}};
+  for (const auto& d : dims) {
+    const Matrix a = pseudo_random(d[0], d[1], 1);
+    const Matrix b = pseudo_random(d[1], d[2], 2);
+    const Matrix ref = gs::linalg::multiply_naive(a, b);
+    const Matrix blk = a * b;
+    ASSERT_EQ(blk.rows(), ref.rows());
+    ASSERT_EQ(blk.cols(), ref.cols());
+    for (std::size_t i = 0; i < ref.rows(); ++i)
+      for (std::size_t j = 0; j < ref.cols(); ++j)
+        EXPECT_EQ(blk(i, j), ref(i, j)) << i << "," << j;
+  }
+}
+
+TEST(Matrix, MultiplyIntoReusesAndResizes) {
+  const Matrix a = pseudo_random(70, 40, 3);
+  const Matrix b = pseudo_random(40, 90, 4);
+  Matrix out(2, 2);  // wrong shape and stale contents
+  out(0, 0) = 42.0;
+  gs::linalg::multiply_into(out, a, b);
+  EXPECT_EQ(out.rows(), 70u);
+  EXPECT_EQ(out.cols(), 90u);
+  EXPECT_DOUBLE_EQ(gs::linalg::max_abs_diff(out, a * b), 0.0);
+  // Second call with the right shape must fully overwrite, not accumulate.
+  gs::linalg::multiply_into(out, a, b);
+  EXPECT_DOUBLE_EQ(gs::linalg::max_abs_diff(out, a * b), 0.0);
+}
+
+TEST(Matrix, MultiplyIntoRejectsAliasedOutput) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  EXPECT_THROW(gs::linalg::multiply_into(a, a, b), gs::InvalidArgument);
+  EXPECT_THROW(gs::linalg::multiply_into(b, a, b), gs::InvalidArgument);
+}
+
+TEST(Matrix, AssignZeroResetsShapeAndContents) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  m.assign_zero(3, 5);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 5u);
+  EXPECT_DOUBLE_EQ(m.max_abs(), 0.0);
+  m(2, 4) = 9.0;
+  m.assign_zero(2, 2);  // shrink: stale values must not survive
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_DOUBLE_EQ(m.max_abs(), 0.0);
+}
+
 TEST(VectorHelpers, DotSumAxpyNorm) {
   Vector a{1.0, 2.0, 3.0};
   Vector b{4.0, 5.0, 6.0};

@@ -87,4 +87,60 @@ TEST(RMatrix, BlockSizeMismatchThrows) {
       gs::InvalidArgument);
 }
 
+TEST(RMatrix, SubstitutionReportsExhaustedIterations) {
+  // A stable chain whose substitution iteration cannot finish in the
+  // budget: exhaustion itself must be reported (not just a bad residual),
+  // with the iteration count and step size in the message.
+  const auto proc = qt::me21(0.9, 1.0);
+  const auto& blk = proc.blocks();
+  gs::qbd::RSolveOptions opts;
+  opts.max_iter = 3;
+  try {
+    solve_r_substitution(blk.a0, blk.a1, blk.a2, opts);
+    FAIL() << "expected NumericalError on max_iter exhaustion";
+  } catch (const gs::NumericalError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("max_iter=3"), std::string::npos) << what;
+    EXPECT_NE(what.find("residual"), std::string::npos) << what;
+  }
+}
+
+TEST(RMatrix, LogReductionReportsExhaustedIterations) {
+  // Same contract for logarithmic reduction: an exhausted budget must
+  // throw rather than hand back a half-converged R.
+  const auto proc = qt::me21(0.9, 1.0);
+  const auto& blk = proc.blocks();
+  gs::qbd::RSolveOptions opts;
+  opts.max_iter = 1;
+  try {
+    solve_r_logreduction(blk.a0, blk.a1, blk.a2, opts);
+    FAIL() << "expected NumericalError on max_iter exhaustion";
+  } catch (const gs::NumericalError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("max_iter=1"), std::string::npos) << what;
+  }
+}
+
+TEST(RMatrix, WorkspaceReuseGivesIdenticalResults) {
+  // A Workspace carried across solves of different chains must never
+  // change any bit of the answers.
+  gs::qbd::Workspace ws;
+  for (double rho : {0.3, 0.6, 0.9}) {
+    const auto proc = qt::me21(rho, 1.0);
+    const auto& blk = proc.blocks();
+    const auto fresh = solve_r_logreduction(blk.a0, blk.a1, blk.a2);
+    const auto reused =
+        solve_r_logreduction(blk.a0, blk.a1, blk.a2, {}, &ws);
+    EXPECT_EQ(fresh.iterations, reused.iterations);
+    EXPECT_EQ(gs::linalg::max_abs_diff(fresh.r, reused.r), 0.0);
+    EXPECT_EQ(gs::linalg::max_abs_diff(fresh.g, reused.g), 0.0);
+
+    const auto fresh_ss = solve_r_substitution(blk.a0, blk.a1, blk.a2);
+    const auto reused_ss =
+        solve_r_substitution(blk.a0, blk.a1, blk.a2, {}, &ws);
+    EXPECT_EQ(fresh_ss.iterations, reused_ss.iterations);
+    EXPECT_EQ(gs::linalg::max_abs_diff(fresh_ss.r, reused_ss.r), 0.0);
+  }
+}
+
 }  // namespace

@@ -1,0 +1,146 @@
+// ThreadPool contract tests: task completion, exception propagation out
+// of workers (lowest index wins, matching the sequential loop), nested-
+// submit safety, and the num_threads <= 1 sequential passthrough.
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using gs::util::ThreadPool;
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ReusableAcrossManyBatches) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> sum{0};
+    pool.parallel_for(10, [&](std::size_t i) {
+      sum.fetch_add(static_cast<int>(i));
+    });
+    EXPECT_EQ(sum.load(), 45);
+  }
+}
+
+TEST(ThreadPool, SingleThreadRunsOnCallerInOrder) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  pool.parallel_for(16, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);  // safe: sequential path, no data race
+  });
+  ASSERT_EQ(order.size(), 16u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, ZeroAndOneElementBatches) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(1, [&](std::size_t) { ++calls; });  // inline on caller
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, PropagatesExceptionAndStaysUsable) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(64,
+                        [&](std::size_t i) {
+                          if (i % 7 == 3) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool survives a throwing batch.
+  std::atomic<int> sum{0};
+  pool.parallel_for(8, [&](std::size_t i) {
+    sum.fetch_add(static_cast<int>(i));
+  });
+  EXPECT_EQ(sum.load(), 28);
+}
+
+TEST(ThreadPool, LowestIndexExceptionWins) {
+  // Several tasks throw; the caller must see the one the sequential loop
+  // would have thrown — the lowest index — every time.
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    try {
+      pool.parallel_for(100, [&](std::size_t i) {
+        if (i >= 11 && i % 2 == 1) throw std::runtime_error(
+            "index " + std::to_string(i));
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "index 11");
+    }
+  }
+}
+
+TEST(ThreadPool, NestedSubmitRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> inner_hits(64);
+  pool.parallel_for(8, [&](std::size_t) {
+    EXPECT_TRUE(ThreadPool::on_worker_thread());
+    // A nested parallel_for on the same pool must not deadlock on the
+    // queue; it degrades to the sequential path on this worker.
+    pool.parallel_for(8, [&](std::size_t j) {
+      inner_hits[j].fetch_add(1);
+    });
+  });
+  for (std::size_t j = 0; j < 8; ++j) EXPECT_EQ(inner_hits[j].load(), 8);
+  EXPECT_FALSE(ThreadPool::on_worker_thread());
+}
+
+TEST(ThreadPool, NestedPoolConstructionDegradesToSequential) {
+  ThreadPool outer(4);
+  outer.parallel_for(4, [&](std::size_t) {
+    ThreadPool inner(4);  // constructed on a worker: must spawn nothing
+    EXPECT_EQ(inner.num_threads(), 1u);
+    const auto self = std::this_thread::get_id();
+    inner.parallel_for(4, [&](std::size_t) {
+      EXPECT_EQ(std::this_thread::get_id(), self);
+    });
+  });
+}
+
+TEST(ThreadPool, ParallelMapPreservesOrder) {
+  ThreadPool pool(4);
+  const auto out = pool.parallel_map<int>(
+      100, [](std::size_t i) { return static_cast<int>(i * i); });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_EQ(out[i], static_cast<int>(i * i));
+}
+
+TEST(ThreadPool, UsesMultipleThreadsWhenAvailable) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::set<std::thread::id> seen;
+  // Tasks long enough that the workers all get a slice; on a single-core
+  // box the workers still exist, they just interleave.
+  pool.parallel_for(64, [&](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::lock_guard<std::mutex> lock(mu);
+    seen.insert(std::this_thread::get_id());
+  });
+  EXPECT_GE(seen.size(), 2u);
+}
+
+}  // namespace
