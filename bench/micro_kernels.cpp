@@ -10,6 +10,7 @@
 #include "linalg/lu.hpp"
 #include "phase/builders.hpp"
 #include "phase/ops.hpp"
+#include "phase/uniformization.hpp"
 #include "qbd/rmatrix.hpp"
 #include "qbd/solver.hpp"
 #include "sim/gang_simulator.hpp"
@@ -123,29 +124,56 @@ void BM_AwayPeriodAssembly(benchmark::State& state) {
 }
 BENCHMARK(BM_AwayPeriodAssembly);
 
+// R-matrix solvers on the paper's class-0 chain, with the CSR kernels
+// toggled by the benchmark argument (0 = dense, 1 = sparse). The two
+// settings produce bitwise-identical R (tests/qbd); the time ratio is
+// the structured-sparsity payoff.
 void BM_RMatrixLogReduction(benchmark::State& state) {
   const auto sys = gs::workload::paper_system({});
   const gs::gang::ClassProcess cp(
       sys, 0, gs::gang::away_period_heavy_traffic(sys, 0));
   const auto& blk = cp.process().blocks();
+  gs::qbd::RSolveOptions opts;
+  opts.sparse = state.range(0) != 0;
+  gs::qbd::Workspace ws;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        gs::qbd::solve_r_logreduction(blk.a0, blk.a1, blk.a2));
+        gs::qbd::solve_r_logreduction(blk.a0, blk.a1, blk.a2, opts, &ws));
   }
 }
-BENCHMARK(BM_RMatrixLogReduction);
+BENCHMARK(BM_RMatrixLogReduction)->Arg(0)->Arg(1);
 
 void BM_RMatrixSubstitution(benchmark::State& state) {
   const auto sys = gs::workload::paper_system({});
   const gs::gang::ClassProcess cp(
       sys, 0, gs::gang::away_period_heavy_traffic(sys, 0));
   const auto& blk = cp.process().blocks();
+  gs::qbd::RSolveOptions opts;
+  opts.sparse = state.range(0) != 0;
+  gs::qbd::Workspace ws;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        gs::qbd::solve_r_substitution(blk.a0, blk.a1, blk.a2));
+        gs::qbd::solve_r_substitution(blk.a0, blk.a1, blk.a2, opts, &ws));
   }
 }
-BENCHMARK(BM_RMatrixSubstitution);
+BENCHMARK(BM_RMatrixSubstitution)->Arg(0)->Arg(1);
+
+// Uniformization on the away-period generator (block bidiagonal, far
+// under half dense): exp_action auto-selects the CSR path, the _dense
+// entry point is the forced-dense reference it matches bit for bit.
+void BM_UniformizationExpAction(benchmark::State& state) {
+  const auto sys = gs::workload::paper_system({});
+  const auto away = gs::gang::away_period_heavy_traffic(sys, 0);
+  const bool sparse = state.range(0) != 0;
+  const double t = away.mean();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sparse ? gs::phase::exp_action(away.alpha(), away.generator(), t)
+               : gs::phase::exp_action_dense(away.alpha(), away.generator(),
+                                             t));
+  }
+}
+BENCHMARK(BM_UniformizationExpAction)->Arg(0)->Arg(1);
 
 void BM_ClassChainBuild(benchmark::State& state) {
   const auto sys = gs::workload::paper_system({});

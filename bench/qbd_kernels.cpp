@@ -1,0 +1,171 @@
+// Sparse-vs-dense timings of the QBD hot-path kernels, with the bitwise
+// equivalence checked in-bench. Emits BENCH_qbd.json (to argv[1] or the
+// working directory).
+//
+// The configuration is chosen to stress the structured kernels the way
+// the paper's larger experiments do: 4 classes, full-machine partitions
+// (c_p = 1), Erlang-2 arrivals and service, Erlang-4 quanta and
+// overheads. The away period then has order m_F = 4 + 3 * (4 + 4) = 28
+// and each class chain's repeating blocks are 128 x 128 with O(d)
+// nonzeros in A0/A2 — exactly the regime the CSR kernels target.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "gang/away_period.hpp"
+#include "gang/class_process.hpp"
+#include "phase/builders.hpp"
+#include "phase/uniformization.hpp"
+#include "qbd/rmatrix.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using gs::linalg::Matrix;
+using gs::linalg::Vector;
+
+gs::gang::SystemParams bench_system() {
+  std::vector<gs::gang::ClassParams> classes;
+  for (int p = 0; p < 4; ++p) {
+    classes.push_back(gs::gang::ClassParams{
+        /*arrival=*/gs::phase::erlang(2, 1.0 / 0.15),
+        /*service=*/gs::phase::erlang(2, 1.0),
+        /*quantum=*/gs::phase::erlang(4, 1.0),
+        /*overhead=*/gs::phase::erlang(4, 0.01),
+        /*partition_size=*/4,  // g = P: one job per slice, c_p = 1
+        /*name=*/"class" + std::to_string(p)});
+  }
+  return gs::gang::SystemParams(4, std::move(classes));
+}
+
+template <typename Fn>
+double median_ms(int reps, Fn&& fn) {
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    times.push_back(
+        std::chrono::duration<double, std::milli>(stop - start).count());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+struct BenchRow {
+  std::string name;
+  double dense_ms = 0.0;
+  double sparse_ms = 0.0;
+  double speedup() const { return dense_ms / sparse_ms; }
+};
+
+void require(bool ok, const std::string& what) {
+  if (!ok) {
+    std::cerr << "FAILED equivalence check: " << what << "\n";
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_qbd.json";
+  const int reps = 5;
+
+  const auto sys = bench_system();
+  const auto away = gs::gang::away_period_heavy_traffic(sys, 0);
+  const gs::gang::ClassProcess cp(sys, 0, away);
+  const auto& blk = cp.process().blocks();
+  const std::size_t d = cp.process().repeating_size();
+
+  std::cout << "config: 4 classes, away-period order " << away.order()
+            << ", repeating block " << d << "x" << d << "\n";
+
+  gs::qbd::RSolveOptions dense_opts;
+  dense_opts.sparse = false;
+  gs::qbd::RSolveOptions sparse_opts;
+  sparse_opts.sparse = true;
+  gs::qbd::Workspace ws_dense, ws_sparse;
+
+  std::vector<BenchRow> rows;
+
+  {
+    BenchRow row{"r_substitution"};
+    gs::qbd::RSolveResult r_dense, r_sparse;
+    row.dense_ms = median_ms(reps, [&] {
+      r_dense = gs::qbd::solve_r_substitution(blk.a0, blk.a1, blk.a2,
+                                              dense_opts, &ws_dense);
+    });
+    row.sparse_ms = median_ms(reps, [&] {
+      r_sparse = gs::qbd::solve_r_substitution(blk.a0, blk.a1, blk.a2,
+                                               sparse_opts, &ws_sparse);
+    });
+    require(gs::linalg::max_abs_diff(r_dense.r, r_sparse.r) == 0.0 &&
+                r_dense.iterations == r_sparse.iterations,
+            "substitution sparse != dense");
+    rows.push_back(row);
+  }
+
+  {
+    BenchRow row{"r_logreduction"};
+    gs::qbd::RSolveResult r_dense, r_sparse;
+    row.dense_ms = median_ms(reps, [&] {
+      r_dense = gs::qbd::solve_r_logreduction(blk.a0, blk.a1, blk.a2,
+                                              dense_opts, &ws_dense);
+    });
+    row.sparse_ms = median_ms(reps, [&] {
+      r_sparse = gs::qbd::solve_r_logreduction(blk.a0, blk.a1, blk.a2,
+                                               sparse_opts, &ws_sparse);
+    });
+    require(gs::linalg::max_abs_diff(r_dense.r, r_sparse.r) == 0.0 &&
+                r_dense.iterations == r_sparse.iterations,
+            "logreduction sparse != dense");
+    rows.push_back(row);
+  }
+
+  {
+    // exp_action on the away-period generator (block bidiagonal: well
+    // under half dense, so the default path takes the CSR branch).
+    BenchRow row{"uniformization_exp_action"};
+    const Vector& v = away.alpha();
+    const Matrix& s = away.generator();
+    const double t = away.mean();
+    Vector out_dense, out_sparse;
+    row.dense_ms = median_ms(reps, [&] {
+      out_dense = gs::phase::exp_action_dense(v, s, t);
+    });
+    row.sparse_ms =
+        median_ms(reps, [&] { out_sparse = gs::phase::exp_action(v, s, t); });
+    require(gs::linalg::max_abs_diff(out_dense, out_sparse) == 0.0,
+            "uniformization sparse != dense");
+    rows.push_back(row);
+  }
+
+  std::ofstream json(out_path);
+  json << "{\n  \"config\": {\"classes\": 4, \"away_order\": "
+       << away.order() << ", \"repeating_block\": " << d
+       << ", \"reps\": " << reps << "},\n  \"benches\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"dense_ms\": %.3f, "
+                  "\"sparse_ms\": %.3f, \"speedup\": %.2f}%s\n",
+                  rows[i].name.c_str(), rows[i].dense_ms, rows[i].sparse_ms,
+                  rows[i].speedup(), i + 1 < rows.size() ? "," : "");
+    json << buf;
+  }
+  json << "  ]\n}\n";
+  json.close();
+
+  for (const auto& row : rows)
+    std::printf("%-28s dense %8.3f ms   sparse %8.3f ms   speedup %5.2fx\n",
+                row.name.c_str(), row.dense_ms, row.sparse_ms,
+                row.speedup());
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

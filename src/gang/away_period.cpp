@@ -6,22 +6,25 @@
 namespace gs::gang {
 
 PhaseType away_period(const SystemParams& sys, std::size_t p,
-                      const std::vector<PhaseType>& slices) {
+                      const std::vector<PhaseType>& slices,
+                      qbd::Workspace* ws) {
   const std::size_t L = sys.num_classes();
   GS_CHECK(p < L, "class index out of range");
   GS_CHECK(slices.size() == L, "need one slice distribution per class");
 
   // Cycle order starting at class p's own switch-out: C_p, then for each
-  // other class q = p+1, ..., p+L-1 (mod L): slice_q then C_q.
-  std::vector<PhaseType> parts;
+  // other class q = p+1, ..., p+L-1 (mod L): slice_q then C_q. The parts
+  // are borrowed, not copied — the convolution reads them in place.
+  std::vector<const PhaseType*> parts;
   parts.reserve(2 * L - 1);
-  parts.push_back(sys.cls(p).overhead);
+  parts.push_back(&sys.cls(p).overhead);
   for (std::size_t step = 1; step < L; ++step) {
     const std::size_t q = (p + step) % L;
-    parts.push_back(slices[q]);
-    parts.push_back(sys.cls(q).overhead);
+    parts.push_back(&slices[q]);
+    parts.push_back(&sys.cls(q).overhead);
   }
-  return phase::convolve_all(parts);
+  return phase::convolve_all(parts, ws ? &ws->conv_alpha : nullptr,
+                             ws ? &ws->conv_s : nullptr);
 }
 
 PhaseType away_period_heavy_traffic(const SystemParams& sys, std::size_t p) {

@@ -14,14 +14,19 @@
 #include <vector>
 
 #include "gang/params.hpp"
+#include "qbd/rmatrix.hpp"
 
 namespace gs::gang {
 
 /// F_p built from per-class slice distributions: slices[q] stands in for
 /// class q's quantum (full or effective; ignored for q == p). Overheads
-/// are always the classes' configured switch overheads.
+/// are always the classes' configured switch overheads. The convolution
+/// chain is assembled in one pass over borrowed parts; `ws`, when given,
+/// stages the total-order generator in ws->conv_alpha / ws->conv_s so the
+/// fixed point's per-iteration reassembly reuses its storage.
 PhaseType away_period(const SystemParams& sys, std::size_t p,
-                      const std::vector<PhaseType>& slices);
+                      const std::vector<PhaseType>& slices,
+                      qbd::Workspace* ws = nullptr);
 
 /// Theorem 4.1: slices are the full quantum distributions.
 PhaseType away_period_heavy_traffic(const SystemParams& sys, std::size_t p);

@@ -27,7 +27,7 @@ PhaseType EffectiveQuantum::fitted(int max_order) const {
 }
 
 ClassProcess::ClassProcess(const SystemParams& sys, std::size_t p,
-                           PhaseType away)
+                           PhaseType away, qbd::Workspace* ws)
     : p_(p),
       c_(sys.partitions(p)),
       arrival_(sys.cls(p).arrival),
@@ -39,13 +39,24 @@ ClassProcess::ClassProcess(const SystemParams& sys, std::size_t p,
       m_q_(quantum_.order()),
       m_f_(away_.order()),
       w_(m_q_ + m_f_),
-      cfgs_(m_b_, c_) {
+      cfgs_(m_b_, c_),
+      ws_(ws) {
   GS_CHECK(away_.atom_at_zero() == 0.0,
            "away-period distribution must not have an atom at zero (switch "
            "overheads are strictly positive)");
   GS_CHECK(sys.cls(p).batch_pmf.size() == 1,
            "the analytic solver supports single arrivals only; batch "
            "arrivals are a simulator feature (see DESIGN.md)");
+  build();
+}
+
+void ClassProcess::update_away(PhaseType away) {
+  GS_CHECK(away.atom_at_zero() == 0.0,
+           "away-period distribution must not have an atom at zero (switch "
+           "overheads are strictly positive)");
+  away_ = std::move(away);
+  m_f_ = away_.order();
+  w_ = m_q_ + m_f_;
   build();
 }
 
@@ -89,14 +100,16 @@ void ClassProcess::build() {
   const std::size_t D = c_ == 0 ? 0 : off[c_ - 1] + level_dim(c_ - 1);
   const std::size_t d = level_dim(c_);
 
-  qbd::QbdBlocks blk;
-  blk.b00 = Matrix(D, D);
-  blk.b01 = Matrix(D, d);
-  blk.b10 = Matrix(d, D);
-  blk.b11 = Matrix(d, d);
-  blk.a0 = Matrix(d, d);
-  blk.a1 = Matrix(d, d);
-  blk.a2 = Matrix(d, d);
+  // Assemble into the staging blocks (workspace-backed when available):
+  // assign_zero keeps the allocations across fixed-point rebuilds.
+  qbd::QbdBlocks& blk = stage();
+  blk.b00.assign_zero(D, D);
+  blk.b01.assign_zero(D, d);
+  blk.b10.assign_zero(d, D);
+  blk.b11.assign_zero(d, d);
+  blk.a0.assign_zero(d, d);
+  blk.a1.assign_zero(d, d);
+  blk.a2.assign_zero(d, d);
 
   // ---- boundary-interior levels -------------------------------------
 
@@ -270,23 +283,15 @@ void ClassProcess::build() {
               } else if (lvl == c_ + 1) {
                 blk.a0(from, idx) += rate;
               } else {
-                // Down to level c-1: emit against its local layout; the
-                // columns are shifted to the aggregated boundary below.
+                // Down to level c-1: `idx` is level-local; placing it at
+                // the level's aggregated-boundary offset directly saves
+                // the former shift pass (off[c-1] is 0 when c == 1).
                 GS_ASSERT(lvl + 1 == c_);
-                blk.b10(from, idx) += rate;
+                blk.b10(from, off[c_ - 1] + idx) += rate;
               }
             });
       }
     }
-  }
-  // Shift B10 columns from level-(c-1)-local indices to the aggregated
-  // boundary layout (no-op when c == 1: level 0 heads the boundary).
-  if (off[c_ - 1] != 0) {
-    Matrix shifted(d, D);
-    for (std::size_t r = 0; r < d; ++r)
-      for (std::size_t col = 0; col < level_dim(c_ - 1); ++col)
-        shifted(r, off[c_ - 1] + col) = blk.b10(r, col);
-    blk.b10 = std::move(shifted);
   }
 
   // Repeating template: same within-level dynamics (A1 = B11 before the
@@ -321,10 +326,20 @@ void ClassProcess::build() {
     blk.a1(s, s) -= out_b[s];
   }
 
-  std::vector<std::size_t> boundary_dims;
-  boundary_dims.reserve(c_);
-  for (std::size_t i = 0; i < c_; ++i) boundary_dims.push_back(level_dim(i));
-  process_.emplace(std::move(blk), std::move(boundary_dims));
+  // Same shapes as the live process (the common fixed-point case: only
+  // the away rates moved): revalue in place. Otherwise build afresh. The
+  // shapes are fully determined by (D, d) here — c_, m_a_ and the config
+  // space are fixed, so matching dimensions imply matching level dims.
+  if (process_ && process_->repeating_size() == d &&
+      process_->boundary_size() == D) {
+    process_->revalue(blk);
+  } else {
+    std::vector<std::size_t> boundary_dims;
+    boundary_dims.reserve(c_);
+    for (std::size_t i = 0; i < c_; ++i)
+      boundary_dims.push_back(level_dim(i));
+    process_.emplace(blk, std::move(boundary_dims));
+  }
 }
 
 double ClassProcess::serving_time_fraction(

@@ -65,7 +65,17 @@ struct EffectiveQuantum {
 class ClassProcess {
  public:
   /// Build the QBD for class p given the away-period distribution F_p.
-  ClassProcess(const SystemParams& sys, std::size_t p, PhaseType away);
+  /// `ws`, when given, must outlive this object: the block assembly is
+  /// staged in ws->blocks, so rebuilds (update_away) stop allocating.
+  ClassProcess(const SystemParams& sys, std::size_t p, PhaseType away,
+               qbd::Workspace* ws = nullptr);
+
+  /// Re-derive the chain for a new away-period distribution. The block
+  /// shapes are invariant across fixed-point iterations as long as the
+  /// away order is unchanged (only the rates move), in which case the
+  /// live QbdProcess is revalued in place; a changed order (the fitted
+  /// effective quantum may shrink) falls back to a full rebuild.
+  void update_away(PhaseType away);
 
   const qbd::QbdProcess& process() const { return *process_; }
   std::size_t class_index() const { return p_; }
@@ -122,6 +132,9 @@ class ClassProcess {
 
  private:
   void build();
+  /// Where build() assembles the blocks: the caller's workspace when one
+  /// was given, own storage otherwise.
+  qbd::QbdBlocks& stage() { return ws_ ? ws_->blocks : own_stage_; }
 
   std::size_t p_;
   std::size_t c_;        // partitions (P / g)
@@ -131,6 +144,8 @@ class ClassProcess {
   PhaseType away_;
   std::size_t m_a_, m_b_, m_q_, m_f_, w_;  // orders; w_ = m_q_ + m_f_
   ServiceConfigSpace cfgs_;
+  qbd::Workspace* ws_ = nullptr;
+  qbd::QbdBlocks own_stage_;
   std::optional<qbd::QbdProcess> process_;
 };
 

@@ -85,16 +85,26 @@ SolveReport GangSolver::run(const std::vector<PhaseType>& init_slices) const {
   util::ThreadPool pool(
       static_cast<std::size_t>(std::max(1, options_.num_threads)));
   std::vector<qbd::Workspace> workspaces(L);
+  // The processes persist across iterations: when only the away-period
+  // rates move (the common case), update_away revalues the existing QBD
+  // blocks in place instead of rebuilding from scratch.
+  std::vector<std::optional<ClassProcess>> procs(L);
+  std::vector<std::optional<qbd::QbdSolution>> sols(L);
 
   for (int iter = 1; iter <= max_iter; ++iter) {
     // Solve every class against the current away periods. The per-class
     // chains are independent given `slices`, so they solve concurrently;
     // each task touches only its own slots and workspace.
-    std::vector<std::optional<ClassProcess>> procs(L);
-    std::vector<std::optional<qbd::QbdSolution>> sols(L);
     std::vector<double> n(L, 0.0);
     pool.parallel_for(L, [&](std::size_t p) {
-      procs[p].emplace(params_, p, away_period(params_, p, slices));
+      if (procs[p]) {
+        procs[p]->update_away(
+            away_period(params_, p, slices, &workspaces[p]));
+      } else {
+        procs[p].emplace(params_, p,
+                         away_period(params_, p, slices, &workspaces[p]),
+                         &workspaces[p]);
+      }
       sols[p].emplace(
           qbd::solve(procs[p]->process(), options_.qbd, &workspaces[p]));
       n[p] = sols[p]->mean_level();

@@ -1,6 +1,10 @@
 #include "linalg/block_tridiag.hpp"
 
+#include <cmath>
+#include <optional>
+
 #include "linalg/lu.hpp"
+#include "linalg/sparse.hpp"
 #include "util/error.hpp"
 
 namespace gs::linalg {
@@ -34,6 +38,23 @@ Vector segment(const Vector& v, std::size_t off, std::size_t n) {
                 v.begin() + static_cast<std::ptrdiff_t>(off + n));
 }
 
+// Compress a block when at least half its entries are zero — the arrival
+// and completion off-diagonals of the serving-state chain are O(rows)
+// dense. A non-finite entry disables compression for the block: the
+// sparse kernels' bitwise-identity guarantee (see sparse.hpp) requires
+// finite operands.
+std::optional<SparseMatrix> try_compress(const Matrix& m) {
+  std::size_t nz = 0;
+  const double* p = m.data();
+  const std::size_t total = m.rows() * m.cols();
+  for (std::size_t i = 0; i < total; ++i) {
+    if (!std::isfinite(p[i])) return std::nullopt;
+    if (p[i] != 0.0) ++nz;
+  }
+  if (2 * nz > total) return std::nullopt;
+  return SparseMatrix::from_dense(m);
+}
+
 }  // namespace
 
 Vector block_tridiag_solve(const std::vector<Matrix>& diag,
@@ -43,6 +64,13 @@ Vector block_tridiag_solve(const std::vector<Matrix>& diag,
   validate(diag, upper, lower, b);
   const std::size_t n = diag.size();
 
+  std::vector<std::optional<SparseMatrix>> lower_csr(lower.size());
+  std::vector<std::optional<SparseMatrix>> upper_csr(upper.size());
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    lower_csr[i] = try_compress(lower[i]);
+    upper_csr[i] = try_compress(upper[i]);
+  }
+
   // Forward elimination: D'_i = D_i - L_{i-1} D'^{-1}_{i-1} U_{i-1},
   // y_i = b_i - L_{i-1} D'^{-1}_{i-1} y_{i-1}.
   std::vector<Lu> factored;
@@ -51,6 +79,8 @@ Vector block_tridiag_solve(const std::vector<Matrix>& diag,
   std::vector<Matrix> dinv_u(n);  // D'^{-1}_i U_i, needed for back-subst.
 
   Matrix dprime = diag[0];
+  Matrix l_dinv_u;        // L_i D'^{-1}_i U_i scratch
+  Vector correction;      // L_i D'^{-1}_i y_i scratch
   std::size_t off = 0;
   y[0] = segment(b, off, diag[0].rows());
   off += diag[0].rows();
@@ -59,10 +89,17 @@ Vector block_tridiag_solve(const std::vector<Matrix>& diag,
     if (i + 1 == n) break;
     dinv_u[i] = factored[i].solve(upper[i]);
     const Vector dinv_y = factored[i].solve(y[i]);
-    dprime = diag[i + 1] - lower[i] * dinv_u[i];
+    if (lower_csr[i]) {
+      multiply_into(l_dinv_u, *lower_csr[i], dinv_u[i]);
+      multiply_into(correction, *lower_csr[i], dinv_y);
+    } else {
+      multiply_into(l_dinv_u, lower[i], dinv_u[i]);
+      correction = lower[i] * dinv_y;
+    }
+    dprime = diag[i + 1];
+    dprime -= l_dinv_u;
     y[i + 1] = segment(b, off, diag[i + 1].rows());
     off += diag[i + 1].rows();
-    const Vector correction = lower[i] * dinv_y;
     for (std::size_t r = 0; r < y[i + 1].size(); ++r)
       y[i + 1][r] -= correction[r];
   }
@@ -70,9 +107,14 @@ Vector block_tridiag_solve(const std::vector<Matrix>& diag,
   // Back substitution: x_n = D'^{-1}_n y_n; x_i = D'^{-1}_i (y_i - U_i x_{i+1}).
   std::vector<Vector> x(n);
   x[n - 1] = factored[n - 1].solve(y[n - 1]);
+  Vector up;
   for (std::size_t ii = n - 1; ii-- > 0;) {
     Vector rhs = y[ii];
-    const Vector up = upper[ii] * x[ii + 1];
+    if (upper_csr[ii]) {
+      multiply_into(up, *upper_csr[ii], x[ii + 1]);
+    } else {
+      up = upper[ii] * x[ii + 1];
+    }
     for (std::size_t r = 0; r < rhs.size(); ++r) rhs[r] -= up[r];
     x[ii] = factored[ii].solve(rhs);
   }

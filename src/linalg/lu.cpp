@@ -41,6 +41,35 @@ Lu::Lu(const Matrix& a, double pivot_tol) {
       for (std::size_t c = k + 1; c < n_; ++c) lu_(r, c) -= m * lu_(k, c);
     }
   }
+
+  // Compress the off-diagonal pattern of the factor when it keeps at most
+  // half its entries: the factors of the QBD chains' -A1 blocks retain a
+  // few-percent fill, and the right-division sweeps then visit stored
+  // nonzeros only. The O(n^2) scan is negligible next to the O(n^3)
+  // factorization above.
+  std::size_t nnz = 0;
+  for (std::size_t r = 0; r < n_; ++r)
+    for (std::size_t c = 0; c < n_; ++c)
+      if (c != r && lu_(r, c) != 0.0) ++nnz;
+  factor_sparse_ = n_ > 0 && 2 * nnz <= n_ * (n_ - 1);
+  if (factor_sparse_) {
+    upper_ptr_.assign(1, 0);
+    lower_ptr_.assign(1, 0);
+    for (std::size_t r = 0; r < n_; ++r) {
+      for (std::size_t c = r + 1; c < n_; ++c)
+        if (lu_(r, c) != 0.0) {
+          upper_idx_.push_back(c);
+          upper_val_.push_back(lu_(r, c));
+        }
+      upper_ptr_.push_back(upper_idx_.size());
+      for (std::size_t c = 0; c < r; ++c)
+        if (lu_(r, c) != 0.0) {
+          lower_idx_.push_back(c);
+          lower_val_.push_back(lu_(r, c));
+        }
+      lower_ptr_.push_back(lower_idx_.size());
+    }
+  }
 }
 
 Vector Lu::solve(const Vector& b) const {
@@ -110,6 +139,56 @@ Vector Lu::solve_left(const Vector& b) const {
   Vector x(n_);
   for (std::size_t i = 0; i < n_; ++i) x[perm_[i]] = z[i];
   return x;
+}
+
+void Lu::solve_right_into(const Matrix& b, Matrix& x) const {
+  GS_CHECK(b.cols() == n_, "LU solve_right: rhs column count mismatch");
+  GS_CHECK(&x != &b, "LU solve_right_into: x aliases b");
+  x.assign_zero(b.rows(), n_);
+  // Right-looking sweeps: once y[j] (respectively z[j]) is final, its
+  // contribution is subtracted from every later unknown in one pass over
+  // the contiguous row j of the factor. Each inner loop is an axpy, so it
+  // vectorizes without reassociating any floating-point sum.
+  Vector y(n_), z(n_);  // scratch shared by every row
+  for (std::size_t r = 0; r < b.rows(); ++r) {
+    const double* brow = b.data() + r * n_;
+    // U^T y = b (forward, with division by the U diagonal).
+    for (std::size_t i = 0; i < n_; ++i) y[i] = brow[i];
+    if (factor_sparse_) {
+      for (std::size_t j = 0; j < n_; ++j) {
+        y[j] /= lu_(j, j);
+        const double yj = y[j];
+        if (yj == 0.0) continue;
+        for (std::size_t e = upper_ptr_[j]; e < upper_ptr_[j + 1]; ++e)
+          y[upper_idx_[e]] -= upper_val_[e] * yj;
+      }
+    } else {
+      for (std::size_t j = 0; j < n_; ++j) {
+        const double* ujrow = lu_.data() + j * n_;
+        y[j] /= ujrow[j];
+        const double yj = y[j];
+        for (std::size_t i = j + 1; i < n_; ++i) y[i] -= ujrow[i] * yj;
+      }
+    }
+    // L^T z = y (backward, unit diagonal).
+    for (std::size_t i = 0; i < n_; ++i) z[i] = y[i];
+    if (factor_sparse_) {
+      for (std::size_t j = n_; j-- > 1;) {
+        const double zj = z[j];
+        if (zj == 0.0) continue;
+        for (std::size_t e = lower_ptr_[j]; e < lower_ptr_[j + 1]; ++e)
+          z[lower_idx_[e]] -= lower_val_[e] * zj;
+      }
+    } else {
+      for (std::size_t j = n_; j-- > 1;) {
+        const double* ljrow = lu_.data() + j * n_;
+        const double zj = z[j];
+        for (std::size_t i = 0; i < j; ++i) z[i] -= ljrow[i] * zj;
+      }
+    }
+    double* xrow = x.data() + r * n_;
+    for (std::size_t i = 0; i < n_; ++i) xrow[perm_[i]] = z[i];
+  }
 }
 
 Matrix Lu::inverse() const {

@@ -29,6 +29,16 @@ class Lu {
   void solve_into(const Matrix& b, Matrix& x) const;
   /// Solve x A = b (row system), reusing the same factors.
   Vector solve_left(const Vector& b) const;
+  /// Solve X A = B row-by-row into `x`, reusing its storage — the
+  /// per-iteration right division of the substitution R solver, replacing
+  /// an explicitly formed inverse. The sweeps run in right-looking (axpy)
+  /// order over contiguous rows of the factor, so they vectorize without
+  /// FP reassociation, and when the factor kept at most half its entries
+  /// they visit stored nonzeros only (QBD -A1 factors keep a few percent).
+  /// The result is deterministic for a fixed factor but may differ from
+  /// solve_left in the last ulp (update order of the back substitution is
+  /// reversed; skipped +-0.0 terms). `x` must not alias `b`.
+  void solve_right_into(const Matrix& b, Matrix& x) const;
 
   /// A^{-1} (use sparingly; prefer solve()).
   Matrix inverse() const;
@@ -39,6 +49,13 @@ class Lu {
  private:
   std::size_t n_ = 0;
   Matrix lu_;  // packed L (unit diagonal implied) and U
+  // Off-diagonal nonzeros of the factor by row (built only when the
+  // factor is at most half dense): strictly-upper entries drive the
+  // forward right-division sweep, strictly-lower the backward one.
+  bool factor_sparse_ = false;
+  std::vector<std::size_t> upper_ptr_{0}, upper_idx_;
+  std::vector<std::size_t> lower_ptr_{0}, lower_idx_;
+  std::vector<double> upper_val_, lower_val_;
   // Row permutation: row i of PA is row perm_[i] of A.
   std::vector<std::size_t> perm_;
   int perm_sign_ = 1;

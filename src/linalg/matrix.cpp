@@ -207,14 +207,20 @@ Matrix operator*(double s, Matrix a) { return a *= s; }
 Matrix operator*(Matrix a, double s) { return a *= s; }
 
 Vector operator*(const Vector& x, const Matrix& a) {
+  Vector y;
+  multiply_left_into(y, x, a);
+  return y;
+}
+
+void multiply_left_into(Vector& out, const Vector& x, const Matrix& a) {
   GS_CHECK(x.size() == a.rows(), "vector/matrix shape mismatch in x*A");
-  Vector y(a.cols(), 0.0);
+  GS_CHECK(&out != &x, "multiply_left_into: out aliases x");
+  out.assign(a.cols(), 0.0);
   for (std::size_t i = 0; i < a.rows(); ++i) {
     const double xi = x[i];
     if (xi == 0.0) continue;
-    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += xi * a(i, j);
+    for (std::size_t j = 0; j < a.cols(); ++j) out[j] += xi * a(i, j);
   }
-  return y;
 }
 
 Vector operator*(const Matrix& a, const Vector& x) {

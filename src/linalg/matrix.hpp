@@ -106,6 +106,10 @@ Matrix multiply_naive(const Matrix& a, const Matrix& b);
 
 /// Row vector times matrix: y = x A (x has a.rows() entries).
 Vector operator*(const Vector& x, const Matrix& a);
+/// out = x A, reusing out's storage — the allocation-free form the
+/// uniformization power series iterates on. Bitwise identical to
+/// operator*(Vector, Matrix). `out` must not alias `x`.
+void multiply_left_into(Vector& out, const Vector& x, const Matrix& a);
 /// Matrix times column vector: y = A x (x has a.cols() entries).
 Vector operator*(const Matrix& a, const Vector& x);
 

@@ -1,0 +1,156 @@
+#include "linalg/sparse.hpp"
+
+#include "util/error.hpp"
+
+namespace gs::linalg {
+
+SparseMatrix SparseMatrix::from_dense(const Matrix& a) {
+  SparseMatrix s;
+  s.assign_from_dense(a);
+  return s;
+}
+
+void SparseMatrix::assign_from_dense(const Matrix& a) {
+  rows_ = a.rows();
+  cols_ = a.cols();
+  row_ptr_.clear();
+  row_ptr_.reserve(rows_ + 1);
+  row_ptr_.push_back(0);
+  col_idx_.clear();
+  vals_.clear();
+  const double* p = a.data();
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const double v = p[r * cols_ + c];
+      if (v == 0.0) continue;
+      col_idx_.push_back(c);
+      vals_.push_back(v);
+    }
+    row_ptr_.push_back(col_idx_.size());
+  }
+}
+
+Matrix SparseMatrix::to_dense() const {
+  Matrix out(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      out(r, col_idx_[k]) = vals_[k];
+  return out;
+}
+
+double SparseMatrix::density() const {
+  return empty() ? 0.0
+                 : static_cast<double>(nnz()) /
+                       (static_cast<double>(rows_) *
+                        static_cast<double>(cols_));
+}
+
+void multiply_into(Matrix& out, const SparseMatrix& a, const Matrix& b) {
+  GS_CHECK(a.cols() == b.rows(), "matrix shape mismatch in sparse*dense");
+  GS_CHECK(&out != &b, "multiply_into: out aliases an input");
+  const std::size_t n = a.rows();
+  const std::size_t m = b.cols();
+  out.assign_zero(n, m);
+  const auto& rp = a.row_ptr();
+  const auto& ci = a.col_idx();
+  const auto& av = a.values();
+  // Per output row: A's stored nonzeros in ascending-k order are exactly
+  // the terms the dense kernel keeps after its aik == 0.0 skip, visited in
+  // the same order — the accumulation is identical, not just equivalent.
+  for (std::size_t i = 0; i < n; ++i) {
+    double* orow = out.data() + i * m;
+    for (std::size_t e = rp[i]; e < rp[i + 1]; ++e) {
+      const double aik = av[e];
+      const double* brow = b.data() + ci[e] * m;
+      for (std::size_t j = 0; j < m; ++j) orow[j] += aik * brow[j];
+    }
+  }
+}
+
+void multiply_into(Matrix& out, const Matrix& a, const SparseMatrix& b) {
+  GS_CHECK(a.cols() == b.rows(), "matrix shape mismatch in dense*sparse");
+  GS_CHECK(&out != &a, "multiply_into: out aliases an input");
+  const std::size_t n = a.rows();
+  const std::size_t kk = a.cols();
+  out.assign_zero(n, b.cols());
+  const auto& rp = b.row_ptr();
+  const auto& ci = b.col_idx();
+  const auto& bv = b.values();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* arow = a.data() + i * kk;
+    double* orow = out.data() + i * b.cols();
+    for (std::size_t k = 0; k < kk; ++k) {
+      const double aik = arow[k];
+      if (aik == 0.0) continue;  // same skip as the dense kernel
+      for (std::size_t e = rp[k]; e < rp[k + 1]; ++e)
+        orow[ci[e]] += aik * bv[e];
+    }
+  }
+}
+
+void multiply_into(Vector& out, const SparseMatrix& a, const Vector& x) {
+  GS_CHECK(x.size() == a.cols(), "vector/matrix shape mismatch in A*x");
+  GS_CHECK(&out != &x, "multiply_into: out aliases x");
+  out.assign(a.rows(), 0.0);
+  const auto& rp = a.row_ptr();
+  const auto& ci = a.col_idx();
+  const auto& av = a.values();
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double s = 0.0;
+    for (std::size_t e = rp[i]; e < rp[i + 1]; ++e) s += av[e] * x[ci[e]];
+    out[i] = s;
+  }
+}
+
+void multiply_left_into(Vector& out, const Vector& x, const SparseMatrix& a) {
+  GS_CHECK(x.size() == a.rows(), "vector/matrix shape mismatch in x*A");
+  GS_CHECK(&out != &x, "multiply_left_into: out aliases x");
+  out.assign(a.cols(), 0.0);
+  const auto& rp = a.row_ptr();
+  const auto& ci = a.col_idx();
+  const auto& av = a.values();
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;  // same skip as the dense kernel
+    for (std::size_t e = rp[i]; e < rp[i + 1]; ++e)
+      out[ci[e]] += xi * av[e];
+  }
+}
+
+void add_into(Matrix& out, const SparseMatrix& a) {
+  GS_CHECK(out.rows() == a.rows() && out.cols() == a.cols(),
+           "matrix shape mismatch in sparse +=");
+  const auto& rp = a.row_ptr();
+  const auto& ci = a.col_idx();
+  const auto& av = a.values();
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double* orow = out.data() + r * a.cols();
+    for (std::size_t e = rp[r]; e < rp[r + 1]; ++e) orow[ci[e]] += av[e];
+  }
+}
+
+Matrix operator*(const SparseMatrix& a, const Matrix& b) {
+  Matrix out;
+  multiply_into(out, a, b);
+  return out;
+}
+
+Matrix operator*(const Matrix& a, const SparseMatrix& b) {
+  Matrix out;
+  multiply_into(out, a, b);
+  return out;
+}
+
+Vector operator*(const SparseMatrix& a, const Vector& x) {
+  Vector out;
+  multiply_into(out, a, x);
+  return out;
+}
+
+Vector operator*(const Vector& x, const SparseMatrix& a) {
+  Vector out;
+  multiply_left_into(out, x, a);
+  return out;
+}
+
+}  // namespace gs::linalg

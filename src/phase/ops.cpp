@@ -28,10 +28,61 @@ PhaseType convolve(const PhaseType& f, const PhaseType& g) {
 }
 
 PhaseType convolve_all(const std::vector<PhaseType>& parts) {
+  std::vector<const PhaseType*> ptrs;
+  ptrs.reserve(parts.size());
+  for (const auto& p : parts) ptrs.push_back(&p);
+  return convolve_all(ptrs);
+}
+
+PhaseType convolve_all(const std::vector<const PhaseType*>& parts,
+                       linalg::Vector* alpha_scratch,
+                       linalg::Matrix* s_scratch) {
   GS_CHECK(!parts.empty(), "convolve_all needs at least one distribution");
-  PhaseType acc = parts.front();
-  for (std::size_t i = 1; i < parts.size(); ++i) acc = convolve(acc, parts[i]);
-  return acc;
+  std::vector<std::size_t> off(parts.size(), 0);
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    off[i] = n;
+    n += parts[i]->order();
+  }
+
+  Vector local_alpha;
+  Matrix local_s;
+  Vector& alpha = alpha_scratch ? *alpha_scratch : local_alpha;
+  Matrix& s = s_scratch ? *s_scratch : local_s;
+  alpha.assign(n, 0.0);
+  s.assign_zero(n, n);
+
+  // Initial vector: the sum starts in part j only if every earlier part
+  // drew its atom at zero (weight prod_{i<j} a_i, accumulated left to
+  // right exactly like the iterated fold).
+  double coef = 1.0;
+  for (std::size_t j = 0; j < parts.size(); ++j) {
+    const Vector& aj = parts[j]->alpha();
+    for (std::size_t q = 0; q < aj.size(); ++q)
+      alpha[off[j] + q] = coef * aj[q];
+    coef *= parts[j]->atom_at_zero();
+    if (coef == 0.0) break;  // no later block can be entered at time zero
+  }
+
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    s.insert_block(off[i], off[i], parts[i]->generator());
+    // Exiting part i enters part j > i directly when every part between
+    // them is skipped by its atom (Theorem 2.5 iterated; the j == i+1 term
+    // is the ordinary handover block s0_i alpha_{i+1}).
+    const Vector& exit_i = parts[i]->exit_rates();
+    double skip = 1.0;
+    for (std::size_t j = i + 1; j < parts.size(); ++j) {
+      const Vector& aj = parts[j]->alpha();
+      for (std::size_t r = 0; r < exit_i.size(); ++r) {
+        if (exit_i[r] == 0.0) continue;
+        for (std::size_t q = 0; q < aj.size(); ++q)
+          s(off[i] + r, off[j] + q) += skip * exit_i[r] * aj[q];
+      }
+      skip *= parts[j]->atom_at_zero();
+      if (skip == 0.0) break;
+    }
+  }
+  return PhaseType(alpha, s);
 }
 
 PhaseType mixture(const std::vector<double>& weights,

@@ -18,8 +18,22 @@ namespace gs::phase {
 /// initial vector [alpha_F, a_F * alpha_G] and atom a_F * a_G.
 PhaseType convolve(const PhaseType& f, const PhaseType& g);
 
-/// Fold convolve() over a non-empty list, left to right.
+/// Convolution of a non-empty list, equal (up to roundoff) to folding
+/// convolve() left to right but assembled in a single pass: the total-
+/// order generator is written once instead of re-copying a growing
+/// accumulator per part. The chain is block-bidiagonal up to atom
+/// couplings — part i hands over to the first later part directly, and to
+/// part j > i+1 with weight prod of the intermediate parts' atoms (a part
+/// with an atom can be skipped entirely in zero time).
 PhaseType convolve_all(const std::vector<PhaseType>& parts);
+
+/// Same, over borrowed parts — callers that assemble long chains every
+/// fixed-point iteration (gang::away_period) avoid copying each PhaseType
+/// into a temporary list. `alpha_scratch`/`s_scratch`, when given, stage
+/// the assembly so repeated calls reuse their storage.
+PhaseType convolve_all(const std::vector<const PhaseType*>& parts,
+                       linalg::Vector* alpha_scratch = nullptr,
+                       linalg::Matrix* s_scratch = nullptr);
 
 /// Probabilistic mixture: with probability weights[i] draw from parts[i].
 /// Weights must be non-negative and sum to 1 (tolerance 1e-9).

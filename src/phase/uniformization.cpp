@@ -1,7 +1,9 @@
 #include "phase/uniformization.hpp"
 
 #include <cmath>
+#include <utility>
 
+#include "linalg/sparse.hpp"
 #include "util/error.hpp"
 
 namespace gs::phase {
@@ -9,8 +11,10 @@ namespace gs::phase {
 using linalg::Matrix;
 using linalg::Vector;
 
-Vector exp_action(const Vector& v, const Matrix& m, double t,
-                  double tail_eps) {
+namespace {
+
+Vector exp_action_impl(const Vector& v, const Matrix& m, double t,
+                       double tail_eps, bool allow_sparse) {
   GS_CHECK(m.is_square() && v.size() == m.rows(),
            "exp_action shape mismatch");
   GS_CHECK(t >= 0.0, "exp_action needs t >= 0");
@@ -27,10 +31,20 @@ Vector exp_action(const Vector& v, const Matrix& m, double t,
   p *= 1.0 / q;
   for (std::size_t i = 0; i < n; ++i) p(i, i) += 1.0;
 
+  // Run the power iteration on a CSR copy when P is at most half dense
+  // (identical bits either way; see sparse.hpp).
+  linalg::SparseMatrix p_csr;
+  bool sparse = false;
+  if (allow_sparse) {
+    p_csr.assign_from_dense(p);
+    sparse = 2 * p_csr.nnz() <= n * n;
+  }
+
   const double qt = q * t;
   // Accumulate sum_k w_k * (v P^k) with w_k the Poisson(qt) pmf, computed
   // iteratively; scale to avoid underflow of e^{-qt} for large qt.
   Vector term = v;          // v P^k
+  Vector next(n, 0.0);      // double buffer: no allocation per term
   Vector acc(n, 0.0);
   double log_w = -qt;       // log of Poisson weight at k = 0
   double cum = 0.0;         // accumulated Poisson mass
@@ -46,10 +60,27 @@ Vector exp_action(const Vector& v, const Matrix& m, double t,
       cum += w;
       if (1.0 - cum <= tail_eps) break;
     }
-    term = term * p;
+    if (sparse) {
+      linalg::multiply_left_into(next, term, p_csr);
+    } else {
+      linalg::multiply_left_into(next, term, p);
+    }
+    std::swap(term, next);
     log_w += std::log(qt) - std::log1p(static_cast<double>(k));
   }
   return acc;
+}
+
+}  // namespace
+
+Vector exp_action(const Vector& v, const Matrix& m, double t,
+                  double tail_eps) {
+  return exp_action_impl(v, m, t, tail_eps, /*allow_sparse=*/true);
+}
+
+Vector exp_action_dense(const Vector& v, const Matrix& m, double t,
+                        double tail_eps) {
+  return exp_action_impl(v, m, t, tail_eps, /*allow_sparse=*/false);
 }
 
 Matrix exp_dense(const Matrix& m, double t, double tail_eps) {

@@ -14,9 +14,20 @@
 namespace gs::phase {
 
 /// v exp(Mt) for a generator or sub-generator M (off-diagonal >= 0, row
-/// sums <= 0). Returns v unchanged when t == 0.
+/// sums <= 0). Returns v unchanged when t == 0. When P = M/q + I is at
+/// most half dense — true for the block-bidiagonal away-period generators
+/// of Theorem 4.1 — the power series runs on a CSR copy of P; the sparse
+/// kernel is bitwise identical to the dense one (linalg/sparse.hpp), so
+/// the result never depends on the representation chosen.
 linalg::Vector exp_action(const linalg::Vector& v, const linalg::Matrix& m,
                           double t, double tail_eps = 1e-14);
+
+/// exp_action forced onto the dense kernel — the reference the sparse
+/// path is diffed against in tests and benchmarked against in
+/// bench/micro_kernels. Bitwise identical to exp_action.
+linalg::Vector exp_action_dense(const linalg::Vector& v,
+                                const linalg::Matrix& m, double t,
+                                double tail_eps = 1e-14);
 
 /// Dense exp(Mt) by applying exp_action to each unit row. Fine at the
 /// state-space sizes this library handles.

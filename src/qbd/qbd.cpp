@@ -13,6 +13,28 @@ namespace gs::qbd {
 QbdProcess::QbdProcess(QbdBlocks blocks,
                        std::vector<std::size_t> boundary_level_dims)
     : blocks_(std::move(blocks)), boundary_dims_(std::move(boundary_level_dims)) {
+  validate();
+}
+
+void QbdProcess::revalue(const QbdBlocks& blocks) {
+  auto same_shape = [](const Matrix& a, const Matrix& b) {
+    return a.rows() == b.rows() && a.cols() == b.cols();
+  };
+  GS_CHECK(same_shape(blocks.b00, blocks_.b00) &&
+               same_shape(blocks.b01, blocks_.b01) &&
+               same_shape(blocks.b10, blocks_.b10) &&
+               same_shape(blocks.b11, blocks_.b11) &&
+               same_shape(blocks.a0, blocks_.a0) &&
+               same_shape(blocks.a1, blocks_.a1) &&
+               same_shape(blocks.a2, blocks_.a2),
+           "QbdProcess::revalue: block shapes differ from the built "
+           "process; rebuild instead");
+  // Copy-assignment reuses each block's existing allocation.
+  blocks_ = blocks;
+  validate();
+}
+
+void QbdProcess::validate() const {
   const std::size_t d = blocks_.a1.rows();
   GS_CHECK(d > 0, "QBD repeating blocks must be non-empty");
   GS_CHECK(blocks_.a0.rows() == d && blocks_.a0.cols() == d &&

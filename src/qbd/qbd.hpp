@@ -46,6 +46,15 @@ class QbdProcess {
   ///   repeating rows: A2 e + A1 e + A0 e = 0
   QbdProcess(QbdBlocks blocks, std::vector<std::size_t> boundary_level_dims);
 
+  /// Overwrite the block values in place, keeping the existing storage —
+  /// every block of `blocks` must have the shape the process was built
+  /// with (throws gs::InvalidArgument otherwise). Runs the same validation
+  /// as the constructor. This is the fixed-point iteration's revalue path:
+  /// the gang chains keep their shapes while only the away-period rates
+  /// change, so re-solving need not reallocate seven blocks per class per
+  /// iteration.
+  void revalue(const QbdBlocks& blocks);
+
   const QbdBlocks& blocks() const { return blocks_; }
   /// Number of boundary-interior levels b.
   std::size_t boundary_levels() const { return boundary_dims_.size(); }
@@ -79,6 +88,8 @@ class QbdProcess {
   bool is_irreducible() const;
 
  private:
+  void validate() const;
+
   QbdBlocks blocks_;
   std::vector<std::size_t> boundary_dims_;
 };

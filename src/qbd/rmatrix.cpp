@@ -22,8 +22,30 @@ void identity_minus_into(Matrix& out, const Matrix& u) {
 }  // namespace
 
 double r_residual(const Matrix& r, const Matrix& a0, const Matrix& a1,
+                  const Matrix& a2, Workspace& ws, bool sparse) {
+  // (A0 + R A1) + (R R) A2, associated exactly as the expression
+  // a0 + r*a1 + r*r*a2 the residual is defined by.
+  if (sparse) {
+    linalg::multiply_into(ws.res_ra1, r, ws.a1_csr);
+  } else {
+    linalg::multiply_into(ws.res_ra1, r, a1);
+  }
+  ws.res_acc = a0;
+  ws.res_acc += ws.res_ra1;
+  linalg::multiply_into(ws.res_rr, r, r);
+  if (sparse) {
+    linalg::multiply_into(ws.res_rra2, ws.res_rr, ws.a2_csr);
+  } else {
+    linalg::multiply_into(ws.res_rra2, ws.res_rr, a2);
+  }
+  ws.res_acc += ws.res_rra2;
+  return ws.res_acc.max_abs();
+}
+
+double r_residual(const Matrix& r, const Matrix& a0, const Matrix& a1,
                   const Matrix& a2) {
-  return (a0 + r * a1 + r * r * a2).max_abs();
+  Workspace ws;
+  return r_residual(r, a0, a1, a2, ws, /*sparse=*/false);
 }
 
 RSolveResult solve_r_substitution(const Matrix& a0, const Matrix& a1,
@@ -35,21 +57,37 @@ RSolveResult solve_r_substitution(const Matrix& a0, const Matrix& a1,
   Workspace local;
   Workspace& w = ws ? *ws : local;
 
-  // A1 is strictly diagonally dominant by columns? By rows: |a1_ii| >=
-  // off-diag + exits, so -A1 is an M-matrix and invertible.
+  // A1's diagonal dominates its off-diagonal plus all exits, so -A1 is an
+  // M-matrix and invertible; factor it once and right-divide per
+  // iteration instead of forming the explicit inverse.
   Matrix neg_a1 = a1;
   neg_a1 *= -1.0;
-  const Matrix inv_neg_a1 = linalg::inverse(neg_a1);
+  const linalg::Lu lu(neg_a1);
+
+  if (opts.sparse) {
+    w.a1_csr.assign_from_dense(a1);
+    w.a2_csr.assign_from_dense(a2);
+  }
 
   RSolveResult out;
   w.r_cur.assign_zero(d, d);
   bool converged = false;
   double delta = 0.0;
   for (int it = 1; it <= opts.max_iter; ++it) {
-    linalg::multiply_into(w.r_sq, w.r_cur, w.r_cur);
-    linalg::multiply_into(w.r_num, w.r_sq, a2);
-    w.r_num += a0;  // (A0 + R^2 A2)
-    linalg::multiply_into(w.r_next, w.r_num, inv_neg_a1);
+    // R_next (-A1) = A0 + R (R A2). Associating the quadratic term as
+    // R (R A2) lets the sparse path recompress R A2 — its nonzero columns
+    // are confined to A2's — and both paths share the association so they
+    // stay bitwise identical to each other.
+    if (opts.sparse) {
+      linalg::multiply_into(w.r_t, w.r_cur, w.a2_csr);
+      w.rt_csr.assign_from_dense(w.r_t);
+      linalg::multiply_into(w.r_num, w.r_cur, w.rt_csr);
+    } else {
+      linalg::multiply_into(w.r_t, w.r_cur, a2);
+      linalg::multiply_into(w.r_num, w.r_cur, w.r_t);
+    }
+    w.r_num += a0;
+    lu.solve_right_into(w.r_num, w.r_next);
     delta = linalg::max_abs_diff(w.r_next, w.r_cur);
     std::swap(w.r_cur, w.r_next);
     out.iterations = it;
@@ -58,7 +96,7 @@ RSolveResult solve_r_substitution(const Matrix& a0, const Matrix& a1,
       break;
     }
   }
-  out.residual = r_residual(w.r_cur, a0, a1, a2);
+  out.residual = r_residual(w.r_cur, a0, a1, a2, w, opts.sparse);
   if (!converged) {
     throw NumericalError(
         "successive substitution for R exhausted max_iter=" +
@@ -95,13 +133,20 @@ RSolveResult solve_r_logreduction(const Matrix& a0, const Matrix& a1,
   lu.solve_into(a0, w.h);
   lu.solve_into(a2, w.l);
 
+  if (opts.sparse) {
+    w.a0_csr.assign_from_dense(a0);
+    w.a1_csr.assign_from_dense(a1);
+    w.a2_csr.assign_from_dense(a2);
+  }
+
   RSolveResult out;
   w.g = w.l;
   w.t = w.h;
   bool converged = false;
   for (int it = 1; it <= opts.max_iter; ++it) {
     // U = H L + L H; the squared kernels H^2, L^2 are formed before H and
-    // L are overwritten by the solves against (I - U).
+    // L are overwritten by the solves against (I - U). The iterates fill
+    // in after the first squaring, so this loop stays dense.
     linalg::multiply_into(w.u, w.h, w.l);
     linalg::multiply_into(w.lh, w.l, w.h);
     w.u += w.lh;
@@ -124,12 +169,20 @@ RSolveResult solve_r_logreduction(const Matrix& a0, const Matrix& a1,
     }
   }
 
-  // U = A1 + A0 G; R = A0 (-U)^{-1}.
-  Matrix neg_u = a1 + a0 * w.g;
-  neg_u *= -1.0;
-  out.r = a0 * linalg::inverse(neg_u);
+  // U = A1 + A0 G; R solves R (-U) = A0 (right division against the
+  // shared factorization instead of an explicit inverse).
+  if (opts.sparse) {
+    linalg::multiply_into(w.tmp, w.a0_csr, w.g);
+  } else {
+    linalg::multiply_into(w.tmp, a0, w.g);
+  }
+  w.iu = a1;
+  w.iu += w.tmp;
+  w.iu *= -1.0;
+  const linalg::Lu lu_negu(w.iu);
+  lu_negu.solve_right_into(a0, out.r);
   out.g = w.g;
-  out.residual = r_residual(out.r, a0, a1, a2);
+  out.residual = r_residual(out.r, a0, a1, a2, w, opts.sparse);
   if (!converged) {
     throw NumericalError(
         "logarithmic reduction for R exhausted max_iter=" +

@@ -4,14 +4,17 @@
 //
 // under the convention pi_{n+1} = pi_n R for the repeating levels.
 // Two algorithms:
-//  * successive substitution  R <- -(A0 + R^2 A2) A1^{-1}  (linear
-//    convergence, trivially correct — kept as a cross-check), and
+//  * successive substitution  R_next (-A1) = A0 + R (R A2)  solved by a
+//    right division against one LU of -A1 (linear convergence, trivially
+//    correct — kept as a cross-check), and
 //  * logarithmic reduction (Latouche–Ramaswami) for G, the first-passage
 //    matrix solving A2 + A1 G + A0 G^2 = 0, followed by
 //    R = A0 (-(A1 + A0 G))^{-1}  (quadratic convergence — the default).
 #pragma once
 
 #include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
+#include "qbd/qbd.hpp"
 
 namespace gs::qbd {
 
@@ -20,6 +23,12 @@ using linalg::Matrix;
 struct RSolveOptions {
   double tol = 1e-13;
   int max_iter = 100000;
+  /// Run the structured-block products (A0/A2 and the recompressed R A2)
+  /// through the CSR kernels. The iterates themselves stay dense. On by
+  /// default: the sparse kernels are bitwise identical to the dense ones
+  /// (see linalg/sparse.hpp), so this changes speed and nothing else —
+  /// the equivalence tests pin that down across the paper's configs.
+  bool sparse = true;
 };
 
 struct RSolveResult {
@@ -41,11 +50,24 @@ struct Workspace {
   // Logarithmic reduction: the H/L/G/T iterates and their products.
   Matrix h, l, g, t;
   Matrix u, lh, hh, ll, iu, incr, tmp;
-  // Successive substitution: R, R^2, R^2 A2 + A0, and the next iterate.
-  Matrix r_cur, r_sq, r_num, r_next;
+  // Successive substitution: R, R A2, the numerator A0 + R (R A2), and
+  // the next iterate. (r_sq survives for callers that still hold it.)
+  Matrix r_cur, r_sq, r_num, r_next, r_t;
   // Boundary balance system (qbd::solve): R A2, the assembled balance
   // matrix, and its transpose.
   Matrix ra2, bal, balt;
+  // CSR mirrors of the structured blocks (RSolveOptions::sparse) and the
+  // per-iteration recompression of R A2.
+  linalg::SparseMatrix a0_csr, a1_csr, a2_csr, rt_csr;
+  // r_residual scratch: R A1, R R, (R R) A2, and the running sum.
+  Matrix res_ra1, res_rr, res_rra2, res_acc;
+  // Revalue staging for the gang fixed point: ClassProcess rebuilds its
+  // blocks here each iteration and QbdProcess::revalue copies them into
+  // the live process without reallocating; the away-period convolution
+  // assembles its total-order generator in conv_s/conv_alpha the same way.
+  QbdBlocks blocks;
+  Matrix conv_s;
+  linalg::Vector conv_alpha;
 };
 
 /// Successive substitution from R = 0. Throws gs::NumericalError with the
@@ -67,5 +89,12 @@ RSolveResult solve_r_logreduction(const Matrix& a0, const Matrix& a1,
 /// max|A0 + R A1 + R^2 A2| — the defining-equation residual.
 double r_residual(const Matrix& r, const Matrix& a0, const Matrix& a1,
                   const Matrix& a2);
+
+/// Allocation-free form: the three products land in `ws` scratch. With
+/// `sparse`, A1 and A2 are read from ws.a1_csr / ws.a2_csr — the caller
+/// must have assigned them from these same a1/a2 (the R solvers do);
+/// results are bitwise identical either way.
+double r_residual(const Matrix& r, const Matrix& a0, const Matrix& a1,
+                  const Matrix& a2, Workspace& ws, bool sparse);
 
 }  // namespace gs::qbd

@@ -139,7 +139,15 @@ QbdSolution solve(const QbdProcess& process, const SolveOptions& opts,
   //   level-b columns:   x_B B01 + x_b (B11 + R A2) = 0
   // with one equation replaced by the normalization (eq. 24):
   //   x_B e + x_b (I-R)^{-1} e = 1.
-  linalg::multiply_into(w.ra2, r, blk.a2);
+  if (opts.r_options.sparse) {
+    // The R solver left a CSR mirror of A2 in the workspace; refresh it
+    // here anyway (idempotent, O(d^2)) so this block never depends on
+    // which solver ran. The product is bitwise identical to the dense one.
+    w.a2_csr.assign_from_dense(blk.a2);
+    linalg::multiply_into(w.ra2, r, w.a2_csr);
+  } else {
+    linalg::multiply_into(w.ra2, r, blk.a2);
+  }
   w.ra2 += blk.b11;  // the level-b diagonal block B11 + R A2
   Matrix& m = w.bal;
   m.assign_zero(n, n);

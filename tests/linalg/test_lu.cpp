@@ -71,6 +71,61 @@ TEST(Lu, MatrixRhsSolve) {
   EXPECT_NEAR(x(1, 1), 3.0, 1e-12);
 }
 
+TEST(Lu, SolveRightIntoSolvesRowSystems) {
+  // X A = B with a dense, well-conditioned A; verify by multiplying back.
+  Matrix a{{4.0, 1.0, 0.5}, {1.0, 3.0, 1.0}, {0.5, 1.0, 5.0}};
+  Matrix b{{1.0, 2.0, 3.0}, {0.0, -1.0, 4.0}};
+  const Lu lu(a);
+  Matrix x;
+  lu.solve_right_into(b, x);
+  EXPECT_LT(gs::linalg::max_abs_diff(x * a, b), 1e-12);
+  // Each row agrees with solve_left on that row (up to roundoff; the
+  // sweep orders differ).
+  for (std::size_t r = 0; r < 2; ++r) {
+    Vector brow(3);
+    for (std::size_t c = 0; c < 3; ++c) brow[c] = b(r, c);
+    const Vector xl = lu.solve_left(brow);
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_NEAR(x(r, c), xl[c], 1e-12);
+  }
+}
+
+TEST(Lu, SolveRightIntoSparseFactorPath) {
+  // A banded system keeps its LU factor far under half dense, so the
+  // compressed sweeps run; cross-check against the dense row solver.
+  const std::size_t n = 20;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, i) = 4.0 + 0.1 * static_cast<double>(i);
+    if (i + 1 < n) {
+      a(i, i + 1) = 1.0;
+      a(i + 1, i) = -0.5;
+    }
+  }
+  gs::util::Rng rng(7);
+  Matrix b(3, n);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < n; ++c) b(r, c) = rng.uniform() * 2.0 - 1.0;
+  const Lu lu(a);
+  Matrix x;
+  lu.solve_right_into(b, x);
+  EXPECT_LT(gs::linalg::max_abs_diff(x * a, b), 1e-11);
+  for (std::size_t r = 0; r < 3; ++r) {
+    Vector brow(n);
+    for (std::size_t c = 0; c < n; ++c) brow[c] = b(r, c);
+    const Vector xl = lu.solve_left(brow);
+    for (std::size_t c = 0; c < n; ++c) EXPECT_NEAR(x(r, c), xl[c], 1e-11);
+  }
+}
+
+TEST(Lu, SolveRightIntoRejectsBadShapes) {
+  Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const Lu lu(a);
+  Matrix bad(2, 3), x;
+  EXPECT_THROW(lu.solve_right_into(bad, x), gs::InvalidArgument);
+  Matrix b(2, 2);
+  EXPECT_THROW(lu.solve_right_into(b, b), gs::InvalidArgument);
+}
+
 // Property: solve() then multiply recovers the RHS on random
 // diagonally-dominant systems (well-conditioned by construction).
 TEST(Lu, RandomRoundTrip) {

@@ -1,0 +1,186 @@
+// CSR compression and the mixed sparse/dense kernels: round-trips must be
+// bitwise, and every kernel must match its dense counterpart bit for bit
+// (the contract the QBD solvers' representation switching relies on).
+#include "linalg/sparse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace {
+
+using namespace gs::linalg;
+
+// Deterministic pseudo-random values (no <random> to keep the bit pattern
+// platform-independent): a small LCG mapped into [-1, 1].
+double lcg_value(std::uint64_t& state) {
+  state = state * 6364136223846793005ull + 1442695040888963407ull;
+  return static_cast<double>(static_cast<std::int64_t>(state >> 11)) /
+         static_cast<double>(int64_t{1} << 52);
+}
+
+// A rows x cols matrix with roughly `density` of entries nonzero.
+Matrix random_sparse(std::size_t rows, std::size_t cols, double density,
+                     std::uint64_t seed) {
+  std::uint64_t state = seed;
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j) {
+      const double u = 0.5 * (lcg_value(state) + 1.0);
+      if (u < density) m(i, j) = lcg_value(state);
+    }
+  return m;
+}
+
+TEST(Sparse, RoundTripIsBitwise) {
+  const Matrix a = random_sparse(7, 5, 0.3, 17);
+  const SparseMatrix s = SparseMatrix::from_dense(a);
+  const Matrix back = s.to_dense();
+  ASSERT_EQ(back.rows(), a.rows());
+  ASSERT_EQ(back.cols(), a.cols());
+  EXPECT_EQ(max_abs_diff(back, a), 0.0);
+}
+
+TEST(Sparse, CountsAndDensity) {
+  Matrix a(3, 4);
+  a(0, 1) = 2.0;
+  a(2, 0) = -1.5;
+  a(2, 3) = 0.25;
+  const SparseMatrix s = SparseMatrix::from_dense(a);
+  EXPECT_EQ(s.rows(), 3u);
+  EXPECT_EQ(s.cols(), 4u);
+  EXPECT_EQ(s.nnz(), 3u);
+  EXPECT_DOUBLE_EQ(s.density(), 3.0 / 12.0);
+  // Row 1 is empty: its row_ptr span is empty but present.
+  ASSERT_EQ(s.row_ptr().size(), 4u);
+  EXPECT_EQ(s.row_ptr()[1], s.row_ptr()[2]);
+  // Columns are ascending within each row.
+  EXPECT_EQ(s.col_idx()[1], 0u);
+  EXPECT_EQ(s.col_idx()[2], 3u);
+}
+
+TEST(Sparse, NegativeZeroIsDropped) {
+  Matrix a(1, 2);
+  a(0, 0) = -0.0;
+  a(0, 1) = 1.0;
+  const SparseMatrix s = SparseMatrix::from_dense(a);
+  EXPECT_EQ(s.nnz(), 1u);
+  // to_dense gives +0.0 where the input held -0.0 (documented behavior).
+  EXPECT_EQ(s.to_dense()(0, 0), 0.0);
+}
+
+TEST(Sparse, EmptyAndAllZero) {
+  const SparseMatrix none;
+  EXPECT_TRUE(none.empty());
+  EXPECT_EQ(none.nnz(), 0u);
+  EXPECT_EQ(none.density(), 0.0);
+
+  const SparseMatrix z = SparseMatrix::from_dense(Matrix(4, 4));
+  EXPECT_EQ(z.nnz(), 0u);
+  EXPECT_EQ(max_abs_diff(z.to_dense(), Matrix(4, 4)), 0.0);
+}
+
+TEST(Sparse, AssignFromDenseReusesAndMatches) {
+  SparseMatrix s;
+  const Matrix dense_first = random_sparse(6, 6, 0.9, 3);
+  s.assign_from_dense(dense_first);
+  const std::size_t nnz_first = s.nnz();
+  // Re-assign a sparser matrix of the same shape: result must equal a
+  // fresh compression exactly.
+  const Matrix a = random_sparse(6, 6, 0.2, 4);
+  s.assign_from_dense(a);
+  EXPECT_LE(s.nnz(), nnz_first);
+  EXPECT_EQ(max_abs_diff(s.to_dense(), a), 0.0);
+  // And a different shape works too.
+  const Matrix b = random_sparse(2, 9, 0.5, 5);
+  s.assign_from_dense(b);
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_EQ(s.cols(), 9u);
+  EXPECT_EQ(max_abs_diff(s.to_dense(), b), 0.0);
+}
+
+TEST(Sparse, SparseTimesDenseBitwiseEqualsDense) {
+  for (double density : {0.05, 0.3, 1.0}) {
+    const Matrix a = random_sparse(9, 7, density, 11);
+    const Matrix b = random_sparse(7, 8, 0.8, 13);
+    const SparseMatrix a_csr = SparseMatrix::from_dense(a);
+
+    Matrix dense_out;
+    multiply_into(dense_out, a, b);
+    Matrix sparse_out;
+    multiply_into(sparse_out, a_csr, b);
+    EXPECT_EQ(max_abs_diff(sparse_out, dense_out), 0.0)
+        << "density " << density;
+    EXPECT_EQ(max_abs_diff(a_csr * b, dense_out), 0.0);
+  }
+}
+
+TEST(Sparse, DenseTimesSparseBitwiseEqualsDense) {
+  for (double density : {0.05, 0.3, 1.0}) {
+    const Matrix a = random_sparse(6, 9, 0.8, 19);
+    const Matrix b = random_sparse(9, 5, density, 23);
+    const SparseMatrix b_csr = SparseMatrix::from_dense(b);
+
+    Matrix dense_out;
+    multiply_into(dense_out, a, b);
+    Matrix sparse_out;
+    multiply_into(sparse_out, a, b_csr);
+    EXPECT_EQ(max_abs_diff(sparse_out, dense_out), 0.0)
+        << "density " << density;
+    EXPECT_EQ(max_abs_diff(a * b_csr, dense_out), 0.0);
+  }
+}
+
+TEST(Sparse, MatrixVectorBitwiseEqualsDense) {
+  const Matrix a = random_sparse(8, 6, 0.25, 29);
+  const SparseMatrix a_csr = SparseMatrix::from_dense(a);
+  std::uint64_t state = 31;
+  Vector x(6);
+  for (std::size_t i = 0; i < 6; ++i) x[i] = lcg_value(state);
+
+  Vector out;
+  multiply_into(out, a_csr, x);
+  EXPECT_EQ(max_abs_diff(out, a * x), 0.0);
+  EXPECT_EQ(max_abs_diff(a_csr * x, a * x), 0.0);
+}
+
+TEST(Sparse, VectorMatrixBitwiseEqualsDense) {
+  const Matrix a = random_sparse(6, 8, 0.25, 37);
+  const SparseMatrix a_csr = SparseMatrix::from_dense(a);
+  std::uint64_t state = 41;
+  Vector x(6);
+  for (std::size_t i = 0; i < 6; ++i) x[i] = lcg_value(state);
+  x[2] = 0.0;  // exercise the xi == 0 skip both paths share
+
+  Vector out;
+  multiply_left_into(out, x, a_csr);
+  EXPECT_EQ(max_abs_diff(out, x * a), 0.0);
+  EXPECT_EQ(max_abs_diff(x * a_csr, x * a), 0.0);
+}
+
+TEST(Sparse, AddIntoMatchesDense) {
+  const Matrix a = random_sparse(5, 5, 0.3, 43);
+  const Matrix base = random_sparse(5, 5, 0.7, 47);
+  Matrix dense_acc = base;
+  dense_acc += a;
+  Matrix sparse_acc = base;
+  add_into(sparse_acc, SparseMatrix::from_dense(a));
+  EXPECT_EQ(max_abs_diff(sparse_acc, dense_acc), 0.0);
+}
+
+TEST(Sparse, ShapeMismatchesThrow) {
+  const SparseMatrix a = SparseMatrix::from_dense(Matrix(3, 4));
+  Matrix out;
+  Vector vout;
+  EXPECT_THROW(multiply_into(out, a, Matrix(3, 2)), gs::InvalidArgument);
+  EXPECT_THROW(multiply_into(out, Matrix(2, 2), a), gs::InvalidArgument);
+  EXPECT_THROW(multiply_into(vout, a, Vector(3)), gs::InvalidArgument);
+  EXPECT_THROW(multiply_left_into(vout, Vector(4), a), gs::InvalidArgument);
+  Matrix acc(2, 2);
+  EXPECT_THROW(add_into(acc, a), gs::InvalidArgument);
+}
+
+}  // namespace

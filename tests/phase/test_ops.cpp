@@ -39,7 +39,51 @@ TEST(Ops, ConvolveAllMatchesPairwise) {
   EXPECT_EQ(all.order(), 4u);
   EXPECT_NEAR(all.mean(), pair.mean(), 1e-13);
   EXPECT_NEAR(all.moment(3), pair.moment(3), 1e-10);
-  EXPECT_THROW(convolve_all({}), gs::InvalidArgument);
+  EXPECT_THROW(convolve_all(std::vector<PhaseType>{}), gs::InvalidArgument);
+  EXPECT_THROW(convolve_all(std::vector<const PhaseType*>{}),
+               gs::InvalidArgument);
+}
+
+TEST(Ops, ConvolveAllSinglePassMatchesIteratedFold) {
+  // Middle parts with atoms at zero exercise the skip-coupling terms of
+  // the single-pass assembly (an atom lets the chain jump past a part).
+  const PhaseType plain = erlang(2, 1.5);
+  const PhaseType defective({0.6}, gs::linalg::Matrix{{-2.0}});
+  const PhaseType tail = exponential(0.8);
+  const std::vector<PhaseType> parts = {plain, defective, tail, defective};
+
+  const PhaseType all = convolve_all(parts);
+  PhaseType fold = parts[0];
+  for (std::size_t i = 1; i < parts.size(); ++i)
+    fold = convolve(fold, parts[i]);
+
+  EXPECT_EQ(all.order(), fold.order());
+  EXPECT_NEAR(all.atom_at_zero(), fold.atom_at_zero(), 1e-13);
+  EXPECT_NEAR(all.mean(), fold.mean(), 1e-12);
+  EXPECT_NEAR(all.moment(2), fold.moment(2), 1e-10);
+  for (double t : {0.2, 1.0, 3.0}) EXPECT_NEAR(all.cdf(t), fold.cdf(t), 1e-11);
+}
+
+TEST(Ops, ConvolveAllScratchReuseGivesIdenticalResults) {
+  const std::vector<PhaseType> owned = {exponential(1.0), erlang(2, 0.5),
+                                        exponential(3.0)};
+  std::vector<const PhaseType*> parts;
+  for (const auto& p : owned) parts.push_back(&p);
+
+  const PhaseType fresh = convolve_all(parts);
+  gs::linalg::Vector alpha_scratch;
+  gs::linalg::Matrix s_scratch;
+  // Warm the scratch with a different shape first, then reuse.
+  convolve_all({&owned[0], &owned[1]}, &alpha_scratch, &s_scratch);
+  const PhaseType reused = convolve_all(parts, &alpha_scratch, &s_scratch);
+
+  ASSERT_EQ(fresh.order(), reused.order());
+  EXPECT_EQ(fresh.atom_at_zero(), reused.atom_at_zero());
+  for (std::size_t i = 0; i < fresh.order(); ++i) {
+    EXPECT_EQ(fresh.alpha()[i], reused.alpha()[i]);
+    for (std::size_t j = 0; j < fresh.order(); ++j)
+      EXPECT_EQ(fresh.generator()(i, j), reused.generator()(i, j));
+  }
 }
 
 TEST(Ops, ConvolutionWithAtomAtZero) {

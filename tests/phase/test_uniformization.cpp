@@ -12,6 +12,7 @@ namespace {
 using gs::linalg::Matrix;
 using gs::linalg::Vector;
 using gs::phase::exp_action;
+using gs::phase::exp_action_dense;
 using gs::phase::exp_dense;
 
 TEST(Uniformization, ScalarExponential) {
@@ -89,6 +90,38 @@ TEST(Uniformization, ZeroMatrixIsIdentity) {
 
 TEST(Uniformization, RejectsNegativeTime) {
   EXPECT_THROW(exp_action({1.0}, Matrix{{-1.0}}, -0.5), gs::InvalidArgument);
+}
+
+TEST(Uniformization, SparsePathBitwiseEqualsDense) {
+  // A block-bidiagonal sub-generator like the away-period chains of
+  // Theorem 4.1 (well under half dense -> exp_action takes the CSR path);
+  // the result must match the forced-dense reference bit for bit.
+  const std::size_t n = 8;
+  Matrix s(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s(i, i) = -1.0 - 0.1 * static_cast<double>(i);
+    if (i + 1 < n) s(i, i + 1) = 1.0 + 0.05 * static_cast<double>(i);
+  }
+  Vector v(n, 0.0);
+  v[0] = 0.7;
+  v[3] = 0.3;
+  for (double t : {0.1, 1.0, 7.5}) {
+    const Vector fast = exp_action(v, s, t);
+    const Vector ref = exp_action_dense(v, s, t);
+    EXPECT_EQ(gs::linalg::max_abs_diff(fast, ref), 0.0) << "t=" << t;
+  }
+}
+
+TEST(Uniformization, DensePathUnchangedByToggle) {
+  // A fully dense generator never takes the CSR path; both entry points
+  // must agree trivially.
+  const Matrix q{{-3.0, 1.0, 2.0},
+                 {0.5, -1.5, 1.0},
+                 {0.25, 0.25, -0.5}};
+  const Vector v{0.2, 0.5, 0.3};
+  const Vector a = exp_action(v, q, 1.3);
+  const Vector b = exp_action_dense(v, q, 1.3);
+  EXPECT_EQ(gs::linalg::max_abs_diff(a, b), 0.0);
 }
 
 TEST(Uniformization, StiffLargeRateStillAccurate) {
