@@ -132,6 +132,9 @@ SolveReport GangSolver::run(const std::vector<PhaseType>& init_slices) const {
       report.converged = !options_.fixed_point || delta < options_.tol;
       report.per_class.clear();
       report.per_class.reserve(L);
+      report.final_slices.reserve(L);
+      for (std::size_t p = 0; p < L; ++p)
+        report.final_slices.push_back(effq[p].fitted(options_.fit_max_order));
       for (std::size_t p = 0; p < L; ++p) {
         ClassResult r;
         r.name = params_.cls(p).name.empty()
@@ -168,6 +171,31 @@ SolveReport GangSolver::run(const std::vector<PhaseType>& init_slices) const {
   }
   GS_ASSERT(false);  // loop always returns via `done`
   return report;
+}
+
+SolveReport GangSolver::solve_warm(
+    const std::vector<PhaseType>& slices) const {
+  GS_CHECK(slices.size() == params_.num_classes(),
+           "warm start needs one slice per class (got " +
+               std::to_string(slices.size()) + " for " +
+               std::to_string(params_.num_classes()) + " classes)");
+  const double rho = params_.total_utilization();
+  if (rho >= 1.0) {
+    throw NumericalError(
+        "total utilization " + std::to_string(rho) +
+        " >= 1: the gang-scheduled system cannot be stable");
+  }
+  try {
+    SolveReport report = run(slices);
+    report.used_warm_start = true;
+    return report;
+  } catch (const NumericalError& e) {
+    // A donor's slices can be too optimistic for the new scenario (e.g.
+    // the perturbation pushed a class toward saturation); the cold path
+    // re-establishes the paper's stability ordering.
+    log::info("warm start unstable (", e.what(), "); falling back to cold");
+    return solve();
+  }
 }
 
 SolveReport GangSolver::solve() const {

@@ -1,0 +1,41 @@
+#include "serve/cache.hpp"
+
+namespace gs::serve {
+
+const ResultCache::Entry* ResultCache::find(std::uint64_t key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++lru_.front().hits;
+  return &lru_.front();
+}
+
+const ResultCache::Entry* ResultCache::peek(std::uint64_t key) const {
+  auto it = index_.find(key);
+  return it == index_.end() ? nullptr : &*it->second;
+}
+
+void ResultCache::insert(std::uint64_t key, gang::SolveReport report) {
+  if (capacity_ == 0) return;
+  if (auto it = index_.find(key); it != index_.end()) {
+    it->second->report = std::move(report);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(Entry{key, std::move(report), 0});
+  index_[key] = lru_.begin();
+}
+
+std::vector<const ResultCache::Entry*> ResultCache::entries() const {
+  std::vector<const Entry*> out;
+  out.reserve(lru_.size());
+  for (const auto& e : lru_) out.push_back(&e);
+  return out;
+}
+
+}  // namespace gs::serve

@@ -1,0 +1,57 @@
+// Bounded LRU cache of solve results, keyed on the 64-bit scenario hash.
+//
+// The service answers a repeated scenario from here without touching the
+// solver; entries carry per-entry hit counters for the stats surface and
+// the final_slices that warm-start nearby re-solves. Single-threaded on
+// purpose: the service serializes request handling (solves parallelize
+// *inside* a request, across the per-class chains and sweep points), so
+// the cache needs no locking.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "gang/solver.hpp"
+
+namespace gs::serve {
+
+class ResultCache {
+ public:
+  struct Entry {
+    std::uint64_t key = 0;
+    gang::SolveReport report;
+    std::uint64_t hits = 0;
+  };
+
+  /// `capacity` 0 disables caching entirely (every find misses, inserts
+  /// are dropped) — the cold-path configuration of the benches.
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return lru_.size(); }
+  std::uint64_t evictions() const { return evictions_; }
+
+  /// Lookup; bumps the entry to most-recently-used and increments its hit
+  /// counter. The pointer stays valid until the next insert.
+  const Entry* find(std::uint64_t key);
+
+  /// Lookup without recency or hit-count side effects (warm-start donor
+  /// reads are not cache hits).
+  const Entry* peek(std::uint64_t key) const;
+
+  /// Insert or overwrite; evicts the least-recently-used entry when full.
+  void insert(std::uint64_t key, gang::SolveReport report);
+
+  /// Entries from most- to least-recently used (for the stats surface).
+  std::vector<const Entry*> entries() const;
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t evictions_ = 0;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace gs::serve

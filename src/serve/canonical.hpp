@@ -1,0 +1,70 @@
+// Canonical JSON serialization and content hashing of solve scenarios —
+// the identity layer of the evaluation service.
+//
+// A scenario is (SystemParams, GangSolveOptions). Its canonical form is a
+// compact JSON dump with a fixed field order in which every distribution
+// is normalized to its raw PH representation (alpha, S); the scenario hash
+// is FNV-1a 64 over that text. Two requests that describe the same model —
+// whatever field order or builder shorthand ({"dist":"erlang",...} vs an
+// explicit generator) they used — therefore hash identically, which is
+// what makes the result cache correct. Doubles are written with the
+// shortest bit-exact round-trip digits (json::format_double), so the hash
+// is also stable across parse/dump cycles.
+//
+// Execution knobs that cannot change the answer (num_threads — parallel
+// solves are bitwise identical by construction) are excluded from the
+// canonical form.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gang/solver.hpp"
+#include "json/json.hpp"
+
+namespace gs::serve {
+
+// -- phase-type distributions ----------------------------------------------
+/// Raw canonical form: {"alpha":[...],"s":[[...],...]}.
+json::Json phase_to_json(const phase::PhaseType& ph);
+
+/// Accepts the raw form plus the builder shorthands
+///   {"dist":"exponential","rate":r}
+///   {"dist":"erlang","stages":k,"mean":m}
+///   {"dist":"hyperexponential","probs":[...],"rates":[...]}
+///   {"dist":"hypoexponential","rates":[...]}
+///   {"dist":"coxian","rates":[...],"continue_probs":[...]}
+/// all normalized to the same PhaseType the builders produce.
+phase::PhaseType phase_from_json(const json::Json& v);
+
+// -- model parameters -------------------------------------------------------
+json::Json params_to_json(const gang::SystemParams& params);
+gang::SystemParams params_from_json(const json::Json& v);
+
+// -- solver options ---------------------------------------------------------
+/// Fixed-order dump of every answer-affecting option.
+json::Json options_to_json(const gang::GangSolveOptions& options);
+/// Starts from defaults and overrides the keys present; unknown keys are
+/// an error (with a did-you-mean hint) so client typos cannot silently
+/// fall back to defaults.
+gang::GangSolveOptions options_from_json(const json::Json& v);
+
+// -- scenario identity ------------------------------------------------------
+/// {"system":...,"options":...} in canonical form, compactly dumped.
+std::string canonical_scenario(const gang::SystemParams& params,
+                               const gang::GangSolveOptions& options);
+
+/// FNV-1a 64 of canonical_scenario.
+std::uint64_t scenario_hash(const gang::SystemParams& params,
+                            const gang::GangSolveOptions& options);
+
+/// Hash of the scenario's *shape* only: processors, per-class partition
+/// sizes and distribution orders, and the options — everything except the
+/// numeric rate/probability values. Scenarios that differ only by a
+/// parameter perturbation share a structure hash; the service uses it to
+/// pick a warm-start donor whose final_slices are dimensionally
+/// compatible and numerically nearby.
+std::uint64_t structure_hash(const gang::SystemParams& params,
+                             const gang::GangSolveOptions& options);
+
+}  // namespace gs::serve

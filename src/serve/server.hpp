@@ -1,0 +1,25 @@
+// Transport for EvalService: NDJSON over stdin/stdout or a loopback TCP
+// socket. Both loops serialize request handling (parallelism lives inside
+// a request, on the service's thread pool).
+#pragma once
+
+#include <iosfwd>
+
+#include "serve/service.hpp"
+
+namespace gs::serve {
+
+/// Read one NDJSON request per line from `in`, write one response line to
+/// `out` (flushed per line, so pipes see answers immediately). Blank
+/// lines are skipped. Returns when the stream ends or the service sees a
+/// shutdown request.
+void serve_stream(EvalService& service, std::istream& in, std::ostream& out);
+
+/// Listen on 127.0.0.1:`port` and serve connections one at a time, each
+/// with the NDJSON line protocol, until some client sends a shutdown
+/// request. The cache and stats persist across connections — that is the
+/// point of the daemon. Throws gs::Error when the socket cannot be set
+/// up; returns the port actually bound (useful with port 0).
+int serve_tcp(EvalService& service, int port);
+
+}  // namespace gs::serve

@@ -1,0 +1,422 @@
+#include "serve/service.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <sstream>
+
+#include "serve/canonical.hpp"
+#include "util/cli.hpp"
+#include "workload/sweep.hpp"
+
+#include "gang/tuner.hpp"
+
+namespace gs::serve {
+
+namespace {
+
+using json::Json;
+
+double elapsed_ms(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+Json class_result_to_json(const gang::ClassResult& c) {
+  Json out = Json::object();
+  out.set("name", c.name);
+  out.set("mean_jobs", c.mean_jobs);
+  out.set("var_jobs", c.var_jobs);
+  out.set("response_time", c.response_time);
+  out.set("serving_fraction", c.serving_fraction);
+  out.set("prob_empty", c.prob_empty);
+  out.set("sp_r", c.sp_r);
+  out.set("eff_quantum_mean", c.eff_quantum_mean);
+  out.set("eff_quantum_atom", c.eff_quantum_atom);
+  out.set("arrive_immediate", c.arrive_immediate);
+  out.set("arrive_wait_slice", c.arrive_wait_slice);
+  out.set("arrive_queued", c.arrive_queued);
+  out.set("mean_slice_wait", c.mean_slice_wait);
+  if (!c.queue_dist.empty()) {
+    Json qd = Json::array();
+    for (const double p : c.queue_dist) qd.push_back(p);
+    out.set("queue_dist", std::move(qd));
+  }
+  return out;
+}
+
+Json report_to_json(const gang::SolveReport& r) {
+  Json out = Json::object();
+  Json per_class = Json::array();
+  for (const auto& c : r.per_class)
+    per_class.push_back(class_result_to_json(c));
+  out.set("per_class", std::move(per_class));
+  out.set("total_mean_jobs", r.total_mean_jobs());
+  out.set("mean_cycle_length", r.mean_cycle_length);
+  return out;
+}
+
+/// The vary targets of a sweep: rebuild the system with one distribution
+/// rescaled (PhaseType::scaled keeps the shape/SCV and moves the mean —
+/// the same convention the paper's figures and the tuner use).
+gang::SystemParams vary_system(const gang::SystemParams& base,
+                               const std::string& param, double x,
+                               std::int64_t cls) {
+  GS_CHECK(x > 0.0, "sweep values must be positive");
+  std::vector<gang::ClassParams> classes = base.classes();
+  for (std::size_t p = 0; p < classes.size(); ++p) {
+    if (cls >= 0 && static_cast<std::size_t>(cls) != p) continue;
+    auto& c = classes[p];
+    if (param == "arrival_rate") {
+      c.arrival = c.arrival.scaled(1.0 / (x * c.arrival.mean()));
+    } else if (param == "service_rate") {
+      c.service = c.service.scaled(1.0 / (x * c.service.mean()));
+    } else if (param == "quantum_mean") {
+      c.quantum = c.quantum.scaled(x / c.quantum.mean());
+    } else if (param == "overhead_mean") {
+      c.overhead = c.overhead.scaled(x / c.overhead.mean());
+    } else {
+      std::string msg = "unknown sweep param '" + param + "'";
+      if (const auto hint = util::did_you_mean(
+              param, {"arrival_rate", "service_rate", "quantum_mean",
+                      "overhead_mean"}))
+        msg += " (did you mean '" + *hint + "'?)";
+      throw InvalidArgument(msg);
+    }
+  }
+  return gang::SystemParams(base.processors(), std::move(classes));
+}
+
+}  // namespace
+
+EvalService::EvalService(ServiceOptions options)
+    : options_(options), cache_(options.cache_capacity) {
+  GS_CHECK(options_.num_threads >= 1, "service needs at least one thread");
+}
+
+std::string EvalService::handle_line(const std::string& line) {
+  Json request;
+  try {
+    request = Json::parse(line);
+  } catch (const json::ParseError& e) {
+    ++stats_.requests;
+    ++stats_.errors;
+    Json err = Json::object();
+    Json detail = Json::object();
+    detail.set("type", "parse_error");
+    detail.set("message", e.what());
+    err.set("error", std::move(detail));
+    return err.dump();
+  }
+  return handle(request).dump();
+}
+
+json::Json EvalService::handle(const Json& request) {
+  ++stats_.requests;
+  Json response = Json::object();
+  // Echo the request's op and id first so every response — success or
+  // error — is attributable by the client.
+  std::string op;
+  if (request.is_object()) {
+    if (const Json* o = request.find("op"); o && o->is_string())
+      op = o->as_string();
+    response.set("op", op.empty() ? Json(nullptr) : Json(op));
+    if (const Json* id = request.find("id")) response.set("id", *id);
+  } else {
+    response.set("op", nullptr);
+  }
+
+  try {
+    GS_CHECK(request.is_object(), "request must be a JSON object");
+    GS_CHECK(!op.empty(), "request needs a string 'op' field");
+    if (op == "solve") {
+      ++stats_.solve_requests;
+      Json r = do_solve(request);
+      for (auto& m : r.as_object()) response.set(m.key, std::move(m.value));
+    } else if (op == "sweep") {
+      ++stats_.sweep_requests;
+      Json r = do_sweep(request);
+      for (auto& m : r.as_object()) response.set(m.key, std::move(m.value));
+    } else if (op == "tune") {
+      ++stats_.tune_requests;
+      Json r = do_tune(request);
+      for (auto& m : r.as_object()) response.set(m.key, std::move(m.value));
+    } else if (op == "stats") {
+      ++stats_.stats_requests;
+      Json r = do_stats();
+      for (auto& m : r.as_object()) response.set(m.key, std::move(m.value));
+    } else if (op == "shutdown") {
+      shutdown_ = true;
+      response.set("ok", true);
+    } else {
+      std::string msg = "unknown op '" + op + "'";
+      if (const auto hint = util::did_you_mean(
+              op, {"solve", "sweep", "tune", "stats", "shutdown"}))
+        msg += " (did you mean '" + *hint + "'?)";
+      throw InvalidArgument(msg);
+    }
+  } catch (const NumericalError& e) {
+    ++stats_.errors;
+    Json detail = Json::object();
+    detail.set("type", "numerical_error");
+    detail.set("message", e.what());
+    response.set("error", std::move(detail));
+  } catch (const Error& e) {
+    ++stats_.errors;
+    Json detail = Json::object();
+    detail.set("type", "invalid_argument");
+    detail.set("message", e.what());
+    response.set("error", std::move(detail));
+  }
+  return response;
+}
+
+json::Json EvalService::do_solve(const Json& req) {
+  const Json* system = req.find("system");
+  GS_CHECK(system != nullptr, "solve needs a 'system' field");
+  const gang::SystemParams params = params_from_json(*system);
+  gang::GangSolveOptions opts = options_from_json(
+      req.find("options") ? *req.find("options") : Json(nullptr));
+  opts.num_threads = options_.num_threads;
+
+  const std::uint64_t full = scenario_hash(params, opts);
+  const std::uint64_t shape = structure_hash(params, opts);
+
+  Json out = Json::object();
+  out.set("hash", json::hash_hex(full));
+
+  if (const ResultCache::Entry* hit = cache_.find(full)) {
+    ++stats_.cache_hits;
+    out.set("cached", true);
+    out.set("hits", hit->hits);
+    out.set("warm_started", hit->report.used_warm_start);
+    out.set("iterations", hit->report.iterations);
+    out.set("converged", hit->report.converged);
+    out.set("used_optimistic_init", hit->report.used_optimistic_init);
+    out.set("result", report_to_json(hit->report));
+    return out;
+  }
+  ++stats_.cache_misses;
+
+  bool want_warm = options_.warm_start;
+  if (const Json* w = req.find("warm_start")) want_warm = w->as_bool();
+  const gang::SolveReport* donor = nullptr;
+  if (want_warm) {
+    if (auto it = warm_index_.find(shape); it != warm_index_.end()) {
+      if (const ResultCache::Entry* e = cache_.peek(it->second))
+        donor = &e->report;
+    }
+  }
+
+  const gang::GangSolver solver(params, opts);
+  const auto start = std::chrono::steady_clock::now();
+  gang::SolveReport report =
+      donor && donor->final_slices.size() == params.num_classes()
+          ? solver.solve_warm(donor->final_slices)
+          : solver.solve();
+  const double ms = elapsed_ms(start);
+
+  ++stats_.solves_executed;
+  stats_.fixed_point_iterations +=
+      static_cast<std::uint64_t>(report.iterations);
+  stats_.solve_ms_total += ms;
+  stats_.solve_ms_max = std::max(stats_.solve_ms_max, ms);
+  if (report.used_warm_start) ++stats_.warm_starts;
+
+  out.set("cached", false);
+  out.set("warm_started", report.used_warm_start);
+  out.set("iterations", report.iterations);
+  out.set("converged", report.converged);
+  out.set("used_optimistic_init", report.used_optimistic_init);
+  out.set("result", report_to_json(report));
+  if (!options_.deterministic) out.set("ms", ms);
+
+  cache_.insert(full, std::move(report));
+  warm_index_[shape] = full;
+  return out;
+}
+
+json::Json EvalService::do_sweep(const Json& req) {
+  const Json* system = req.find("system");
+  GS_CHECK(system != nullptr, "sweep needs a 'system' field");
+  const gang::SystemParams base = params_from_json(*system);
+  gang::GangSolveOptions solver_opts = options_from_json(
+      req.find("options") ? *req.find("options") : Json(nullptr));
+
+  const Json* vary = req.find("vary");
+  GS_CHECK(vary != nullptr, "sweep needs a 'vary' field");
+  const std::string param = vary->at("param").as_string();
+  std::int64_t cls = -1;
+  if (const Json* c = vary->find("class")) cls = c->as_int();
+  std::vector<double> xs;
+  for (const auto& x : vary->at("values").as_array())
+    xs.push_back(x.as_double());
+  GS_CHECK(!xs.empty(), "sweep needs at least one value");
+  // Validate the vary target (and class index) before fanning out so a bad
+  // request is one structured error, not one error row per point.
+  vary_system(base, param, xs.front(), cls);
+
+  workload::SweepOptions sweep_opts;
+  sweep_opts.solver = solver_opts;
+  sweep_opts.num_threads = options_.num_threads;
+
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<workload::SweepPoint> points = workload::sweep(
+      xs,
+      [&](double x) { return vary_system(base, param, x, cls); },
+      sweep_opts);
+  const double ms = elapsed_ms(start);
+  stats_.sweep_points += points.size();
+
+  Json rows = Json::array();
+  for (const auto& pt : points) {
+    Json row = Json::object();
+    row.set("x", pt.x);
+    if (!pt.error.empty()) {
+      row.set("error", pt.error);
+    } else {
+      Json n = Json::array();
+      double total = 0.0;
+      for (const double v : pt.model_n) {
+        n.push_back(v);
+        total += v;
+      }
+      row.set("mean_jobs", std::move(n));
+      row.set("total_mean_jobs", total);
+      row.set("iterations", pt.iterations);
+    }
+    rows.push_back(std::move(row));
+  }
+  Json out = Json::object();
+  out.set("param", param);
+  out.set("points", std::move(rows));
+  if (!options_.deterministic) out.set("ms", ms);
+  return out;
+}
+
+json::Json EvalService::do_tune(const Json& req) {
+  const Json* system = req.find("system");
+  GS_CHECK(system != nullptr, "tune needs a 'system' field");
+  const gang::SystemParams params = params_from_json(*system);
+
+  std::string mode = "common";
+  if (const Json* m = req.find("mode")) mode = m->as_string();
+  GS_CHECK(mode == "common" || mode == "per_class",
+           "tune mode must be 'common' or 'per_class'");
+
+  gang::TuneObjective objective;
+  if (const Json* obj = req.find("objective")) {
+    if (const Json* kind = obj->find("kind")) {
+      const std::string& s = kind->as_string();
+      if (s == "total_mean_jobs")
+        objective.kind = gang::TuneObjective::Kind::kTotalMeanJobs;
+      else if (s == "weighted_response")
+        objective.kind = gang::TuneObjective::Kind::kWeightedResponse;
+      else
+        throw InvalidArgument(
+            "objective.kind must be 'total_mean_jobs' or "
+            "'weighted_response'");
+    }
+    if (const Json* w = obj->find("weights"))
+      for (const auto& x : w->as_array())
+        objective.weights.push_back(x.as_double());
+  }
+
+  gang::TuneOptions topts;
+  if (const Json* t = req.find("tune")) {
+    if (const Json* x = t->find("quantum_min"))
+      topts.quantum_min = x->as_double();
+    if (const Json* x = t->find("quantum_max"))
+      topts.quantum_max = x->as_double();
+    if (const Json* x = t->find("tol")) topts.tol = x->as_double();
+    if (const Json* x = t->find("bracket_points"))
+      topts.bracket_points = static_cast<int>(x->as_int());
+    if (const Json* x = t->find("max_sweeps"))
+      topts.max_sweeps = static_cast<int>(x->as_int());
+  }
+  topts.solver = options_from_json(
+      req.find("options") ? *req.find("options") : Json(nullptr));
+  topts.solver.num_threads = options_.num_threads;
+
+  const auto start = std::chrono::steady_clock::now();
+  const gang::TuneResult result =
+      mode == "common" ? gang::tune_common_quantum(params, objective, topts)
+                       : gang::tune_per_class_quanta(params, objective, topts);
+  const double ms = elapsed_ms(start);
+
+  Json out = Json::object();
+  Json quanta = Json::array();
+  for (const double q : result.quantum_means) quanta.push_back(q);
+  out.set("quantum_means", std::move(quanta));
+  out.set("objective", result.objective);
+  out.set("evaluations", result.evaluations);
+  out.set("improved", result.improved);
+  out.set("result", report_to_json(result.report));
+  if (!options_.deterministic) out.set("ms", ms);
+  return out;
+}
+
+json::Json EvalService::do_stats() const {
+  Json out = Json::object();
+  out.set("requests", stats_.requests);
+  out.set("errors", stats_.errors);
+  Json ops = Json::object();
+  ops.set("solve", stats_.solve_requests);
+  ops.set("sweep", stats_.sweep_requests);
+  ops.set("tune", stats_.tune_requests);
+  ops.set("stats", stats_.stats_requests);
+  out.set("ops", std::move(ops));
+  Json solver = Json::object();
+  solver.set("solves_executed", stats_.solves_executed);
+  solver.set("warm_starts", stats_.warm_starts);
+  solver.set("fixed_point_iterations", stats_.fixed_point_iterations);
+  solver.set("sweep_points", stats_.sweep_points);
+  out.set("solver", std::move(solver));
+  Json cache = Json::object();
+  cache.set("capacity", cache_.capacity());
+  cache.set("size", cache_.size());
+  cache.set("hits", stats_.cache_hits);
+  cache.set("misses", stats_.cache_misses);
+  cache.set("evictions", cache_.evictions());
+  Json entries = Json::array();
+  for (const ResultCache::Entry* e : cache_.entries()) {
+    Json ej = Json::object();
+    ej.set("hash", json::hash_hex(e->key));
+    ej.set("hits", e->hits);
+    entries.push_back(std::move(ej));
+  }
+  cache.set("entries", std::move(entries));
+  out.set("cache", std::move(cache));
+  if (!options_.deterministic) {
+    Json lat = Json::object();
+    lat.set("solve_total", stats_.solve_ms_total);
+    lat.set("solve_max", stats_.solve_ms_max);
+    lat.set("solve_mean", stats_.solves_executed
+                              ? stats_.solve_ms_total /
+                                    static_cast<double>(stats_.solves_executed)
+                              : 0.0);
+    out.set("latency_ms", std::move(lat));
+  }
+  return out;
+}
+
+std::string EvalService::summary() const {
+  std::ostringstream os;
+  os << "gangd summary: " << stats_.requests << " requests ("
+     << stats_.solve_requests << " solve, " << stats_.sweep_requests
+     << " sweep, " << stats_.tune_requests << " tune, "
+     << stats_.stats_requests << " stats), " << stats_.errors << " errors; "
+     << stats_.solves_executed << " solves executed ("
+     << stats_.warm_starts << " warm-started, "
+     << stats_.fixed_point_iterations << " fixed-point iterations), "
+     << "cache " << cache_.size() << "/" << cache_.capacity() << " ("
+     << stats_.cache_hits << " hits, " << stats_.cache_misses
+     << " misses, " << cache_.evictions() << " evictions)";
+  if (!options_.deterministic && stats_.solves_executed > 0) {
+    os << "; solve ms total " << stats_.solve_ms_total << ", max "
+       << stats_.solve_ms_max;
+  }
+  return os.str();
+}
+
+}  // namespace gs::serve

@@ -1,0 +1,96 @@
+// The batched gang-model evaluation service behind gangd.
+//
+// One EvalService owns the result cache, the warm-start index, and the
+// request counters. Requests and responses are JSON objects (one NDJSON
+// line each on the wire); see DESIGN.md "Service layer" for the protocol.
+//
+//   solve     — full fixed-point solve of one scenario. Answered from the
+//               LRU cache on a scenario-hash hit; on a miss, warm-started
+//               from the most recent solve with the same structure hash.
+//   sweep     — a batch of solves over a varied parameter, fanned out on
+//               the service's ThreadPool (row order and results bitwise
+//               identical to sequential).
+//   tune      — quantum optimization (gang::tuner) over a scenario.
+//   stats     — counters, cache state, latency aggregates.
+//   shutdown  — acknowledge and mark the service for termination.
+//
+// Failures never escape as exceptions: model-validation errors
+// (gs::InvalidArgument — e.g. P not divisible by g(p), a non-stochastic
+// PH input), solver instability (gs::NumericalError), and malformed JSON
+// all come back as {"error":{...}} responses, and the service stays up.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "json/json.hpp"
+#include "serve/cache.hpp"
+
+namespace gs::serve {
+
+struct ServiceOptions {
+  /// Lanes of concurrency inside a request (per-class chains of a solve,
+  /// points of a sweep). Request handling itself is serialized.
+  int num_threads = 1;
+  /// LRU capacity in scenarios; 0 disables caching.
+  std::size_t cache_capacity = 256;
+  /// Warm-start cache misses from a structurally identical prior solve.
+  bool warm_start = true;
+  /// Omit wall-clock fields from responses so output is byte-stable
+  /// across runs (the golden-file smoke test).
+  bool deterministic = false;
+};
+
+struct ServiceStats {
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t solve_requests = 0;
+  std::uint64_t sweep_requests = 0;
+  std::uint64_t tune_requests = 0;
+  std::uint64_t stats_requests = 0;
+  std::uint64_t solves_executed = 0;  ///< actual solver runs (not hits)
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t warm_starts = 0;
+  std::uint64_t sweep_points = 0;
+  std::uint64_t fixed_point_iterations = 0;  ///< summed over executed solves
+  double solve_ms_total = 0.0;
+  double solve_ms_max = 0.0;
+};
+
+class EvalService {
+ public:
+  explicit EvalService(ServiceOptions options = {});
+
+  /// Handle one NDJSON request line; returns exactly one response line
+  /// (no trailing newline). Never throws.
+  std::string handle_line(const std::string& line);
+
+  /// Handle a parsed request. Never throws.
+  json::Json handle(const json::Json& request);
+
+  bool shutdown_requested() const { return shutdown_; }
+  const ServiceStats& stats() const { return stats_; }
+  const ResultCache& cache() const { return cache_; }
+  const ServiceOptions& options() const { return options_; }
+
+  /// Human-readable end-of-session summary (for stderr at exit).
+  std::string summary() const;
+
+ private:
+  json::Json do_solve(const json::Json& req);
+  json::Json do_sweep(const json::Json& req);
+  json::Json do_tune(const json::Json& req);
+  json::Json do_stats() const;
+
+  ServiceOptions options_;
+  ResultCache cache_;
+  /// structure hash -> scenario hash of the most recent solve with that
+  /// shape (the warm-start donor).
+  std::unordered_map<std::uint64_t, std::uint64_t> warm_index_;
+  ServiceStats stats_;
+  bool shutdown_ = false;
+};
+
+}  // namespace gs::serve

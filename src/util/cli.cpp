@@ -5,7 +5,44 @@
 
 #include "util/error.hpp"
 
+#include <algorithm>
+
 namespace gs::util {
+
+namespace {
+
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t up = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                         diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
+
+std::optional<std::string> did_you_mean(
+    const std::string& word, const std::vector<std::string>& candidates) {
+  const std::size_t budget = 1 + word.size() / 4;
+  std::optional<std::string> best;
+  std::size_t best_dist = budget + 1;
+  for (const auto& cand : candidates) {
+    const std::size_t d = edit_distance(word, cand);
+    if (d < best_dist && d < cand.size()) {
+      best_dist = d;
+      best = cand;
+    }
+  }
+  return best;
+}
 
 Cli::Cli(std::string program, std::string summary)
     : program_(std::move(program)), summary_(std::move(summary)) {}
@@ -52,7 +89,15 @@ bool Cli::parse(int argc, char** argv) {
       }
     }
     if (!found) {
-      std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
+      std::vector<std::string> names;
+      names.reserve(flags_.size());
+      for (const auto& f : flags_) names.push_back(f.name);
+      if (const auto hint = did_you_mean(name, names)) {
+        std::fprintf(stderr, "unknown flag --%s (did you mean --%s?)\n",
+                     name.c_str(), hint->c_str());
+      } else {
+        std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
+      }
       print_help();
       return false;
     }

@@ -3,11 +3,18 @@
 // an auto-generated --help.
 #pragma once
 
-#include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 namespace gs::util {
+
+/// The closest candidate to a misspelled `word` by Levenshtein distance,
+/// when it is close enough to be a plausible typo (distance <= 1 + len/4);
+/// nullopt otherwise. Drives the "did you mean" hints of both the CLI
+/// (unknown --flags are hard errors) and the serve protocol (unknown ops).
+std::optional<std::string> did_you_mean(
+    const std::string& word, const std::vector<std::string>& candidates);
 
 class Cli {
  public:

@@ -1,0 +1,195 @@
+#include "json/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace {
+
+using gs::json::fnv1a64;
+using gs::json::format_double;
+using gs::json::hash_hex;
+using gs::json::Json;
+using gs::json::ParseError;
+
+TEST(JsonParse, Primitives) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("3.25").as_double(), 3.25);
+  EXPECT_EQ(Json::parse("-17").as_int(), -17);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+  EXPECT_DOUBLE_EQ(Json::parse("  1e-3 ").as_double(), 1e-3);
+}
+
+TEST(JsonParse, Containers) {
+  const Json v = Json::parse(R"({"a":[1,2,3],"b":{"c":"x"},"d":null})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("a").as_array().size(), 3u);
+  EXPECT_EQ(v.at("a").as_array()[1].as_int(), 2);
+  EXPECT_EQ(v.at("b").at("c").as_string(), "x");
+  EXPECT_TRUE(v.at("d").is_null());
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW(v.at("missing"), gs::InvalidArgument);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\"b\\c\/\b\f\n\r\t")").as_string(),
+            "a\"b\\c/\b\f\n\r\t");
+  EXPECT_EQ(Json::parse(R"("\u0041\u00e9")").as_string(), "A\xc3\xa9");
+  // Surrogate pair: U+1D11E (musical G clef) -> 4-byte UTF-8.
+  EXPECT_EQ(Json::parse(R"("\ud834\udd1e")").as_string(),
+            "\xf0\x9d\x84\x9e");
+}
+
+TEST(JsonParse, ObjectOrderPreservedAndDuplicatesRejected) {
+  const Json v = Json::parse(R"({"z":1,"a":2,"m":3})");
+  const auto& obj = v.as_object();
+  ASSERT_EQ(obj.size(), 3u);
+  EXPECT_EQ(obj[0].key, "z");
+  EXPECT_EQ(obj[1].key, "a");
+  EXPECT_EQ(obj[2].key, "m");
+  EXPECT_THROW(Json::parse(R"({"a":1,"a":2})"), ParseError);
+}
+
+// The fuzz-ish corpus of the serve boundary: none of these may crash,
+// hang, or overflow the stack — they must all throw ParseError.
+TEST(JsonParse, MalformedCorpusNeverCrashes) {
+  const std::vector<std::string> corpus = {
+      "",
+      "   ",
+      "nul",
+      "truely",
+      "fals",
+      "+1",
+      "--1",
+      "01",
+      "1.",
+      ".5",
+      "1e",
+      "1e+",
+      "0x10",
+      "1 2",
+      "nan",
+      "inf",
+      "-",
+      "\"",
+      "\"abc",
+      "\"\\q\"",
+      "\"\\u12\"",
+      "\"\\u123g\"",
+      "\"\\ud834\"",          // unpaired high surrogate
+      "\"\\ud834\\u0041\"",   // high surrogate + non-surrogate
+      "\"\\udd1e\"",          // unpaired low surrogate
+      "\"raw\ncontrol\"",
+      "[",
+      "[1,",
+      "[1 2]",
+      "[1,]",
+      "]",
+      "{",
+      "{\"a\"}",
+      "{\"a\":}",
+      "{\"a\":1,}",
+      "{\"a\":1 \"b\":2}",
+      "{a:1}",
+      "{1:2}",
+      "}",
+      "[1],[2]",
+      "{\"a\":1}garbage",
+      "\xff\xfe",
+      std::string(100000, '['),
+      std::string(100000, '{'),
+      "[[[[[[[[[[[[[[[[[[[[\"unclosed",
+      "1e999999",   // overflows to inf
+      "-1e999999",
+  };
+  for (const auto& text : corpus) {
+    EXPECT_THROW(Json::parse(text), ParseError)
+        << "input was accepted: " << text.substr(0, 40);
+  }
+}
+
+TEST(JsonParse, DeepButLegalNestingWithinLimitParses) {
+  std::string text;
+  const int depth = 50;
+  for (int i = 0; i < depth; ++i) text += "[";
+  text += "1";
+  for (int i = 0; i < depth; ++i) text += "]";
+  EXPECT_EQ(Json::parse(text).as_array()[0].as_array().size(), 1u);
+}
+
+TEST(JsonDump, CompactAndStable) {
+  const Json v = Json::parse(R"({ "b" : [ 1 , 2.5 , "x" ] , "a" : true })");
+  EXPECT_EQ(v.dump(), R"({"b":[1,2.5,"x"],"a":true})");
+}
+
+TEST(JsonDump, RoundTripsStructurally) {
+  const std::string text =
+      R"({"sys":{"p":8,"rates":[0.4,1e-9,123456789.25]},"tag":"fig2","flags":[true,false,null]})";
+  const Json v = Json::parse(text);
+  EXPECT_EQ(Json::parse(v.dump()), v);
+  EXPECT_EQ(Json::parse(v.dump()).dump(), v.dump());
+}
+
+TEST(JsonDump, EscapesControlCharacters) {
+  Json v = Json::object();
+  v.set("s", std::string("a\"b\\c\n\x01"));
+  EXPECT_EQ(v.dump(), "{\"s\":\"a\\\"b\\\\c\\n\\u0001\"}");
+  EXPECT_EQ(Json::parse(v.dump()), v);
+}
+
+TEST(FormatDouble, ShortestRoundTripIsBitExact) {
+  const std::vector<double> values = {0.0,
+                                      -0.0,
+                                      1.0,
+                                      -1.0,
+                                      0.1,
+                                      1.0 / 3.0,
+                                      2.0 / 3.0,
+                                      1e-300,
+                                      1e300,
+                                      6.02214076e23,
+                                      0.30000000000000004,
+                                      9007199254740992.0,
+                                      9007199254740994.0,
+                                      1.7976931348623157e308,
+                                      5e-324};
+  for (const double v : values) {
+    const std::string s = format_double(v);
+    const double back = std::strtod(s.c_str(), nullptr);
+    EXPECT_EQ(back, v) << s;
+    // And through a full value round trip:
+    EXPECT_EQ(Json::parse(Json(v).dump()).as_double(), v) << s;
+  }
+  EXPECT_EQ(format_double(42.0), "42");
+  EXPECT_EQ(format_double(0.5), "0.5");
+  EXPECT_THROW(format_double(std::nan("")), gs::InvalidArgument);
+  EXPECT_THROW(format_double(HUGE_VAL), gs::InvalidArgument);
+}
+
+TEST(JsonValue, SetReplacesInPlace) {
+  Json v = Json::object();
+  v.set("a", 1).set("b", 2).set("a", 3);
+  EXPECT_EQ(v.as_object().size(), 2u);
+  EXPECT_EQ(v.at("a").as_int(), 3);
+  EXPECT_EQ(v.as_object()[0].key, "a");  // first-insertion order kept
+}
+
+TEST(JsonValue, AsIntRejectsNonIntegral) {
+  EXPECT_THROW(Json(1.5).as_int(), gs::InvalidArgument);
+  EXPECT_THROW(Json(1e17).as_int(), gs::InvalidArgument);
+  EXPECT_EQ(Json(7.0).as_int(), 7);
+}
+
+TEST(Fnv1a64, KnownVectorsAndHex) {
+  // Reference FNV-1a values.
+  EXPECT_EQ(fnv1a64(""), 14695981039346656037ull);
+  EXPECT_EQ(fnv1a64("a"), 12638187200555641996ull);
+  EXPECT_EQ(fnv1a64("foobar"), 9625390261332436968ull);
+  EXPECT_EQ(hash_hex(0xdeadbeefull), "00000000deadbeef");
+}
+
+}  // namespace

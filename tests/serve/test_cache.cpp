@@ -1,0 +1,83 @@
+#include "serve/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using gs::gang::SolveReport;
+using gs::serve::ResultCache;
+
+SolveReport report_with_iterations(int iterations) {
+  SolveReport r;
+  r.iterations = iterations;
+  return r;
+}
+
+TEST(ResultCache, FindMissThenHitWithHitCounter) {
+  ResultCache cache(4);
+  EXPECT_EQ(cache.find(1), nullptr);
+  cache.insert(1, report_with_iterations(7));
+  const auto* e = cache.find(1);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->report.iterations, 7);
+  EXPECT_EQ(e->hits, 1u);
+  EXPECT_EQ(cache.find(1)->hits, 2u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ResultCache, PeekHasNoSideEffects) {
+  ResultCache cache(2);
+  cache.insert(1, report_with_iterations(1));
+  cache.insert(2, report_with_iterations(2));
+  ASSERT_NE(cache.peek(1), nullptr);
+  EXPECT_EQ(cache.peek(1)->hits, 0u);
+  // Peek did not refresh key 1: inserting a third entry still evicts it.
+  cache.insert(3, report_with_iterations(3));
+  EXPECT_EQ(cache.peek(1), nullptr);
+  EXPECT_NE(cache.peek(2), nullptr);
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsed) {
+  ResultCache cache(3);
+  cache.insert(1, report_with_iterations(1));
+  cache.insert(2, report_with_iterations(2));
+  cache.insert(3, report_with_iterations(3));
+  ASSERT_NE(cache.find(1), nullptr);  // 1 is now most recent
+  cache.insert(4, report_with_iterations(4));
+  EXPECT_EQ(cache.peek(2), nullptr);  // 2 was the LRU entry
+  EXPECT_NE(cache.peek(1), nullptr);
+  EXPECT_NE(cache.peek(3), nullptr);
+  EXPECT_NE(cache.peek(4), nullptr);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(ResultCache, EntriesOrderedMostRecentFirst) {
+  ResultCache cache(3);
+  cache.insert(10, report_with_iterations(1));
+  cache.insert(20, report_with_iterations(2));
+  cache.find(10);
+  const auto entries = cache.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0]->key, 10u);
+  EXPECT_EQ(entries[1]->key, 20u);
+}
+
+TEST(ResultCache, ReinsertOverwritesWithoutGrowth) {
+  ResultCache cache(2);
+  cache.insert(1, report_with_iterations(1));
+  cache.insert(1, report_with_iterations(9));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.peek(1)->report.iterations, 9);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(ResultCache, ZeroCapacityDisablesCaching) {
+  ResultCache cache(0);
+  cache.insert(1, report_with_iterations(1));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.find(1), nullptr);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+}  // namespace

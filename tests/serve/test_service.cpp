@@ -1,0 +1,336 @@
+// End-to-end tests of the evaluation service: a solve answered through
+// the NDJSON boundary is bitwise identical to a direct GangSolver call,
+// repeats hit the cache, perturbed re-queries warm-start, and every
+// failure mode comes back as a structured error with the daemon alive.
+#include "serve/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "gang/solver.hpp"
+#include "serve/canonical.hpp"
+#include "serve/server.hpp"
+#include "workload/paper_configs.hpp"
+#include "workload/sweep.hpp"
+
+namespace {
+
+using gs::gang::GangSolver;
+using gs::gang::SolveReport;
+using gs::json::Json;
+using gs::serve::EvalService;
+using gs::serve::ServiceOptions;
+using gs::workload::paper_system;
+using gs::workload::PaperKnobs;
+
+Json solve_request(const gs::gang::SystemParams& sys) {
+  Json req = Json::object();
+  req.set("op", "solve");
+  req.set("system", gs::serve::params_to_json(sys));
+  return req;
+}
+
+TEST(Service, SolveMatchesDirectSolverBitwise) {
+  // The paper's Figure 2 configuration through the full JSON boundary:
+  // request serialization, canonicalization, solve, response
+  // serialization, response parse. Every reported double must come back
+  // bit-for-bit equal to the direct GangSolver call — json::format_double
+  // round-trips exactly and the solve itself is deterministic.
+  const auto sys = paper_system();
+  gs::gang::GangSolveOptions opts;
+  const SolveReport direct = GangSolver(sys, opts).solve();
+
+  EvalService service;
+  const Json resp =
+      Json::parse(service.handle_line(solve_request(sys).dump()));
+  ASSERT_EQ(resp.find("error"), nullptr) << resp.dump();
+  EXPECT_EQ(resp.at("op").as_string(), "solve");
+  EXPECT_FALSE(resp.at("cached").as_bool());
+  EXPECT_TRUE(resp.at("converged").as_bool());
+  EXPECT_EQ(resp.at("iterations").as_int(), direct.iterations);
+  EXPECT_EQ(resp.at("hash").as_string(),
+            gs::json::hash_hex(gs::serve::scenario_hash(sys, opts)));
+
+  const auto& per_class = resp.at("result").at("per_class").as_array();
+  ASSERT_EQ(per_class.size(), direct.per_class.size());
+  for (std::size_t p = 0; p < per_class.size(); ++p) {
+    const auto& cj = per_class[p];
+    const auto& cd = direct.per_class[p];
+    EXPECT_EQ(cj.at("name").as_string(), cd.name);
+    EXPECT_EQ(cj.at("mean_jobs").as_double(), cd.mean_jobs);  // bitwise
+    EXPECT_EQ(cj.at("var_jobs").as_double(), cd.var_jobs);
+    EXPECT_EQ(cj.at("response_time").as_double(), cd.response_time);
+    EXPECT_EQ(cj.at("serving_fraction").as_double(), cd.serving_fraction);
+    EXPECT_EQ(cj.at("prob_empty").as_double(), cd.prob_empty);
+    EXPECT_EQ(cj.at("sp_r").as_double(), cd.sp_r);
+    EXPECT_EQ(cj.at("eff_quantum_mean").as_double(), cd.eff_quantum_mean);
+    EXPECT_EQ(cj.at("eff_quantum_atom").as_double(), cd.eff_quantum_atom);
+  }
+  EXPECT_EQ(resp.at("result").at("total_mean_jobs").as_double(),
+            direct.total_mean_jobs());
+  EXPECT_EQ(resp.at("result").at("mean_cycle_length").as_double(),
+            direct.mean_cycle_length);
+}
+
+TEST(Service, RepeatSolveIsServedFromCache) {
+  EvalService service;
+  const std::string req = solve_request(paper_system()).dump();
+  const Json first = Json::parse(service.handle_line(req));
+  const Json second = Json::parse(service.handle_line(req));
+  EXPECT_FALSE(first.at("cached").as_bool());
+  EXPECT_TRUE(second.at("cached").as_bool());
+  EXPECT_EQ(second.at("hits").as_int(), 1);
+  EXPECT_EQ(second.at("result").dump(), first.at("result").dump());
+  EXPECT_EQ(service.stats().cache_hits, 1u);
+  EXPECT_EQ(service.stats().cache_misses, 1u);
+  EXPECT_EQ(service.stats().solves_executed, 1u);
+}
+
+TEST(Service, PerturbedSolveWarmStartsAndMatchesColdFixedPoint) {
+  PaperKnobs knobs;
+  knobs.arrival_rate = 0.44;
+  const auto perturbed = paper_system(knobs);
+
+  // Cold reference: a service with warm starts disabled.
+  EvalService cold_service(ServiceOptions{/*num_threads=*/1, /*cache_capacity=*/16,
+                            /*warm_start=*/false, /*deterministic=*/false});
+  const Json cold =
+      Json::parse(cold_service.handle_line(solve_request(perturbed).dump()));
+  EXPECT_FALSE(cold.at("warm_started").as_bool());
+
+  // Warm path: solve the base scenario first, then the perturbed one.
+  EvalService service;
+  service.handle_line(solve_request(paper_system()).dump());
+  const Json warm =
+      Json::parse(service.handle_line(solve_request(perturbed).dump()));
+  EXPECT_FALSE(warm.at("cached").as_bool());
+  EXPECT_TRUE(warm.at("warm_started").as_bool());
+  EXPECT_LT(warm.at("iterations").as_int(), cold.at("iterations").as_int());
+  EXPECT_EQ(service.stats().warm_starts, 1u);
+
+  const auto& warm_classes = warm.at("result").at("per_class").as_array();
+  const auto& cold_classes = cold.at("result").at("per_class").as_array();
+  ASSERT_EQ(warm_classes.size(), cold_classes.size());
+  for (std::size_t p = 0; p < warm_classes.size(); ++p) {
+    EXPECT_NEAR(warm_classes[p].at("mean_jobs").as_double(),
+                cold_classes[p].at("mean_jobs").as_double(), 1e-5);
+  }
+}
+
+TEST(Service, PerRequestWarmStartOptOut) {
+  EvalService service;
+  service.handle_line(solve_request(paper_system()).dump());
+  PaperKnobs knobs;
+  knobs.arrival_rate = 0.44;
+  Json req = solve_request(paper_system(knobs));
+  req.set("warm_start", false);
+  const Json resp = Json::parse(service.handle_line(req.dump()));
+  EXPECT_FALSE(resp.at("warm_started").as_bool());
+}
+
+TEST(Service, ValidationFailureIsStructuredErrorAndServiceSurvives) {
+  EvalService service;
+  // P = 8, g = 3: SystemParams validation must reject this, as a JSON
+  // error response rather than an escaping exception.
+  const std::string bad = R"({"op":"solve","id":42,"system":{
+    "processors": 8,
+    "classes": [{
+      "name": "c", "partition_size": 3,
+      "arrival": {"dist":"exponential","rate":0.4},
+      "service": {"dist":"exponential","rate":1},
+      "quantum": {"dist":"erlang","stages":2,"mean":1},
+      "overhead": {"dist":"exponential","rate":100}
+    }]}})";
+  const Json resp = Json::parse(service.handle_line(bad));
+  ASSERT_NE(resp.find("error"), nullptr);
+  EXPECT_EQ(resp.at("error").at("type").as_string(), "invalid_argument");
+  EXPECT_EQ(resp.at("id").as_int(), 42);  // echoed for attribution
+  EXPECT_EQ(service.stats().errors, 1u);
+
+  // The daemon is still serving.
+  const Json ok =
+      Json::parse(service.handle_line(solve_request(paper_system()).dump()));
+  EXPECT_EQ(ok.find("error"), nullptr);
+}
+
+TEST(Service, UnstableScenarioIsNumericalError) {
+  PaperKnobs knobs;
+  knobs.arrival_rate = 2.0;  // rho >= 1
+  EvalService service;
+  const Json resp =
+      Json::parse(service.handle_line(solve_request(paper_system(knobs)).dump()));
+  ASSERT_NE(resp.find("error"), nullptr);
+  EXPECT_EQ(resp.at("error").at("type").as_string(), "numerical_error");
+}
+
+TEST(Service, MalformedJsonAndUnknownOpAreStructuredErrors) {
+  EvalService service;
+  const Json parse_err = Json::parse(service.handle_line("{not json"));
+  ASSERT_NE(parse_err.find("error"), nullptr);
+  EXPECT_EQ(parse_err.at("error").at("type").as_string(), "parse_error");
+
+  const Json unknown = Json::parse(service.handle_line(R"({"op":"solv"})"));
+  ASSERT_NE(unknown.find("error"), nullptr);
+  EXPECT_NE(unknown.at("error").at("message").as_string().find(
+                "did you mean 'solve'"),
+            std::string::npos);
+
+  const Json no_op = Json::parse(service.handle_line(R"({"x":1})"));
+  ASSERT_NE(no_op.find("error"), nullptr);
+  EXPECT_EQ(service.stats().errors, 3u);
+}
+
+TEST(Service, SweepMatchesDirectSweep) {
+  const auto base = paper_system();
+  Json req = Json::object();
+  req.set("op", "sweep");
+  req.set("system", gs::serve::params_to_json(base));
+  Json vary = Json::object();
+  vary.set("param", "quantum_mean");
+  Json values = Json::array();
+  for (const double x : {0.5, 1.0, 2.0}) values.push_back(x);
+  vary.set("values", std::move(values));
+  req.set("vary", std::move(vary));
+
+  EvalService service;
+  const Json resp = Json::parse(service.handle_line(req.dump()));
+  ASSERT_EQ(resp.find("error"), nullptr) << resp.dump();
+  const auto& points = resp.at("points").as_array();
+  ASSERT_EQ(points.size(), 3u);
+
+  const auto direct = gs::workload::sweep(
+      {0.5, 1.0, 2.0},
+      [&](double x) {
+        std::vector<gs::gang::ClassParams> classes = base.classes();
+        for (auto& c : classes)
+          c.quantum = c.quantum.scaled(x / c.quantum.mean());
+        return gs::gang::SystemParams(base.processors(), std::move(classes));
+      },
+      {});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    ASSERT_EQ(points[i].find("error"), nullptr);
+    const auto& n = points[i].at("mean_jobs").as_array();
+    ASSERT_EQ(n.size(), direct[i].model_n.size());
+    for (std::size_t p = 0; p < n.size(); ++p)
+      EXPECT_EQ(n[p].as_double(), direct[i].model_n[p]);  // bitwise
+  }
+  EXPECT_EQ(service.stats().sweep_points, 3u);
+}
+
+TEST(Service, SweepUnknownParamIsOneError) {
+  EvalService service;
+  Json req = Json::object();
+  req.set("op", "sweep");
+  req.set("system", gs::serve::params_to_json(paper_system()));
+  Json vary = Json::object();
+  vary.set("param", "quantum_men");
+  Json values = Json::array();
+  values.push_back(1.0);
+  vary.set("values", std::move(values));
+  req.set("vary", std::move(vary));
+  const Json resp = Json::parse(service.handle_line(req.dump()));
+  ASSERT_NE(resp.find("error"), nullptr);
+  EXPECT_NE(resp.at("error").at("message").as_string().find("quantum_mean"),
+            std::string::npos);
+}
+
+TEST(Service, StatsAndShutdownSurface) {
+  EvalService service;
+  const std::string req = solve_request(paper_system()).dump();
+  service.handle_line(req);
+  service.handle_line(req);
+  const Json stats = Json::parse(service.handle_line(R"({"op":"stats"})"));
+  EXPECT_EQ(stats.at("requests").as_int(), 3);
+  EXPECT_EQ(stats.at("ops").at("solve").as_int(), 2);
+  EXPECT_EQ(stats.at("cache").at("hits").as_int(), 1);
+  EXPECT_EQ(stats.at("cache").at("misses").as_int(), 1);
+  EXPECT_EQ(stats.at("cache").at("size").as_int(), 1);
+  const auto& entries = stats.at("cache").at("entries").as_array();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].at("hits").as_int(), 1);
+  EXPECT_NE(stats.find("latency_ms"), nullptr);
+
+  EXPECT_FALSE(service.shutdown_requested());
+  const Json bye = Json::parse(service.handle_line(R"({"op":"shutdown"})"));
+  EXPECT_TRUE(bye.at("ok").as_bool());
+  EXPECT_TRUE(service.shutdown_requested());
+  EXPECT_NE(service.summary().find("4 requests"), std::string::npos);
+}
+
+TEST(Service, DeterministicModeOmitsTimings) {
+  ServiceOptions opts;
+  opts.deterministic = true;
+  EvalService service(opts);
+  const Json resp =
+      Json::parse(service.handle_line(solve_request(paper_system()).dump()));
+  EXPECT_EQ(resp.find("ms"), nullptr);
+  const Json stats = Json::parse(service.handle_line(R"({"op":"stats"})"));
+  EXPECT_EQ(stats.find("latency_ms"), nullptr);
+}
+
+TEST(Service, CacheEvictionKeepsServingCorrectResults) {
+  ServiceOptions opts;
+  opts.cache_capacity = 2;
+  EvalService service(opts);
+  PaperKnobs knobs;
+  std::vector<std::string> reqs;
+  for (const double rate : {0.3, 0.35, 0.4}) {
+    knobs.arrival_rate = rate;
+    reqs.push_back(solve_request(paper_system(knobs)).dump());
+  }
+  for (const auto& r : reqs) service.handle_line(r);
+  // First scenario was evicted (capacity 2): re-solving misses but works.
+  const Json again = Json::parse(service.handle_line(reqs[0]));
+  EXPECT_FALSE(again.at("cached").as_bool());
+  EXPECT_EQ(service.cache().evictions(), 2u);
+
+  // And an actual repeat of the most recent scenario still hits.
+  const Json hit = Json::parse(service.handle_line(reqs[0]));
+  EXPECT_TRUE(hit.at("cached").as_bool());
+}
+
+TEST(Service, TuneAnswersWithOptimalQuantum) {
+  EvalService service;
+  Json req = Json::object();
+  req.set("op", "tune");
+  req.set("system", gs::serve::params_to_json(paper_system()));
+  req.set("mode", "common");
+  Json topts = Json::object();
+  topts.set("quantum_min", 0.2);
+  topts.set("quantum_max", 4.0);
+  topts.set("bracket_points", 5);
+  topts.set("tol", 0.05);
+  req.set("tune", std::move(topts));
+  const Json resp = Json::parse(service.handle_line(req.dump()));
+  ASSERT_EQ(resp.find("error"), nullptr) << resp.dump();
+  const auto& quanta = resp.at("quantum_means").as_array();
+  ASSERT_EQ(quanta.size(), 4u);
+  EXPECT_GT(quanta[0].as_double(), 0.0);
+  EXPECT_GT(resp.at("evaluations").as_int(), 0);
+  EXPECT_GT(resp.at("result").at("total_mean_jobs").as_double(), 0.0);
+}
+
+TEST(Service, StreamLoopAnswersLineByLineAndStopsOnShutdown) {
+  std::istringstream in(
+      solve_request(paper_system()).dump() + "\n" +
+      "\n" +  // blank lines are skipped
+      R"({"op":"stats"})" "\n"
+      R"({"op":"shutdown"})" "\n"
+      R"({"op":"stats"})" "\n");  // after shutdown: never read
+  std::ostringstream out;
+  EvalService service;
+  gs::serve::serve_stream(service, in, out);
+  std::istringstream lines(out.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    ++count;
+    EXPECT_NO_THROW(Json::parse(line)) << line;
+  }
+  EXPECT_EQ(count, 3);  // solve, stats, shutdown ack — not the 4th request
+  EXPECT_TRUE(service.shutdown_requested());
+}
+
+}  // namespace

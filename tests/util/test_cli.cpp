@@ -80,6 +80,28 @@ TEST(Cli, TypeErrorsThrow) {
   EXPECT_THROW(cli.get_bool("n"), gs::InvalidArgument);
 }
 
+TEST(DidYouMean, SuggestsClosePlausibleTypos) {
+  const std::vector<std::string> cands = {"threads", "cache", "port",
+                                          "deterministic"};
+  ASSERT_TRUE(gs::util::did_you_mean("thraeds", cands).has_value());
+  EXPECT_EQ(*gs::util::did_you_mean("thraeds", cands), "threads");
+  EXPECT_EQ(*gs::util::did_you_mean("prot", cands), "port");
+  // Distance budget scales with word length: a short word far from
+  // everything yields no suggestion.
+  EXPECT_FALSE(gs::util::did_you_mean("xy", cands).has_value());
+  EXPECT_FALSE(gs::util::did_you_mean("quantum", cands).has_value());
+}
+
+TEST(Cli, UnknownFlagIsHardErrorWithEqualsFormToo) {
+  Cli cli("prog", "test");
+  cli.add_flag("threads", "1", "lanes");
+  std::vector<std::string> args = {"prog", "--thraeds=4"};
+  auto argv = argv_of(args);
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  // The declared flag keeps its default: the bad parse changed nothing.
+  EXPECT_EQ(cli.get_int("threads"), 1);
+}
+
 TEST(Cli, DuplicateFlagRejected) {
   Cli cli("prog", "test");
   cli.add_flag("a", "1", "a");

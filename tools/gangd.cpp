@@ -1,0 +1,63 @@
+// gangd: the batched gang-model evaluation daemon.
+//
+// Reads NDJSON requests (one JSON object per line) and answers one JSON
+// response per line. With --port=0 (the default) the transport is
+// stdin/stdout, so a shell pipeline is a complete session:
+//
+//   echo '{"op":"solve","system":{...}}' | gangd
+//
+// With --port=N it listens on 127.0.0.1:N and serves connections one at a
+// time; the result cache and counters persist across connections. Either
+// way a one-line session summary goes to stderr at exit.
+#include <iostream>
+
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+int main(int argc, char** argv) {
+  gs::util::Cli cli("gangd",
+                    "NDJSON evaluation service for the gang-scheduling "
+                    "model (ops: solve, sweep, tune, stats, shutdown)");
+  cli.add_flag("threads", "1",
+               "concurrency inside a request (sweep points, per-class "
+               "chains); results are bitwise identical at any value");
+  cli.add_flag("cache", "256", "LRU result-cache capacity (0 disables)");
+  cli.add_flag("port", "0",
+               "TCP port on 127.0.0.1; 0 serves stdin/stdout instead");
+  cli.add_flag("warm-start", "1",
+               "warm-start cache misses from a structurally identical "
+               "prior solve (per-request \"warm_start\" overrides)");
+  cli.add_flag("deterministic", "0",
+               "omit wall-clock fields from responses so output is "
+               "byte-stable across runs");
+  if (!cli.parse(argc, argv)) return 1;
+
+  gs::serve::ServiceOptions options;
+  options.num_threads = cli.get_int("threads");
+  const int cache = cli.get_int("cache");
+  if (cache < 0) {
+    std::cerr << "gangd: --cache must be >= 0\n";
+    return 1;
+  }
+  options.cache_capacity = static_cast<std::size_t>(cache);
+  options.warm_start = cli.get_bool("warm-start");
+  options.deterministic = cli.get_bool("deterministic");
+
+  gs::serve::EvalService service(options);
+  const int port = cli.get_int("port");
+  try {
+    if (port == 0) {
+      gs::serve::serve_stream(service, std::cin, std::cout);
+    } else {
+      gs::serve::serve_tcp(service, port);
+    }
+  } catch (const gs::Error& e) {
+    std::cerr << "gangd: " << e.what() << "\n";
+    std::cerr << service.summary() << "\n";
+    return 1;
+  }
+  std::cerr << service.summary() << "\n";
+  return 0;
+}

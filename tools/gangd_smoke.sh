@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# End-to-end smoke test of gangd: pipe the checked-in request script
+# through a deterministic daemon and compare against the checked-in
+# golden with ndjson_diff (numbers within tolerance, everything else —
+# including cached/warm_started flags and iteration counts — exact).
+#
+# Usage: tools/gangd_smoke.sh [build-dir]   (default: build)
+set -eu
+
+build_dir=${1:-build}
+tools_src=$(dirname "$0")
+out=${TMPDIR:-/tmp}/gangd_smoke_$$.ndjson
+trap 'rm -f "$out"' EXIT
+
+"$build_dir/tools/gangd" --deterministic=1 --threads=2 \
+  < "$tools_src/smoke_requests.ndjson" > "$out"
+
+"$build_dir/tools/ndjson_diff" "$out" "$tools_src/smoke_golden.ndjson"
