@@ -6,11 +6,42 @@
 
 #include "gang/away_period.hpp"
 #include "phase/fitting.hpp"
+#include "qbd/arena.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
 
 namespace gs::gang {
+
+namespace {
+
+// Structure key for the per-thread workspace arena: two solves with equal
+// keys run chains of (almost certainly) identical block shapes, so their
+// workspaces can trade scratch without reallocation. Collisions are
+// harmless — the solvers reshape scratch on use — so this hashes only the
+// shape-determining integers, not the rates.
+std::uint64_t structure_key(const SystemParams& params,
+                            const GangSolveOptions& options) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a 64
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(params.processors());
+  mix(params.num_classes());
+  for (const ClassParams& c : params.classes()) {
+    mix(c.arrival.order());
+    mix(c.service.order());
+    mix(c.quantum.order());
+    mix(c.overhead.order());
+    mix(c.partition_size);
+  }
+  mix(static_cast<std::uint64_t>(options.eff_mode));
+  mix(static_cast<std::uint64_t>(options.fit_max_order));
+  return h;
+}
+
+}  // namespace
 
 double SolveReport::total_mean_jobs() const {
   double total = 0.0;
@@ -76,15 +107,24 @@ SolveReport GangSolver::run(const std::vector<PhaseType>& init_slices) const {
   SolveReport report;
   const int max_iter = options_.fixed_point ? options_.max_iterations : 1;
 
-  // One pool and one scratch Workspace per class for the whole fixed
-  // point: the chains keep their shapes across iterations, so after the
-  // first pass the R-matrix and boundary solves stop allocating. With
-  // num_threads <= 1 (or when this solver already runs on a pool worker,
-  // e.g. inside a parallel sweep) everything below degrades to the exact
-  // sequential path.
-  util::ThreadPool pool(
-      static_cast<std::size_t>(std::max(1, options_.num_threads)));
-  std::vector<qbd::Workspace> workspaces(L);
+  // Lanes come from the injected pool or the process-wide shared pool —
+  // nothing is constructed or joined per solve. With num_threads <= 1 (or
+  // when this solver already runs on a pool worker, e.g. inside a
+  // parallel sweep) every parallel_for below takes the exact sequential
+  // path. Grain 1: each index is a full QBD solve, far coarser than the
+  // claim traffic.
+  util::ThreadPool& pool =
+      options_.pool != nullptr ? *options_.pool : util::ThreadPool::shared();
+  const util::ParallelOptions lanes{
+      static_cast<std::size_t>(std::max(1, options_.num_threads)),
+      /*grain=*/1};
+  // One scratch Workspace per class for the whole fixed point, borrowed
+  // from the calling thread's arena: the chains keep their shapes across
+  // iterations *and* across same-shaped solves on this thread (sweep
+  // points, consecutive daemon requests), so after the first pass on the
+  // first point the R-matrix and boundary solves stop allocating.
+  qbd::WorkspaceArena::Lease workspaces =
+      qbd::WorkspaceArena::borrow(structure_key(params_, options_), L);
   // The processes persist across iterations: when only the away-period
   // rates move (the common case), update_away revalues the existing QBD
   // blocks in place instead of rebuilding from scratch.
@@ -108,7 +148,7 @@ SolveReport GangSolver::run(const std::vector<PhaseType>& init_slices) const {
       sols[p].emplace(
           qbd::solve(procs[p]->process(), options_.qbd, &workspaces[p]));
       n[p] = sols[p]->mean_level();
-    });
+    }, lanes);
 
     double delta = 0.0;
     for (std::size_t p = 0; p < L; ++p)
@@ -126,7 +166,7 @@ SolveReport GangSolver::run(const std::vector<PhaseType>& init_slices) const {
       effq[p] = procs[p]->effective_quantum(
           *sols[p], options_.truncation,
           options_.eff_mode == EffQuantumMode::kExact);
-    });
+    }, lanes);
 
     if (done) {
       report.converged = !options_.fixed_point || delta < options_.tol;

@@ -22,6 +22,10 @@
 #include "gang/class_process.hpp"
 #include "gang/params.hpp"
 
+namespace gs::util {
+class ThreadPool;
+}  // namespace gs::util
+
 namespace gs::gang {
 
 /// How the effective quantum is represented inside F_p.
@@ -56,6 +60,11 @@ struct GangSolveOptions {
   /// parallel reports are bitwise identical to sequential ones). <= 1
   /// runs the exact sequential path.
   int num_threads = 1;
+  /// Pool the per-class lanes run on. Null (default) means the
+  /// process-wide util::ThreadPool::shared(); tests and embedders inject
+  /// their own. Non-owning; must outlive the solve. Never affects
+  /// results, only where the lanes live.
+  util::ThreadPool* pool = nullptr;
 };
 
 struct ClassResult {

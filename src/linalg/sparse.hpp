@@ -20,6 +20,28 @@
 // below requires FINITE entries — an Inf or NaN operand would make
 // 0 * x != 0 and void the guarantee (generators and probability vectors
 // are always finite, so this costs the callers nothing).
+//
+// Where CSR pays, and where it provably cannot. Sparsity here is a
+// property of the *inputs*, not of the algorithm's iterates: the product
+// of two structured blocks is generically dense (every row of A0 reaches
+// every column of A2 through the shared middle index), so any algorithm
+// that iterates on products loses the structure after one step.
+//  * Successive substitution (qbd/rmatrix.cpp) keeps re-multiplying the
+//    structured A2 and the recompressed R A2 every iteration — CSR gets
+//    a shot at the hot loop itself, which is why BENCH_qbd.json shows
+//    ~3x there.
+//  * Logarithmic reduction squares its H/L/G/T iterates, which densify
+//    after the first squaring; CSR can only touch the setup solves and
+//    the final R-from-G stage, and the dense squaring loop dominates the
+//    runtime (see qbd::RSolveProfile for the measured split). That
+//    Amdahl ceiling is why the sparse toggle only bought ~1.06x on log
+//    reduction — it is structural, not a missing optimization.
+// Consequently the R solvers gate CSR per *input block*: a block denser
+// than about half full (qbd/rmatrix.cpp kCsrDensityGate) skips
+// compression entirely, because assign_from_dense costs a full O(d^2)
+// scan and the sparse product then visits nearly every entry anyway.
+// Gating is bitwise-invisible — both paths produce identical bits — so
+// it is purely a cost model.
 #pragma once
 
 #include <cstddef>

@@ -1,5 +1,6 @@
 #include "qbd/rmatrix.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <string>
 
@@ -17,6 +18,28 @@ void identity_minus_into(Matrix& out, const Matrix& u) {
   for (std::size_t i = 0; i < d; ++i)
     for (std::size_t j = 0; j < d; ++j)
       out(i, j) = (i == j ? 1.0 : 0.0) - u(i, j);
+}
+
+// CSR stops paying once a block is about half full: compressing costs a
+// full O(d^2) scan and the sparse product then visits nearly every entry
+// anyway. Gating is bitwise-invisible (the sparse kernels reproduce the
+// dense accumulation order exactly), so this is purely a cost model.
+constexpr double kCsrDensityGate = 0.5;
+
+double dense_fraction(const Matrix& m) {
+  const std::size_t total = m.rows() * m.cols();
+  if (total == 0) return 0.0;
+  std::size_t nnz = 0;
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j)
+      if (m(i, j) != 0.0) ++nnz;
+  return static_cast<double>(nnz) / static_cast<double>(total);
+}
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
 }
 
 }  // namespace
@@ -64,7 +87,13 @@ RSolveResult solve_r_substitution(const Matrix& a0, const Matrix& a1,
   neg_a1 *= -1.0;
   const linalg::Lu lu(neg_a1);
 
-  if (opts.sparse) {
+  // Substitution touches the *structured* A2 every iteration, so CSR pays
+  // as long as the blocks really are sparse (a1 rides along for the final
+  // residual); dense inputs skip compression entirely.
+  const bool use_sparse =
+      opts.sparse &&
+      0.5 * (dense_fraction(a1) + dense_fraction(a2)) <= kCsrDensityGate;
+  if (use_sparse) {
     w.a1_csr.assign_from_dense(a1);
     w.a2_csr.assign_from_dense(a2);
   }
@@ -78,7 +107,7 @@ RSolveResult solve_r_substitution(const Matrix& a0, const Matrix& a1,
     // R (R A2) lets the sparse path recompress R A2 — its nonzero columns
     // are confined to A2's — and both paths share the association so they
     // stay bitwise identical to each other.
-    if (opts.sparse) {
+    if (use_sparse) {
       linalg::multiply_into(w.r_t, w.r_cur, w.a2_csr);
       w.rt_csr.assign_from_dense(w.r_t);
       linalg::multiply_into(w.r_num, w.r_cur, w.rt_csr);
@@ -96,7 +125,7 @@ RSolveResult solve_r_substitution(const Matrix& a0, const Matrix& a1,
       break;
     }
   }
-  out.residual = r_residual(w.r_cur, a0, a1, a2, w, opts.sparse);
+  out.residual = r_residual(w.r_cur, a0, a1, a2, w, use_sparse);
   if (!converged) {
     throw NumericalError(
         "successive substitution for R exhausted max_iter=" +
@@ -125,6 +154,7 @@ RSolveResult solve_r_logreduction(const Matrix& a0, const Matrix& a1,
 
   Workspace local;
   Workspace& w = ws ? *ws : local;
+  const auto t_setup = std::chrono::steady_clock::now();
 
   Matrix neg_a1 = a1;
   neg_a1 *= -1.0;
@@ -133,11 +163,25 @@ RSolveResult solve_r_logreduction(const Matrix& a0, const Matrix& a1,
   lu.solve_into(a0, w.h);
   lu.solve_into(a2, w.l);
 
-  if (opts.sparse) {
-    w.a0_csr.assign_from_dense(a0);
+  // Log reduction densifies: after one squaring the H/L/G/T iterates are
+  // products of (generically dense) solves, so the loop below cannot use
+  // CSR at all. Only the final stage reads the structured A0, and only
+  // the residual reads A1/A2 — gate each independently so a dense block
+  // never pays for compression it cannot amortize. The loop's share of
+  // the runtime (see RSolveProfile) is what bounds the sparse speedup
+  // here to ~1.1x, versus ~3x for substitution whose every iteration
+  // touches structured blocks.
+  const bool sparse_final = opts.sparse && dense_fraction(a0) <= kCsrDensityGate;
+  const bool sparse_resid =
+      opts.sparse &&
+      0.5 * (dense_fraction(a1) + dense_fraction(a2)) <= kCsrDensityGate;
+  if (sparse_final) w.a0_csr.assign_from_dense(a0);
+  if (sparse_resid) {
     w.a1_csr.assign_from_dense(a1);
     w.a2_csr.assign_from_dense(a2);
   }
+  if (opts.profile) opts.profile->setup_ms = ms_since(t_setup);
+  const auto t_loop = std::chrono::steady_clock::now();
 
   RSolveResult out;
   w.g = w.l;
@@ -169,9 +213,12 @@ RSolveResult solve_r_logreduction(const Matrix& a0, const Matrix& a1,
     }
   }
 
+  if (opts.profile) opts.profile->loop_ms = ms_since(t_loop);
+  const auto t_final = std::chrono::steady_clock::now();
+
   // U = A1 + A0 G; R solves R (-U) = A0 (right division against the
   // shared factorization instead of an explicit inverse).
-  if (opts.sparse) {
+  if (sparse_final) {
     linalg::multiply_into(w.tmp, w.a0_csr, w.g);
   } else {
     linalg::multiply_into(w.tmp, a0, w.g);
@@ -182,7 +229,8 @@ RSolveResult solve_r_logreduction(const Matrix& a0, const Matrix& a1,
   const linalg::Lu lu_negu(w.iu);
   lu_negu.solve_right_into(a0, out.r);
   out.g = w.g;
-  out.residual = r_residual(out.r, a0, a1, a2, w, opts.sparse);
+  out.residual = r_residual(out.r, a0, a1, a2, w, sparse_resid);
+  if (opts.profile) opts.profile->final_ms = ms_since(t_final);
   if (!converged) {
     throw NumericalError(
         "logarithmic reduction for R exhausted max_iter=" +

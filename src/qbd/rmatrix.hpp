@@ -20,6 +20,21 @@ namespace gs::qbd {
 
 using linalg::Matrix;
 
+/// Stage timings of one solve_r_logreduction call (see
+/// RSolveOptions::profile). Why this exists: BENCH_qbd.json showed the
+/// sparse toggle buying only ~1.06x on log reduction vs 3.15x on
+/// substitution, and the breakdown is the explanation — log reduction's
+/// squaring loop works on H/L/G/T iterates that densify after the first
+/// squaring (products of sparse kernels are dense), so CSR can only touch
+/// setup and the final stage; the loop share bounds the possible speedup
+/// (Amdahl). Substitution, by contrast, re-multiplies the *structured*
+/// A2 every iteration, which is why CSR pays there.
+struct RSolveProfile {
+  double setup_ms = 0.0;  ///< LU of -A1, H/L seeds, CSR compressions
+  double loop_ms = 0.0;   ///< the squaring loop — dense by necessity
+  double final_ms = 0.0;  ///< R from G, plus the residual check
+};
+
 struct RSolveOptions {
   double tol = 1e-13;
   int max_iter = 100000;
@@ -28,7 +43,12 @@ struct RSolveOptions {
   /// default: the sparse kernels are bitwise identical to the dense ones
   /// (see linalg/sparse.hpp), so this changes speed and nothing else —
   /// the equivalence tests pin that down across the paper's configs.
+  /// Blocks denser than half full are exempted per call site (compressing
+  /// a dense block costs O(d^2) and its CSR product saves nothing), which
+  /// is also bitwise-invisible.
   bool sparse = true;
+  /// When set, solve_r_logreduction writes its stage timings here.
+  RSolveProfile* profile = nullptr;
 };
 
 struct RSolveResult {

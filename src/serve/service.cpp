@@ -178,6 +178,7 @@ json::Json EvalService::do_solve(const Json& req) {
   gang::GangSolveOptions opts = options_from_json(
       req.find("options") ? *req.find("options") : Json(nullptr));
   opts.num_threads = options_.num_threads;
+  opts.pool = options_.pool;
 
   const std::uint64_t full = scenario_hash(params, opts);
   const std::uint64_t shape = structure_hash(params, opts);
@@ -259,6 +260,14 @@ json::Json EvalService::do_sweep(const Json& req) {
   workload::SweepOptions sweep_opts;
   sweep_opts.solver = solver_opts;
   sweep_opts.num_threads = options_.num_threads;
+  sweep_opts.pool = options_.pool;
+  // Chain the sweep's fixed points by default when the service warm-starts
+  // solves: anchors solve cold, neighbours seed from them (bitwise-stable
+  // across thread counts; same fixed points as cold within solver
+  // tolerance, fewer iterations). Requests opt out (or in) per call.
+  sweep_opts.warm_chain = options_.warm_start;
+  if (const Json* w = req.find("warm_start"))
+    sweep_opts.warm_chain = w->as_bool();
 
   const auto start = std::chrono::steady_clock::now();
   const std::vector<workload::SweepPoint> points = workload::sweep(
@@ -337,6 +346,7 @@ json::Json EvalService::do_tune(const Json& req) {
   topts.solver = options_from_json(
       req.find("options") ? *req.find("options") : Json(nullptr));
   topts.solver.num_threads = options_.num_threads;
+  topts.solver.pool = options_.pool;
 
   const auto start = std::chrono::steady_clock::now();
   const gang::TuneResult result =

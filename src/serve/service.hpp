@@ -27,11 +27,18 @@
 #include "json/json.hpp"
 #include "serve/cache.hpp"
 
+namespace gs::util {
+class ThreadPool;
+}  // namespace gs::util
+
 namespace gs::serve {
 
 struct ServiceOptions {
   /// Lanes of concurrency inside a request (per-class chains of a solve,
-  /// points of a sweep). Request handling itself is serialized.
+  /// points of a sweep). Request handling itself is serialized. Lanes
+  /// run on the process-wide util::ThreadPool::shared() — persistent
+  /// across requests, so the daemon pays no thread create/join per
+  /// request — unless `pool` injects one.
   int num_threads = 1;
   /// LRU capacity in scenarios; 0 disables caching.
   std::size_t cache_capacity = 256;
@@ -40,6 +47,9 @@ struct ServiceOptions {
   /// Omit wall-clock fields from responses so output is byte-stable
   /// across runs (the golden-file smoke test).
   bool deterministic = false;
+  /// Test/embedder override for the pool the request lanes run on
+  /// (non-owning; must outlive the service). Null uses the shared pool.
+  util::ThreadPool* pool = nullptr;
 };
 
 struct ServiceStats {

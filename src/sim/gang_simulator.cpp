@@ -383,14 +383,17 @@ SimResult run_replicated(const gang::SystemParams& params,
   GS_CHECK(replications >= 1, "need at least one replication");
   std::vector<SimResult> runs(replications);
   // Replications are independent by construction (each derives its own
-  // RNG stream from its index), so they fill their slots concurrently;
-  // everything below this loop reads `runs` in index order.
-  util::ThreadPool pool(std::max<std::size_t>(num_threads, 1));
-  pool.parallel_for(replications, [&](std::size_t r) {
-    SimConfig c = config;
-    c.seed = config.seed + 0x9E3779B97F4A7C15ull * (r + 1);
-    runs[r] = GangSimulator(params, c).run();
-  });
+  // RNG stream from its index), so they fill their slots concurrently on
+  // the shared pool; everything below this loop reads `runs` in index
+  // order. Each replication is a full simulation run, so grain stays 1.
+  util::ThreadPool::shared().parallel_for(
+      replications,
+      [&](std::size_t r) {
+        SimConfig c = config;
+        c.seed = config.seed + 0x9E3779B97F4A7C15ull * (r + 1);
+        runs[r] = GangSimulator(params, c).run();
+      },
+      {std::max<std::size_t>(num_threads, 1), /*grain=*/1});
   SimResult out = runs.front();
   const std::size_t L = out.per_class.size();
   // Average means across replications; CI from the replication spread.

@@ -1,5 +1,6 @@
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <limits>
@@ -9,49 +10,98 @@ namespace gs::util {
 
 namespace {
 thread_local bool t_on_worker = false;
+
+constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
 }  // namespace
 
-// One parallel_for invocation. Workers and the caller all drain indices
-// from `next`; `completed` counts indices whose slot has been fully
-// accounted for (ran, or was visited after an error), so the caller can
-// wait for exactly n acknowledgements regardless of which thread took
-// which index.
+// One parallel_for invocation. Workers and the caller claim chunks of
+// `grain` consecutive indices from `next`; `remaining` counts indices not
+// yet accounted for (ran, or was visited after an error). Only the lane
+// that retires the final chunk touches the mutex/condvar — every other
+// completion is one relaxed fetch-add and one acq_rel fetch-sub.
 struct ThreadPool::Batch {
   std::size_t n = 0;
+  std::size_t grain = 1;
   const std::function<void(std::size_t)>* fn = nullptr;
   std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> remaining{0};
+  // Lowest failing index so far — maintained by a min-CAS so the happy
+  // path never locks. The matching exception_ptr is stored under `mu`
+  // (the error path is rare; the final value always corresponds to the
+  // final minimum because every successful CAS winner re-checks under
+  // the lock before storing).
+  std::atomic<std::size_t> error_index{npos};
 
   std::mutex mu;
   std::condition_variable done_cv;
-  std::size_t completed = 0;
-  // Lowest-index exception — the one a sequential loop would have thrown.
-  std::size_t error_index = std::numeric_limits<std::size_t>::max();
-  std::exception_ptr error;
+  bool done = false;              // guarded by mu
+  std::exception_ptr error;       // guarded by mu
+
+  void record_error(std::size_t i) {
+    std::size_t cur = error_index.load(std::memory_order_relaxed);
+    bool won = false;
+    while (i < cur) {
+      if (error_index.compare_exchange_weak(cur, i,
+                                            std::memory_order_relaxed)) {
+        won = true;
+        break;
+      }
+    }
+    if (!won) return;
+    std::lock_guard<std::mutex> lock(mu);
+    // A lower index may have claimed the slot since our CAS; the lowest
+    // index's exception must be the one that survives.
+    if (error_index.load(std::memory_order_relaxed) == i)
+      error = std::current_exception();
+  }
 
   void drain() {
     for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
-      try {
-        (*fn)(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(mu);
-        if (i < error_index) {
-          error_index = i;
-          error = std::current_exception();
+      const std::size_t begin = next.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= n) return;
+      const std::size_t end = std::min(begin + grain, n);
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          (*fn)(i);
+        } catch (...) {
+          record_error(i);
         }
       }
-      std::lock_guard<std::mutex> lock(mu);
-      if (++completed == n) done_cv.notify_all();
+      const std::size_t chunk = end - begin;
+      if (remaining.fetch_sub(chunk, std::memory_order_acq_rel) == chunk) {
+        std::lock_guard<std::mutex> lock(mu);
+        done = true;
+        done_cv.notify_all();
+      }
     }
   }
 };
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
-  if (num_threads <= 1 || on_worker_thread()) return;
-  workers_.reserve(num_threads - 1);
-  for (std::size_t t = 0; t + 1 < num_threads; ++t)
-    workers_.emplace_back([this] { worker_loop(); });
+ThreadPool::ThreadPool(std::size_t num_threads)
+    : ThreadPool(std::max<std::size_t>(num_threads, 1),
+                 std::max<std::size_t>(num_threads, 1),
+                 /*nested_guard=*/true) {}
+
+ThreadPool::ThreadPool(std::size_t capacity, std::size_t default_lanes,
+                       bool nested_guard)
+    : capacity_(capacity), default_lanes_(default_lanes) {
+  // An owned pool constructed from inside another pool's worker never
+  // spawns: the outer level already owns the concurrency. The shared pool
+  // skips this guard — it is process-wide and its first touch may happen
+  // on a worker, which must not disable it for everyone else.
+  if (nested_guard && on_worker_thread()) {
+    disabled_ = true;
+    capacity_ = 1;
+    default_lanes_ = 1;
+  }
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(kMaxSharedLanes,
+                         std::max<std::size_t>(
+                             1, std::thread::hardware_concurrency()),
+                         /*nested_guard=*/false);
+  return pool;
 }
 
 ThreadPool::~ThreadPool() {
@@ -80,39 +130,65 @@ void ThreadPool::worker_loop() {
   }
 }
 
+void ThreadPool::ensure_workers(std::size_t target) {
+  target = std::min(target, capacity_ > 0 ? capacity_ - 1 : 0);
+  if (workers_.size() >= target) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  while (workers_.size() < target)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
 void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn) {
-  if (workers_.empty() || n <= 1 || on_worker_thread()) {
+                              const std::function<void(std::size_t)>& fn,
+                              const ParallelOptions& opts) {
+  std::size_t lanes =
+      std::min(opts.lanes == 0 ? default_lanes_ : opts.lanes, capacity_);
+  if (disabled_ || n <= 1 || lanes <= 1 || on_worker_thread()) {
     // The exact sequential path: index order, caller's thread, exceptions
     // surface straight from the first failing index.
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
 
+  lanes = std::min(lanes, n);
+  ensure_workers(lanes - 1);
+
   auto batch = std::make_shared<Batch>();
   batch->n = n;
+  batch->grain = opts.grain != 0
+                     ? opts.grain
+                     : std::max<std::size_t>(1, n / (8 * lanes));
   batch->fn = &fn;
+  batch->remaining.store(n, std::memory_order_relaxed);
 
-  // One drain task per worker (capped by n - the caller takes a lane too);
-  // a worker that arrives after the batch is exhausted returns at once.
-  const std::size_t helpers = std::min(workers_.size(), n - 1);
+  // One drain task per helper lane; a helper that arrives after the batch
+  // is exhausted returns at once (so stragglers from an earlier call are
+  // harmless — the shared_ptr keeps the Batch alive for them).
+  std::size_t helpers;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    helpers = std::min(workers_.size(), lanes - 1);
     for (std::size_t t = 0; t < helpers; ++t)
       queue_.emplace_back([batch] { batch->drain(); });
   }
-  cv_.notify_all();
+  if (helpers == 1) {
+    cv_.notify_one();
+  } else {
+    cv_.notify_all();
+  }
 
   // The calling thread takes a lane too. While it drains it counts as a
   // worker, so any nested parallelism it reaches (a solver inside a sweep
-  // point) degrades to sequential instead of spawning a second pool.
+  // point) degrades to sequential instead of fanning out a second level.
   t_on_worker = true;
   batch->drain();
   t_on_worker = false;
 
-  std::unique_lock<std::mutex> lock(batch->mu);
-  batch->done_cv.wait(lock, [&] { return batch->completed == batch->n; });
-  if (batch->error) std::rethrow_exception(batch->error);
+  {
+    std::unique_lock<std::mutex> lock(batch->mu);
+    batch->done_cv.wait(lock, [&] { return batch->done; });
+    if (batch->error) std::rethrow_exception(batch->error);
+  }
 }
 
 }  // namespace gs::util

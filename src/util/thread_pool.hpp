@@ -1,9 +1,10 @@
-// Fixed-size thread pool and data-parallel helpers for the solver stack.
+// Thread pool and data-parallel helpers for the solver stack.
 //
 // Design constraints, in order:
-//  * `num_threads <= 1` must be the *exact* sequential path — the caller's
-//    loop body runs on the calling thread, in index order, with no worker
-//    machinery in between. This is what the determinism tests diff against.
+//  * A `parallel_for` capped at one lane must be the *exact* sequential
+//    path — the caller's loop body runs on the calling thread, in index
+//    order, with no worker machinery in between. This is what the
+//    determinism tests diff against.
 //  * Parallelism only ever partitions independent tasks (per-class chains,
 //    sweep points, simulator replications); it never splits a floating-
 //    point reduction, so a parallel run is bitwise identical to the
@@ -15,11 +16,23 @@
 //    tasks throw, the one with the lowest index wins — exactly the
 //    exception a sequential loop would have surfaced.
 //
-// There is deliberately no work stealing and no global singleton pool:
-// each solve/sweep owns a pool sized by its options, and the pool dies
-// with it. Tasks at every level are coarse (a full QBD solve, a full
-// simulator replication), so a mutex-guarded queue is nowhere near the
-// bottleneck.
+// Two ways to get a pool:
+//  * `ThreadPool::shared()` — the process-wide pool. Workers are spawned
+//    lazily, grow to the highest lane count any caller has asked for
+//    (capped at kMaxSharedLanes), and persist until process exit, so a
+//    daemon serving many requests pays thread creation once, not per
+//    request. Solver/sweep/sim options default to this pool and carry a
+//    `ThreadPool*` override for tests and embedders.
+//  * `ThreadPool(n)` — an owned pool with up to n lanes, for callers that
+//    want isolation (benchmarks pinning a lane count, pool unit tests).
+//    Workers spawn on first parallel use and die with the pool.
+//
+// Work distribution is chunked: lanes claim `grain` consecutive indices
+// per atomic fetch-add instead of one, and completion is tracked by a
+// single atomic countdown whose final decrement alone touches the
+// mutex/condvar. With the default grain policy coarse batches (a handful
+// of QBD solves) still claim index-by-index, while fine batches amortize
+// the claim traffic.
 #pragma once
 
 #include <condition_variable>
@@ -32,33 +45,64 @@
 
 namespace gs::util {
 
+/// Per-call knobs for ThreadPool::parallel_for.
+struct ParallelOptions {
+  /// Lanes of concurrency to use, *including* the calling thread (which
+  /// participates in every parallel_for). 0 means the pool's default
+  /// (an owned pool's constructed size; hardware concurrency for the
+  /// shared pool). 1 is the exact sequential path. Values above the
+  /// pool's capacity are clamped.
+  std::size_t lanes = 0;
+  /// Consecutive indices claimed per atomic fetch-add. 0 picks
+  /// max(1, n / (8 * lanes)): index-by-index for coarse batches, chunked
+  /// once n outgrows the lane count. Results never depend on grain.
+  std::size_t grain = 0;
+};
+
 class ThreadPool {
  public:
-  /// A pool with `num_threads` total lanes of concurrency, *including*
-  /// the calling thread (which participates in every parallel_for).
-  /// `num_threads <= 1` spawns no workers at all. Constructed from inside
-  /// another pool's worker, it also spawns no workers — nesting degrades
-  /// to sequential execution.
+  /// An owned pool with up to `num_threads` total lanes of concurrency,
+  /// *including* the calling thread. Workers (num_threads - 1 of them)
+  /// spawn lazily on the first parallel_for that can use them; a pool
+  /// with `num_threads <= 1`, or one constructed from inside another
+  /// pool's worker, never spawns any — nesting degrades to sequential
+  /// execution.
   explicit ThreadPool(std::size_t num_threads);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Total concurrency: worker threads + the calling thread.
-  std::size_t num_threads() const { return workers_.size() + 1; }
+  /// The process-wide pool. Created on first use; workers grow on demand
+  /// to the largest lane count requested (within kMaxSharedLanes) and
+  /// stick around, so consecutive parallel_for calls — and consecutive
+  /// daemon requests — reuse the same threads.
+  static ThreadPool& shared();
+
+  /// Hard ceiling on shared-pool lanes; explicit requests above the
+  /// hardware concurrency are honored up to this (oversubscription is
+  /// sometimes asked for — e.g. a bench pinning an 8-lane run on a
+  /// smaller machine — but runaway values are clamped).
+  static constexpr std::size_t kMaxSharedLanes = 64;
+
+  /// Default lanes when ParallelOptions::lanes == 0: the constructed size
+  /// for an owned pool, hardware concurrency for the shared pool.
+  std::size_t num_threads() const { return default_lanes_; }
 
   /// Run fn(i) for every i in [0, n), blocking until all complete.
-  /// Sequential (in index order, on the calling thread) when the pool has
-  /// no workers, n <= 1, or the caller is itself a pool worker. Rethrows
-  /// the lowest-index exception after all indices have been accounted for.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  /// Sequential (in index order, on the calling thread) when the
+  /// effective lane count is 1, n <= 1, or the caller is itself a pool
+  /// worker. Rethrows the lowest-index exception after all indices have
+  /// been accounted for.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    const ParallelOptions& opts = {});
 
   /// parallel_for that collects fn(i) into a vector, preserving order.
   template <typename T, typename F>
-  std::vector<T> parallel_map(std::size_t n, F&& fn) {
+  std::vector<T> parallel_map(std::size_t n, F&& fn,
+                              const ParallelOptions& opts = {}) {
     std::vector<T> out(n);
-    parallel_for(n, [&](std::size_t i) { out[i] = fn(i); });
+    parallel_for(n, [&](std::size_t i) { out[i] = fn(i); }, opts);
     return out;
   }
 
@@ -67,9 +111,17 @@ class ThreadPool {
 
  private:
   struct Batch;
+  ThreadPool(std::size_t capacity, std::size_t default_lanes,
+             bool nested_guard);
   void worker_loop();
+  /// Spawn workers (under mu_) until `target` exist or capacity is hit.
+  void ensure_workers(std::size_t target);
 
-  std::vector<std::thread> workers_;
+  std::size_t capacity_ = 1;       ///< max lanes (workers + caller)
+  std::size_t default_lanes_ = 1;  ///< lanes when opts.lanes == 0
+  bool disabled_ = false;          ///< constructed on a worker: stay inline
+
+  std::vector<std::thread> workers_;  // grows under mu_, joined in dtor
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;

@@ -8,39 +8,101 @@
 
 namespace gs::workload {
 
+namespace {
+
+// Solve one x-point into its output row. `seed` (when non-null) is an
+// anchor's final_slices: the fixed point starts there instead of the
+// Theorem-4.1 initialization, falling back cold on instability. Returns
+// the report's final slices when `keep_slices` (anchors need them).
+std::vector<gang::PhaseType> solve_point(
+    SweepPoint& point, double x,
+    const std::function<gang::SystemParams(double)>& make_system,
+    const SweepOptions& opts, const std::vector<gang::PhaseType>* seed,
+    bool keep_slices) {
+  point.x = x;
+  std::vector<gang::PhaseType> slices;
+  const gang::SystemParams sys = make_system(x);
+  try {
+    const gang::GangSolver solver(sys, opts.solver);
+    const gang::SolveReport rep =
+        seed != nullptr ? solver.solve_warm(*seed) : solver.solve();
+    point.iterations = rep.iterations;
+    point.warm_started = rep.used_warm_start;
+    for (const auto& r : rep.per_class) point.model_n.push_back(r.mean_jobs);
+    if (keep_slices) slices = rep.final_slices;
+  } catch (const Error& e) {
+    point.error = e.what();
+  }
+  if (opts.sim_horizon > 0.0) {
+    sim::SimConfig cfg;
+    cfg.warmup = opts.sim_warmup;
+    cfg.horizon = opts.sim_horizon;
+    cfg.seed = opts.sim_seed;
+    const sim::SimResult sr = sim::run_replicated(
+        sys, cfg, opts.sim_replications,
+        static_cast<std::size_t>(std::max(1, opts.num_threads)));
+    for (const auto& s : sr.per_class) point.sim_n.push_back(s.mean_jobs);
+  }
+  return slices;
+}
+
+}  // namespace
+
 std::vector<SweepPoint> sweep(
     const std::vector<double>& xs,
     const std::function<gang::SystemParams(double)>& make_system,
     const SweepOptions& opts) {
   std::vector<SweepPoint> out(xs.size());
-  const std::size_t threads =
-      static_cast<std::size_t>(std::max(1, opts.num_threads));
-  util::ThreadPool pool(threads);
-  // Each task owns exactly one output row; errors stay per-point, so one
-  // unstable x never disturbs its neighbours (the paper's sweeps cross
-  // stability boundaries on purpose).
-  pool.parallel_for(xs.size(), [&](std::size_t i) {
-    SweepPoint& point = out[i];
-    point.x = xs[i];
-    const gang::SystemParams sys = make_system(xs[i]);
-    try {
-      const gang::SolveReport rep =
-          gang::GangSolver(sys, opts.solver).solve();
-      point.iterations = rep.iterations;
-      for (const auto& r : rep.per_class) point.model_n.push_back(r.mean_jobs);
-    } catch (const Error& e) {
-      point.error = e.what();
-    }
-    if (opts.sim_horizon > 0.0) {
-      sim::SimConfig cfg;
-      cfg.warmup = opts.sim_warmup;
-      cfg.horizon = opts.sim_horizon;
-      cfg.seed = opts.sim_seed;
-      const sim::SimResult sr =
-          sim::run_replicated(sys, cfg, opts.sim_replications, threads);
-      for (const auto& s : sr.per_class) point.sim_n.push_back(s.mean_jobs);
-    }
-  });
+  util::ThreadPool& pool =
+      opts.pool != nullptr ? *opts.pool : util::ThreadPool::shared();
+  const util::ParallelOptions lanes{
+      static_cast<std::size_t>(std::max(1, opts.num_threads)), /*grain=*/1};
+
+  const std::size_t stride = std::max<std::size_t>(2, opts.chain_stride);
+  if (!opts.warm_chain || xs.size() <= 2) {
+    // Cold sweep: each task owns exactly one output row; errors stay
+    // per-point, so one unstable x never disturbs its neighbours (the
+    // paper's sweeps cross stability boundaries on purpose).
+    pool.parallel_for(xs.size(), [&](std::size_t i) {
+      solve_point(out[i], xs[i], make_system, opts, nullptr,
+                  /*keep_slices=*/false);
+    }, lanes);
+    return out;
+  }
+
+  // Warm-chained sweep, two waves with a plan fixed by (xs.size(),
+  // stride) alone. Wave 1: anchors at indices 0, stride, 2*stride, ...
+  // solve cold and keep their final slices. Wave 2: every other point
+  // seeds from its nearest anchor (tie -> lower index). Both waves fan
+  // out across the pool; no task ever reads a row another task writes.
+  const std::size_t n = xs.size();
+  const std::size_t num_anchors = (n + stride - 1) / stride;
+  std::vector<std::vector<gang::PhaseType>> anchor_slices(num_anchors);
+  pool.parallel_for(num_anchors, [&](std::size_t k) {
+    const std::size_t i = k * stride;
+    anchor_slices[k] = solve_point(out[i], xs[i], make_system, opts, nullptr,
+                                   /*keep_slices=*/true);
+  }, lanes);
+
+  std::vector<std::size_t> fill;
+  fill.reserve(n - num_anchors);
+  for (std::size_t i = 0; i < n; ++i)
+    if (i % stride != 0) fill.push_back(i);
+  pool.parallel_for(fill.size(), [&](std::size_t t) {
+    const std::size_t i = fill[t];
+    const std::size_t before = i / stride;
+    const std::size_t after = before + 1;
+    // Nearest anchor by index distance; the tie at exactly stride/2 (and
+    // a missing anchor past the end) goes to the earlier one.
+    std::size_t k = before;
+    if (after < num_anchors && (after * stride - i) < (i - before * stride))
+      k = after;
+    const std::vector<gang::PhaseType>& seed = anchor_slices[k];
+    // An anchor that failed (unstable x) has no slices; its neighbours
+    // solve cold, exactly as the cold sweep would.
+    solve_point(out[i], xs[i], make_system, opts,
+                seed.empty() ? nullptr : &seed, /*keep_slices=*/false);
+  }, lanes);
   return out;
 }
 

@@ -12,6 +12,10 @@
 #include "sim/types.hpp"
 #include "util/table.hpp"
 
+namespace gs::util {
+class ThreadPool;
+}  // namespace gs::util
+
 namespace gs::workload {
 
 struct SweepPoint {
@@ -23,6 +27,9 @@ struct SweepPoint {
   /// requested).
   std::vector<double> sim_n;
   int iterations = 0;
+  /// True when this point's fixed point was seeded from an anchor's
+  /// solution (SweepOptions::warm_chain) rather than solved cold.
+  bool warm_started = false;
   std::string error;
 };
 
@@ -40,6 +47,26 @@ struct SweepOptions {
   /// sequential inside the pool workers — the sweep level owns the
   /// threads. <= 1 runs the exact sequential path.
   int num_threads = 1;
+  /// Pool the point lanes run on. Null (default) means the process-wide
+  /// util::ThreadPool::shared(); tests and benches inject their own.
+  /// Non-owning; must outlive the sweep. Never affects results.
+  util::ThreadPool* pool = nullptr;
+  /// Warm-start chaining: solve every chain_stride-th point cold (the
+  /// anchors), then seed each remaining point's fixed point from its
+  /// nearest anchor's final_slices (ties break toward the lower index).
+  /// The plan is a pure function of xs.size() and chain_stride — never of
+  /// thread count or timing — so chained results are bitwise identical
+  /// across thread counts; they agree with the cold sweep within the
+  /// solver tolerance (same fixed point, different starting iterate,
+  /// usually far fewer iterations). A point whose warm iteration is
+  /// unstable falls back cold (gang::GangSolver::solve_warm), and a point
+  /// whose anchor failed solves cold, so error capture matches the cold
+  /// sweep. Off by default: the figure benches pin the paper's cold
+  /// numbers; the service and throughput benches switch it on.
+  bool warm_chain = false;
+  /// Distance between cold anchors when warm_chain is set. Sweeps with
+  /// <= 2 points never chain (nothing to amortize).
+  std::size_t chain_stride = 8;
 };
 
 /// Evaluate `make_system(x)` at each x; unstable points are recorded, not

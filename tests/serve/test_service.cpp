@@ -200,6 +200,11 @@ TEST(Service, SweepMatchesDirectSweep) {
   const auto& points = resp.at("points").as_array();
   ASSERT_EQ(points.size(), 3u);
 
+  // The service warm-chains its sweeps (ServiceOptions::warm_start, on by
+  // default); the direct sweep must run under the same options for the
+  // bitwise comparison to be meaningful.
+  gs::workload::SweepOptions direct_opts;
+  direct_opts.warm_chain = true;
   const auto direct = gs::workload::sweep(
       {0.5, 1.0, 2.0},
       [&](double x) {
@@ -208,7 +213,7 @@ TEST(Service, SweepMatchesDirectSweep) {
           c.quantum = c.quantum.scaled(x / c.quantum.mean());
         return gs::gang::SystemParams(base.processors(), std::move(classes));
       },
-      {});
+      direct_opts);
   for (std::size_t i = 0; i < points.size(); ++i) {
     ASSERT_EQ(points[i].find("error"), nullptr);
     const auto& n = points[i].at("mean_jobs").as_array();

@@ -129,6 +129,118 @@ TEST(ThreadPool, ParallelMapPreservesOrder) {
     EXPECT_EQ(out[i], static_cast<int>(i * i));
 }
 
+TEST(ThreadPool, ChunkedClaimingCoversRemainders) {
+  // n not divisible by grain: the last chunk is short, no index is lost
+  // or visited twice. Sweep a few awkward (n, grain) pairs including
+  // grain > n (one chunk) and grain == 1 (old per-index claiming).
+  ThreadPool pool(4);
+  const std::size_t cases[][2] = {{13, 5}, {64, 7}, {5, 8}, {17, 1}, {9, 9}};
+  for (const auto& c : cases) {
+    const std::size_t n = c[0];
+    std::vector<std::atomic<int>> hits(n);
+    gs::util::ParallelOptions opts;
+    opts.grain = c[1];
+    pool.parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); }, opts);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_EQ(hits[i].load(), 1) << "n=" << n << " grain=" << c[1]
+                                   << " index " << i;
+  }
+}
+
+TEST(ThreadPool, LowestIndexExceptionWinsUnderChunking) {
+  // With a coarse grain the throwing indices land mid-chunk on different
+  // workers; the atomic min-CAS must still surface exactly the index the
+  // sequential loop would have thrown first.
+  ThreadPool pool(4);
+  gs::util::ParallelOptions opts;
+  opts.grain = 6;
+  for (int round = 0; round < 20; ++round) {
+    try {
+      pool.parallel_for(
+          100,
+          [&](std::size_t i) {
+            if (i >= 11 && i % 2 == 1)
+              throw std::runtime_error("index " + std::to_string(i));
+          },
+          opts);
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "index 11");
+    }
+  }
+}
+
+TEST(ThreadPool, SharedPoolIsOneInstanceAndReusable) {
+  ThreadPool& a = ThreadPool::shared();
+  ThreadPool& b = ThreadPool::shared();
+  EXPECT_EQ(&a, &b);
+  // Consecutive batches reuse the persistent workers — this is the
+  // per-sweep/per-solve pool construction the shared pool replaces.
+  for (int round = 0; round < 25; ++round) {
+    std::atomic<int> sum{0};
+    a.parallel_for(
+        16, [&](std::size_t i) { sum.fetch_add(static_cast<int>(i)); },
+        {/*lanes=*/4});
+    EXPECT_EQ(sum.load(), 120);
+  }
+}
+
+TEST(ThreadPool, SharedPoolSingleLaneRunsOnCallerInOrder) {
+  // lanes = 1 must take the exact sequential path even on the shared
+  // pool — this is what keeps every num_threads=1 determinism guarantee
+  // trivially true.
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  ThreadPool::shared().parallel_for(
+      16,
+      [&](std::size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        order.push_back(i);  // safe: sequential path, no data race
+      },
+      {/*lanes=*/1});
+  ASSERT_EQ(order.size(), 16u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, SharedPoolNestedParallelForDegradesSequential) {
+  // A worker of the shared pool that calls back into shared() must run
+  // inline (nested solver parallelism inside a parallel sweep) — same
+  // no-deadlock contract as owned pools.
+  std::vector<std::atomic<int>> inner_hits(8);
+  ThreadPool::shared().parallel_for(
+      4,
+      [&](std::size_t) {
+        const auto self = std::this_thread::get_id();
+        ThreadPool::shared().parallel_for(
+            8,
+            [&](std::size_t j) {
+              EXPECT_EQ(std::this_thread::get_id(), self);
+              inner_hits[j].fetch_add(1);
+            },
+            {/*lanes=*/4});
+      },
+      {/*lanes=*/4});
+  for (std::size_t j = 0; j < 8; ++j) EXPECT_EQ(inner_hits[j].load(), 4);
+}
+
+TEST(ThreadPool, LaneRequestsAreCappedByCapacity) {
+  // An owned pool's lane override cannot exceed its construction-time
+  // capacity; the shared pool allows oversubscription up to its own cap
+  // so explicit num_threads requests behave like the old per-call pools.
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::set<std::thread::id> seen;
+  pool.parallel_for(
+      32,
+      [&](std::size_t) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        std::lock_guard<std::mutex> lock(mu);
+        seen.insert(std::this_thread::get_id());
+      },
+      {/*lanes=*/16});
+  EXPECT_LE(seen.size(), 2u);
+}
+
 TEST(ThreadPool, UsesMultipleThreadsWhenAvailable) {
   ThreadPool pool(4);
   std::mutex mu;
