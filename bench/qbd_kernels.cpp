@@ -18,6 +18,7 @@
 
 #include "gang/away_period.hpp"
 #include "gang/class_process.hpp"
+#include "obs/obs.hpp"
 #include "phase/builders.hpp"
 #include "phase/uniformization.hpp"
 #include "qbd/rmatrix.hpp"
@@ -111,7 +112,9 @@ int main(int argc, char** argv) {
     rows.push_back(row);
   }
 
-  gs::qbd::RSolveProfile logred_profile;
+  // Mean per-call stage times over the sparse logreduction reps, read
+  // back from the obs timers qbd.rsolve.logreduction.{setup,loop,final}.
+  double logred_setup_ms = 0.0, logred_loop_ms = 0.0, logred_final_ms = 0.0;
   {
     BenchRow row{"r_logreduction"};
     gs::qbd::RSolveResult r_dense, r_sparse;
@@ -119,15 +122,27 @@ int main(int argc, char** argv) {
       r_dense = gs::qbd::solve_r_logreduction(blk.a0, blk.a1, blk.a2,
                                               dense_opts, &ws_dense);
     });
-    // Profile the last sparse rep: the stage split explains the headline
-    // speedup (the dense-by-necessity squaring loop is the Amdahl bound —
-    // see the RSolveProfile docs).
-    sparse_opts.profile = &logred_profile;
+    // Profile the sparse reps through obs stage timers: the stage split
+    // explains the headline speedup (the dense-by-necessity squaring loop
+    // is the Amdahl bound — see the RSolveOptions docs). Metrics stay on
+    // only for this window so the other rows time un-instrumented code.
+    gs::obs::configure({/*metrics=*/true, /*trace=*/false});
+    gs::obs::reset();
     row.sparse_ms = median_ms(reps, [&] {
       r_sparse = gs::qbd::solve_r_logreduction(blk.a0, blk.a1, blk.a2,
                                                sparse_opts, &ws_sparse);
     });
-    sparse_opts.profile = nullptr;
+    const gs::obs::Snapshot snap = gs::obs::snapshot();
+    const auto stage_mean_ms = [&snap](const char* name) {
+      const gs::obs::TimerValue* t = snap.timer(name);
+      if (t == nullptr || t->count == 0) return 0.0;
+      return static_cast<double>(t->total_ns) /
+             static_cast<double>(t->count) / 1e6;
+    };
+    logred_setup_ms = stage_mean_ms("qbd.rsolve.logreduction.setup");
+    logred_loop_ms = stage_mean_ms("qbd.rsolve.logreduction.loop");
+    logred_final_ms = stage_mean_ms("qbd.rsolve.logreduction.final");
+    gs::obs::configure({/*metrics=*/false, /*trace=*/false});
     require(gs::linalg::max_abs_diff(r_dense.r, r_sparse.r) == 0.0 &&
                 r_dense.iterations == r_sparse.iterations,
             "logreduction sparse != dense");
@@ -166,8 +181,7 @@ int main(int argc, char** argv) {
     json << buf;
   }
   {
-    const double total = logred_profile.setup_ms + logred_profile.loop_ms +
-                         logred_profile.final_ms;
+    const double total = logred_setup_ms + logred_loop_ms + logred_final_ms;
     char buf[512];
     std::snprintf(
         buf, sizeof(buf),
@@ -176,9 +190,8 @@ int main(int argc, char** argv) {
         "    \"note\": \"the squaring loop iterates on dense products; "
         "CSR only reaches setup+final, bounding the sparse speedup "
         "(Amdahl)\"}\n",
-        logred_profile.setup_ms, logred_profile.loop_ms,
-        logred_profile.final_ms,
-        total > 0.0 ? logred_profile.loop_ms / total : 0.0);
+        logred_setup_ms, logred_loop_ms, logred_final_ms,
+        total > 0.0 ? logred_loop_ms / total : 0.0);
     json << buf;
   }
   json << "}\n";
@@ -190,8 +203,7 @@ int main(int argc, char** argv) {
                 row.speedup());
   std::printf(
       "logreduction profile: setup %.3f ms, loop %.3f ms, final %.3f ms\n",
-      logred_profile.setup_ms, logred_profile.loop_ms,
-      logred_profile.final_ms);
+      logred_setup_ms, logred_loop_ms, logred_final_ms);
   std::cout << "wrote " << out_path << "\n";
   return 0;
 }

@@ -20,6 +20,7 @@
 
 #include "gang/solver.hpp"
 #include "json/json.hpp"
+#include "obs/obs.hpp"
 #include "serve/canonical.hpp"
 #include "serve/service.hpp"
 #include "workload/paper_configs.hpp"
@@ -90,6 +91,11 @@ double median(std::vector<double> xs) {
 int main(int argc, char** argv) {
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_serve.json";
   const int reps = 5;
+
+  // Count the whole run's solver/cache/arena activity into the emitted
+  // JSON (counters only — the latency medians above remain the timing
+  // story; counter updates are relaxed atomics and do not move them).
+  gs::obs::configure({/*metrics=*/true, /*trace=*/false});
 
   // --- Solve latency: cold vs cached vs warm on the Figure 2 system. ---
   // Each rep perturbs the arrival rate so warm starts face a genuinely
@@ -233,6 +239,20 @@ int main(int argc, char** argv) {
     sweeps.push_back(std::move(r));
   }
   out.set("sweep_throughput", std::move(sweeps));
+
+  {
+    const gs::obs::Snapshot snap = gs::obs::snapshot();
+    Json obs = Json::object();
+    for (const char* name :
+         {"gang.solve.count", "gang.solve.iterations", "gang.solve.warm",
+          "serve.cache.hit", "serve.cache.miss", "sweep.points",
+          "sweep.anchors", "sweep.fills", "sweep.warm_started",
+          "qbd.arena.borrow", "qbd.arena.hit", "pool.batches",
+          "pool.tasks"}) {
+      obs.set(name, static_cast<std::int64_t>(snap.counter_value(name)));
+    }
+    out.set("obs", std::move(obs));
+  }
 
   std::ofstream file(out_path);
   file << out.dump() << "\n";

@@ -26,6 +26,7 @@
 
 #include "gang/solver.hpp"
 #include "json/json.hpp"
+#include "obs/obs.hpp"
 #include "workload/paper_configs.hpp"
 #include "workload/sweep.hpp"
 
@@ -79,6 +80,9 @@ std::int64_t total_iterations(const std::vector<SweepPoint>& rows) {
 
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_sweep.json";
+  // Counter-only metrics ride into the emitted JSON; relaxed atomic
+  // updates do not move the throughput medians.
+  gs::obs::configure({/*metrics=*/true, /*trace=*/false});
   std::vector<int> thread_counts = {1, 2, 4, 8};
   double min_scaling = 0.0;
   for (int i = 1; i < argc; ++i) {
@@ -256,6 +260,20 @@ int main(int argc, char** argv) {
   gate.set("min_scaling", min_scaling);
   gate.set("skipped", gate_skipped);
   out.set("scaling_gate", std::move(gate));
+
+  {
+    const gs::obs::Snapshot snap = gs::obs::snapshot();
+    Json obs = Json::object();
+    for (const char* name :
+         {"sweep.points", "sweep.anchors", "sweep.fills",
+          "sweep.warm_started", "sweep.errors", "gang.solve.count",
+          "gang.solve.iterations", "gang.solve.warm_fallback",
+          "qbd.arena.borrow", "qbd.arena.hit", "pool.batches",
+          "pool.tasks", "pool.chunks"}) {
+      obs.set(name, static_cast<std::int64_t>(snap.counter_value(name)));
+    }
+    out.set("obs", std::move(obs));
+  }
 
   std::ofstream file(out_path);
   file << out.dump() << "\n";

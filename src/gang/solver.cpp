@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "gang/away_period.hpp"
+#include "obs/obs.hpp"
 #include "phase/fitting.hpp"
 #include "qbd/arena.hpp"
 #include "util/error.hpp"
@@ -101,6 +102,9 @@ std::vector<PhaseType> GangSolver::initial_slices(InitMode mode) const {
 
 SolveReport GangSolver::run(const std::vector<PhaseType>& init_slices) const {
   const std::size_t L = params_.num_classes();
+  obs::Span span("gang.solve");
+  span.arg("classes", static_cast<std::int64_t>(L));
+  obs::count("gang.solve.count");
   std::vector<PhaseType> slices = init_slices;
   std::vector<double> prev_n(L, -1.0);
 
@@ -132,11 +136,15 @@ SolveReport GangSolver::run(const std::vector<PhaseType>& init_slices) const {
   std::vector<std::optional<qbd::QbdSolution>> sols(L);
 
   for (int iter = 1; iter <= max_iter; ++iter) {
+    obs::Span iter_span("gang.iteration");
+    iter_span.arg("iter", static_cast<std::int64_t>(iter));
     // Solve every class against the current away periods. The per-class
     // chains are independent given `slices`, so they solve concurrently;
     // each task touches only its own slots and workspace.
     std::vector<double> n(L, 0.0);
     pool.parallel_for(L, [&](std::size_t p) {
+      obs::Span class_span("gang.class_solve");
+      class_span.arg("class", static_cast<std::int64_t>(p));
       if (procs[p]) {
         procs[p]->update_away(
             away_period(params_, p, slices, &workspaces[p]));
@@ -170,6 +178,13 @@ SolveReport GangSolver::run(const std::vector<PhaseType>& init_slices) const {
 
     if (done) {
       report.converged = !options_.fixed_point || delta < options_.tol;
+      obs::count("gang.solve.iterations",
+                 static_cast<std::uint64_t>(report.iterations));
+      obs::observe("gang.solve.iterations.hist",
+                   static_cast<double>(report.iterations));
+      if (!report.converged) obs::count("gang.solve.not_converged");
+      span.arg("iterations", static_cast<std::int64_t>(report.iterations));
+      span.arg("converged", static_cast<std::int64_t>(report.converged));
       report.per_class.clear();
       report.per_class.reserve(L);
       report.final_slices.reserve(L);
@@ -226,6 +241,7 @@ SolveReport GangSolver::solve_warm(
         " >= 1: the gang-scheduled system cannot be stable");
   }
   try {
+    obs::count("gang.solve.warm");
     SolveReport report = run(slices);
     report.used_warm_start = true;
     return report;
@@ -233,6 +249,7 @@ SolveReport GangSolver::solve_warm(
     // A donor's slices can be too optimistic for the new scenario (e.g.
     // the perturbation pushed a class toward saturation); the cold path
     // re-establishes the paper's stability ordering.
+    obs::count("gang.solve.warm_fallback");
     log::info("warm start unstable (", e.what(), "); falling back to cold");
     return solve();
   }
@@ -250,6 +267,7 @@ SolveReport GangSolver::solve() const {
   } catch (const NumericalError& e) {
     if (options_.init == InitMode::kHeavyTraffic &&
         options_.fallback_to_optimistic) {
+      obs::count("gang.solve.fallback_optimistic");
       log::info(
           "heavy-traffic initialization unstable (", e.what(),
           "); retrying with the optimistic initialization");

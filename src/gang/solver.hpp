@@ -34,25 +34,36 @@ enum class EffQuantumMode {
   kExact           ///< truncated exact representation (large; validation)
 };
 
+/// Where the fixed-point iteration starts from.
 enum class InitMode {
   kHeavyTraffic,  ///< Theorem 4.1 (default)
   kOptimistic     ///< full quanta thinned by an idle-probability atom
 };
 
+/// Knobs for GangSolver. The defaults solve the paper's model as
+/// published; every knob is part of the scenario identity in the
+/// service layer except num_threads/pool, which can never change the
+/// answer (parallel solves are bitwise identical to sequential).
 struct GangSolveOptions {
   /// false: stop after the heavy-traffic solution (no fixed point).
   bool fixed_point = true;
+  /// Effective-quantum representation inside the away periods.
   EffQuantumMode eff_mode = EffQuantumMode::kMomentMatched;
+  /// PH order cap for the moment-matched effective-quantum fit.
   int fit_max_order = 8;
   double tol = 1e-6;          ///< max |N_p - N_p'| across classes
+  /// Fixed-point iteration cap; exceeding it reports converged = false.
   int max_iterations = 60;
+  /// Tail truncation for the per-class chains (tail_eps, max_levels).
   TruncationOptions truncation{};
+  /// Initialization (Theorem 4.1 by default; see InitMode).
   InitMode init = InitMode::kHeavyTraffic;
   /// Retry with the optimistic initialization when the heavy-traffic
   /// initialization is not stable for some class.
   bool fallback_to_optimistic = true;
   /// Number of queue-length probabilities P(N_p = n) to report per class.
   std::size_t queue_dist_levels = 0;
+  /// Options forwarded to every per-class QBD solve (R method, tolerances).
   qbd::SolveOptions qbd{};
   /// Lanes of concurrency across the L per-class chains of each
   /// fixed-point iteration (the chains are independent given the away
@@ -67,8 +78,10 @@ struct GangSolveOptions {
   util::ThreadPool* pool = nullptr;
 };
 
+/// Per-class performance measures at the final iterate (Section 4.5's
+/// metrics plus the arrival-point decomposition).
 struct ClassResult {
-  std::string name;
+  std::string name;  ///< the class's ClassParams::name, for reporting
   double mean_jobs = 0.0;       ///< N_p (eq. 37 / eq. 11)
   double var_jobs = 0.0;        ///< Var[N_p] from the level moments
   double response_time = 0.0;   ///< T_p = N_p / lambda_p (Little)
@@ -85,13 +98,15 @@ struct ClassResult {
   std::vector<double> queue_dist;  ///< P(N_p = n), n = 0..requested-1
 };
 
+/// Everything a solve produced: the per-class measures, how the
+/// iteration went, and the fixed-point state itself (for warm starts).
 struct SolveReport {
-  std::vector<ClassResult> per_class;
-  int iterations = 0;
-  bool converged = false;
-  double final_delta = 0.0;
-  bool used_optimistic_init = false;
-  bool used_warm_start = false;
+  std::vector<ClassResult> per_class;  ///< one entry per class, in order
+  int iterations = 0;      ///< fixed-point iterations run (1 = init only)
+  bool converged = false;  ///< every N_p moved < tol on the last iterate
+  double final_delta = 0.0;  ///< max |N_p - N_p'| at the last iterate
+  bool used_optimistic_init = false;  ///< heavy-traffic init was unstable
+  bool used_warm_start = false;       ///< produced by solve_warm's warm path
   /// The fitted effective-quantum slice of every class at the final
   /// iterate — the fixed-point state itself. Feeding these to
   /// GangSolver::solve_warm on a nearby scenario starts its iteration
@@ -102,6 +117,7 @@ struct SolveReport {
   /// model is needed to tune.
   double mean_cycle_length = 0.0;
 
+  /// sum_p N_p — the paper's headline objective.
   double total_mean_jobs() const;
 };
 
@@ -115,11 +131,19 @@ ClassResult solve_class_heavy_traffic(const SystemParams& params,
                                       std::size_t p,
                                       const qbd::SolveOptions& opts = {});
 
+/// The paper's model, solved: owns a (params, options) pair and runs
+/// the Section-4.3 fixed point on demand. Immutable after construction;
+/// solve()/solve_warm() are const and safe to call concurrently from
+/// different threads (each call carries its own state).
 class GangSolver {
  public:
+  /// Validates nothing beyond what SystemParams already enforced;
+  /// cheap — all work happens in solve().
   GangSolver(SystemParams params, GangSolveOptions options = {});
 
+  /// The system being solved, as passed in.
   const SystemParams& params() const { return params_; }
+  /// The solve options, as passed in (defaults filled).
   const GangSolveOptions& options() const { return options_; }
 
   /// Run the solve. Throws gs::NumericalError when the system is unstable

@@ -33,7 +33,8 @@
 //  * Logarithmic reduction squares its H/L/G/T iterates, which densify
 //    after the first squaring; CSR can only touch the setup solves and
 //    the final R-from-G stage, and the dense squaring loop dominates the
-//    runtime (see qbd::RSolveProfile for the measured split). That
+//    runtime (the obs timers qbd.rsolve.logreduction.{setup,loop,final}
+//    carry the measured split). That
 //    Amdahl ceiling is why the sparse toggle only bought ~1.06x on log
 //    reduction — it is structural, not a missing optimization.
 // Consequently the R solvers gate CSR per *input block*: a block denser

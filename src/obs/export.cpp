@@ -1,0 +1,112 @@
+#include "obs/export.hpp"
+
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace gs::obs {
+
+namespace {
+
+using json::Json;
+
+constexpr double kNsPerMs = 1e6;
+constexpr double kNsPerUs = 1e3;
+
+Json args_to_json(const std::vector<TraceArg>& args) {
+  Json out = Json::object();
+  for (const TraceArg& a : args) {
+    if (a.is_number) {
+      out.set(a.key, a.number);
+    } else {
+      out.set(a.key, a.text);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Json snapshot_to_json(const Snapshot& snap) {
+  Json out = Json::object();
+
+  Json counters = Json::object();
+  for (const CounterValue& c : snap.counters) counters.set(c.name, c.value);
+  out.set("counters", std::move(counters));
+
+  Json gauges = Json::object();
+  for (const GaugeValue& g : snap.gauges) gauges.set(g.name, g.value);
+  out.set("gauges", std::move(gauges));
+
+  Json timers = Json::object();
+  for (const TimerValue& t : snap.timers) {
+    Json tj = Json::object();
+    tj.set("count", t.count);
+    tj.set("total_ms", static_cast<double>(t.total_ns) / kNsPerMs);
+    tj.set("max_ms", static_cast<double>(t.max_ns) / kNsPerMs);
+    tj.set("mean_ms", t.count > 0
+                          ? static_cast<double>(t.total_ns) / kNsPerMs /
+                                static_cast<double>(t.count)
+                          : 0.0);
+    timers.set(t.name, std::move(tj));
+  }
+  out.set("timers", std::move(timers));
+
+  Json histograms = Json::object();
+  for (const HistogramValue& h : snap.histograms) {
+    Json hj = Json::object();
+    hj.set("count", h.count);
+    hj.set("sum", h.sum);
+    Json buckets = Json::array();
+    const std::vector<double>& bounds = histogram_bounds();
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      // Empty buckets are elided to keep the stats payload small; the
+      // bucket set is fixed, so consumers reconstruct zeros from the
+      // documented bounds.
+      if (h.buckets[i] == 0) continue;
+      Json b = Json::object();
+      if (i < bounds.size()) {
+        b.set("le", bounds[i]);
+      } else {
+        b.set("le", "inf");
+      }
+      b.set("count", h.buckets[i]);
+      buckets.push_back(std::move(b));
+    }
+    hj.set("buckets", std::move(buckets));
+    histograms.set(h.name, std::move(hj));
+  }
+  out.set("histograms", std::move(histograms));
+  return out;
+}
+
+Json trace_to_json(const std::vector<TraceEvent>& events) {
+  Json list = Json::array();
+  for (const TraceEvent& e : events) {
+    Json ev = Json::object();
+    ev.set("name", e.name);
+    ev.set("ph", "X");
+    ev.set("pid", 1);
+    ev.set("tid", static_cast<std::int64_t>(e.tid));
+    ev.set("ts", static_cast<double>(e.start_ns) / kNsPerUs);
+    ev.set("dur", static_cast<double>(e.dur_ns) / kNsPerUs);
+    if (!e.args.empty()) ev.set("args", args_to_json(e.args));
+    list.push_back(std::move(ev));
+  }
+  Json out = Json::object();
+  out.set("traceEvents", std::move(list));
+  out.set("displayTimeUnit", "ms");
+  return out;
+}
+
+std::size_t write_trace_file(const std::string& path) {
+  const std::vector<TraceEvent> events = trace_events();
+  std::ofstream file(path);
+  GS_CHECK(file.good(), "cannot open trace output file '" + path + "'");
+  file << trace_to_json(events).dump() << "\n";
+  file.close();
+  GS_CHECK(file.good(), "failed writing trace output file '" + path + "'");
+  return events.size();
+}
+
+}  // namespace gs::obs

@@ -1,0 +1,41 @@
+// JSON rendering of the observability surface, on top of src/json:
+//  * snapshot_to_json — the metrics object embedded in gangd's `stats`
+//    response and in the BENCH_*.json artifacts,
+//  * trace_to_json / write_trace_file — Chrome trace-event JSON
+//    ("traceEvents" with complete "ph":"X" events) that loads directly in
+//    chrome://tracing and Perfetto.
+//
+// Kept apart from obs/obs.hpp so the recording core stays dependency-free
+// (gs_util links the core; linking json there would be circular). See
+// docs/OBSERVABILITY.md for the exported schema.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+#include "obs/obs.hpp"
+
+namespace gs::obs {
+
+/// Render a metrics snapshot:
+/// {"counters":{name:value,...},
+///  "gauges":{name:value,...},
+///  "timers":{name:{"count":n,"total_ms":t,"max_ms":m,"mean_ms":t/n},...},
+///  "histograms":{name:{"count":n,"sum":s,"buckets":[{"le":b,"count":c},...]},...}}
+/// Maps are name-sorted (snapshot order), so equal totals yield equal
+/// JSON text.
+json::Json snapshot_to_json(const Snapshot& snap);
+
+/// Render trace events as a Chrome trace-event document:
+/// {"traceEvents":[{"name":...,"ph":"X","pid":1,"tid":t,"ts":us,"dur":us,
+///  "args":{...}},...],"displayTimeUnit":"ms"}. ts/dur are microseconds
+/// (fractional), as the format specifies.
+json::Json trace_to_json(const std::vector<TraceEvent>& events);
+
+/// Collect the current trace (obs::trace_events()) and write it to `path`
+/// as one line of Chrome trace JSON. Throws gs::Error when the file
+/// cannot be written. Returns the number of events written.
+std::size_t write_trace_file(const std::string& path);
+
+}  // namespace gs::obs

@@ -1,0 +1,462 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <array>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace gs::obs {
+
+namespace {
+
+// 2^-10 .. 2^16 inclusive = 27 finite bounds, plus one overflow slot.
+constexpr int kMinExp = -10;
+constexpr int kMaxExp = 16;
+constexpr std::size_t kFiniteBuckets =
+    static_cast<std::size_t>(kMaxExp - kMinExp + 1);
+constexpr std::size_t kNumBuckets = kFiniteBuckets + 1;
+
+// A thread's trace buffer stops growing here; overflow is counted, not
+// stored, so a runaway session cannot exhaust memory.
+constexpr std::size_t kMaxEventsPerThread = std::size_t{1} << 20;
+
+struct CounterCell {
+  std::atomic<std::uint64_t> value{0};
+};
+
+struct GaugeCell {
+  std::atomic<double> value{0.0};
+  std::atomic<std::uint64_t> seq{0};  ///< global write order, last wins
+};
+
+struct TimerCell {
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> total_ns{0};
+  std::atomic<std::uint64_t> max_ns{0};
+};
+
+struct HistogramCell {
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets{};
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<double> sum{0.0};
+};
+
+// Heterogeneous lookup so the hot path can find cells by string_view
+// without materializing a std::string per call.
+struct SvHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+struct SvEq {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const {
+    return a == b;
+  }
+};
+template <typename Cell>
+using CellMap =
+    std::unordered_map<std::string, std::unique_ptr<Cell>, SvHash, SvEq>;
+
+// One thread's slice of the registry. The owning thread updates cells
+// with relaxed atomics after an unlocked map find; `mu` serializes the
+// rare writers/readers of the map structure itself (owner inserting a new
+// name, snapshot/reset walking the shard) and the trace-event vector.
+struct Shard {
+  std::mutex mu;
+  CellMap<CounterCell> counters;
+  CellMap<GaugeCell> gauges;
+  CellMap<TimerCell> timers;
+  CellMap<HistogramCell> histograms;
+  std::vector<TraceEvent> events;  // guarded by mu
+  std::uint64_t dropped = 0;       // guarded by mu
+  std::uint32_t tid = 0;
+};
+
+struct GaugeMerge {
+  double value = 0.0;
+  std::uint64_t seq = 0;
+};
+
+// Metrics of threads that have exited, folded in by the shard destructor
+// so totals survive worker churn. Guarded by Registry::mu.
+struct Retired {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, GaugeMerge> gauges;
+  std::map<std::string, TimerValue> timers;
+  std::map<std::string, HistogramValue> histograms;
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;
+};
+
+struct Registry {
+  std::atomic<bool> metrics{false};
+  std::atomic<bool> trace{false};
+  std::atomic<std::uint64_t> gauge_seq{0};
+  const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  std::mutex mu;  // shard list + retired store
+  std::vector<Shard*> shards;
+  Retired retired;
+  std::uint32_t next_tid = 1;
+};
+
+// Leaked singleton: shards of late-dying threads (pool workers joining at
+// static destruction) must still find a live registry to retire into.
+Registry& reg() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+void merge_counter(std::map<std::string, std::uint64_t>& into,
+                   const std::string& name, std::uint64_t v) {
+  into[name] += v;
+}
+
+void merge_gauge(std::map<std::string, GaugeMerge>& into,
+                 const std::string& name, const GaugeMerge& g) {
+  GaugeMerge& cur = into[name];
+  if (g.seq >= cur.seq) cur = g;
+}
+
+void merge_timer(std::map<std::string, TimerValue>& into,
+                 const std::string& name, std::uint64_t count,
+                 std::uint64_t total_ns, std::uint64_t max_ns) {
+  TimerValue& t = into[name];
+  t.name = name;
+  t.count += count;
+  t.total_ns += total_ns;
+  t.max_ns = std::max(t.max_ns, max_ns);
+}
+
+void merge_histogram(std::map<std::string, HistogramValue>& into,
+                     const std::string& name, const HistogramCell& cell) {
+  HistogramValue& h = into[name];
+  h.name = name;
+  if (h.buckets.empty()) h.buckets.assign(kNumBuckets, 0);
+  for (std::size_t i = 0; i < kNumBuckets; ++i)
+    h.buckets[i] += cell.buckets[i].load(std::memory_order_relaxed);
+  h.count += cell.count.load(std::memory_order_relaxed);
+  h.sum += cell.sum.load(std::memory_order_relaxed);
+}
+
+// Fold a shard's values into the retired maps (under Registry::mu and the
+// shard's own mu — the caller holds both).
+void retire_shard_locked(Registry& r, Shard& s) {
+  for (const auto& [name, cell] : s.counters)
+    merge_counter(r.retired.counters, name,
+                  cell->value.load(std::memory_order_relaxed));
+  for (const auto& [name, cell] : s.gauges)
+    merge_gauge(r.retired.gauges, name,
+                GaugeMerge{cell->value.load(std::memory_order_relaxed),
+                           cell->seq.load(std::memory_order_relaxed)});
+  for (const auto& [name, cell] : s.timers)
+    merge_timer(r.retired.timers, name,
+                cell->count.load(std::memory_order_relaxed),
+                cell->total_ns.load(std::memory_order_relaxed),
+                cell->max_ns.load(std::memory_order_relaxed));
+  for (const auto& [name, cell] : s.histograms)
+    merge_histogram(r.retired.histograms, name, *cell);
+  r.retired.events.insert(r.retired.events.end(),
+                          std::make_move_iterator(s.events.begin()),
+                          std::make_move_iterator(s.events.end()));
+  s.events.clear();
+  r.retired.dropped += s.dropped;
+  s.dropped = 0;
+}
+
+struct ShardHandle {
+  std::unique_ptr<Shard> shard = std::make_unique<Shard>();
+
+  ShardHandle() {
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lock(r.mu);
+    shard->tid = r.next_tid++;
+    r.shards.push_back(shard.get());
+  }
+
+  ~ShardHandle() {
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lock(r.mu);
+    {
+      std::lock_guard<std::mutex> slock(shard->mu);
+      retire_shard_locked(r, *shard);
+    }
+    r.shards.erase(std::find(r.shards.begin(), r.shards.end(), shard.get()));
+  }
+};
+
+Shard& local_shard() {
+  thread_local ShardHandle handle;
+  return *handle.shard;
+}
+
+// Find-or-insert a cell: unlocked find (only this thread ever inserts
+// into its own shard; snapshot readers hold the shard lock, which the
+// insert path also takes, so the map structure is race-free), locked
+// insert on first touch of the name.
+template <typename Cell>
+Cell& cell(CellMap<Cell>& map, std::mutex& mu, std::string_view name) {
+  if (auto it = map.find(name); it != map.end()) return *it->second;
+  std::lock_guard<std::mutex> lock(mu);
+  auto [it, inserted] = map.emplace(std::string(name), nullptr);
+  if (inserted) it->second = std::make_unique<Cell>();
+  return *it->second;
+}
+
+void atomic_add_double(std::atomic<double>& a, double delta) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + delta,
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max_u64(std::atomic<std::uint64_t>& a, std::uint64_t v) {
+  std::uint64_t cur = a.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::size_t bucket_index(double value) {
+  for (std::size_t i = 0; i < kFiniteBuckets; ++i)
+    if (value <= histogram_bounds()[i]) return i;
+  return kFiniteBuckets;  // overflow slot
+}
+
+void record_event(TraceEvent event) {
+  Shard& s = local_shard();
+  std::lock_guard<std::mutex> lock(s.mu);
+  event.tid = s.tid;
+  if (s.events.size() >= kMaxEventsPerThread) {
+    ++s.dropped;
+    return;
+  }
+  s.events.push_back(std::move(event));
+}
+
+}  // namespace
+
+void configure(const ObsOptions& opts) {
+  reg().metrics.store(opts.metrics, std::memory_order_relaxed);
+  reg().trace.store(opts.trace, std::memory_order_relaxed);
+}
+
+bool metrics_enabled() {
+  return reg().metrics.load(std::memory_order_relaxed);
+}
+
+bool trace_enabled() { return reg().trace.load(std::memory_order_relaxed); }
+
+void reset() {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (Shard* s : r.shards) {
+    std::lock_guard<std::mutex> slock(s->mu);
+    for (auto& [name, cell] : s->counters)
+      cell->value.store(0, std::memory_order_relaxed);
+    for (auto& [name, cell] : s->gauges) {
+      cell->value.store(0.0, std::memory_order_relaxed);
+      cell->seq.store(0, std::memory_order_relaxed);
+    }
+    for (auto& [name, cell] : s->timers) {
+      cell->count.store(0, std::memory_order_relaxed);
+      cell->total_ns.store(0, std::memory_order_relaxed);
+      cell->max_ns.store(0, std::memory_order_relaxed);
+    }
+    for (auto& [name, cell] : s->histograms) {
+      for (auto& b : cell->buckets) b.store(0, std::memory_order_relaxed);
+      cell->count.store(0, std::memory_order_relaxed);
+      cell->sum.store(0.0, std::memory_order_relaxed);
+    }
+    s->events.clear();
+    s->dropped = 0;
+  }
+  r.retired = Retired{};
+}
+
+void count(std::string_view name, std::uint64_t delta) {
+  if (!metrics_enabled()) return;
+  Shard& s = local_shard();
+  cell(s.counters, s.mu, name).value.fetch_add(delta,
+                                               std::memory_order_relaxed);
+}
+
+void gauge_set(std::string_view name, double value) {
+  if (!metrics_enabled()) return;
+  Shard& s = local_shard();
+  GaugeCell& g = cell(s.gauges, s.mu, name);
+  g.value.store(value, std::memory_order_relaxed);
+  g.seq.store(reg().gauge_seq.fetch_add(1, std::memory_order_relaxed) + 1,
+              std::memory_order_relaxed);
+}
+
+void time_ns(std::string_view name, std::uint64_t ns) {
+  if (!metrics_enabled()) return;
+  Shard& s = local_shard();
+  TimerCell& t = cell(s.timers, s.mu, name);
+  t.count.fetch_add(1, std::memory_order_relaxed);
+  t.total_ns.fetch_add(ns, std::memory_order_relaxed);
+  atomic_max_u64(t.max_ns, ns);
+}
+
+void observe(std::string_view name, double value) {
+  if (!metrics_enabled()) return;
+  Shard& s = local_shard();
+  HistogramCell& h = cell(s.histograms, s.mu, name);
+  h.buckets[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  h.count.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(h.sum, value);
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - reg().epoch)
+          .count());
+}
+
+Span::Span(const char* name)
+    : name_(name),
+      metrics_(metrics_enabled()),
+      trace_(trace_enabled()) {
+  if (metrics_ || trace_) start_ = now_ns();
+}
+
+Span::~Span() {
+  if (!metrics_ && !trace_) return;
+  const std::uint64_t dur = now_ns() - start_;
+  if (metrics_) time_ns(name_, dur);
+  if (trace_) {
+    TraceEvent ev;
+    ev.name = name_;
+    ev.start_ns = start_;
+    ev.dur_ns = dur;
+    ev.args = std::move(args_);
+    record_event(std::move(ev));
+  }
+}
+
+void Span::arg(std::string_view key, std::int64_t value) {
+  if (!trace_) return;
+  args_.push_back(
+      TraceArg{std::string(key), true, static_cast<double>(value), {}});
+}
+
+void Span::arg(std::string_view key, double value) {
+  if (!trace_) return;
+  args_.push_back(TraceArg{std::string(key), true, value, {}});
+}
+
+void Span::arg(std::string_view key, std::string_view value) {
+  if (!trace_) return;
+  args_.push_back(TraceArg{std::string(key), false, 0.0, std::string(value)});
+}
+
+const CounterValue* Snapshot::counter(std::string_view name) const {
+  for (const auto& c : counters)
+    if (c.name == name) return &c;
+  return nullptr;
+}
+
+const TimerValue* Snapshot::timer(std::string_view name) const {
+  for (const auto& t : timers)
+    if (t.name == name) return &t;
+  return nullptr;
+}
+
+const HistogramValue* Snapshot::histogram(std::string_view name) const {
+  for (const auto& h : histograms)
+    if (h.name == name) return &h;
+  return nullptr;
+}
+
+std::uint64_t Snapshot::counter_value(std::string_view name,
+                                      std::uint64_t fallback) const {
+  const CounterValue* c = counter(name);
+  return c != nullptr ? c->value : fallback;
+}
+
+Snapshot snapshot() {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::map<std::string, std::uint64_t> counters = r.retired.counters;
+  std::map<std::string, GaugeMerge> gauges = r.retired.gauges;
+  std::map<std::string, TimerValue> timers = r.retired.timers;
+  std::map<std::string, HistogramValue> histograms = r.retired.histograms;
+  for (Shard* s : r.shards) {
+    std::lock_guard<std::mutex> slock(s->mu);
+    for (const auto& [name, cell] : s->counters)
+      merge_counter(counters, name,
+                    cell->value.load(std::memory_order_relaxed));
+    for (const auto& [name, cell] : s->gauges)
+      merge_gauge(gauges, name,
+                  GaugeMerge{cell->value.load(std::memory_order_relaxed),
+                             cell->seq.load(std::memory_order_relaxed)});
+    for (const auto& [name, cell] : s->timers)
+      merge_timer(timers, name, cell->count.load(std::memory_order_relaxed),
+                  cell->total_ns.load(std::memory_order_relaxed),
+                  cell->max_ns.load(std::memory_order_relaxed));
+    for (const auto& [name, cell] : s->histograms)
+      merge_histogram(histograms, name, *cell);
+  }
+
+  Snapshot out;
+  out.counters.reserve(counters.size());
+  for (const auto& [name, value] : counters)
+    out.counters.push_back(CounterValue{name, value});
+  out.gauges.reserve(gauges.size());
+  for (const auto& [name, g] : gauges)
+    out.gauges.push_back(GaugeValue{name, g.value});
+  out.timers.reserve(timers.size());
+  for (const auto& [name, t] : timers) out.timers.push_back(t);
+  out.histograms.reserve(histograms.size());
+  for (const auto& [name, h] : histograms) out.histograms.push_back(h);
+  return out;
+}
+
+const std::vector<double>& histogram_bounds() {
+  static const std::vector<double> bounds = [] {
+    std::vector<double> b;
+    b.reserve(kFiniteBuckets);
+    for (int e = kMinExp; e <= kMaxExp; ++e) b.push_back(std::ldexp(1.0, e));
+    return b;
+  }();
+  return bounds;
+}
+
+std::vector<TraceEvent> trace_events() {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<TraceEvent> out = r.retired.events;
+  for (Shard* s : r.shards) {
+    std::lock_guard<std::mutex> slock(s->mu);
+    out.insert(out.end(), s->events.begin(), s->events.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::uint64_t trace_dropped() {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::uint64_t dropped = r.retired.dropped;
+  for (Shard* s : r.shards) {
+    std::lock_guard<std::mutex> slock(s->mu);
+    dropped += s->dropped;
+  }
+  return dropped;
+}
+
+}  // namespace gs::obs

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace gs::qbd {
@@ -67,15 +68,20 @@ WorkspaceArena::Lease WorkspaceArena::borrow(std::uint64_t key,
     }
     if (lru_free == nullptr || e->stamp < lru_free->stamp) lru_free = e.get();
   }
+  obs::count("qbd.arena.borrow");
   Entry* chosen = match;
-  if (chosen == nullptr) {
+  if (chosen != nullptr) {
+    obs::count("qbd.arena.hit");
+  } else {
     if (a.entries.size() >= kMaxEntries && lru_free != nullptr) {
       // Recycle the stalest free entry: its scratch shapes belong to a
       // different structure, but the solvers reshape on use, so only the
       // warm-capacity benefit is lost, never correctness.
+      obs::count("qbd.arena.recycle");
       chosen = lru_free;
       chosen->key = key;
     } else {
+      obs::count("qbd.arena.fresh");
       a.entries.push_back(std::make_unique<Entry>());
       chosen = a.entries.back().get();
       chosen->key = key;

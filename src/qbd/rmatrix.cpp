@@ -1,10 +1,11 @@
 #include "qbd/rmatrix.hpp"
 
-#include <chrono>
 #include <cmath>
+#include <optional>
 #include <string>
 
 #include "linalg/lu.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace gs::qbd {
@@ -34,12 +35,6 @@ double dense_fraction(const Matrix& m) {
     for (std::size_t j = 0; j < m.cols(); ++j)
       if (m(i, j) != 0.0) ++nnz;
   return static_cast<double>(nnz) / static_cast<double>(total);
-}
-
-double ms_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - start)
-      .count();
 }
 
 }  // namespace
@@ -76,6 +71,10 @@ RSolveResult solve_r_substitution(const Matrix& a0, const Matrix& a1,
                                   const RSolveOptions& opts, Workspace* ws) {
   const std::size_t d = a1.rows();
   GS_CHECK(a0.rows() == d && a2.rows() == d, "R solve: block size mismatch");
+
+  obs::Span span("qbd.rsolve.substitution");
+  span.arg("d", static_cast<std::int64_t>(d));
+  obs::count("qbd.rsolve.substitution.count");
 
   Workspace local;
   Workspace& w = ws ? *ws : local;
@@ -125,6 +124,9 @@ RSolveResult solve_r_substitution(const Matrix& a0, const Matrix& a1,
       break;
     }
   }
+  obs::count("qbd.rsolve.substitution.iterations",
+             static_cast<std::uint64_t>(out.iterations));
+  span.arg("iterations", static_cast<std::int64_t>(out.iterations));
   out.residual = r_residual(w.r_cur, a0, a1, a2, w, use_sparse);
   if (!converged) {
     throw NumericalError(
@@ -152,9 +154,17 @@ RSolveResult solve_r_logreduction(const Matrix& a0, const Matrix& a1,
   const std::size_t d = a1.rows();
   GS_CHECK(a0.rows() == d && a2.rows() == d, "R solve: block size mismatch");
 
+  obs::Span span("qbd.rsolve.logreduction");
+  span.arg("d", static_cast<std::int64_t>(d));
+  obs::count("qbd.rsolve.logreduction.count");
+
   Workspace local;
   Workspace& w = ws ? *ws : local;
-  const auto t_setup = std::chrono::steady_clock::now();
+  // Stage spans reproduce the old RSolveProfile split: setup (LU of -A1,
+  // H/L seeds, CSR compressions), the dense-by-necessity squaring loop,
+  // and the final R-from-G stage plus residual check.
+  std::optional<obs::Span> stage;
+  stage.emplace("qbd.rsolve.logreduction.setup");
 
   Matrix neg_a1 = a1;
   neg_a1 *= -1.0;
@@ -168,7 +178,7 @@ RSolveResult solve_r_logreduction(const Matrix& a0, const Matrix& a1,
   // CSR at all. Only the final stage reads the structured A0, and only
   // the residual reads A1/A2 — gate each independently so a dense block
   // never pays for compression it cannot amortize. The loop's share of
-  // the runtime (see RSolveProfile) is what bounds the sparse speedup
+  // runtime (obs timer qbd.rsolve.logreduction.loop) bounds the sparse speedup
   // here to ~1.1x, versus ~3x for substitution whose every iteration
   // touches structured blocks.
   const bool sparse_final = opts.sparse && dense_fraction(a0) <= kCsrDensityGate;
@@ -180,8 +190,7 @@ RSolveResult solve_r_logreduction(const Matrix& a0, const Matrix& a1,
     w.a1_csr.assign_from_dense(a1);
     w.a2_csr.assign_from_dense(a2);
   }
-  if (opts.profile) opts.profile->setup_ms = ms_since(t_setup);
-  const auto t_loop = std::chrono::steady_clock::now();
+  stage.emplace("qbd.rsolve.logreduction.loop");
 
   RSolveResult out;
   w.g = w.l;
@@ -213,8 +222,10 @@ RSolveResult solve_r_logreduction(const Matrix& a0, const Matrix& a1,
     }
   }
 
-  if (opts.profile) opts.profile->loop_ms = ms_since(t_loop);
-  const auto t_final = std::chrono::steady_clock::now();
+  obs::count("qbd.rsolve.logreduction.iterations",
+             static_cast<std::uint64_t>(out.iterations));
+  span.arg("iterations", static_cast<std::int64_t>(out.iterations));
+  stage.emplace("qbd.rsolve.logreduction.final");
 
   // U = A1 + A0 G; R solves R (-U) = A0 (right division against the
   // shared factorization instead of an explicit inverse).
@@ -230,7 +241,7 @@ RSolveResult solve_r_logreduction(const Matrix& a0, const Matrix& a1,
   lu_negu.solve_right_into(a0, out.r);
   out.g = w.g;
   out.residual = r_residual(out.r, a0, a1, a2, w, sparse_resid);
-  if (opts.profile) opts.profile->final_ms = ms_since(t_final);
+  stage.reset();
   if (!converged) {
     throw NumericalError(
         "logarithmic reduction for R exhausted max_iter=" +

@@ -20,23 +20,23 @@ namespace gs::qbd {
 
 using linalg::Matrix;
 
-/// Stage timings of one solve_r_logreduction call (see
-/// RSolveOptions::profile). Why this exists: BENCH_qbd.json showed the
-/// sparse toggle buying only ~1.06x on log reduction vs 3.15x on
-/// substitution, and the breakdown is the explanation — log reduction's
-/// squaring loop works on H/L/G/T iterates that densify after the first
-/// squaring (products of sparse kernels are dense), so CSR can only touch
-/// setup and the final stage; the loop share bounds the possible speedup
-/// (Amdahl). Substitution, by contrast, re-multiplies the *structured*
-/// A2 every iteration, which is why CSR pays there.
-struct RSolveProfile {
-  double setup_ms = 0.0;  ///< LU of -A1, H/L seeds, CSR compressions
-  double loop_ms = 0.0;   ///< the squaring loop — dense by necessity
-  double final_ms = 0.0;  ///< R from G, plus the residual check
-};
-
+/// Solver knobs shared by both R algorithms. Thread-compatible: one
+/// options object may drive concurrent solves (it is only read).
+///
+/// Stage timings that used to live in RSolveProfile now flow through the
+/// obs registry (timers `qbd.rsolve.logreduction.{setup,loop,final}`, see
+/// docs/OBSERVABILITY.md). Why they exist at all: BENCH_qbd.json showed
+/// the sparse toggle buying only ~1.06x on log reduction vs 3.15x on
+/// substitution, and the stage breakdown is the explanation — log
+/// reduction's squaring loop works on H/L/G/T iterates that densify after
+/// the first squaring (products of sparse kernels are dense), so CSR can
+/// only touch setup and the final stage; the loop share bounds the
+/// possible speedup (Amdahl). Substitution, by contrast, re-multiplies
+/// the *structured* A2 every iteration, which is why CSR pays there.
 struct RSolveOptions {
+  /// Convergence threshold on the iteration's step / increment size.
   double tol = 1e-13;
+  /// Iteration cap; exhaustion raises gs::NumericalError.
   int max_iter = 100000;
   /// Run the structured-block products (A0/A2 and the recompressed R A2)
   /// through the CSR kernels. The iterates themselves stay dense. On by
@@ -47,8 +47,6 @@ struct RSolveOptions {
   /// a dense block costs O(d^2) and its CSR product saves nothing), which
   /// is also bitwise-invisible.
   bool sparse = true;
-  /// When set, solve_r_logreduction writes its stage timings here.
-  RSolveProfile* profile = nullptr;
 };
 
 struct RSolveResult {

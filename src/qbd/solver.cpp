@@ -4,6 +4,7 @@
 
 #include "linalg/lu.hpp"
 #include "linalg/spectral.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace gs::qbd {
@@ -104,6 +105,10 @@ double QbdSolution::total_mass() const {
 
 QbdSolution solve(const QbdProcess& process, const SolveOptions& opts,
                   Workspace* ws) {
+  obs::Span span("qbd.solve");
+  span.arg("boundary", static_cast<std::int64_t>(process.boundary_size()));
+  span.arg("repeating", static_cast<std::int64_t>(process.repeating_size()));
+  obs::count("qbd.solve.count");
   Workspace local;
   Workspace& w = ws ? *ws : local;
   const QbdBlocks& blk = process.blocks();

@@ -12,18 +12,32 @@
 
 namespace gs::qbd {
 
+/// Which fixed-point algorithm computes Neuts' R matrix. Both converge
+/// to the same R; logarithmic reduction is quadratically convergent
+/// (the default), successive substitution is linear but cheaper per
+/// iteration on very sparse blocks. See DESIGN.md § R-matrix.
 enum class RMethod { kLogReduction, kSubstitution };
 
+/// Knobs for solve(). The defaults reproduce the paper's configuration.
 struct SolveOptions {
+  /// R-matrix algorithm; the answer is method-independent to tolerance.
   RMethod r_method = RMethod::kLogReduction;
+  /// Tolerance / iteration caps forwarded to the R solver.
   RSolveOptions r_options{};
   /// When false (default) an unstable chain (drift condition violated)
   /// raises gs::NumericalError before any expensive work.
   bool skip_stability_check = false;
 };
 
+/// The stationary distribution of a solved QBD in matrix-geometric
+/// form: explicit boundary vectors pi_0..pi_b plus R, from which any
+/// level and the standard moments are computed on demand. Immutable
+/// after construction and safe to read from multiple threads.
 class QbdSolution {
  public:
+  /// Assembled by solve(); `boundary_pi` holds pi_0..pi_b already
+  /// normalized, `sp_r` the spectral radius of `r` (< 1 for a stable
+  /// chain).
   QbdSolution(std::vector<Vector> boundary_pi, Matrix r, double sp_r);
 
   /// pi_i for a boundary level 0 <= i <= b.
@@ -36,7 +50,9 @@ class QbdSolution {
   /// Total probability mass of a level, pi_i e.
   double level_mass(std::size_t i) const;
 
+  /// Neuts' rate matrix R (minimal nonnegative solution of eq. 23).
   const Matrix& r() const { return r_; }
+  /// sp(R); < 1 iff the repeating portion is positive recurrent.
   double spectral_radius_r() const { return sp_r_; }
 
   /// Mean level E[N] — the generalized eq. (37):

@@ -1,10 +1,16 @@
 #include "serve/cache.hpp"
 
+#include "obs/obs.hpp"
+
 namespace gs::serve {
 
 const ResultCache::Entry* ResultCache::find(std::uint64_t key) {
   auto it = index_.find(key);
-  if (it == index_.end()) return nullptr;
+  if (it == index_.end()) {
+    obs::count("serve.cache.miss");
+    return nullptr;
+  }
+  obs::count("serve.cache.hit");
   lru_.splice(lru_.begin(), lru_, it->second);
   ++lru_.front().hits;
   return &lru_.front();
@@ -26,7 +32,9 @@ void ResultCache::insert(std::uint64_t key, gang::SolveReport report) {
     index_.erase(lru_.back().key);
     lru_.pop_back();
     ++evictions_;
+    obs::count("serve.cache.evict");
   }
+  obs::count("serve.cache.insert");
   lru_.push_front(Entry{key, std::move(report), 0});
   index_[key] = lru_.begin();
 }

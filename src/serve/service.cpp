@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
 #include "serve/canonical.hpp"
 #include "util/cli.hpp"
 #include "workload/sweep.hpp"
@@ -113,6 +115,7 @@ std::string EvalService::handle_line(const std::string& line) {
 
 json::Json EvalService::handle(const Json& request) {
   ++stats_.requests;
+  obs::count("serve.requests");
   Json response = Json::object();
   // Echo the request's op and id first so every response — success or
   // error — is attributable by the client.
@@ -129,6 +132,8 @@ json::Json EvalService::handle(const Json& request) {
   try {
     GS_CHECK(request.is_object(), "request must be a JSON object");
     GS_CHECK(!op.empty(), "request needs a string 'op' field");
+    obs::Span op_span("serve.request");
+    op_span.arg("op", op);
     if (op == "solve") {
       ++stats_.solve_requests;
       Json r = do_solve(request);
@@ -157,12 +162,14 @@ json::Json EvalService::handle(const Json& request) {
     }
   } catch (const NumericalError& e) {
     ++stats_.errors;
+    obs::count("serve.errors");
     Json detail = Json::object();
     detail.set("type", "numerical_error");
     detail.set("message", e.what());
     response.set("error", std::move(detail));
   } catch (const Error& e) {
     ++stats_.errors;
+    obs::count("serve.errors");
     Json detail = Json::object();
     detail.set("type", "invalid_argument");
     detail.set("message", e.what());
@@ -406,6 +413,13 @@ json::Json EvalService::do_stats() const {
                                     static_cast<double>(stats_.solves_executed)
                               : 0.0);
     out.set("latency_ms", std::move(lat));
+  }
+  // The full metrics snapshot rides along when obs is recording. Gated on
+  // !deterministic because the values (timer totals, pool scheduling
+  // counters) depend on wall clock and thread interleaving — the golden
+  // smoke diff must stay byte-stable.
+  if (obs::metrics_enabled() && !options_.deterministic) {
+    out.set("obs", obs::snapshot_to_json(obs::snapshot()));
   }
   return out;
 }

@@ -6,6 +6,8 @@
 #include <limits>
 #include <memory>
 
+#include "obs/obs.hpp"
+
 namespace gs::util {
 
 namespace {
@@ -59,6 +61,7 @@ struct ThreadPool::Batch {
     for (;;) {
       const std::size_t begin = next.fetch_add(grain, std::memory_order_relaxed);
       if (begin >= n) return;
+      obs::count("pool.chunks");
       const std::size_t end = std::min(begin + grain, n);
       for (std::size_t i = begin; i < end; ++i) {
         try {
@@ -119,12 +122,21 @@ void ThreadPool::worker_loop() {
   t_on_worker = true;
   for (;;) {
     std::function<void()> task;
+    // Idle accounting covers the wait for work (lock + condvar); the
+    // clock is read only when metrics are on, so the disabled path is
+    // untouched.
+    const bool timed = obs::metrics_enabled();
+    const std::uint64_t t0 = timed ? obs::now_ns() : 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and nothing left to run
       task = std::move(queue_.front());
       queue_.pop_front();
+    }
+    if (timed) {
+      obs::time_ns("pool.worker.idle", obs::now_ns() - t0);
+      obs::count("pool.worker.wakeups");
     }
     task();
   }
@@ -146,12 +158,21 @@ void ThreadPool::parallel_for(std::size_t n,
   if (disabled_ || n <= 1 || lanes <= 1 || on_worker_thread()) {
     // The exact sequential path: index order, caller's thread, exceptions
     // surface straight from the first failing index.
+    obs::count("pool.sequential_batches");
+    obs::count("pool.tasks", n);
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
 
   lanes = std::min(lanes, n);
   ensure_workers(lanes - 1);
+
+  obs::count("pool.batches");
+  obs::count("pool.tasks", n);
+  obs::observe("pool.batch.tasks", static_cast<double>(n));
+  obs::Span span("pool.parallel_for");
+  span.arg("n", static_cast<std::int64_t>(n));
+  span.arg("lanes", static_cast<std::int64_t>(lanes));
 
   auto batch = std::make_shared<Batch>();
   batch->n = n;

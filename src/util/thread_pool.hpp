@@ -59,6 +59,10 @@ struct ParallelOptions {
   std::size_t grain = 0;
 };
 
+/// A work-sharing pool of lanes for independent tasks (see the file
+/// comment for the determinism and nesting contract). All public
+/// members are thread-safe; parallel_for may be called concurrently
+/// from any number of threads.
 class ThreadPool {
  public:
   /// An owned pool with up to `num_threads` total lanes of concurrency,

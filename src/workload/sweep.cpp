@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "sim/gang_simulator.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
@@ -20,6 +21,7 @@ std::vector<gang::PhaseType> solve_point(
     const SweepOptions& opts, const std::vector<gang::PhaseType>* seed,
     bool keep_slices) {
   point.x = x;
+  obs::count("sweep.points");
   std::vector<gang::PhaseType> slices;
   const gang::SystemParams sys = make_system(x);
   try {
@@ -28,9 +30,11 @@ std::vector<gang::PhaseType> solve_point(
         seed != nullptr ? solver.solve_warm(*seed) : solver.solve();
     point.iterations = rep.iterations;
     point.warm_started = rep.used_warm_start;
+    if (point.warm_started) obs::count("sweep.warm_started");
     for (const auto& r : rep.per_class) point.model_n.push_back(r.mean_jobs);
     if (keep_slices) slices = rep.final_slices;
   } catch (const Error& e) {
+    obs::count("sweep.errors");
     point.error = e.what();
   }
   if (opts.sim_horizon > 0.0) {
@@ -53,6 +57,8 @@ std::vector<SweepPoint> sweep(
     const std::function<gang::SystemParams(double)>& make_system,
     const SweepOptions& opts) {
   std::vector<SweepPoint> out(xs.size());
+  obs::Span span("sweep.run");
+  span.arg("points", static_cast<std::int64_t>(xs.size()));
   util::ThreadPool& pool =
       opts.pool != nullptr ? *opts.pool : util::ThreadPool::shared();
   const util::ParallelOptions lanes{
@@ -63,6 +69,7 @@ std::vector<SweepPoint> sweep(
     // Cold sweep: each task owns exactly one output row; errors stay
     // per-point, so one unstable x never disturbs its neighbours (the
     // paper's sweeps cross stability boundaries on purpose).
+    span.arg("mode", "cold");
     pool.parallel_for(xs.size(), [&](std::size_t i) {
       solve_point(out[i], xs[i], make_system, opts, nullptr,
                   /*keep_slices=*/false);
@@ -77,6 +84,10 @@ std::vector<SweepPoint> sweep(
   // out across the pool; no task ever reads a row another task writes.
   const std::size_t n = xs.size();
   const std::size_t num_anchors = (n + stride - 1) / stride;
+  span.arg("mode", "warm_chain");
+  span.arg("anchors", static_cast<std::int64_t>(num_anchors));
+  obs::count("sweep.anchors", num_anchors);
+  obs::count("sweep.fills", n - num_anchors);
   std::vector<std::vector<gang::PhaseType>> anchor_slices(num_anchors);
   pool.parallel_for(num_anchors, [&](std::size_t k) {
     const std::size_t i = k * stride;

@@ -18,27 +18,35 @@ class ThreadPool;
 
 namespace gs::workload {
 
+/// One row of a sweep: the results (model and optionally simulation) at
+/// a single x-value.
 struct SweepPoint {
-  double x = 0.0;
+  double x = 0.0;  ///< the swept parameter's value at this point
   /// Per-class mean jobs from the analysis; empty when the solve failed
   /// (unstable point), with `error` carrying the reason.
   std::vector<double> model_n;
   /// Per-class mean jobs from the simulator (empty unless simulation was
   /// requested).
   std::vector<double> sim_n;
-  int iterations = 0;
+  int iterations = 0;  ///< fixed-point iterations the solve took
   /// True when this point's fixed point was seeded from an anchor's
   /// solution (SweepOptions::warm_chain) rather than solved cold.
   bool warm_started = false;
-  std::string error;
+  std::string error;  ///< why the solve failed; empty on success
 };
 
+/// Knobs for sweep(). Defaults run the analysis only, sequentially and
+/// cold — what the figure benches want.
 struct SweepOptions {
+  /// Solver options applied at every point.
   gang::GangSolveOptions solver{};
   /// When > 0, also simulate each point with this horizon.
   double sim_horizon = 0.0;
-  double sim_warmup = 5000.0;
-  std::size_t sim_replications = 1;
+  double sim_warmup = 5000.0;        ///< simulated time discarded per run
+  std::size_t sim_replications = 1;  ///< independent sim runs per point
+  /// Base RNG seed; replication r derives its stream from (seed, r)
+  /// (sim::run_replicated), so results are reproducible at any thread
+  /// count.
   std::uint64_t sim_seed = 20260706;
   /// Lanes of concurrency across the x-points (each point's solve and
   /// simulation are independent; output keeps row order and per-point

@@ -1,0 +1,146 @@
+#include "obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace {
+
+namespace obs = gs::obs;
+
+// Every test owns the process-wide registry for its duration: switch the
+// mode it needs, reset, and leave everything off on exit. gtest runs the
+// tests in this binary sequentially, so this is race-free.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::configure({/*metrics=*/true, /*trace=*/false});
+    obs::reset();
+  }
+  void TearDown() override { obs::configure({}); }
+};
+
+TEST_F(ObsTest, CountersAccumulateAndSnapshotSorted) {
+  obs::count("b.two");
+  obs::count("a.one", 41);
+  obs::count("a.one");
+  const obs::Snapshot snap = obs::snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "a.one");  // name-sorted
+  EXPECT_EQ(snap.counters[0].value, 42u);
+  EXPECT_EQ(snap.counters[1].name, "b.two");
+  EXPECT_EQ(snap.counters[1].value, 1u);
+  EXPECT_EQ(snap.counter_value("a.one"), 42u);
+  EXPECT_EQ(snap.counter_value("missing", 7u), 7u);
+  EXPECT_EQ(snap.counter("missing"), nullptr);
+}
+
+TEST_F(ObsTest, GaugeLastWriteWins) {
+  obs::gauge_set("g", 1.0);
+  obs::gauge_set("g", 2.5);
+  const obs::Snapshot snap = obs::snapshot();
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].value, 2.5);
+}
+
+TEST_F(ObsTest, TimerAccumulatesCountTotalMax) {
+  obs::time_ns("t", 100);
+  obs::time_ns("t", 300);
+  obs::time_ns("t", 200);
+  const obs::Snapshot snap = obs::snapshot();
+  const obs::TimerValue* t = snap.timer("t");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->count, 3u);
+  EXPECT_EQ(t->total_ns, 600u);
+  EXPECT_EQ(t->max_ns, 300u);
+}
+
+TEST_F(ObsTest, HistogramBucketsAndOverflow) {
+  const std::vector<double>& bounds = obs::histogram_bounds();
+  ASSERT_FALSE(bounds.empty());
+  obs::observe("h", bounds.front());       // first bucket (<= bound)
+  obs::observe("h", bounds.back());        // last finite bucket
+  obs::observe("h", bounds.back() * 2.0);  // overflow slot
+  const obs::Snapshot snap = obs::snapshot();
+  const obs::HistogramValue* h = snap.histogram("h");
+  ASSERT_NE(h, nullptr);
+  ASSERT_EQ(h->buckets.size(), bounds.size() + 1);  // + overflow
+  EXPECT_EQ(h->count, 3u);
+  EXPECT_EQ(h->buckets.front(), 1u);
+  EXPECT_EQ(h->buckets[bounds.size() - 1], 1u);
+  EXPECT_EQ(h->buckets.back(), 1u);
+  EXPECT_DOUBLE_EQ(h->sum, bounds.front() + 3.0 * bounds.back());
+}
+
+TEST_F(ObsTest, DisabledRecordingIsANoOp) {
+  obs::configure({});
+  obs::count("dark");
+  obs::gauge_set("dark", 1.0);
+  obs::time_ns("dark", 5);
+  obs::observe("dark", 5.0);
+  { obs::Span span("dark.span"); }
+  // Nothing under these names was even registered (names recorded by
+  // earlier tests persist across reset(), so check by name, not by
+  // emptiness).
+  const obs::Snapshot snap = obs::snapshot();
+  EXPECT_EQ(snap.counter("dark"), nullptr);
+  EXPECT_EQ(snap.timer("dark"), nullptr);
+  EXPECT_EQ(snap.timer("dark.span"), nullptr);
+  EXPECT_EQ(snap.histogram("dark"), nullptr);
+  for (const auto& g : snap.gauges) EXPECT_NE(g.name, "dark");
+  EXPECT_TRUE(obs::trace_events().empty());
+}
+
+TEST_F(ObsTest, ResetZeroesEverything) {
+  obs::count("c", 5);
+  obs::time_ns("t", 5);
+  obs::reset();
+  const obs::Snapshot snap = obs::snapshot();
+  EXPECT_EQ(snap.counter_value("c"), 0u);
+  for (const auto& t : snap.timers) EXPECT_EQ(t.count, 0u);
+}
+
+// The merge guarantee: totals are independent of which thread recorded
+// what, and the shards of exited threads are folded in (retired store).
+TEST_F(ObsTest, SnapshotMergesThreadsDeterministically) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        obs::count("mt.counter");
+        obs::time_ns("mt.timer", static_cast<std::uint64_t>(t + 1));
+        obs::observe("mt.hist", 1.0);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();  // all shards now retired
+
+  const obs::Snapshot a = obs::snapshot();
+  EXPECT_EQ(a.counter_value("mt.counter"),
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  const obs::TimerValue* timer = a.timer("mt.timer");
+  ASSERT_NE(timer, nullptr);
+  EXPECT_EQ(timer->count, static_cast<std::uint64_t>(kThreads * kPerThread));
+  // total = sum_t (t+1) * kPerThread
+  EXPECT_EQ(timer->total_ns,
+            static_cast<std::uint64_t>(kPerThread) * kThreads *
+                (kThreads + 1) / 2);
+  EXPECT_EQ(timer->max_ns, static_cast<std::uint64_t>(kThreads));
+  const obs::HistogramValue* h = a.histogram("mt.hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, static_cast<std::uint64_t>(kThreads * kPerThread));
+
+  // A second snapshot after identical totals is identical in every field.
+  const obs::Snapshot b = obs::snapshot();
+  ASSERT_EQ(a.counters.size(), b.counters.size());
+  for (std::size_t i = 0; i < a.counters.size(); ++i) {
+    EXPECT_EQ(a.counters[i].name, b.counters[i].name);
+    EXPECT_EQ(a.counters[i].value, b.counters[i].value);
+  }
+}
+
+}  // namespace

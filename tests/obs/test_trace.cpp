@@ -1,0 +1,91 @@
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "json/json.hpp"
+#include "obs/obs.hpp"
+
+namespace {
+
+namespace obs = gs::obs;
+using gs::json::Json;
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::configure({/*metrics=*/true, /*trace=*/true});
+    obs::reset();
+  }
+  void TearDown() override { obs::configure({}); }
+};
+
+TEST_F(TraceTest, SpanRecordsEventWithArgs) {
+  {
+    obs::Span outer("outer");
+    outer.arg("n", static_cast<std::int64_t>(3));
+    outer.arg("ratio", 0.5);
+    outer.arg("mode", "warm");
+    { obs::Span inner("inner"); }
+  }
+  const auto events = obs::trace_events();
+  ASSERT_EQ(events.size(), 2u);
+  // Sorted by start time: outer opened first.
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_GE(events[1].start_ns, events[0].start_ns);
+  // The inner span closes before the outer: containment holds.
+  EXPECT_LE(events[1].start_ns + events[1].dur_ns,
+            events[0].start_ns + events[0].dur_ns);
+  ASSERT_EQ(events[0].args.size(), 3u);
+  EXPECT_EQ(events[0].args[0].key, "n");
+  EXPECT_TRUE(events[0].args[0].is_number);
+  EXPECT_EQ(events[0].args[0].number, 3.0);
+  EXPECT_FALSE(events[0].args[2].is_number);
+  EXPECT_EQ(events[0].args[2].text, "warm");
+}
+
+TEST_F(TraceTest, SpanFeedsTimerMetricToo) {
+  { obs::Span span("timed.region"); }
+  const obs::Snapshot snap = obs::snapshot();
+  const obs::TimerValue* t = snap.timer("timed.region");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->count, 1u);
+}
+
+// The exported document must round-trip through the repo's own strict
+// RFC 8259 parser and carry the Chrome trace-event required fields.
+TEST_F(TraceTest, TraceJsonRoundTripsThroughParser) {
+  {
+    obs::Span span("solve");
+    span.arg("classes", static_cast<std::int64_t>(4));
+  }
+  const Json doc = obs::trace_to_json(obs::trace_events());
+  const std::string text = doc.dump();
+  const Json parsed = Json::parse(text);
+  EXPECT_EQ(parsed.dump(), text);  // canonical dump is a fixed point
+
+  EXPECT_EQ(parsed.at("displayTimeUnit").as_string(), "ms");
+  const auto& events = parsed.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 1u);
+  const Json& e = events.front();
+  EXPECT_EQ(e.at("name").as_string(), "solve");
+  EXPECT_EQ(e.at("ph").as_string(), "X");
+  EXPECT_EQ(e.at("pid").as_int(), 1);
+  EXPECT_GE(e.at("tid").as_int(), 1);
+  EXPECT_GE(e.at("ts").as_double(), 0.0);
+  EXPECT_GE(e.at("dur").as_double(), 0.0);
+  EXPECT_EQ(e.at("args").at("classes").as_double(), 4.0);
+}
+
+TEST_F(TraceTest, TracingOffRecordsNothing) {
+  obs::configure({/*metrics=*/true, /*trace=*/false});
+  { obs::Span span("quiet"); }
+  EXPECT_TRUE(obs::trace_events().empty());
+  // ... but the timer side still fires.
+  const obs::Snapshot snap = obs::snapshot();
+  EXPECT_NE(snap.timer("quiet"), nullptr);
+}
+
+}  // namespace

@@ -1,0 +1,87 @@
+// The service-side observability surface: with metrics on, a session's
+// `stats` response embeds the obs snapshot, and the snapshot shows the
+// activity the acceptance criteria name — fixed-point iterations, cache
+// hits/misses, and workspace-arena borrows. With --deterministic (or with
+// obs off) the section is absent so golden diffs stay byte-stable.
+#include "serve/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/obs.hpp"
+#include "serve/canonical.hpp"
+#include "workload/paper_configs.hpp"
+
+namespace {
+
+using gs::json::Json;
+using gs::serve::EvalService;
+using gs::serve::ServiceOptions;
+using gs::workload::paper_system;
+
+Json solve_request() {
+  Json req = Json::object();
+  req.set("op", "solve");
+  req.set("system", gs::serve::params_to_json(paper_system()));
+  return req;
+}
+
+Json stats_request() {
+  Json req = Json::object();
+  req.set("op", "stats");
+  return req;
+}
+
+class ServiceObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    gs::obs::configure({/*metrics=*/true, /*trace=*/false});
+    gs::obs::reset();
+  }
+  void TearDown() override { gs::obs::configure({}); }
+};
+
+TEST_F(ServiceObsTest, StatsEmbedsNonzeroObsSnapshot) {
+  EvalService service;
+  ASSERT_EQ(service.handle(solve_request()).find("error"), nullptr);
+  // Repeat: answered from the result cache, recording a cache hit.
+  ASSERT_EQ(service.handle(solve_request()).find("error"), nullptr);
+
+  const Json stats = service.handle(stats_request());
+  const Json* obs = stats.find("obs");
+  ASSERT_NE(obs, nullptr) << stats.dump();
+  const Json& counters = obs->at("counters");
+
+  const auto counter = [&counters](const char* name) {
+    const Json* v = counters.find(name);
+    return v == nullptr ? std::int64_t{0} : v->as_int();
+  };
+  EXPECT_GT(counter("gang.solve.count"), 0);
+  EXPECT_GT(counter("gang.solve.iterations"), 0);
+  EXPECT_GT(counter("serve.cache.hit"), 0);
+  EXPECT_GT(counter("serve.cache.miss"), 0);
+  EXPECT_GT(counter("qbd.arena.borrow"), 0);
+  EXPECT_GT(counter("serve.requests"), 0);
+
+  // Timers rode along from the solver spans.
+  EXPECT_NE(obs->at("timers").find("gang.solve"), nullptr);
+  EXPECT_NE(obs->at("timers").find("qbd.solve"), nullptr);
+}
+
+TEST_F(ServiceObsTest, DeterministicModeOmitsObsSection) {
+  ServiceOptions options;
+  options.deterministic = true;
+  EvalService service(options);
+  ASSERT_EQ(service.handle(solve_request()).find("error"), nullptr);
+  const Json stats = service.handle(stats_request());
+  EXPECT_EQ(stats.find("obs"), nullptr) << stats.dump();
+}
+
+TEST_F(ServiceObsTest, ObsOffOmitsObsSection) {
+  gs::obs::configure({});
+  EvalService service;
+  ASSERT_EQ(service.handle(solve_request()).find("error"), nullptr);
+  const Json stats = service.handle(stats_request());
+  EXPECT_EQ(stats.find("obs"), nullptr) << stats.dump();
+}
+
+}  // namespace

@@ -11,6 +11,8 @@
 // way a one-line session summary goes to stderr at exit.
 #include <iostream>
 
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
 #include "util/cli.hpp"
@@ -32,6 +34,12 @@ int main(int argc, char** argv) {
   cli.add_flag("deterministic", "0",
                "omit wall-clock fields from responses so output is "
                "byte-stable across runs");
+  cli.add_flag("obs", "1",
+               "record runtime metrics (the 'stats' op then returns the "
+               "full snapshot unless --deterministic=1)");
+  cli.add_flag("trace-out", "",
+               "write a Chrome trace-event JSON (chrome://tracing, "
+               "Perfetto) of the session's spans to FILE at exit");
   if (!cli.parse(argc, argv)) return 1;
 
   gs::serve::ServiceOptions options;
@@ -45,6 +53,19 @@ int main(int argc, char** argv) {
   options.warm_start = cli.get_bool("warm-start");
   options.deterministic = cli.get_bool("deterministic");
 
+  const std::string trace_out = cli.get_string("trace-out");
+  gs::obs::ObsOptions obs_opts;
+  obs_opts.metrics = cli.get_bool("obs");
+  obs_opts.trace = !trace_out.empty();
+  gs::obs::configure(obs_opts);
+
+  const auto dump_trace = [&trace_out] {
+    if (trace_out.empty()) return;
+    const std::size_t n = gs::obs::write_trace_file(trace_out);
+    std::cerr << "gangd: wrote " << n << " trace events to " << trace_out
+              << "\n";
+  };
+
   gs::serve::EvalService service(options);
   const int port = cli.get_int("port");
   try {
@@ -56,8 +77,10 @@ int main(int argc, char** argv) {
   } catch (const gs::Error& e) {
     std::cerr << "gangd: " << e.what() << "\n";
     std::cerr << service.summary() << "\n";
+    dump_trace();
     return 1;
   }
   std::cerr << service.summary() << "\n";
+  dump_trace();
   return 0;
 }
