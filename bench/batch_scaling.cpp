@@ -1,0 +1,237 @@
+// Batch scaling: the headline artifact for the lock-step SoA solver
+// core. Runs a 64-point Figure 2 quantum_mean sweep (solver only, no
+// simulation) through the batched dispatch at a list of lane widths and
+// emits BENCH_batch.json with per-width throughput. Checked in-bench:
+//   - every width's rows are bitwise identical to the width-1 (scalar
+//     dispatch) rows — the lock-step guarantee the test suite pins,
+//   - every point actually rode the lock-step path at widths > 1,
+//   - optionally (--min-batch-speedup=X) that the widest run clears X
+//     times the width-1 throughput — skipped with a warning when the
+//     host cannot run 2 lanes in parallel, matching the sweep-scaling
+//     precedent: on a single hot core the lane loops still vectorize,
+//     but timer noise under CI contention makes the ratio meaningless.
+//
+//   $ ./batch_scaling [out.json] [--widths=1,2,4,8] [--threads=N]
+//                     [--min-batch-speedup=1.05]
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gang/solver.hpp"
+#include "json/json.hpp"
+#include "obs/obs.hpp"
+#include "workload/paper_configs.hpp"
+#include "workload/sweep.hpp"
+
+namespace {
+
+using gs::json::Json;
+using gs::workload::paper_system;
+using gs::workload::PaperKnobs;
+using gs::workload::sweep;
+using gs::workload::SweepOptions;
+using gs::workload::SweepPoint;
+
+void require(bool ok, const std::string& what) {
+  if (!ok) {
+    std::cerr << "FAILED batch check: " << what << "\n";
+    std::exit(1);
+  }
+}
+
+double median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  return xs[xs.size() / 2];
+}
+
+// Bitwise fingerprint of the rows: %a prints the exact bits of each
+// double, so equal strings mean equal bits (what the batched-dispatch
+// guarantee promises across lane widths).
+std::string fingerprint(const std::vector<SweepPoint>& rows) {
+  std::string out;
+  char buf[64];
+  for (const auto& row : rows) {
+    std::snprintf(buf, sizeof(buf), "%a|", row.x);
+    out += buf;
+    for (const double n : row.model_n) {
+      std::snprintf(buf, sizeof(buf), "%a,", n);
+      out += buf;
+    }
+    out += row.error;
+    out += ";";
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_batch.json";
+  gs::obs::configure({/*metrics=*/true, /*trace=*/false});
+  std::vector<int> widths = {1, 2, 4, 8};
+  int threads = 1;
+  double min_speedup = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--widths=", 0) == 0) {
+      widths.clear();
+      std::string list = arg.substr(9);
+      for (std::size_t pos = 0; pos < list.size();) {
+        const std::size_t comma = list.find(',', pos);
+        const std::size_t end = comma == std::string::npos ? list.size() : comma;
+        widths.push_back(std::atoi(list.substr(pos, end - pos).c_str()));
+        pos = end + 1;
+      }
+      require(!widths.empty() && widths.front() >= 1,
+              "--widths needs a comma-separated list starting at >= 1");
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::atoi(arg.substr(10).c_str());
+      require(threads >= 1, "--threads must be >= 1");
+    } else if (arg.rfind("--min-batch-speedup=", 0) == 0) {
+      min_speedup = std::atof(arg.substr(20).c_str());
+    } else {
+      out_path = arg;
+    }
+  }
+  std::sort(widths.begin(), widths.end());
+  require(widths.front() == 1,
+          "width 1 must be in the list (it is the scalar baseline)");
+
+  // Figure 2's system (rho = 0.4), quantum mean swept across 64 points —
+  // every point shares one structure hash, so the batched dispatch packs
+  // them wall-to-wall and the width is the only thing that varies.
+  const std::size_t num_points = 64;
+  std::vector<double> xs;
+  for (std::size_t i = 0; i < num_points; ++i)
+    xs.push_back(0.25 + 3.75 * static_cast<double>(i) /
+                            static_cast<double>(num_points - 1));
+  const auto make_system = [](double q) {
+    PaperKnobs knobs;
+    knobs.quantum_mean = q;
+    return paper_system(knobs);
+  };
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+
+  std::cout << "config: figure2 system, " << num_points
+            << "-point quantum_mean sweep, " << threads
+            << " threads, hardware_concurrency " << hw << "\n";
+
+  struct Row {
+    int width = 0;
+    double ms = 0.0;
+    double points_per_s = 0.0;
+    double speedup = 0.0;  ///< points_per_s / width-1 points_per_s
+    std::int64_t batched_points = 0;
+    std::int64_t masked_flops = 0;
+  };
+  std::vector<Row> rows;
+  std::string reference_bits;
+  const int reps = 3;
+  for (const int width : widths) {
+    SweepOptions opts;
+    opts.num_threads = threads;
+    opts.warm_chain = false;  // isolate the dispatch, not the chaining
+    opts.batch_width = static_cast<std::size_t>(width);
+    std::vector<double> times;
+    std::vector<SweepPoint> sweep_rows;
+    gs::obs::reset();
+    for (int rep = 0; rep < reps; ++rep) {
+      const auto start = std::chrono::steady_clock::now();
+      sweep_rows = sweep(xs, make_system, opts);
+      times.push_back(std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count());
+    }
+    const gs::obs::Snapshot snap = gs::obs::snapshot();
+    const std::string bits = fingerprint(sweep_rows);
+    if (reference_bits.empty()) reference_bits = bits;
+    require(bits == reference_bits,
+            "rows must be bitwise identical at every batch width");
+    Row row;
+    row.width = width;
+    row.ms = median(times);
+    row.points_per_s = 1000.0 * static_cast<double>(num_points) / row.ms;
+    row.batched_points =
+        static_cast<std::int64_t>(snap.counter_value("sweep.batched")) / reps;
+    row.masked_flops = static_cast<std::int64_t>(
+                           snap.counter_value("qbd.batch.masked_flops")) /
+                       reps;
+    if (width > 1)
+      require(row.batched_points == static_cast<std::int64_t>(num_points),
+              "every point must ride the lock-step path at width " +
+                  std::to_string(width));
+    rows.push_back(row);
+  }
+  for (auto& row : rows)
+    row.speedup = row.points_per_s / rows.front().points_per_s;
+
+  // --- Optional speedup gate. ---
+  const int max_width = widths.back();
+  const double speedup = rows.back().speedup;
+  bool gate_skipped = false;
+  if (min_speedup > 0.0) {
+    if (hw < 2 || max_width < 2) {
+      gate_skipped = true;
+      std::cerr << "WARNING: --min-batch-speedup=" << min_speedup
+                << " skipped (hardware_concurrency " << hw << ", max width "
+                << max_width
+                << "): timing ratios on a contended single core say nothing "
+                   "about the lock-step dispatch\n";
+    } else {
+      require(speedup >= min_speedup,
+              "speedup " + std::to_string(speedup) + "x at width " +
+                  std::to_string(max_width) +
+                  " is below the --min-batch-speedup=" +
+                  std::to_string(min_speedup) + " gate");
+    }
+  }
+
+  // --- Emit BENCH_batch.json. ---
+  Json out = Json::object();
+  Json config = Json::object();
+  config.set("system", "figure2");
+  config.set("points", static_cast<std::int64_t>(num_points));
+  config.set("reps", reps);
+  config.set("threads", threads);
+  config.set("hardware_concurrency", static_cast<std::int64_t>(hw));
+  out.set("config", std::move(config));
+
+  Json width_rows = Json::array();
+  for (const auto& row : rows) {
+    Json r = Json::object();
+    r.set("width", row.width);
+    r.set("ms", row.ms);
+    r.set("points_per_s", row.points_per_s);
+    r.set("speedup_vs_width_1", row.speedup);
+    r.set("batched_points", row.batched_points);
+    r.set("masked_flops", row.masked_flops);
+    width_rows.push_back(std::move(r));
+  }
+  out.set("batched_sweep", std::move(width_rows));
+
+  Json gate = Json::object();
+  gate.set("speedup_vs_width_1", speedup);
+  gate.set("min_batch_speedup", min_speedup);
+  gate.set("skipped", gate_skipped);
+  out.set("speedup_gate", std::move(gate));
+
+  std::ofstream file(out_path);
+  file << out.dump() << "\n";
+  file.close();
+
+  for (const auto& row : rows)
+    std::printf(
+        "width %2d: %8.1f ms  (%.1f points/s, %.2fx vs width 1, "
+        "%lld points batched)\n",
+        row.width, row.ms, row.points_per_s, row.speedup,
+        static_cast<long long>(row.batched_points));
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

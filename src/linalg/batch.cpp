@@ -1,0 +1,422 @@
+#include "linalg/batch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace gs::linalg {
+
+BatchMatrix::BatchMatrix(std::size_t rows, std::size_t cols,
+                         std::size_t width)
+    : rows_(rows), cols_(cols), width_(width), data_(rows * cols * width, 0.0) {}
+
+void BatchMatrix::ensure(std::size_t rows, std::size_t cols,
+                         std::size_t width) {
+  if (rows_ == rows && cols_ == cols && width_ == width) return;
+  rows_ = rows;
+  cols_ = cols;
+  width_ = width;
+  data_.assign(rows * cols * width, 0.0);
+}
+
+void BatchMatrix::load_lane(std::size_t lane, const Matrix& src) {
+  GS_CHECK(src.rows() == rows_ && src.cols() == cols_ && lane < width_,
+           "BatchMatrix::load_lane shape mismatch");
+  const double* s = src.data();
+  for (std::size_t e = 0; e < rows_ * cols_; ++e)
+    data_[e * width_ + lane] = s[e];
+}
+
+void BatchMatrix::store_lane(std::size_t lane, Matrix& dst) const {
+  GS_CHECK(lane < width_, "BatchMatrix::store_lane lane out of range");
+  dst.assign_zero(rows_, cols_);
+  double* d = dst.data();
+  for (std::size_t e = 0; e < rows_ * cols_; ++e)
+    d[e] = data_[e * width_ + lane];
+}
+
+double BatchMatrix::lane_max_abs(std::size_t lane) const {
+  double m = 0.0;
+  for (std::size_t e = 0; e < rows_ * cols_; ++e)
+    m = std::max(m, std::fabs(data_[e * width_ + lane]));
+  return m;
+}
+
+double lane_max_abs_diff(const BatchMatrix& a, const BatchMatrix& b,
+                         std::size_t lane) {
+  GS_CHECK(a.rows() == b.rows() && a.cols() == b.cols() &&
+               a.width() == b.width(),
+           "lane_max_abs_diff shape mismatch");
+  double m = 0.0;
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c)
+      m = std::max(m, std::fabs(a(r, c, lane) - b(r, c, lane)));
+  return m;
+}
+
+void batch_multiply_into(BatchMatrix& out, const BatchMatrix& a,
+                         const BatchMatrix& b, const LaneMask& active,
+                         BatchKernelStats* stats) {
+  GS_CHECK(a.cols() == b.rows() && a.width() == b.width(),
+           "batch multiply shape mismatch");
+  GS_CHECK(&out != &a && &out != &b,
+           "batch_multiply_into: out aliases an input");
+  const std::size_t n = a.rows();
+  const std::size_t kk = a.cols();
+  const std::size_t m = b.cols();
+  const std::size_t w = a.width();
+  batch_zero(out, n, m, active);
+  const bool all = active.all();
+  const std::uint64_t act = active.count();
+  std::uint64_t masked = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double* orow = out.lanes(i, 0);
+    for (std::size_t k = 0; k < kk; ++k) {
+      const double* al = a.lanes(i, k);
+      bool all_zero = true;
+      for (std::size_t l = 0; l < w; ++l) {
+        if (active[l] && al[l] != 0.0) {
+          all_zero = false;
+          break;
+        }
+      }
+      if (all_zero) {
+        // The lanes share sparsity structure, so the scalar kernel's
+        // per-lane zero-skip survives batching almost always as a
+        // whole-entry skip. (A lane-local zero inside a structurally
+        // nonzero entry still contributes its +-0.0 term — a bitwise
+        // no-op, see the header contract.)
+        masked += 2 * m * act;
+        continue;
+      }
+      const double* brow = b.lanes(k, 0);
+      if (all) {
+        for (std::size_t j = 0; j < m; ++j) {
+          double* o = orow + j * w;
+          const double* bb = brow + j * w;
+          for (std::size_t l = 0; l < w; ++l) o[l] += al[l] * bb[l];
+        }
+      } else {
+        for (std::size_t j = 0; j < m; ++j) {
+          double* o = orow + j * w;
+          const double* bb = brow + j * w;
+          for (std::size_t l = 0; l < w; ++l)
+            if (active[l]) o[l] += al[l] * bb[l];
+        }
+        masked += 2 * m * (w - act);
+      }
+    }
+  }
+  if (stats != nullptr) stats->masked_flops += masked;
+}
+
+void batch_add(BatchMatrix& out, const BatchMatrix& b,
+               const LaneMask& active) {
+  GS_CHECK(out.rows() == b.rows() && out.cols() == b.cols() &&
+               out.width() == b.width(),
+           "batch_add shape mismatch");
+  const std::size_t w = out.width();
+  const std::size_t entries = out.rows() * out.cols();
+  double* o = out.data();
+  const double* s = b.data();
+  if (active.all()) {
+    for (std::size_t t = 0; t < entries * w; ++t) o[t] += s[t];
+    return;
+  }
+  for (std::size_t e = 0; e < entries; ++e)
+    for (std::size_t l = 0; l < w; ++l)
+      if (active[l]) o[e * w + l] += s[e * w + l];
+}
+
+void batch_copy(BatchMatrix& out, const BatchMatrix& src,
+                const LaneMask& active) {
+  out.ensure(src.rows(), src.cols(), src.width());
+  const std::size_t w = out.width();
+  const std::size_t entries = out.rows() * out.cols();
+  double* o = out.data();
+  const double* s = src.data();
+  if (active.all()) {
+    for (std::size_t t = 0; t < entries * w; ++t) o[t] = s[t];
+    return;
+  }
+  for (std::size_t e = 0; e < entries; ++e)
+    for (std::size_t l = 0; l < w; ++l)
+      if (active[l]) o[e * w + l] = s[e * w + l];
+}
+
+void batch_scaled_copy(BatchMatrix& out, const BatchMatrix& src, double s,
+                       const LaneMask& active) {
+  out.ensure(src.rows(), src.cols(), src.width());
+  const std::size_t w = out.width();
+  const std::size_t entries = out.rows() * out.cols();
+  double* o = out.data();
+  const double* in = src.data();
+  if (active.all()) {
+    for (std::size_t t = 0; t < entries * w; ++t) o[t] = in[t] * s;
+    return;
+  }
+  for (std::size_t e = 0; e < entries; ++e)
+    for (std::size_t l = 0; l < w; ++l)
+      if (active[l]) o[e * w + l] = in[e * w + l] * s;
+}
+
+void batch_scale(BatchMatrix& out, double s, const LaneMask& active) {
+  const std::size_t w = out.width();
+  const std::size_t entries = out.rows() * out.cols();
+  double* o = out.data();
+  if (active.all()) {
+    for (std::size_t t = 0; t < entries * w; ++t) o[t] *= s;
+    return;
+  }
+  for (std::size_t e = 0; e < entries; ++e)
+    for (std::size_t l = 0; l < w; ++l)
+      if (active[l]) o[e * w + l] *= s;
+}
+
+void batch_zero(BatchMatrix& out, std::size_t rows, std::size_t cols,
+                const LaneMask& active) {
+  out.ensure(rows, cols, active.width());
+  const std::size_t w = out.width();
+  const std::size_t entries = rows * cols;
+  double* o = out.data();
+  if (active.all()) {
+    for (std::size_t t = 0; t < entries * w; ++t) o[t] = 0.0;
+    return;
+  }
+  for (std::size_t e = 0; e < entries; ++e)
+    for (std::size_t l = 0; l < w; ++l)
+      if (active[l]) o[e * w + l] = 0.0;
+}
+
+void batch_identity_minus(BatchMatrix& out, const BatchMatrix& u,
+                          const LaneMask& active) {
+  const std::size_t d = u.rows();
+  GS_CHECK(u.cols() == d, "batch_identity_minus needs square input");
+  out.ensure(d, d, u.width());
+  const std::size_t w = u.width();
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      const double id = i == j ? 1.0 : 0.0;
+      double* o = out.lanes(i, j);
+      const double* uu = u.lanes(i, j);
+      for (std::size_t l = 0; l < w; ++l)
+        if (active[l]) o[l] = id - uu[l];
+    }
+  }
+}
+
+void BatchLu::factor(const BatchMatrix& a, const LaneMask& active,
+                     double pivot_tol) {
+  GS_CHECK(a.rows() == a.cols(), "batch LU needs square matrices");
+  GS_CHECK(a.width() <= kMaxBatchLanes, "batch LU width exceeds kMaxBatchLanes");
+  GS_CHECK(active.width() == a.width(), "batch LU mask width mismatch");
+  n_ = a.rows();
+  width_ = a.width();
+  const std::size_t w = width_;
+  lu_.ensure(n_, n_, w);
+  perm_.resize(n_ * w);
+  singular_.assign(w, 0);
+
+  for (std::size_t e = 0; e < n_ * n_; ++e)
+    for (std::size_t l = 0; l < w; ++l)
+      if (active[l]) lu_.data()[e * w + l] = a.data()[e * w + l];
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t l = 0; l < w; ++l) perm_[i * w + l] = i;
+
+  double scale[kMaxBatchLanes];
+  unsigned char live[kMaxBatchLanes];
+  for (std::size_t l = 0; l < w; ++l) {
+    live[l] = active[l] ? 1 : 0;
+    scale[l] = active[l] ? std::max(a.lane_max_abs(l), 1.0) : 1.0;
+  }
+
+  double inv_pivot[kMaxBatchLanes] = {0.0};
+  double m[kMaxBatchLanes];
+  unsigned char upd[kMaxBatchLanes];
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Per-lane pivot search, row swap, and pivot reciprocal — each lane
+    // replicates the scalar Lu constructor's choices exactly.
+    for (std::size_t l = 0; l < w; ++l) {
+      if (live[l] == 0) continue;
+      std::size_t piv = k;
+      double best = std::fabs(lu_(k, k, l));
+      for (std::size_t r = k + 1; r < n_; ++r) {
+        const double v = std::fabs(lu_(r, k, l));
+        if (v > best) {
+          best = v;
+          piv = r;
+        }
+      }
+      if (best < pivot_tol * scale[l]) {
+        // Scalar Lu throws here; a batch lane is flagged instead so the
+        // healthy lanes keep factoring in lock-step.
+        singular_[l] = 1;
+        live[l] = 0;
+        continue;
+      }
+      if (piv != k) {
+        for (std::size_t c = 0; c < n_; ++c)
+          std::swap(lu_(k, c, l), lu_(piv, c, l));
+        std::swap(perm_[k * w + l], perm_[piv * w + l]);
+      }
+      inv_pivot[l] = 1.0 / lu_(k, k, l);
+    }
+    // Elimination, lane-inner: upd[l] carries the scalar kernel's
+    // m == 0 row skip per lane (a skipped row must not be touched — a
+    // -0.0 entry would flip sign under a blind -= 0.0 update).
+    for (std::size_t r = k + 1; r < n_; ++r) {
+      double* lurk = lu_.lanes(r, k);
+      for (std::size_t l = 0; l < w; ++l) {
+        if (live[l] != 0) {
+          m[l] = lurk[l] * inv_pivot[l];
+          lurk[l] = m[l];
+          upd[l] = m[l] != 0.0 ? 1 : 0;
+        } else {
+          upd[l] = 0;
+        }
+      }
+      for (std::size_t c = k + 1; c < n_; ++c) {
+        double* lurc = lu_.lanes(r, c);
+        const double* lukc = lu_.lanes(k, c);
+        for (std::size_t l = 0; l < w; ++l)
+          if (upd[l] != 0) lurc[l] -= m[l] * lukc[l];
+      }
+    }
+  }
+}
+
+void BatchLu::solve_into(const BatchMatrix& b, BatchMatrix& x,
+                         const LaneMask& active) const {
+  GS_CHECK(b.rows() == n_ && b.width() == width_,
+           "batch LU solve: rhs shape mismatch");
+  GS_CHECK(&x != &b, "batch LU solve_into: x aliases b");
+  x.ensure(n_, b.cols(), width_);
+  const std::size_t w = width_;
+  if (y_.size() < n_ * w) y_.resize(n_ * w);
+  double* y = y_.data();
+  const bool all = active.all();
+  double s[kMaxBatchLanes];
+  // Lane-inner translation of Lu::solve_into: identical per-lane
+  // operation sequence; only the load of the permuted right-hand side is
+  // a per-lane gather (the pivots differ across lanes). Lanes outside
+  // the mask are computed into scratch but never stored.
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      const std::size_t* pi = perm_.data() + i * w;
+      for (std::size_t l = 0; l < w; ++l) s[l] = b(pi[l], c, l);
+      for (std::size_t j = 0; j < i; ++j) {
+        const double* lurow = lu_.lanes(i, j);
+        const double* yj = y + j * w;
+        for (std::size_t l = 0; l < w; ++l) s[l] -= lurow[l] * yj[l];
+      }
+      double* yi = y + i * w;
+      for (std::size_t l = 0; l < w; ++l) yi[l] = s[l];
+    }
+    for (std::size_t ii = n_; ii-- > 0;) {
+      double* yii = y + ii * w;
+      for (std::size_t l = 0; l < w; ++l) s[l] = yii[l];
+      for (std::size_t j = ii + 1; j < n_; ++j) {
+        const double* lurow = lu_.lanes(ii, j);
+        const double* yj = y + j * w;
+        for (std::size_t l = 0; l < w; ++l) s[l] -= lurow[l] * yj[l];
+      }
+      const double* diag = lu_.lanes(ii, ii);
+      for (std::size_t l = 0; l < w; ++l) yii[l] = s[l] / diag[l];
+    }
+    for (std::size_t r = 0; r < n_; ++r) {
+      const double* yr = y + r * w;
+      double* xr = x.lanes(r, c);
+      if (all) {
+        for (std::size_t l = 0; l < w; ++l) xr[l] = yr[l];
+      } else {
+        for (std::size_t l = 0; l < w; ++l)
+          if (active[l]) xr[l] = yr[l];
+      }
+    }
+  }
+}
+
+void BatchLu::solve_right_into(const BatchMatrix& b, BatchMatrix& x,
+                               const LaneMask& active) const {
+  GS_CHECK(b.cols() == n_ && b.width() == width_,
+           "batch LU solve_right: rhs shape mismatch");
+  GS_CHECK(&x != &b, "batch LU solve_right_into: x aliases b");
+  x.ensure(b.rows(), n_, width_);
+  const std::size_t w = width_;
+  if (y_.size() < n_) y_.resize(n_);
+  if (z_.size() < n_) z_.resize(n_);
+  double* y = y_.data();
+  double* z = z_.data();
+  // Per-lane replication of Lu::solve_right_into, including the scalar
+  // decision to run the sparse-factor sweeps: which sweep runs (and which
+  // +-0.0 terms it skips) depends on the lane's own factor fill, so only
+  // an exact per-lane re-enactment keeps the bits. The strided reads cost
+  // the lane-vectorization; this sweep is off the logreduction hot loop
+  // (one call per solve) and per-iteration only for substitution.
+  for (std::size_t l = 0; l < w; ++l) {
+    if (!active[l]) continue;
+    std::size_t nnz = 0;
+    for (std::size_t r = 0; r < n_; ++r)
+      for (std::size_t c = 0; c < n_; ++c)
+        if (c != r && lu_(r, c, l) != 0.0) ++nnz;
+    const bool fs = n_ > 0 && 2 * nnz <= n_ * (n_ - 1);
+    if (fs) {
+      upper_ptr_.assign(1, 0);
+      lower_ptr_.assign(1, 0);
+      upper_idx_.clear();
+      upper_val_.clear();
+      lower_idx_.clear();
+      lower_val_.clear();
+      for (std::size_t r = 0; r < n_; ++r) {
+        for (std::size_t c = r + 1; c < n_; ++c)
+          if (lu_(r, c, l) != 0.0) {
+            upper_idx_.push_back(c);
+            upper_val_.push_back(lu_(r, c, l));
+          }
+        upper_ptr_.push_back(upper_idx_.size());
+        for (std::size_t c = 0; c < r; ++c)
+          if (lu_(r, c, l) != 0.0) {
+            lower_idx_.push_back(c);
+            lower_val_.push_back(lu_(r, c, l));
+          }
+        lower_ptr_.push_back(lower_idx_.size());
+      }
+    }
+    for (std::size_t r = 0; r < b.rows(); ++r) {
+      for (std::size_t i = 0; i < n_; ++i) y[i] = b(r, i, l);
+      if (fs) {
+        for (std::size_t j = 0; j < n_; ++j) {
+          y[j] /= lu_(j, j, l);
+          const double yj = y[j];
+          if (yj == 0.0) continue;
+          for (std::size_t e = upper_ptr_[j]; e < upper_ptr_[j + 1]; ++e)
+            y[upper_idx_[e]] -= upper_val_[e] * yj;
+        }
+      } else {
+        for (std::size_t j = 0; j < n_; ++j) {
+          y[j] /= lu_(j, j, l);
+          const double yj = y[j];
+          for (std::size_t i = j + 1; i < n_; ++i) y[i] -= lu_(j, i, l) * yj;
+        }
+      }
+      for (std::size_t i = 0; i < n_; ++i) z[i] = y[i];
+      if (fs) {
+        for (std::size_t j = n_; j-- > 1;) {
+          const double zj = z[j];
+          if (zj == 0.0) continue;
+          for (std::size_t e = lower_ptr_[j]; e < lower_ptr_[j + 1]; ++e)
+            z[lower_idx_[e]] -= lower_val_[e] * zj;
+        }
+      } else {
+        for (std::size_t j = n_; j-- > 1;) {
+          const double zj = z[j];
+          for (std::size_t i = 0; i < j; ++i) z[i] -= lu_(j, i, l) * zj;
+        }
+      }
+      for (std::size_t i = 0; i < n_; ++i) x(r, perm_[i * w + l], l) = z[i];
+    }
+  }
+}
+
+}  // namespace gs::linalg

@@ -1,0 +1,210 @@
+// Structure-of-arrays batches of same-shaped dense matrices, and the
+// lane-masked kernels that solve W scenarios in lock-step.
+//
+// The gang model's evaluation surfaces (figure sweeps, warm-chained
+// fills, coalesced daemon requests) solve hundreds of QBD chains whose
+// matrices share one shape and sparsity structure and differ only in
+// values. A BatchMatrix stores W such matrices lane-major — entry (i, j)
+// holds its W lane values contiguously — so the per-entry work of the
+// scalar kernels becomes a W-wide vector operation over consecutive
+// doubles instead of W scalar passes over tiny matrices.
+//
+// Bitwise discipline (the contract every kernel here obeys): for each
+// lane, the arithmetic performed is the scalar kernel's arithmetic in the
+// scalar kernel's order, so extracting lane l of any batched result gives
+// exactly the bits the scalar call on lane l's inputs produces. Two
+// deliberate, value-preserving deviations:
+//  * batch_multiply_into skips an (i, k) term only when it is zero in
+//    every active lane (the scalar kernel skips per lane). Including a
+//    lane's 0.0 * b term adds +-0.0 to an accumulator that starts at +0.0
+//    and therefore never holds -0.0, which is a bitwise no-op — provided
+//    the operands are finite, the same precondition linalg/sparse.hpp
+//    documents for the CSR kernels.
+//  * BatchLu::solve_into always runs the dense sweeps; the scalar
+//    solve_into has no sparse path, so this is the same algorithm.
+//    BatchLu::solve_right_into, whose scalar counterpart *does* switch on
+//    the factor's fill, replicates the scalar decision per lane.
+// A retired lane (mask off) is never read or written: its storage keeps
+// the bits it converged to.
+//
+// The batched gang/QBD equivalence tests pin this contract end to end on
+// the paper's Figure 2-5 configurations at widths 1/2/4/8.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace gs::linalg {
+
+/// Hard cap on lanes per batch: keeps per-call stack scratch (one double
+/// per lane) fixed-size. 16 lanes of doubles fill two cache lines — wider
+/// batches stop paying anyway because the working set scales with W.
+constexpr std::size_t kMaxBatchLanes = 16;
+
+/// Which lanes of a batch an operation touches. Lanes outside the mask
+/// are left bit-for-bit untouched by every kernel in this header.
+class LaneMask {
+ public:
+  LaneMask() = default;
+  explicit LaneMask(std::size_t width, bool on = true)
+      : on_(width, on ? 1 : 0) {}
+
+  std::size_t width() const { return on_.size(); }
+  bool operator[](std::size_t lane) const { return on_[lane] != 0; }
+  void set(std::size_t lane, bool on) { on_[lane] = on ? 1 : 0; }
+
+  bool all() const {
+    for (const unsigned char v : on_)
+      if (v == 0) return false;
+    return !on_.empty();
+  }
+  bool any() const {
+    for (const unsigned char v : on_)
+      if (v != 0) return true;
+    return false;
+  }
+  std::size_t count() const {
+    std::size_t n = 0;
+    for (const unsigned char v : on_) n += v != 0 ? 1 : 0;
+    return n;
+  }
+
+ private:
+  std::vector<unsigned char> on_;
+};
+
+/// Work the lane masking saved, accumulated by the kernels that can skip
+/// lanes (feeds the qbd.batch.masked_flops counter).
+struct BatchKernelStats {
+  std::uint64_t masked_flops = 0;
+};
+
+/// W same-shaped dense matrices in lane-major SoA storage: the W lane
+/// values of entry (i, j) are contiguous at data()[(i*cols + j)*W ..].
+class BatchMatrix {
+ public:
+  BatchMatrix() = default;
+  BatchMatrix(std::size_t rows, std::size_t cols, std::size_t width);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t width() const { return width_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0 || width_ == 0; }
+
+  double& operator()(std::size_t r, std::size_t c, std::size_t lane) {
+    return data_[(r * cols_ + c) * width_ + lane];
+  }
+  double operator()(std::size_t r, std::size_t c, std::size_t lane) const {
+    return data_[(r * cols_ + c) * width_ + lane];
+  }
+  /// The W contiguous lane values of entry (r, c).
+  double* lanes(std::size_t r, std::size_t c) {
+    return data_.data() + (r * cols_ + c) * width_;
+  }
+  const double* lanes(std::size_t r, std::size_t c) const {
+    return data_.data() + (r * cols_ + c) * width_;
+  }
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Reshape to (rows, cols, width). A no-op when the shape already
+  /// matches (every lane keeps its bits — the workspace reuse path);
+  /// otherwise reallocates and zero-fills all lanes.
+  void ensure(std::size_t rows, std::size_t cols, std::size_t width);
+
+  /// Scatter a scalar matrix into lane `lane` (shapes must match).
+  void load_lane(std::size_t lane, const Matrix& src);
+  /// Gather lane `lane` into a scalar matrix, reusing dst's storage.
+  void store_lane(std::size_t lane, Matrix& dst) const;
+
+  /// max|entry| of one lane — the scalar Matrix::max_abs of that lane.
+  double lane_max_abs(std::size_t lane) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t width_ = 0;
+  std::vector<double> data_;
+};
+
+/// max|a - b| over one lane (shapes must match) — the batched form of
+/// linalg::max_abs_diff for per-lane convergence tests.
+double lane_max_abs_diff(const BatchMatrix& a, const BatchMatrix& b,
+                         std::size_t lane);
+
+/// out = a b on the active lanes, in the scalar multiply kernel's
+/// per-lane accumulation order (ascending k). An (i, k) term that is zero
+/// in every active lane is skipped entirely (the lanes of a batch share
+/// sparsity structure, so the scalar kernel's zero-skip survives
+/// batching); `stats` counts the flops that skip saved. Inputs must hold
+/// finite values in the active lanes. `out` must not alias an input.
+void batch_multiply_into(BatchMatrix& out, const BatchMatrix& a,
+                         const BatchMatrix& b, const LaneMask& active,
+                         BatchKernelStats* stats = nullptr);
+
+/// out += b on the active lanes.
+void batch_add(BatchMatrix& out, const BatchMatrix& b, const LaneMask& active);
+/// out = src on the active lanes (reshapes out when empty).
+void batch_copy(BatchMatrix& out, const BatchMatrix& src,
+                const LaneMask& active);
+/// out = s * src on the active lanes — the scalar `out = src; out *= s`.
+void batch_scaled_copy(BatchMatrix& out, const BatchMatrix& src, double s,
+                       const LaneMask& active);
+/// out *= s on the active lanes.
+void batch_scale(BatchMatrix& out, double s, const LaneMask& active);
+/// out = 0 on the active lanes.
+void batch_zero(BatchMatrix& out, std::size_t rows, std::size_t cols,
+                const LaneMask& active);
+/// out = I - u on the active lanes (the log-reduction I-U assembly).
+void batch_identity_minus(BatchMatrix& out, const BatchMatrix& u,
+                          const LaneMask& active);
+
+/// W independent LU factorizations with per-lane partial pivoting,
+/// replicating linalg::Lu lane by lane: per-lane pivot search, row
+/// swaps, and the m == 0 elimination skip. Where the scalar constructor
+/// throws on a singular matrix, a lane is flagged instead (singular())
+/// and drops out of the remaining factorization and solves — lock-step
+/// batches must not lose the healthy lanes to one bad one.
+class BatchLu {
+ public:
+  /// Factor the active lanes of `a` (square). Lanes outside `active`
+  /// keep whatever factor they held (callers re-factor per use).
+  void factor(const BatchMatrix& a, const LaneMask& active,
+              double pivot_tol = 1e-13);
+
+  std::size_t size() const { return n_; }
+  std::size_t width() const { return width_; }
+  /// Lane flagged singular by the last factor() (scalar Lu would throw).
+  bool singular(std::size_t lane) const { return singular_[lane] != 0; }
+
+  /// Solve A X = B column-by-column on the active lanes — per lane, the
+  /// exact arithmetic of Lu::solve_into. Active lanes must not be
+  /// singular.
+  void solve_into(const BatchMatrix& b, BatchMatrix& x,
+                  const LaneMask& active) const;
+
+  /// Solve X A = B row-by-row on the active lanes — per lane, the exact
+  /// arithmetic of Lu::solve_right_into, including the scalar decision
+  /// to run the sparse-factor sweeps when a lane's factor kept at most
+  /// half its off-diagonal entries. Active lanes must not be singular.
+  void solve_right_into(const BatchMatrix& b, BatchMatrix& x,
+                        const LaneMask& active) const;
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t width_ = 0;
+  BatchMatrix lu_;                       // packed per-lane L\U factors
+  std::vector<std::size_t> perm_;        // perm_[i*width + lane]
+  std::vector<unsigned char> singular_;  // per-lane singularity flag
+  // Per-call scratch (sized on use): the forward/back substitution
+  // vectors and the per-lane factor pattern of solve_right_into.
+  mutable std::vector<double> y_, z_;
+  mutable std::vector<std::size_t> upper_ptr_, upper_idx_;
+  mutable std::vector<std::size_t> lower_ptr_, lower_idx_;
+  mutable std::vector<double> upper_val_, lower_val_;
+};
+
+}  // namespace gs::linalg

@@ -1,0 +1,261 @@
+#include "qbd/batch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/obs.hpp"
+#include "util/error.hpp"
+
+namespace gs::qbd {
+
+namespace {
+
+using linalg::BatchKernelStats;
+using linalg::LaneMask;
+
+constexpr const char* kSingularMsg =
+    "LU: matrix is singular to working precision";
+
+// Flag every lane whose last factor came out singular with the scalar
+// Lu constructor's exact message and drop it from the running mask.
+void drop_singular_lanes(const linalg::BatchLu& lu, LaneMask& run,
+                         BatchRSolveResult& out) {
+  for (std::size_t l = 0; l < run.width(); ++l) {
+    if (run[l] && lu.singular(l)) {
+      out.error[l] = kSingularMsg;
+      run.set(l, false);
+    }
+  }
+}
+
+// Extract lane l's R and blocks and run the scalar residual — identical
+// bits to the scalar solver's in-loop residual (sparse/dense residual
+// paths are bitwise-equal, see r_residual).
+double lane_residual(const linalg::BatchMatrix& r, const BatchBlocks& blocks,
+                     std::size_t l, BatchWorkspace& w) {
+  r.store_lane(l, w.lane_r);
+  blocks.a0.store_lane(l, w.lane_a0);
+  blocks.a1.store_lane(l, w.lane_a1);
+  blocks.a2.store_lane(l, w.lane_a2);
+  return r_residual(w.lane_r, w.lane_a0, w.lane_a1, w.lane_a2, w.scalar,
+                    /*sparse=*/false);
+}
+
+// Batch-level obs: lane count, early retirements (lanes whose storage
+// froze while others kept iterating), and the flops the masks saved.
+void count_batch_obs(const BatchRSolveResult& out, const LaneMask& lanes,
+                     const BatchKernelStats& stats) {
+  std::uint64_t solved = 0;
+  int last_it = 0;
+  for (std::size_t l = 0; l < lanes.width(); ++l) {
+    if (!lanes[l]) continue;
+    ++solved;
+    last_it = std::max(last_it, out.iterations[l]);
+  }
+  std::uint64_t retired = 0;
+  for (std::size_t l = 0; l < lanes.width(); ++l)
+    if (lanes[l] && out.ok(l) && out.iterations[l] < last_it) ++retired;
+  obs::count("qbd.batch.lanes", solved);
+  if (retired > 0) obs::count("qbd.batch.retired", retired);
+  if (stats.masked_flops > 0)
+    obs::count("qbd.batch.masked_flops", stats.masked_flops);
+}
+
+}  // namespace
+
+void BatchBlocks::ensure(std::size_t d, std::size_t width) {
+  a0.ensure(d, d, width);
+  a1.ensure(d, d, width);
+  a2.ensure(d, d, width);
+}
+
+void BatchBlocks::load_lane(std::size_t lane, const QbdBlocks& blk) {
+  a0.load_lane(lane, blk.a0);
+  a1.load_lane(lane, blk.a1);
+  a2.load_lane(lane, blk.a2);
+}
+
+void BatchRSolveResult::reset(std::size_t width) {
+  iterations.assign(width, 0);
+  residual.assign(width, 0.0);
+  error.assign(width, std::string());
+}
+
+void solve_r_substitution_batch(const BatchBlocks& blocks,
+                                const linalg::LaneMask& lanes,
+                                const RSolveOptions& opts, BatchWorkspace& w,
+                                BatchRSolveResult& out) {
+  const std::size_t d = blocks.size();
+  const std::size_t width = blocks.width();
+  GS_CHECK(blocks.a0.rows() == d && blocks.a2.rows() == d,
+           "R solve: block size mismatch");
+  GS_CHECK(lanes.width() == width, "batch R solve: mask width mismatch");
+
+  obs::Span span("qbd.rsolve.substitution.batch");
+  span.arg("d", static_cast<std::int64_t>(d));
+  span.arg("width", static_cast<std::int64_t>(width));
+
+  out.reset(width);
+  BatchKernelStats stats;
+  LaneMask run = lanes;
+
+  linalg::batch_scaled_copy(w.neg_a1, blocks.a1, -1.0, run);
+  w.lu_a1.factor(w.neg_a1, run);
+  drop_singular_lanes(w.lu_a1, run, out);
+
+  linalg::batch_zero(w.r_cur, d, d, run);
+  std::vector<unsigned char> conv(width, 0);
+  std::vector<double> last_delta(width, 0.0);
+  for (int it = 1; it <= opts.max_iter && run.any(); ++it) {
+    // Per lane: R_next (-A1) = A0 + R (R A2), exactly the scalar
+    // association (the scalar CSR path shares it, bitwise).
+    linalg::batch_multiply_into(w.r_t, w.r_cur, blocks.a2, run, &stats);
+    linalg::batch_multiply_into(w.r_num, w.r_cur, w.r_t, run, &stats);
+    linalg::batch_add(w.r_num, blocks.a0, run);
+    w.lu_a1.solve_right_into(w.r_num, w.r_next, run);
+    for (std::size_t l = 0; l < width; ++l) {
+      if (!run[l]) continue;
+      last_delta[l] = linalg::lane_max_abs_diff(w.r_next, w.r_cur, l);
+      out.iterations[l] = it;
+    }
+    // Copy-not-swap: a lane that retires below keeps its converged
+    // iterate frozen in r_cur while the others continue in place.
+    linalg::batch_copy(w.r_cur, w.r_next, run);
+    for (std::size_t l = 0; l < width; ++l) {
+      if (run[l] && last_delta[l] <= opts.tol) {
+        conv[l] = 1;
+        run.set(l, false);
+      }
+    }
+  }
+
+  LaneMask fin(width, false);
+  for (std::size_t l = 0; l < width; ++l)
+    if (lanes[l] && out.ok(l)) fin.set(l, true);
+  linalg::batch_copy(out.r, w.r_cur, fin);
+  for (std::size_t l = 0; l < width; ++l) {
+    if (!fin[l]) continue;
+    out.residual[l] = lane_residual(out.r, blocks, l, w);
+    if (conv[l] == 0) {
+      out.error[l] =
+          "successive substitution for R exhausted max_iter=" +
+          std::to_string(opts.max_iter) + " (last step " +
+          std::to_string(last_delta[l]) + " > tol " +
+          std::to_string(opts.tol) + ", residual " +
+          std::to_string(out.residual[l]) +
+          "); the chain is likely not positive recurrent";
+    } else if (out.residual[l] > 1e-8 * std::max(1.0, w.lane_a1.max_abs())) {
+      out.error[l] =
+          "successive substitution for R converged in " +
+          std::to_string(out.iterations[l]) +
+          " iterations but the residual " + std::to_string(out.residual[l]) +
+          " fails the defining equation; the chain is likely not positive "
+          "recurrent";
+    }
+  }
+  count_batch_obs(out, lanes, stats);
+}
+
+void solve_r_logreduction_batch(const BatchBlocks& blocks,
+                                const linalg::LaneMask& lanes,
+                                const RSolveOptions& opts, BatchWorkspace& w,
+                                BatchRSolveResult& out) {
+  const std::size_t d = blocks.size();
+  const std::size_t width = blocks.width();
+  GS_CHECK(blocks.a0.rows() == d && blocks.a2.rows() == d,
+           "R solve: block size mismatch");
+  GS_CHECK(lanes.width() == width, "batch R solve: mask width mismatch");
+
+  obs::Span span("qbd.rsolve.logreduction.batch");
+  span.arg("d", static_cast<std::int64_t>(d));
+  span.arg("width", static_cast<std::int64_t>(width));
+
+  out.reset(width);
+  BatchKernelStats stats;
+  LaneMask run = lanes;
+
+  linalg::batch_scaled_copy(w.neg_a1, blocks.a1, -1.0, run);
+  w.lu_a1.factor(w.neg_a1, run);
+  drop_singular_lanes(w.lu_a1, run, out);
+  if (run.any()) {
+    w.lu_a1.solve_into(blocks.a0, w.h, run);
+    w.lu_a1.solve_into(blocks.a2, w.l, run);
+    linalg::batch_copy(w.g, w.l, run);
+    linalg::batch_copy(w.t, w.h, run);
+  }
+
+  std::vector<unsigned char> conv(width, 0);
+  std::vector<double> last_incr(width, 0.0);
+  for (int it = 1; it <= opts.max_iter && run.any(); ++it) {
+    linalg::batch_multiply_into(w.u, w.h, w.l, run, &stats);
+    linalg::batch_multiply_into(w.lh, w.l, w.h, run, &stats);
+    linalg::batch_add(w.u, w.lh, run);
+    linalg::batch_multiply_into(w.hh, w.h, w.h, run, &stats);
+    linalg::batch_multiply_into(w.ll, w.l, w.l, run, &stats);
+    linalg::batch_identity_minus(w.iu, w.u, run);
+    w.lu_iu.factor(w.iu, run);
+    drop_singular_lanes(w.lu_iu, run, out);
+    if (!run.any()) break;
+    w.lu_iu.solve_into(w.hh, w.h, run);
+    w.lu_iu.solve_into(w.ll, w.l, run);
+    linalg::batch_multiply_into(w.incr, w.t, w.l, run, &stats);
+    linalg::batch_add(w.g, w.incr, run);
+    linalg::batch_multiply_into(w.tmp, w.t, w.h, run, &stats);
+    // Copy-not-swap (the scalar path swaps T and its product): retiring
+    // lanes freeze in place.
+    linalg::batch_copy(w.t, w.tmp, run);
+    for (std::size_t l = 0; l < width; ++l) {
+      if (!run[l]) continue;
+      out.iterations[l] = it;
+      last_incr[l] = w.incr.lane_max_abs(l);
+      if (last_incr[l] <= opts.tol && w.t.lane_max_abs(l) <= opts.tol) {
+        conv[l] = 1;
+        run.set(l, false);
+      }
+    }
+  }
+
+  // Final stage runs for every lane that survived factoring — the scalar
+  // solver, too, computes R and the residual before deciding whether to
+  // throw for non-convergence.
+  LaneMask fin(width, false);
+  for (std::size_t l = 0; l < width; ++l)
+    if (lanes[l] && out.ok(l)) fin.set(l, true);
+  if (fin.any()) {
+    linalg::batch_multiply_into(w.tmp, blocks.a0, w.g, fin, &stats);
+    linalg::batch_copy(w.iu, blocks.a1, fin);
+    linalg::batch_add(w.iu, w.tmp, fin);
+    linalg::batch_scale(w.iu, -1.0, fin);
+    w.lu_final.factor(w.iu, fin);
+    drop_singular_lanes(w.lu_final, fin, out);
+  }
+  if (fin.any()) w.lu_final.solve_right_into(blocks.a0, out.r, fin);
+  for (std::size_t l = 0; l < width; ++l) {
+    if (!fin[l]) continue;
+    out.residual[l] = lane_residual(out.r, blocks, l, w);
+    if (conv[l] == 0) {
+      out.error[l] = "logarithmic reduction for R exhausted max_iter=" +
+                     std::to_string(opts.max_iter) + " (last increment " +
+                     std::to_string(last_incr[l]) + " > tol " +
+                     std::to_string(opts.tol) + ", residual " +
+                     std::to_string(out.residual[l]) + ")";
+    } else if (out.residual[l] > 1e-8 * std::max(1.0, w.lane_a1.max_abs())) {
+      out.error[l] = "logarithmic reduction for R did not converge (residual " +
+                     std::to_string(out.residual[l]) + " after " +
+                     std::to_string(out.iterations[l]) + " iterations)";
+    }
+  }
+  count_batch_obs(out, lanes, stats);
+}
+
+void solve_r_batch(const BatchBlocks& blocks, const linalg::LaneMask& lanes,
+                   RMethod method, const RSolveOptions& opts,
+                   BatchWorkspace& w, BatchRSolveResult& out) {
+  if (method == RMethod::kLogReduction) {
+    solve_r_logreduction_batch(blocks, lanes, opts, w, out);
+  } else {
+    solve_r_substitution_batch(blocks, lanes, opts, w, out);
+  }
+}
+
+}  // namespace gs::qbd

@@ -1,0 +1,102 @@
+// Lock-step R-matrix solves across W same-shaped QBD chains.
+//
+// The gang fixed point's cost is dominated by the per-class R solves, and
+// every batch-generating surface (figure sweeps, warm-chain fills,
+// coalesced daemon requests) produces chains whose blocks share one shape
+// and differ only in values. These solvers run the substitution /
+// logarithmic-reduction iterations on linalg::BatchMatrix storage with a
+// per-lane convergence mask: each lane retires the moment *its* iterate
+// converges (its storage freezes in place), the rest keep iterating, and
+// the extracted per-lane R is bitwise identical to the scalar solver's —
+// the contract linalg/batch.hpp spells out and the batched equivalence
+// tests pin on the paper's Figure 2-5 configurations.
+//
+// Error discipline: where the scalar solver throws (singular LU,
+// exhausted iterations, residual failure), a batch lane records the exact
+// scalar message in BatchRSolveResult::error and drops out of the
+// lock-step; the surviving lanes are unaffected. Callers that need the
+// scalar path's full throw/retry semantics (gang::GangSolver::solve_batch
+// does) re-run failed lanes through the scalar solver, which reproduces
+// the exception type and text by construction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linalg/batch.hpp"
+#include "qbd/rmatrix.hpp"
+#include "qbd/solver.hpp"
+
+namespace gs::qbd {
+
+/// The repeating blocks of W same-shaped chains, lane-major.
+struct BatchBlocks {
+  linalg::BatchMatrix a0, a1, a2;
+
+  std::size_t size() const { return a1.rows(); }
+  std::size_t width() const { return a1.width(); }
+
+  /// Reshape to d x d blocks, W lanes (no-op when already shaped —
+  /// lanes outside a subsequent load keep their bits).
+  void ensure(std::size_t d, std::size_t width);
+  /// Scatter one chain's A0/A1/A2 into lane `lane`.
+  void load_lane(std::size_t lane, const QbdBlocks& blk);
+};
+
+/// Per-lane outcome of a batched R solve. A lane either succeeded
+/// (error empty; r lane, iterations, residual valid) or carries the
+/// exact message the scalar solver would have thrown for its inputs.
+/// Lanes outside the mask passed to the solver are untouched apart from
+/// reset() defaults and must not be read.
+struct BatchRSolveResult {
+  linalg::BatchMatrix r;
+  std::vector<int> iterations;
+  std::vector<double> residual;
+  std::vector<std::string> error;
+
+  bool ok(std::size_t lane) const { return error[lane].empty(); }
+  /// Clear to width `width` defaults (reuses storage).
+  void reset(std::size_t width);
+};
+
+/// Reusable scratch for the batched R solvers: every BatchMatrix
+/// temporary of both iterations, the three lock-step LU factors, the
+/// lane-major block mirrors, and the scalar scratch the per-lane residual
+/// checks run on. Lives in the workspace arena (one slot per class of a
+/// gang batch solve) so consecutive same-shaped batches stop allocating.
+struct BatchWorkspace {
+  // Logarithmic reduction iterates and products.
+  linalg::BatchMatrix h, l, g, t, u, lh, hh, ll, iu, incr, tmp;
+  // Successive substitution iterates.
+  linalg::BatchMatrix r_cur, r_num, r_next, r_t;
+  linalg::BatchMatrix neg_a1;
+  linalg::BatchLu lu_a1, lu_iu, lu_final;
+  // Lane-major mirrors of the blocks being solved.
+  BatchBlocks blocks;
+  // Per-lane extraction + residual scratch (scalar shapes).
+  linalg::Matrix lane_r, lane_a0, lane_a1, lane_a2;
+  Workspace scalar;
+};
+
+/// Successive substitution from R = 0 on the masked lanes, retiring each
+/// lane when its step reaches opts.tol. Per lane: the exact arithmetic,
+/// iteration count, residual, and (on failure) error text of
+/// solve_r_substitution on that lane's blocks.
+void solve_r_substitution_batch(const BatchBlocks& blocks,
+                                const linalg::LaneMask& lanes,
+                                const RSolveOptions& opts, BatchWorkspace& w,
+                                BatchRSolveResult& out);
+
+/// Logarithmic reduction on the masked lanes with per-lane retirement —
+/// the batched default, mirroring solve_r_logreduction lane by lane.
+void solve_r_logreduction_batch(const BatchBlocks& blocks,
+                                const linalg::LaneMask& lanes,
+                                const RSolveOptions& opts, BatchWorkspace& w,
+                                BatchRSolveResult& out);
+
+/// Method dispatch, matching qbd::solve's choice.
+void solve_r_batch(const BatchBlocks& blocks, const linalg::LaneMask& lanes,
+                   RMethod method, const RSolveOptions& opts,
+                   BatchWorkspace& w, BatchRSolveResult& out);
+
+}  // namespace gs::qbd

@@ -127,7 +127,14 @@ QbdSolution solve(const QbdProcess& process, const SolveOptions& opts,
       opts.r_method == RMethod::kLogReduction
           ? solve_r_logreduction(blk.a0, blk.a1, blk.a2, opts.r_options, &w)
           : solve_r_substitution(blk.a0, blk.a1, blk.a2, opts.r_options, &w);
-  const Matrix& r = rres.r;
+  return solve_with_r(process, rres.r, opts, &w);
+}
+
+QbdSolution solve_with_r(const QbdProcess& process, const Matrix& r,
+                         const SolveOptions& opts, Workspace* ws) {
+  Workspace local;
+  Workspace& w = ws ? *ws : local;
+  const QbdBlocks& blk = process.blocks();
 
   const auto spec = linalg::spectral_radius(r);
   if (spec.radius >= 1.0) {

@@ -138,6 +138,10 @@ json::Json EvalService::handle(const Json& request) {
       ++stats_.solve_requests;
       Json r = do_solve(request);
       for (auto& m : r.as_object()) response.set(m.key, std::move(m.value));
+    } else if (op == "solve_batch") {
+      ++stats_.batch_requests;
+      Json r = do_solve_batch(request);
+      for (auto& m : r.as_object()) response.set(m.key, std::move(m.value));
     } else if (op == "sweep") {
       ++stats_.sweep_requests;
       Json r = do_sweep(request);
@@ -156,7 +160,8 @@ json::Json EvalService::handle(const Json& request) {
     } else {
       std::string msg = "unknown op '" + op + "'";
       if (const auto hint = util::did_you_mean(
-              op, {"solve", "sweep", "tune", "stats", "shutdown"}))
+              op,
+              {"solve", "solve_batch", "sweep", "tune", "stats", "shutdown"}))
         msg += " (did you mean '" + *hint + "'?)";
       throw InvalidArgument(msg);
     }
@@ -244,7 +249,149 @@ json::Json EvalService::do_solve(const Json& req) {
   return out;
 }
 
+json::Json EvalService::do_solve_batch(const Json& req) {
+  const Json* items = req.find("items");
+  GS_CHECK(items != nullptr && items->is_array(),
+           "solve_batch needs an 'items' array");
+  const auto& arr = items->as_array();
+  GS_CHECK(!arr.empty(), "solve_batch needs at least one item");
+  stats_.batch_lanes += arr.size();
+
+  std::size_t batch_width = 8;
+  if (const Json* w = req.find("batch_width")) {
+    GS_CHECK(w->as_int() >= 1, "batch_width must be >= 1");
+    batch_width = static_cast<std::size_t>(w->as_int());
+  }
+
+  // Parse and hash every item before solving anything: a malformed item
+  // is one structured error for the whole request (matching 'solve'),
+  // not a half-answered batch.
+  std::vector<gang::SystemParams> params;
+  std::vector<gang::GangSolveOptions> opts;
+  std::vector<std::uint64_t> full(arr.size()), shape(arr.size());
+  params.reserve(arr.size());
+  opts.reserve(arr.size());
+  for (const Json& item : arr) {
+    GS_CHECK(item.is_object(), "solve_batch items must be objects");
+    const Json* system = item.find("system");
+    GS_CHECK(system != nullptr, "solve_batch item needs a 'system' field");
+    params.push_back(params_from_json(*system));
+    gang::GangSolveOptions o = options_from_json(
+        item.find("options") ? *item.find("options") : Json(nullptr));
+    o.num_threads = options_.num_threads;
+    o.pool = options_.pool;
+    opts.push_back(o);
+  }
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    full[i] = scenario_hash(params[i], opts[i]);
+    shape[i] = structure_hash(params[i], opts[i]);
+  }
+
+  // Cache hits answer their item directly; the rest become lock-step
+  // lanes. Donor reports are resolved before any insert so the warm
+  // pointers stay valid for the whole batched solve.
+  std::vector<Json> results(arr.size());
+  std::vector<std::size_t> miss;
+  std::vector<const gang::SolveReport*> donors;
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    Json& out = results[i];
+    out = Json::object();
+    out.set("hash", json::hash_hex(full[i]));
+    if (const ResultCache::Entry* hit = cache_.find(full[i])) {
+      ++stats_.cache_hits;
+      out.set("cached", true);
+      out.set("hits", hit->hits);
+      out.set("warm_started", hit->report.used_warm_start);
+      out.set("iterations", hit->report.iterations);
+      out.set("converged", hit->report.converged);
+      out.set("used_optimistic_init", hit->report.used_optimistic_init);
+      out.set("result", report_to_json(hit->report));
+      continue;
+    }
+    ++stats_.cache_misses;
+    bool want_warm = options_.warm_start;
+    if (const Json* w = arr[i].find("warm_start")) want_warm = w->as_bool();
+    const gang::SolveReport* donor = nullptr;
+    if (want_warm) {
+      if (auto it = warm_index_.find(shape[i]); it != warm_index_.end()) {
+        if (const ResultCache::Entry* e = cache_.peek(it->second))
+          if (e->report.final_slices.size() == params[i].num_classes())
+            donor = &e->report;
+      }
+    }
+    miss.push_back(i);
+    donors.push_back(donor);
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<gang::BatchOutcome> outcomes;
+  if (!miss.empty()) {
+    std::vector<gang::GangSolver> solvers;
+    solvers.reserve(miss.size());
+    for (const std::size_t i : miss) solvers.emplace_back(params[i], opts[i]);
+    std::vector<gang::BatchItem> lanes;
+    lanes.reserve(miss.size());
+    for (std::size_t t = 0; t < miss.size(); ++t)
+      lanes.push_back(
+          {&solvers[t],
+           donors[t] != nullptr ? &donors[t]->final_slices : nullptr});
+    outcomes = gang::GangSolver::solve_batch(lanes, batch_width);
+  }
+  const double ms = elapsed_ms(start);
+  stats_.solve_ms_total += ms;
+  stats_.solve_ms_max = std::max(stats_.solve_ms_max, ms);
+
+  // Per-lane cache fills, in item order — exactly the entries a sequence
+  // of 'solve' requests would have created.
+  for (std::size_t t = 0; t < miss.size(); ++t) {
+    const std::size_t i = miss[t];
+    Json& out = results[i];
+    gang::BatchOutcome& oc = outcomes[t];
+    out.set("cached", false);
+    out.set("batched", oc.batched);
+    if (!oc.error.empty()) {
+      out.set("error", oc.error);
+      continue;
+    }
+    ++stats_.solves_executed;
+    stats_.fixed_point_iterations +=
+        static_cast<std::uint64_t>(oc.report.iterations);
+    if (oc.report.used_warm_start) ++stats_.warm_starts;
+    out.set("warm_started", oc.report.used_warm_start);
+    out.set("iterations", oc.report.iterations);
+    out.set("converged", oc.report.converged);
+    out.set("used_optimistic_init", oc.report.used_optimistic_init);
+    out.set("result", report_to_json(oc.report));
+    cache_.insert(full[i], std::move(oc.report));
+    warm_index_[shape[i]] = full[i];
+  }
+
+  Json out = Json::object();
+  Json rows = Json::array();
+  for (Json& r : results) rows.push_back(std::move(r));
+  out.set("results", std::move(rows));
+  if (!options_.deterministic) out.set("ms", ms);
+  return out;
+}
+
 json::Json EvalService::do_sweep(const Json& req) {
+  // Strict key set. The dispatch-tuning fields added here (chain_stride,
+  // batch_width) change speed, never answers — a silent typo would look
+  // like a correct but slow request, so unknown keys are an error with a
+  // nearest-match hint instead.
+  for (const auto& m : req.as_object()) {
+    const std::string& k = m.key;
+    if (k == "op" || k == "id" || k == "system" || k == "options" ||
+        k == "vary" || k == "warm_start" || k == "chain_stride" ||
+        k == "batch_width")
+      continue;
+    std::string msg = "unknown sweep field '" + k + "'";
+    if (const auto hint = util::did_you_mean(
+            k, {"system", "options", "vary", "warm_start", "chain_stride",
+                "batch_width"}))
+      msg += " (did you mean '" + *hint + "'?)";
+    throw InvalidArgument(msg);
+  }
   const Json* system = req.find("system");
   GS_CHECK(system != nullptr, "sweep needs a 'system' field");
   const gang::SystemParams base = params_from_json(*system);
@@ -275,6 +422,16 @@ json::Json EvalService::do_sweep(const Json& req) {
   sweep_opts.warm_chain = options_.warm_start;
   if (const Json* w = req.find("warm_start"))
     sweep_opts.warm_chain = w->as_bool();
+  // Anchor spacing of the warm chain and lock-step lane count, exposed
+  // per request (defaults are the SweepOptions defaults).
+  if (const Json* s = req.find("chain_stride")) {
+    GS_CHECK(s->as_int() >= 1, "chain_stride must be >= 1");
+    sweep_opts.chain_stride = static_cast<std::size_t>(s->as_int());
+  }
+  if (const Json* w = req.find("batch_width")) {
+    GS_CHECK(w->as_int() >= 1, "batch_width must be >= 1");
+    sweep_opts.batch_width = static_cast<std::size_t>(w->as_int());
+  }
 
   const auto start = std::chrono::steady_clock::now();
   const std::vector<workload::SweepPoint> points = workload::sweep(
@@ -379,6 +536,7 @@ json::Json EvalService::do_stats() const {
   out.set("errors", stats_.errors);
   Json ops = Json::object();
   ops.set("solve", stats_.solve_requests);
+  ops.set("solve_batch", stats_.batch_requests);
   ops.set("sweep", stats_.sweep_requests);
   ops.set("tune", stats_.tune_requests);
   ops.set("stats", stats_.stats_requests);
@@ -427,9 +585,11 @@ json::Json EvalService::do_stats() const {
 std::string EvalService::summary() const {
   std::ostringstream os;
   os << "gangd summary: " << stats_.requests << " requests ("
-     << stats_.solve_requests << " solve, " << stats_.sweep_requests
-     << " sweep, " << stats_.tune_requests << " tune, "
-     << stats_.stats_requests << " stats), " << stats_.errors << " errors; "
+     << stats_.solve_requests << " solve, " << stats_.batch_requests
+     << " solve_batch/" << stats_.batch_lanes << " lanes, "
+     << stats_.sweep_requests << " sweep, " << stats_.tune_requests
+     << " tune, " << stats_.stats_requests << " stats), " << stats_.errors
+     << " errors; "
      << stats_.solves_executed << " solves executed ("
      << stats_.warm_starts << " warm-started, "
      << stats_.fixed_point_iterations << " fixed-point iterations), "

@@ -7,9 +7,16 @@
 //   solve     — full fixed-point solve of one scenario. Answered from the
 //               LRU cache on a scenario-hash hit; on a miss, warm-started
 //               from the most recent solve with the same structure hash.
+//   solve_batch — many scenarios in one request. Cache hits answer per
+//               item; the misses run through gang::GangSolver::solve_batch,
+//               so same-shaped items solve lanes-abreast on the lock-step
+//               path (bitwise identical to per-item solves), and every
+//               lane fills the cache and warm index as if solved alone.
 //   sweep     — a batch of solves over a varied parameter, fanned out on
 //               the service's ThreadPool (row order and results bitwise
-//               identical to sequential).
+//               identical to sequential). Same-shaped points dispatch
+//               through the lock-step batch path (workload::sweep);
+//               requests tune it via 'batch_width' and 'chain_stride'.
 //   tune      — quantum optimization (gang::tuner) over a scenario.
 //   stats     — counters, cache state, latency aggregates.
 //   shutdown  — acknowledge and mark the service for termination.
@@ -56,6 +63,8 @@ struct ServiceStats {
   std::uint64_t requests = 0;
   std::uint64_t errors = 0;
   std::uint64_t solve_requests = 0;
+  std::uint64_t batch_requests = 0;  ///< solve_batch ops received
+  std::uint64_t batch_lanes = 0;     ///< items across those ops
   std::uint64_t sweep_requests = 0;
   std::uint64_t tune_requests = 0;
   std::uint64_t stats_requests = 0;
@@ -90,6 +99,7 @@ class EvalService {
 
  private:
   json::Json do_solve(const json::Json& req);
+  json::Json do_solve_batch(const json::Json& req);
   json::Json do_sweep(const json::Json& req);
   json::Json do_tune(const json::Json& req);
   json::Json do_stats() const;

@@ -75,6 +75,15 @@ struct SweepOptions {
   /// Distance between cold anchors when warm_chain is set. Sweeps with
   /// <= 2 points never chain (nothing to amortize).
   std::size_t chain_stride = 8;
+  /// Lanes of the lock-step batched solver (gang::GangSolver::solve_batch):
+  /// points whose scenarios share a batch key solve lanes-abreast on
+  /// structure-of-arrays data, at most this many at a time. Composes with
+  /// both axes above — chunks of points fan out across the pool when
+  /// num_threads > 1, and under warm_chain the anchors solve batched-cold
+  /// and the fills batched-warm. Bitwise identical to the scalar path at
+  /// any width (the solve_batch contract), so this changes speed and
+  /// nothing else. <= 1 runs the exact scalar dispatch.
+  std::size_t batch_width = 8;
 };
 
 /// Evaluate `make_system(x)` at each x; unstable points are recorded, not

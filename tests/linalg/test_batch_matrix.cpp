@@ -1,0 +1,225 @@
+// BatchMatrix / BatchLu contract tests: lane-major round trips, the
+// masked kernels' bitwise equality with the scalar kernels lane by lane,
+// the guarantee that masked-out lanes keep their bits, and the per-lane
+// singularity flag that replaces the scalar Lu throw.
+#include "linalg/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+
+namespace {
+
+using namespace gs::linalg;
+
+// Deterministic value stream (no libc rand; same bits on every platform).
+class ValueStream {
+ public:
+  explicit ValueStream(std::uint64_t seed) : state_(seed) {}
+  double next() {
+    state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+    // Map the top bits into [-1, 1); plenty for kernel tests.
+    return static_cast<double>(static_cast<std::int64_t>(state_ >> 11)) /
+           static_cast<double>(1ll << 52);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, ValueStream& vs,
+                     double zero_fraction = 0.0) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j) {
+      const double v = vs.next();
+      m(i, j) = (zero_fraction > 0.0 && v < -1.0 + 2.0 * zero_fraction)
+                    ? 0.0
+                    : v;
+    }
+  return m;
+}
+
+// A well-conditioned square matrix (diagonally dominant) per lane.
+Matrix random_dominant(std::size_t n, ValueStream& vs,
+                       double zero_fraction = 0.0) {
+  Matrix m = random_matrix(n, n, vs, zero_fraction);
+  for (std::size_t i = 0; i < n; ++i)
+    m(i, i) += static_cast<double>(n) + 2.0;
+  return m;
+}
+
+BatchMatrix pack(const std::vector<Matrix>& lanes) {
+  BatchMatrix b(lanes[0].rows(), lanes[0].cols(), lanes.size());
+  for (std::size_t l = 0; l < lanes.size(); ++l) b.load_lane(l, lanes[l]);
+  return b;
+}
+
+TEST(BatchMatrix, LoadStoreRoundTripIsBitwise) {
+  ValueStream vs(1);
+  std::vector<Matrix> lanes;
+  for (std::size_t l = 0; l < 4; ++l)
+    lanes.push_back(random_matrix(3, 5, vs));
+  const BatchMatrix b = pack(lanes);
+  Matrix back;
+  for (std::size_t l = 0; l < 4; ++l) {
+    b.store_lane(l, back);
+    EXPECT_EQ(max_abs_diff(back, lanes[l]), 0.0) << "lane " << l;
+  }
+}
+
+TEST(BatchMatrix, EnsureKeepsBitsOnShapeMatchAndZerosOnReshape) {
+  ValueStream vs(2);
+  BatchMatrix b = pack({random_matrix(4, 4, vs), random_matrix(4, 4, vs)});
+  const double pinned = b(2, 3, 1);
+  b.ensure(4, 4, 2);  // no-op
+  EXPECT_EQ(b(2, 3, 1), pinned);
+  b.ensure(5, 4, 2);  // reshape zero-fills every lane
+  for (std::size_t l = 0; l < 2; ++l) EXPECT_EQ(b.lane_max_abs(l), 0.0);
+}
+
+TEST(BatchMatrix, MultiplyMatchesScalarPerLane) {
+  ValueStream vs(3);
+  // Different sparsity per lane on purpose: the shared-zero skip must be
+  // value-preserving even when only some lanes hold a zero.
+  std::vector<Matrix> as, bs;
+  for (std::size_t l = 0; l < 8; ++l) {
+    as.push_back(random_matrix(5, 4, vs, /*zero_fraction=*/0.4));
+    bs.push_back(random_matrix(4, 6, vs, /*zero_fraction=*/0.4));
+  }
+  const BatchMatrix a = pack(as), b = pack(bs);
+  BatchMatrix out;
+  BatchKernelStats stats;
+  batch_multiply_into(out, a, b, LaneMask(8), &stats);
+
+  Matrix got, want;
+  for (std::size_t l = 0; l < 8; ++l) {
+    out.store_lane(l, got);
+    multiply_into(want, as[l], bs[l]);
+    EXPECT_EQ(max_abs_diff(got, want), 0.0) << "lane " << l;
+  }
+}
+
+TEST(BatchMatrix, MaskedLanesKeepTheirBits) {
+  ValueStream vs(4);
+  std::vector<Matrix> as = {random_matrix(3, 3, vs), random_matrix(3, 3, vs)};
+  std::vector<Matrix> bs = {random_matrix(3, 3, vs), random_matrix(3, 3, vs)};
+  const BatchMatrix a = pack(as), b = pack(bs);
+
+  // Pre-fill the output, then run every masked kernel with lane 1 off.
+  BatchMatrix out = pack({random_matrix(3, 3, vs), random_matrix(3, 3, vs)});
+  Matrix frozen;
+  out.store_lane(1, frozen);
+  LaneMask only0(2);
+  only0.set(1, false);
+
+  BatchKernelStats stats;
+  batch_multiply_into(out, a, b, only0, &stats);
+  batch_add(out, b, only0);
+  batch_scale(out, 0.5, only0);
+  batch_identity_minus(out, a, only0);
+  batch_zero(out, 3, 3, only0);
+  batch_scaled_copy(out, a, -1.0, only0);
+  batch_copy(out, b, only0);
+
+  Matrix after;
+  out.store_lane(1, after);
+  EXPECT_EQ(max_abs_diff(after, frozen), 0.0);
+  // ... while lane 0 went through the whole pipeline (last op: copy of b).
+  Matrix lane0;
+  out.store_lane(0, lane0);
+  EXPECT_EQ(max_abs_diff(lane0, bs[0]), 0.0);
+}
+
+TEST(BatchMatrix, MaskedMultiplyCountsSavedFlops) {
+  ValueStream vs(5);
+  const BatchMatrix a = pack({random_matrix(4, 4, vs), random_matrix(4, 4, vs)});
+  const BatchMatrix b = pack({random_matrix(4, 4, vs), random_matrix(4, 4, vs)});
+  BatchMatrix out;
+  LaneMask half(2);
+  half.set(1, false);
+  BatchKernelStats stats;
+  batch_multiply_into(out, a, b, half, &stats);
+  // One masked lane over a dense 4x4x4 product: 2 flops per (i,k,j) term.
+  EXPECT_EQ(stats.masked_flops, 2u * 4u * 4u * 4u);
+}
+
+TEST(BatchMatrix, LaneMaxAbsDiffMatchesScalar) {
+  ValueStream vs(6);
+  std::vector<Matrix> as = {random_matrix(3, 4, vs), random_matrix(3, 4, vs)};
+  std::vector<Matrix> bs = {random_matrix(3, 4, vs), random_matrix(3, 4, vs)};
+  const BatchMatrix a = pack(as), b = pack(bs);
+  for (std::size_t l = 0; l < 2; ++l) {
+    EXPECT_EQ(lane_max_abs_diff(a, b, l), max_abs_diff(as[l], bs[l]));
+    EXPECT_EQ(a.lane_max_abs(l), as[l].max_abs());
+  }
+}
+
+TEST(BatchLu, FactorAndSolvesMatchScalarPerLane) {
+  ValueStream vs(7);
+  std::vector<Matrix> as;
+  for (std::size_t l = 0; l < 4; ++l)
+    as.push_back(random_dominant(6, vs, /*zero_fraction=*/0.3));
+  const BatchMatrix a = pack(as);
+  ValueStream vs2(8);
+  std::vector<Matrix> bs;
+  for (std::size_t l = 0; l < 4; ++l)
+    bs.push_back(random_matrix(6, 6, vs2));
+  const BatchMatrix b = pack(bs);
+
+  BatchLu blu;
+  blu.factor(a, LaneMask(4));
+  BatchMatrix x;
+  x.ensure(6, 6, 4);
+  blu.solve_into(b, x, LaneMask(4));
+  BatchMatrix xr;
+  xr.ensure(6, 6, 4);
+  blu.solve_right_into(b, xr, LaneMask(4));
+
+  Matrix got, want;
+  for (std::size_t l = 0; l < 4; ++l) {
+    EXPECT_FALSE(blu.singular(l));
+    const Lu lu(as[l]);
+    x.store_lane(l, got);
+    lu.solve_into(bs[l], want);
+    EXPECT_EQ(max_abs_diff(got, want), 0.0) << "solve_into lane " << l;
+    xr.store_lane(l, got);
+    lu.solve_right_into(bs[l], want);
+    EXPECT_EQ(max_abs_diff(got, want), 0.0) << "solve_right_into lane " << l;
+  }
+}
+
+TEST(BatchLu, SingularLaneIsFlaggedAndOthersSolveOn) {
+  ValueStream vs(9);
+  Matrix good = random_dominant(4, vs);
+  Matrix singular(4, 4);  // rank 1: row i = (i+1) * row 0
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      singular(i, j) = static_cast<double>(i + 1) * static_cast<double>(j + 2);
+  const BatchMatrix a = pack({good, singular});
+
+  BatchLu blu;
+  blu.factor(a, LaneMask(2));
+  EXPECT_FALSE(blu.singular(0));
+  EXPECT_TRUE(blu.singular(1));
+
+  const Matrix rhs = random_matrix(4, 2, vs);
+  BatchMatrix b(4, 2, 2);
+  b.load_lane(0, rhs);
+  LaneMask only0(2);
+  only0.set(1, false);
+  BatchMatrix x;
+  x.ensure(4, 2, 2);
+  blu.solve_into(b, x, only0);
+
+  Matrix got, want;
+  x.store_lane(0, got);
+  Lu(good).solve_into(rhs, want);
+  EXPECT_EQ(max_abs_diff(got, want), 0.0);
+}
+
+}  // namespace

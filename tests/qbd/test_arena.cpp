@@ -6,11 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "obs/obs.hpp"
 #include "qbd/rmatrix.hpp"
 
 namespace {
@@ -109,6 +111,53 @@ TEST(WorkspaceArena, ArenasAreThreadLocal) {
   t.join();
   EXPECT_EQ(other_thread_entries, 0u);  // the other thread starts empty
   EXPECT_EQ(WorkspaceArena::thread_entries(), 1u);
+}
+
+TEST(WorkspaceArena, BatchLeaseReusesGrownScratchAcrossBorrows) {
+  WorkspaceArena::clear_thread();
+  {
+    WorkspaceArena::BatchLease lease =
+        WorkspaceArena::borrow_batch(0x5151u, 2);
+    EXPECT_EQ(lease.size(), 2u);
+    lease[0].blocks.ensure(4, 8);  // grow lane-major scratch
+  }
+  {
+    WorkspaceArena::BatchLease lease =
+        WorkspaceArena::borrow_batch(0x5151u, 2);
+    EXPECT_EQ(lease[0].blocks.size(), 4u);
+    EXPECT_EQ(lease[0].blocks.width(), 8u);
+  }
+  EXPECT_EQ(WorkspaceArena::thread_entries(), 1u);
+}
+
+TEST(WorkspaceArena, BatchAndScalarLeasesOfOneKeyCoexist) {
+  WorkspaceArena::clear_thread();
+  // Same key, different kinds: the entry carries both slot arrays, so a
+  // solver can hold its batch scratch and per-lane scalar scratch from
+  // distinct entries (the solver mixes a kind tag into the key; here we
+  // pin that even an identical key is safe while leased).
+  WorkspaceArena::BatchLease batch = WorkspaceArena::borrow_batch(0x77u, 1);
+  WorkspaceArena::Lease scalar = WorkspaceArena::borrow(0x77u, 3);
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_EQ(scalar.size(), 3u);
+}
+
+TEST(WorkspaceArena, RecyclingPublishesEvictCounter) {
+  gs::obs::configure({/*metrics=*/true, /*trace=*/false});
+  WorkspaceArena::clear_thread();
+  gs::obs::reset();
+  // Filling the table past kMaxEntries recycles LRU free entries; every
+  // recycle (and every clear_thread drop) counts one qbd.arena.evict.
+  for (std::uint64_t key = 0; key < WorkspaceArena::kMaxEntries + 4; ++key) {
+    WorkspaceArena::Lease lease = WorkspaceArena::borrow(1000u + key, 1);
+  }
+  const std::uint64_t evicted =
+      gs::obs::snapshot().counter_value("qbd.arena.evict");
+  EXPECT_EQ(evicted, 4u);
+  WorkspaceArena::clear_thread();
+  EXPECT_EQ(gs::obs::snapshot().counter_value("qbd.arena.evict"),
+            evicted + WorkspaceArena::kMaxEntries);
+  gs::obs::configure({});
 }
 
 TEST(WorkspaceArena, ReuseAcrossShapesChangesNoBits) {

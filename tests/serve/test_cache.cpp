@@ -63,6 +63,64 @@ TEST(ResultCache, EntriesOrderedMostRecentFirst) {
   EXPECT_EQ(entries[1]->key, 20u);
 }
 
+TEST(ResultCache, MixedHitsAndInsertsEvictInRecencyOrder) {
+  // Interleave finds with inserts and check the eviction order tracks
+  // recency, not insertion order: every hit moves its key to the front,
+  // so the victims are exactly the keys never touched again.
+  ResultCache cache(3);
+  cache.insert(1, report_with_iterations(1));
+  cache.insert(2, report_with_iterations(2));
+  cache.insert(3, report_with_iterations(3));  // LRU order: 3 2 1
+  ASSERT_NE(cache.find(1), nullptr);           // 1 3 2
+  ASSERT_NE(cache.find(2), nullptr);           // 2 1 3
+  cache.insert(4, report_with_iterations(4));  // evicts 3 -> 4 2 1
+  EXPECT_EQ(cache.peek(3), nullptr);
+  ASSERT_NE(cache.find(1), nullptr);           // 1 4 2
+  cache.insert(5, report_with_iterations(5));  // evicts 2 -> 5 1 4
+  EXPECT_EQ(cache.peek(2), nullptr);
+  EXPECT_NE(cache.peek(1), nullptr);
+  EXPECT_NE(cache.peek(4), nullptr);
+  EXPECT_NE(cache.peek(5), nullptr);
+  EXPECT_EQ(cache.evictions(), 2u);
+
+  const auto entries = cache.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0]->key, 5u);
+  EXPECT_EQ(entries[1]->key, 1u);
+  EXPECT_EQ(entries[2]->key, 4u);
+}
+
+TEST(ResultCache, HitCountersSurviveRecencyReordering) {
+  // Per-entry hit counters are attached to the entry, not its position:
+  // reordering by later finds and evictions must not reset or mix them.
+  ResultCache cache(2);
+  cache.insert(1, report_with_iterations(1));
+  cache.insert(2, report_with_iterations(2));
+  cache.find(1);
+  cache.find(1);
+  cache.find(2);
+  cache.insert(3, report_with_iterations(3));  // evicts nothing yet? 2 is MRU
+  // Order before insert: 2 1 -> insert 3 evicts 1 (LRU despite more hits).
+  EXPECT_EQ(cache.peek(1), nullptr);
+  EXPECT_EQ(cache.peek(2)->hits, 1u);
+  EXPECT_EQ(cache.peek(3)->hits, 0u);
+  EXPECT_EQ(cache.find(2)->hits, 2u);
+}
+
+TEST(ResultCache, ReinsertRefreshesRecency) {
+  // Overwriting an existing key must also move it to the front — a
+  // re-solved scenario is as fresh as a newly solved one.
+  ResultCache cache(2);
+  cache.insert(1, report_with_iterations(1));
+  cache.insert(2, report_with_iterations(2));  // order: 2 1
+  cache.insert(1, report_with_iterations(9));  // order: 1 2
+  cache.insert(3, report_with_iterations(3));  // evicts 2
+  EXPECT_EQ(cache.peek(2), nullptr);
+  ASSERT_NE(cache.peek(1), nullptr);
+  EXPECT_EQ(cache.peek(1)->report.iterations, 9);
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
 TEST(ResultCache, ReinsertOverwritesWithoutGrowth) {
   ResultCache cache(2);
   cache.insert(1, report_with_iterations(1));

@@ -317,6 +317,255 @@ TEST(Service, TuneAnswersWithOptimalQuantum) {
   EXPECT_GT(resp.at("result").at("total_mean_jobs").as_double(), 0.0);
 }
 
+Json batch_request(const std::vector<gs::gang::SystemParams>& systems) {
+  Json req = Json::object();
+  req.set("op", "solve_batch");
+  Json items = Json::array();
+  for (const auto& sys : systems) {
+    Json item = Json::object();
+    item.set("system", gs::serve::params_to_json(sys));
+    items.push_back(std::move(item));
+  }
+  req.set("items", std::move(items));
+  return req;
+}
+
+std::vector<gs::gang::SystemParams> perturbed_systems(
+    std::initializer_list<double> rates) {
+  std::vector<gs::gang::SystemParams> systems;
+  for (const double rate : rates) {
+    PaperKnobs knobs;
+    knobs.arrival_rate = rate;
+    systems.push_back(paper_system(knobs));
+  }
+  return systems;
+}
+
+TEST(Service, SolveBatchMatchesPerItemSolvesBitwise) {
+  // Same-shaped items ride the lock-step path; every per-item result
+  // must be the bytes a sequence of individual solves would have sent.
+  // Warm starts are off on both sides so each item solves cold either
+  // way (otherwise the sequential service would warm item 2 from item 1
+  // while the batch solves all three cold).
+  ServiceOptions no_warm;
+  no_warm.warm_start = false;
+  const auto systems = perturbed_systems({0.3, 0.35, 0.4});
+
+  EvalService scalar_service(no_warm);
+  std::vector<Json> want;
+  for (const auto& sys : systems)
+    want.push_back(
+        Json::parse(scalar_service.handle_line(solve_request(sys).dump())));
+
+  EvalService service(no_warm);
+  const Json resp =
+      Json::parse(service.handle_line(batch_request(systems).dump()));
+  ASSERT_EQ(resp.find("error"), nullptr) << resp.dump();
+  const auto& results = resp.at("results").as_array();
+  ASSERT_EQ(results.size(), systems.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    SCOPED_TRACE("item " + std::to_string(i));
+    const Json& got = results[i];
+    EXPECT_FALSE(got.at("cached").as_bool());
+    EXPECT_TRUE(got.at("batched").as_bool());
+    EXPECT_EQ(got.at("hash").as_string(), want[i].at("hash").as_string());
+    EXPECT_EQ(got.at("iterations").as_int(),
+              want[i].at("iterations").as_int());
+    EXPECT_EQ(got.at("result").dump(), want[i].at("result").dump());
+  }
+  EXPECT_EQ(service.stats().batch_requests, 1u);
+  EXPECT_EQ(service.stats().batch_lanes, 3u);
+  EXPECT_EQ(service.stats().solves_executed, 3u);
+}
+
+TEST(Service, SolveBatchFillsCachePerLane) {
+  // Every lane of a batch caches as if solved alone: individual repeats
+  // hit, and a repeat of the whole batch is answered entirely from cache.
+  EvalService service;
+  const auto systems = perturbed_systems({0.3, 0.35, 0.4});
+  service.handle_line(batch_request(systems).dump());
+  EXPECT_EQ(service.cache().size(), 3u);
+
+  const Json single =
+      Json::parse(service.handle_line(solve_request(systems[1]).dump()));
+  EXPECT_TRUE(single.at("cached").as_bool());
+
+  const Json again =
+      Json::parse(service.handle_line(batch_request(systems).dump()));
+  for (const Json& r : again.at("results").as_array())
+    EXPECT_TRUE(r.at("cached").as_bool());
+  EXPECT_EQ(service.stats().solves_executed, 3u);  // only the first batch
+}
+
+TEST(Service, SolveBatchAnswersHitsFromCacheAndSolvesTheRest) {
+  EvalService service;
+  const auto systems = perturbed_systems({0.3, 0.35});
+  service.handle_line(solve_request(systems[0]).dump());
+
+  const Json resp =
+      Json::parse(service.handle_line(batch_request(systems).dump()));
+  const auto& results = resp.at("results").as_array();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].at("cached").as_bool());
+  EXPECT_EQ(results[0].at("hits").as_int(), 1);
+  EXPECT_FALSE(results[1].at("cached").as_bool());
+  ASSERT_EQ(results[1].find("error"), nullptr);
+}
+
+TEST(Service, SolveBatchWarmStartsFromPriorSolveBitwise) {
+  // A batch miss with a same-structure donor in the warm index must run
+  // exactly GangSolver::solve_warm on the donor's final slices.
+  const auto base = paper_system();
+  PaperKnobs knobs;
+  knobs.arrival_rate = 0.44;
+  const auto perturbed = paper_system(knobs);
+  const SolveReport donor = GangSolver(base).solve();
+  const SolveReport direct =
+      GangSolver(perturbed).solve_warm(donor.final_slices);
+
+  EvalService service;
+  service.handle_line(solve_request(base).dump());
+  const Json resp =
+      Json::parse(service.handle_line(batch_request({perturbed}).dump()));
+  const Json& got = resp.at("results").as_array()[0];
+  EXPECT_FALSE(got.at("cached").as_bool());
+  EXPECT_TRUE(got.at("warm_started").as_bool());
+  EXPECT_EQ(got.at("iterations").as_int(), direct.iterations);
+  const auto& per_class = got.at("result").at("per_class").as_array();
+  for (std::size_t p = 0; p < per_class.size(); ++p)
+    EXPECT_EQ(per_class[p].at("mean_jobs").as_double(),
+              direct.per_class[p].mean_jobs);  // bitwise
+}
+
+TEST(Service, SolveBatchUnstableItemGetsErrorStringOthersSucceed) {
+  // One unstable lane must not poison the batch: its item carries the
+  // scalar error string, the others answer, and the daemon stays up.
+  EvalService service;
+  const auto systems = perturbed_systems({0.3, 2.0, 0.4});
+  const Json resp =
+      Json::parse(service.handle_line(batch_request(systems).dump()));
+  ASSERT_EQ(resp.find("error"), nullptr) << resp.dump();
+  const auto& results = resp.at("results").as_array();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].find("error"), nullptr);
+  ASSERT_NE(results[1].find("error"), nullptr);
+  EXPECT_FALSE(results[1].at("error").as_string().empty());
+  EXPECT_EQ(results[2].find("error"), nullptr);
+  EXPECT_EQ(service.stats().solves_executed, 2u);
+
+  const Json ok =
+      Json::parse(service.handle_line(solve_request(systems[0]).dump()));
+  EXPECT_TRUE(ok.at("cached").as_bool());  // healthy lanes filled the cache
+}
+
+TEST(Service, SolveBatchMalformedItemIsOneStructuredError) {
+  // Items are validated before anything solves: a bad item fails the
+  // whole request with one error and no partial cache fills.
+  EvalService service;
+  Json req = Json::object();
+  req.set("op", "solve_batch");
+  Json items = Json::array();
+  Json good = Json::object();
+  good.set("system", gs::serve::params_to_json(paper_system()));
+  items.push_back(std::move(good));
+  Json bad = Json::object();
+  bad.set("note", "no system field");
+  items.push_back(std::move(bad));
+  req.set("items", std::move(items));
+  const Json resp = Json::parse(service.handle_line(req.dump()));
+  ASSERT_NE(resp.find("error"), nullptr);
+  EXPECT_EQ(resp.at("error").at("type").as_string(), "invalid_argument");
+  EXPECT_EQ(service.stats().solves_executed, 0u);
+  EXPECT_EQ(service.cache().size(), 0u);
+
+  const Json empty = Json::parse(
+      service.handle_line(R"({"op":"solve_batch","items":[]})"));
+  ASSERT_NE(empty.find("error"), nullptr);
+}
+
+TEST(Service, SweepUnknownKeyGetsDidYouMeanHint) {
+  // Dispatch-tuning keys change speed, never answers — a silently
+  // dropped typo would look like a correct-but-slow request, so the
+  // sweep op rejects unknown keys with a nearest-match hint.
+  EvalService service;
+  Json req = Json::object();
+  req.set("op", "sweep");
+  req.set("system", gs::serve::params_to_json(paper_system()));
+  Json vary = Json::object();
+  vary.set("param", "quantum_mean");
+  Json values = Json::array();
+  values.push_back(1.0);
+  vary.set("values", std::move(values));
+  req.set("vary", std::move(vary));
+  req.set("chain_strid", 4);
+  const Json resp = Json::parse(service.handle_line(req.dump()));
+  ASSERT_NE(resp.find("error"), nullptr);
+  EXPECT_NE(resp.at("error").at("message").as_string().find(
+                "did you mean 'chain_stride'"),
+            std::string::npos)
+      << resp.dump();
+}
+
+TEST(Service, SweepAcceptsChainStrideAndBatchWidthWithoutChangingRows) {
+  const auto make_req = [] {
+    Json req = Json::object();
+    req.set("op", "sweep");
+    req.set("system", gs::serve::params_to_json(paper_system()));
+    Json vary = Json::object();
+    vary.set("param", "quantum_mean");
+    Json values = Json::array();
+    for (const double x : {0.5, 0.8, 1.1, 1.4, 1.7, 2.0})
+      values.push_back(x);
+    vary.set("values", std::move(values));
+    req.set("vary", std::move(vary));
+    return req;
+  };
+  EvalService plain_service;
+  const Json plain =
+      Json::parse(plain_service.handle_line(make_req().dump()));
+  ASSERT_EQ(plain.find("error"), nullptr) << plain.dump();
+
+  // batch_width only changes dispatch shape: rows stay bitwise equal.
+  Json wide_req = make_req();
+  wide_req.set("batch_width", 4);
+  EvalService wide_service;
+  const Json wide = Json::parse(wide_service.handle_line(wide_req.dump()));
+  ASSERT_EQ(wide.find("error"), nullptr) << wide.dump();
+  EXPECT_EQ(wide.at("points").dump(), plain.at("points").dump());
+
+  // chain_stride moves the warm-chain anchors, so warm-started rows take
+  // a different iteration path to the same fixed point (within tol) —
+  // accepted, answered, and numerically equivalent rather than bitwise.
+  Json strided_req = make_req();
+  strided_req.set("chain_stride", 2);
+  EvalService strided_service;
+  const Json strided =
+      Json::parse(strided_service.handle_line(strided_req.dump()));
+  ASSERT_EQ(strided.find("error"), nullptr) << strided.dump();
+  const auto& a = strided.at("points").as_array();
+  const auto& b = plain.at("points").as_array();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_NEAR(a[i].at("total_mean_jobs").as_double(),
+                b[i].at("total_mean_jobs").as_double(), 1e-4);
+
+  Json bad = make_req();
+  bad.set("batch_width", 0);
+  EvalService bad_service;
+  const Json err = Json::parse(bad_service.handle_line(bad.dump()));
+  ASSERT_NE(err.find("error"), nullptr);
+}
+
+TEST(Service, StatsCountsSolveBatchOp) {
+  EvalService service;
+  service.handle_line(batch_request(perturbed_systems({0.3, 0.35})).dump());
+  const Json stats = Json::parse(service.handle_line(R"({"op":"stats"})"));
+  EXPECT_EQ(stats.at("ops").at("solve_batch").as_int(), 1);
+  EXPECT_NE(service.summary().find("1 solve_batch/2 lanes"),
+            std::string::npos)
+      << service.summary();
+}
+
 TEST(Service, StreamLoopAnswersLineByLineAndStopsOnShutdown) {
   std::istringstream in(
       solve_request(paper_system()).dump() + "\n" +

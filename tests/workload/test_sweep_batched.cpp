@@ -1,0 +1,109 @@
+// Batched sweep dispatch (SweepOptions::batch_width): grouping points by
+// batch key and solving them lanes-abreast must change dispatch shape
+// only — every row is bitwise identical to the scalar sweep, across
+// widths, thread counts, warm chaining, and stability boundaries.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "workload/paper_configs.hpp"
+#include "workload/sweep.hpp"
+
+namespace {
+
+using namespace gs::workload;
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  std::vector<double> xs;
+  for (std::size_t i = 0; i < n; ++i)
+    xs.push_back(lo + (hi - lo) * static_cast<double>(i) /
+                          static_cast<double>(n - 1));
+  return xs;
+}
+
+void expect_identical(const std::vector<SweepPoint>& a,
+                      const std::vector<SweepPoint>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("point " + std::to_string(i));
+    EXPECT_EQ(a[i].x, b[i].x);
+    EXPECT_EQ(a[i].iterations, b[i].iterations);
+    EXPECT_EQ(a[i].warm_started, b[i].warm_started);
+    EXPECT_EQ(a[i].error, b[i].error);
+    ASSERT_EQ(a[i].model_n.size(), b[i].model_n.size());
+    for (std::size_t p = 0; p < a[i].model_n.size(); ++p)
+      EXPECT_EQ(a[i].model_n[p], b[i].model_n[p]);
+  }
+}
+
+gs::gang::SystemParams quantum_system(double quantum) {
+  PaperKnobs knobs;
+  knobs.quantum_mean = quantum;
+  return paper_system(knobs);
+}
+
+TEST(SweepBatched, ColdSweepBitwiseEqualAtEveryWidth) {
+  const auto xs = linspace(0.25, 2.0, 12);
+  SweepOptions scalar;
+  scalar.batch_width = 1;
+  const auto want = sweep(xs, quantum_system, scalar);
+  for (const std::size_t width : {2u, 4u, 8u}) {
+    SCOPED_TRACE("width " + std::to_string(width));
+    SweepOptions batched;
+    batched.batch_width = width;
+    expect_identical(want, sweep(xs, quantum_system, batched));
+  }
+}
+
+TEST(SweepBatched, ComposesWithWarmChainBitwise) {
+  // Anchors solve batched-cold, fills batched-warm; rows must still be
+  // exactly the scalar warm-chained sweep's.
+  const auto xs = linspace(0.25, 2.0, 12);
+  SweepOptions scalar;
+  scalar.batch_width = 1;
+  scalar.warm_chain = true;
+  scalar.chain_stride = 4;
+  SweepOptions batched = scalar;
+  batched.batch_width = 8;
+
+  const auto want = sweep(xs, quantum_system, scalar);
+  const auto got = sweep(xs, quantum_system, batched);
+  expect_identical(want, got);
+  bool any_warm = false;
+  for (const auto& row : got) any_warm = any_warm || row.warm_started;
+  EXPECT_TRUE(any_warm);
+}
+
+TEST(SweepBatched, BitwiseIdenticalAcrossThreadCounts) {
+  // Chunks fan out across the pool; the chunk plan depends only on the
+  // wave's batch keys, so thread count still changes speed, never bits.
+  const auto xs = linspace(0.25, 2.0, 10);
+  SweepOptions one;
+  one.batch_width = 4;
+  SweepOptions four = one;
+  four.num_threads = 4;
+  expect_identical(sweep(xs, quantum_system, one),
+                   sweep(xs, quantum_system, four));
+}
+
+TEST(SweepBatched, ErrorRowsMatchScalarAcrossStabilityBoundary) {
+  const auto make = [](double rate) {
+    PaperKnobs knobs;
+    knobs.arrival_rate = rate;
+    return paper_system(knobs);
+  };
+  const auto xs = linspace(0.3, 1.6, 8);
+  SweepOptions scalar;
+  scalar.batch_width = 1;
+  SweepOptions batched;
+  batched.batch_width = 8;
+  const auto want = sweep(xs, make, scalar);
+  const auto got = sweep(xs, make, batched);
+  expect_identical(want, got);
+  bool any_error = false;
+  for (const auto& row : got) any_error = any_error || !row.error.empty();
+  EXPECT_TRUE(any_error);  // the sweep really crossed the boundary
+}
+
+}  // namespace
