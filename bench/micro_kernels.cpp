@@ -75,7 +75,85 @@ void BM_MatmulBlocked(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(2 * n * n * n));
 }
-BENCHMARK(BM_MatmulBlocked)->Arg(16)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+BENCHMARK(BM_MatmulBlocked)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(48)
+    ->Arg(64)
+    ->Arg(96)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512);
+
+// The GEMM kernel-shape sweep over the sizes the QBD iterates actually
+// take (d ~ 16..128): old blocked kernel (BM_MatmulBlocked above) vs the
+// packed register-tiled kernel vs the tiled-but-unpacked variant, all
+// bitwise identical (tests/linalg/test_gemm.cpp). Comparing the three
+// separates the register-tiling payoff from the packing payoff.
+void BM_GemmTiledPacked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_dd_matrix(n, 1);
+  const Matrix b = random_dd_matrix(n, 2);
+  gs::linalg::GemmWorkspace ws;
+  Matrix out;
+  for (auto _ : state) {
+    gs::linalg::gemm_into(out, a, b, ws);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmTiledPacked)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(48)
+    ->Arg(64)
+    ->Arg(96)
+    ->Arg(128);
+
+void BM_GemmTiledUnpacked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_dd_matrix(n, 1);
+  const Matrix b = random_dd_matrix(n, 2);
+  Matrix out;
+  for (auto _ : state) {
+    gs::linalg::gemm_tiled_unpacked_into(out, a, b);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmTiledUnpacked)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(48)
+    ->Arg(64)
+    ->Arg(96)
+    ->Arg(128);
+
+// The grouped entry point on a log-reduction-shaped pass: four products
+// over two packed operands, what one squaring iteration actually runs.
+void BM_GemmGroupedSquaringPass(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix h = random_dd_matrix(n, 1);
+  const Matrix l = random_dd_matrix(n, 2);
+  gs::linalg::GemmPackA ha, la;
+  gs::linalg::GemmPackB hb, lb;
+  Matrix u, lh, hh, ll;
+  for (auto _ : state) {
+    ha.pack(h);
+    la.pack(l);
+    hb.pack(h);
+    lb.pack(l);
+    const gs::linalg::GemmOp ops[4] = {
+        {&u, &ha, &lb}, {&lh, &la, &hb}, {&hh, &ha, &hb}, {&ll, &la, &lb}};
+    gs::linalg::gemm_grouped(ops, 4);
+    benchmark::DoNotOptimize(u.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(4 * 2 * n * n * n));
+}
+BENCHMARK(BM_GemmGroupedSquaringPass)->Arg(28)->Arg(64)->Arg(128);
 
 void BM_LuSolve(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -17,11 +17,13 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "gang/class_process.hpp"
 #include "gang/params.hpp"
+#include "qbd/arena.hpp"
 
 namespace gs::util {
 class ThreadPool;
@@ -77,6 +79,15 @@ struct GangSolveOptions {
   /// their own. Non-owning; must outlive the solve. Never affects
   /// results, only where the lanes live.
   util::ThreadPool* pool = nullptr;
+  /// Solve the L per-class R matrices of each fixed-point iteration as
+  /// one lock-step batch when the classes share a chain shape (grouped
+  /// by repeating dimension otherwise). Applies only on the sequential
+  /// path (num_threads <= 1) — with threads the classes already overlap.
+  /// Like num_threads this can never change the answer: the batched R
+  /// solve is bitwise identical to the scalar one per lane, and any
+  /// grouping failure re-runs the exact scalar loop. It is a knob only
+  /// so benches and the equivalence tests can time/pin both paths.
+  bool group_classes = true;
 };
 
 /// Per-class performance measures at the final iterate (Section 4.5's
@@ -205,6 +216,11 @@ class GangSolver {
  private:
   std::vector<PhaseType> initial_slices(InitMode mode) const;
   SolveReport run(const std::vector<PhaseType>& init_slices) const;
+  bool solve_classes_grouped(
+      const std::vector<PhaseType>& slices, qbd::WorkspaceArena::Lease& ws,
+      std::vector<std::optional<ClassProcess>>& procs,
+      std::vector<std::optional<qbd::QbdSolution>>& sols,
+      std::vector<double>& n) const;
   static void run_chunk(const std::vector<BatchItem>& items,
                         const std::vector<std::size_t>& idxs,
                         std::vector<BatchOutcome>& out);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/gemm.hpp"
 #include "util/error.hpp"
 
 namespace gs::linalg {
@@ -109,6 +110,58 @@ void batch_multiply_into(BatchMatrix& out, const BatchMatrix& a,
     }
   }
   if (stats != nullptr) stats->masked_flops += masked;
+}
+
+void batch_multiply_tiled_into(BatchMatrix& out, const BatchMatrix& a,
+                               const BatchMatrix& b, const LaneMask& active) {
+  GS_CHECK(a.cols() == b.rows() && a.width() == b.width(),
+           "batch multiply shape mismatch");
+  GS_CHECK(&out != &a && &out != &b,
+           "batch_multiply_tiled_into: out aliases an input");
+  const std::size_t n = a.rows();
+  const std::size_t kk = a.cols();
+  const std::size_t m = b.cols();
+  const std::size_t w = a.width();
+  GS_CHECK(w <= kMaxBatchLanes,
+           "batch_multiply_tiled_into: width exceeds kMaxBatchLanes");
+  out.ensure(n, m, w);
+  const bool all = active.all();
+  // One MR x NR tile of W-wide accumulators — 4 KiB of stack at the lane
+  // cap, packed at the actual width for contiguous lane vectors.
+  double acc[kGemmMr * kGemmNr * kMaxBatchLanes];
+  for (std::size_t i0 = 0; i0 < n; i0 += kGemmMr) {
+    const std::size_t mr = std::min(kGemmMr, n - i0);
+    for (std::size_t j0 = 0; j0 < m; j0 += kGemmNr) {
+      const std::size_t nr = std::min(kGemmNr, m - j0);
+      const std::size_t tile = mr * nr * w;
+      for (std::size_t x = 0; x < tile; ++x) acc[x] = 0.0;
+      for (std::size_t k = 0; k < kk; ++k) {
+        const double* brow = b.lanes(k, j0);
+        for (std::size_t r = 0; r < mr; ++r) {
+          const double* al = a.lanes(i0 + r, k);
+          double* arow = acc + r * nr * w;
+          for (std::size_t c = 0; c < nr; ++c) {
+            const double* bl = brow + c * w;
+            double* o = arow + c * w;
+            // All lanes accumulate; inactive lanes are dropped below.
+            for (std::size_t l = 0; l < w; ++l) o[l] += al[l] * bl[l];
+          }
+        }
+      }
+      for (std::size_t r = 0; r < mr; ++r) {
+        for (std::size_t c = 0; c < nr; ++c) {
+          double* o = out.lanes(i0 + r, j0 + c);
+          const double* s = acc + (r * nr + c) * w;
+          if (all) {
+            for (std::size_t l = 0; l < w; ++l) o[l] = s[l];
+          } else {
+            for (std::size_t l = 0; l < w; ++l)
+              if (active[l]) o[l] = s[l];
+          }
+        }
+      }
+    }
+  }
 }
 
 void batch_add(BatchMatrix& out, const BatchMatrix& b,

@@ -145,6 +145,21 @@ void batch_multiply_into(BatchMatrix& out, const BatchMatrix& a,
                          const BatchMatrix& b, const LaneMask& active,
                          BatchKernelStats* stats = nullptr);
 
+/// Register-tiled variant of batch_multiply_into: kGemmMr x kGemmNr
+/// output tiles accumulate in a stack buffer over the full depth (one
+/// store per output element instead of one read-modify-write per k),
+/// lanes innermost as everywhere in this header. Per active lane the
+/// result is bitwise identical to batch_multiply_into — ascending-k
+/// accumulation from +0.0, zero terms included as +-0.0 no-ops (the
+/// finite-operands precondition again). Inactive lanes are *computed*
+/// into the stack tile but never stored, the same "arithmetic on
+/// whatever bits a retired lane holds is harmless because it is dropped"
+/// reasoning BatchLu already relies on; their storage keeps its bits.
+/// There is no stats parameter: masked_flops counts work the masked
+/// kernel skipped, and this kernel skips nothing.
+void batch_multiply_tiled_into(BatchMatrix& out, const BatchMatrix& a,
+                               const BatchMatrix& b, const LaneMask& active);
+
 /// out += b on the active lanes.
 void batch_add(BatchMatrix& out, const BatchMatrix& b, const LaneMask& active);
 /// out = src on the active lanes (reshapes out when empty).

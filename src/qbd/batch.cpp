@@ -187,20 +187,38 @@ void solve_r_logreduction_batch(const BatchBlocks& blocks,
   std::vector<unsigned char> conv(width, 0);
   std::vector<double> last_incr(width, 0.0);
   for (int it = 1; it <= opts.max_iter && run.any(); ++it) {
-    linalg::batch_multiply_into(w.u, w.h, w.l, run, &stats);
-    linalg::batch_multiply_into(w.lh, w.l, w.h, run, &stats);
+    // The squaring and carry products are dense-by-necessity (same story
+    // as the scalar loop), so the register-tiled kernel applies; it
+    // drops the all-zero-entry skip, which is why `stats` only feeds on
+    // the masked path. One grouped pass = the products sharing iterates.
+    if (opts.tiled) {
+      linalg::batch_multiply_tiled_into(w.u, w.h, w.l, run);
+      linalg::batch_multiply_tiled_into(w.lh, w.l, w.h, run);
+      linalg::batch_multiply_tiled_into(w.hh, w.h, w.h, run);
+      linalg::batch_multiply_tiled_into(w.ll, w.l, w.l, run);
+      obs::count("qbd.rsolve.logreduction.grouped_passes");
+    } else {
+      linalg::batch_multiply_into(w.u, w.h, w.l, run, &stats);
+      linalg::batch_multiply_into(w.lh, w.l, w.h, run, &stats);
+      linalg::batch_multiply_into(w.hh, w.h, w.h, run, &stats);
+      linalg::batch_multiply_into(w.ll, w.l, w.l, run, &stats);
+    }
     linalg::batch_add(w.u, w.lh, run);
-    linalg::batch_multiply_into(w.hh, w.h, w.h, run, &stats);
-    linalg::batch_multiply_into(w.ll, w.l, w.l, run, &stats);
     linalg::batch_identity_minus(w.iu, w.u, run);
     w.lu_iu.factor(w.iu, run);
     drop_singular_lanes(w.lu_iu, run, out);
     if (!run.any()) break;
     w.lu_iu.solve_into(w.hh, w.h, run);
     w.lu_iu.solve_into(w.ll, w.l, run);
-    linalg::batch_multiply_into(w.incr, w.t, w.l, run, &stats);
+    if (opts.tiled) {
+      linalg::batch_multiply_tiled_into(w.incr, w.t, w.l, run);
+      linalg::batch_multiply_tiled_into(w.tmp, w.t, w.h, run);
+      obs::count("qbd.rsolve.logreduction.grouped_passes");
+    } else {
+      linalg::batch_multiply_into(w.incr, w.t, w.l, run, &stats);
+      linalg::batch_multiply_into(w.tmp, w.t, w.h, run, &stats);
+    }
     linalg::batch_add(w.g, w.incr, run);
-    linalg::batch_multiply_into(w.tmp, w.t, w.h, run, &stats);
     // Copy-not-swap (the scalar path swaps T and its product): retiring
     // lanes freeze in place.
     linalg::batch_copy(w.t, w.tmp, run);
@@ -253,6 +271,31 @@ void solve_r_batch(const BatchBlocks& blocks, const linalg::LaneMask& lanes,
                    BatchWorkspace& w, BatchRSolveResult& out) {
   if (method == RMethod::kLogReduction) {
     solve_r_logreduction_batch(blocks, lanes, opts, w, out);
+  } else if (method == RMethod::kCyclicReduction) {
+    // Cyclic reduction has no lock-step batched form yet — it is the
+    // cross-check backend, not the hot path — so each active lane runs
+    // the scalar solver; per lane the bits, iteration count, residual,
+    // and error text are exactly the scalar solver's by construction.
+    const std::size_t d = blocks.size();
+    const std::size_t width = blocks.width();
+    GS_CHECK(lanes.width() == width, "batch R solve: mask width mismatch");
+    out.reset(width);
+    out.r.ensure(d, d, width);
+    for (std::size_t l = 0; l < width; ++l) {
+      if (!lanes[l]) continue;
+      blocks.a0.store_lane(l, w.lane_a0);
+      blocks.a1.store_lane(l, w.lane_a1);
+      blocks.a2.store_lane(l, w.lane_a2);
+      try {
+        const RSolveResult res = solve_r_cyclic_reduction(
+            w.lane_a0, w.lane_a1, w.lane_a2, opts, &w.scalar);
+        out.r.load_lane(l, res.r);
+        out.iterations[l] = res.iterations;
+        out.residual[l] = res.residual;
+      } catch (const NumericalError& e) {
+        out.error[l] = e.what();
+      }
+    }
   } else {
     solve_r_substitution_batch(blocks, lanes, opts, w, out);
   }

@@ -94,7 +94,9 @@ void solve_r_logreduction_batch(const BatchBlocks& blocks,
                                 const RSolveOptions& opts, BatchWorkspace& w,
                                 BatchRSolveResult& out);
 
-/// Method dispatch, matching qbd::solve's choice.
+/// Method dispatch, matching qbd::solve's choice. Cyclic reduction runs
+/// per-lane through the scalar solver (it is the cross-check backend and
+/// has no lock-step batched form); the other methods run batched.
 void solve_r_batch(const BatchBlocks& blocks, const linalg::LaneMask& lanes,
                    RMethod method, const RSolveOptions& opts,
                    BatchWorkspace& w, BatchRSolveResult& out);

@@ -170,8 +170,8 @@ RSolveResult solve_r_logreduction(const Matrix& a0, const Matrix& a1,
   neg_a1 *= -1.0;
   linalg::Lu lu(neg_a1);
   // H: one-step up kernel; L: one-step down kernel of the censored chain.
-  lu.solve_into(a0, w.h);
-  lu.solve_into(a2, w.l);
+  lu.solve_into(a0, w.h, opts.tiled);
+  lu.solve_into(a2, w.l, opts.tiled);
 
   // Log reduction densifies: after one squaring the H/L/G/T iterates are
   // products of (generically dense) solves, so the loop below cannot use
@@ -195,23 +195,58 @@ RSolveResult solve_r_logreduction(const Matrix& a0, const Matrix& a1,
   RSolveResult out;
   w.g = w.l;
   w.t = w.h;
+  // Tiled path: B-side packs of H and L persist across the two grouped
+  // passes of an iteration — pass 2 packs the *new* iterates it reads,
+  // which is exactly what pass 1 of the next iteration needs.
+  if (opts.tiled) {
+    w.gp_h_b.pack(w.h);
+    w.gp_l_b.pack(w.l);
+  }
   bool converged = false;
   for (int it = 1; it <= opts.max_iter; ++it) {
     // U = H L + L H; the squared kernels H^2, L^2 are formed before H and
     // L are overwritten by the solves against (I - U). The iterates fill
     // in after the first squaring, so this loop stays dense.
-    linalg::multiply_into(w.u, w.h, w.l);
-    linalg::multiply_into(w.lh, w.l, w.h);
+    if (opts.tiled) {
+      // Squaring pass: four products over two packed iterates (H and L
+      // each appear on both sides), tiles amortized across all four.
+      w.gp_h_a.pack(w.h);
+      w.gp_l_a.pack(w.l);
+      const linalg::GemmOp squaring[4] = {
+          {&w.u, &w.gp_h_a, &w.gp_l_b},    // H L
+          {&w.lh, &w.gp_l_a, &w.gp_h_b},   // L H
+          {&w.hh, &w.gp_h_a, &w.gp_h_b},   // H^2
+          {&w.ll, &w.gp_l_a, &w.gp_l_b},   // L^2
+      };
+      linalg::gemm_grouped(squaring, 4);
+      obs::count("qbd.rsolve.logreduction.grouped_passes");
+    } else {
+      linalg::multiply_into(w.u, w.h, w.l);
+      linalg::multiply_into(w.lh, w.l, w.h);
+      linalg::multiply_into(w.hh, w.h, w.h);
+      linalg::multiply_into(w.ll, w.l, w.l);
+    }
     w.u += w.lh;
-    linalg::multiply_into(w.hh, w.h, w.h);
-    linalg::multiply_into(w.ll, w.l, w.l);
     identity_minus_into(w.iu, w.u);
     linalg::Lu lu_u(w.iu);
-    lu_u.solve_into(w.hh, w.h);
-    lu_u.solve_into(w.ll, w.l);
-    linalg::multiply_into(w.incr, w.t, w.l);
+    lu_u.solve_into(w.hh, w.h, opts.tiled);
+    lu_u.solve_into(w.ll, w.l, opts.tiled);
+    if (opts.tiled) {
+      // Carry pass: T against the fresh H and L.
+      w.gp_t_a.pack(w.t);
+      w.gp_l_b.pack(w.l);
+      w.gp_h_b.pack(w.h);
+      const linalg::GemmOp carry[2] = {
+          {&w.incr, &w.gp_t_a, &w.gp_l_b},  // T L
+          {&w.tmp, &w.gp_t_a, &w.gp_h_b},   // T H
+      };
+      linalg::gemm_grouped(carry, 2);
+      obs::count("qbd.rsolve.logreduction.grouped_passes");
+    } else {
+      linalg::multiply_into(w.incr, w.t, w.l);
+      linalg::multiply_into(w.tmp, w.t, w.h);
+    }
     w.g += w.incr;
-    linalg::multiply_into(w.tmp, w.t, w.h);
     std::swap(w.t, w.tmp);
     out.iterations = it;
     // Quadratic convergence: both the increment just added and the carry
@@ -253,6 +288,131 @@ RSolveResult solve_r_logreduction(const Matrix& a0, const Matrix& a1,
   if (out.residual > 1e-8 * std::max(1.0, a1.max_abs())) {
     throw NumericalError(
         "logarithmic reduction for R did not converge (residual " +
+        std::to_string(out.residual) + " after " +
+        std::to_string(out.iterations) + " iterations)");
+  }
+  return out;
+}
+
+RSolveResult solve_r_cyclic_reduction(const Matrix& a0, const Matrix& a1,
+                                      const Matrix& a2,
+                                      const RSolveOptions& opts,
+                                      Workspace* ws) {
+  const std::size_t d = a1.rows();
+  GS_CHECK(a0.rows() == d && a2.rows() == d, "R solve: block size mismatch");
+
+  obs::Span span("qbd.rsolve.cyclicreduction");
+  span.arg("d", static_cast<std::int64_t>(d));
+  obs::count("qbd.rsolve.cyclicreduction.count");
+
+  Workspace local;
+  Workspace& w = ws ? *ws : local;
+  std::optional<obs::Span> stage;
+  stage.emplace("qbd.rsolve.cyclicreduction.setup");
+
+  // The shrinking-chain iterates start at the originals; hat-A1 censors
+  // the even levels down to level one: hat <- hat - A0 A1^{-1} A2.
+  w.cr_a0 = a0;
+  w.cr_a1 = a1;
+  w.cr_a2 = a2;
+  w.cr_hat = a1;
+
+  // Same densification story as log reduction: the CR iterates are
+  // products of solves and fill in after one step, so CSR only pays in
+  // the final stage (structured A0) and the residual (A1/A2).
+  const bool sparse_final = opts.sparse && dense_fraction(a0) <= kCsrDensityGate;
+  const bool sparse_resid =
+      opts.sparse &&
+      0.5 * (dense_fraction(a1) + dense_fraction(a2)) <= kCsrDensityGate;
+  if (sparse_final) w.a0_csr.assign_from_dense(a0);
+  if (sparse_resid) {
+    w.a1_csr.assign_from_dense(a1);
+    w.a2_csr.assign_from_dense(a2);
+  }
+  stage.emplace("qbd.rsolve.cyclicreduction.loop");
+
+  RSolveResult out;
+  bool converged = false;
+  for (int it = 1; it <= opts.max_iter; ++it) {
+    // One elimination step. A1^(k) is the diagonal block of a generator
+    // restricted to a transient level set, hence nonsingular until the
+    // iterates underflow past convergence (the Lu throws if a degenerate
+    // input does make it singular).
+    const linalg::Lu lu(w.cr_a1);
+    lu.solve_into(w.cr_a0, w.cr_t0, opts.tiled);  // T0 = A1^{-1} A0
+    lu.solve_into(w.cr_a2, w.cr_t2, opts.tiled);  // T2 = A1^{-1} A2
+    // Four products over two A-side and two B-side operands — one
+    // grouped pass, same shape as the log-reduction squaring pass.
+    if (opts.tiled) {
+      w.gp_h_a.pack(w.cr_a0);
+      w.gp_l_a.pack(w.cr_a2);
+      w.gp_h_b.pack(w.cr_t0);
+      w.gp_l_b.pack(w.cr_t2);
+      const linalg::GemmOp elim[4] = {
+          {&w.incr, &w.gp_h_a, &w.gp_l_b},  // A0 A1^{-1} A2
+          {&w.lh, &w.gp_l_a, &w.gp_h_b},    // A2 A1^{-1} A0
+          {&w.hh, &w.gp_h_a, &w.gp_h_b},    // A0 A1^{-1} A0
+          {&w.ll, &w.gp_l_a, &w.gp_l_b},    // A2 A1^{-1} A2
+      };
+      linalg::gemm_grouped(elim, 4);
+      obs::count("qbd.rsolve.cyclicreduction.grouped_passes");
+    } else {
+      linalg::multiply_into(w.incr, w.cr_a0, w.cr_t2);
+      linalg::multiply_into(w.lh, w.cr_a2, w.cr_t0);
+      linalg::multiply_into(w.hh, w.cr_a0, w.cr_t0);
+      linalg::multiply_into(w.ll, w.cr_a2, w.cr_t2);
+    }
+    w.cr_hat -= w.incr;
+    w.cr_a1 -= w.incr;
+    w.cr_a1 -= w.lh;
+    w.cr_a0 = w.hh;
+    w.cr_a0 *= -1.0;
+    w.cr_a2 = w.ll;
+    w.cr_a2 *= -1.0;
+    out.iterations = it;
+    // The odd-level coupling A0 A1^{-1} A2 is what hat-A1 still moves by;
+    // it collapses quadratically along with the off-diagonal iterates.
+    if (w.incr.max_abs() <= opts.tol) {
+      converged = true;
+      break;
+    }
+  }
+
+  obs::count("qbd.rsolve.cyclicreduction.iterations",
+             static_cast<std::uint64_t>(out.iterations));
+  span.arg("iterations", static_cast<std::int64_t>(out.iterations));
+  stage.emplace("qbd.rsolve.cyclicreduction.final");
+
+  // G = -(hat-A1)^{-1} A2 against the *original* A2, then R from G by the
+  // same final stage as log reduction: R (-(A1 + A0 G)) = A0.
+  w.tmp = a2;
+  w.tmp *= -1.0;
+  const linalg::Lu lu_hat(w.cr_hat);
+  lu_hat.solve_into(w.tmp, w.g, opts.tiled);
+  if (sparse_final) {
+    linalg::multiply_into(w.tmp, w.a0_csr, w.g);
+  } else {
+    linalg::multiply_into(w.tmp, a0, w.g);
+  }
+  w.iu = a1;
+  w.iu += w.tmp;
+  w.iu *= -1.0;
+  const linalg::Lu lu_negu(w.iu);
+  lu_negu.solve_right_into(a0, out.r);
+  out.g = w.g;
+  out.residual = r_residual(out.r, a0, a1, a2, w, sparse_resid);
+  stage.reset();
+  if (!converged) {
+    throw NumericalError(
+        "cyclic reduction for R exhausted max_iter=" +
+        std::to_string(opts.max_iter) + " (last increment " +
+        std::to_string(w.incr.max_abs()) + " > tol " +
+        std::to_string(opts.tol) + ", residual " +
+        std::to_string(out.residual) + ")");
+  }
+  if (out.residual > 1e-8 * std::max(1.0, a1.max_abs())) {
+    throw NumericalError(
+        "cyclic reduction for R did not converge (residual " +
         std::to_string(out.residual) + " after " +
         std::to_string(out.iterations) + " iterations)");
   }

@@ -12,6 +12,7 @@
 //    R = A0 (-(A1 + A0 G))^{-1}  (quadratic convergence — the default).
 #pragma once
 
+#include "linalg/gemm.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/sparse.hpp"
 #include "qbd/qbd.hpp"
@@ -47,6 +48,18 @@ struct RSolveOptions {
   /// a dense block costs O(d^2) and its CSR product saves nothing), which
   /// is also bitwise-invisible.
   bool sparse = true;
+  /// Run the iterate-heavy inner stages through the tiled kernel suite:
+  /// the dense products of the log-reduction squaring loop (and the
+  /// cyclic-reduction updates) go through the packed tiled GEMM kernel
+  /// (linalg/gemm.hpp), grouped so the packed iterates amortize across
+  /// the products of one iteration, and the (I-U)^{-1} substitution
+  /// sweeps advance a block of right-hand sides per factor read
+  /// (Lu::solve_into blocked_rhs). On by default: every tiled kernel is
+  /// bitwise identical to the one it replaces (see gemm.hpp / lu.hpp),
+  /// so like `sparse` this toggle changes speed and nothing else — the
+  /// tiled equivalence tests pin that across the paper's configs. It
+  /// exists so benches and CI can time the old kernels against the new.
+  bool tiled = true;
 };
 
 struct RSolveResult {
@@ -79,6 +92,15 @@ struct Workspace {
   linalg::SparseMatrix a0_csr, a1_csr, a2_csr, rt_csr;
   // r_residual scratch: R A1, R R, (R R) A2, and the running sum.
   Matrix res_ra1, res_rr, res_rra2, res_acc;
+  // Cyclic reduction: the shrinking A0/A1/A2 iterates, the accumulated
+  // hat-A1, and the two one-step solve results T0/T2.
+  Matrix cr_a0, cr_a1, cr_a2, cr_hat, cr_t0, cr_t2;
+  // Packed-GEMM operand buffers for the grouped iterate products
+  // (RSolveOptions::tiled): two A-side and two B-side packs cover one
+  // squaring pass, gp_t_a the G/T carry pass; cyclic reduction reuses
+  // the same five.
+  linalg::GemmPackA gp_h_a, gp_l_a, gp_t_a;
+  linalg::GemmPackB gp_h_b, gp_l_b;
   // Revalue staging for the gang fixed point: ClassProcess rebuilds its
   // blocks here each iteration and QbdProcess::revalue copies them into
   // the live process without reallocating; the away-period convolution
@@ -103,6 +125,19 @@ RSolveResult solve_r_logreduction(const Matrix& a0, const Matrix& a1,
                                   const Matrix& a2,
                                   const RSolveOptions& opts = {},
                                   Workspace* ws = nullptr);
+
+/// Cyclic reduction (Bini-Meini): halve the level set each step by
+/// eliminating the odd levels, tracking the censored first-level block
+/// hat-A1 whose limit gives G = -(hat-A1)^{-1} A2, then R from G exactly
+/// as the logarithmic-reduction final stage. Quadratically convergent
+/// like log reduction but with two multi-RHS solves and four (groupable)
+/// products per step instead of two solves and six products — a third
+/// backend cross-checked against the other two at tolerance (CR takes
+/// its own rounding path, so agreement is numerical, not bitwise).
+RSolveResult solve_r_cyclic_reduction(const Matrix& a0, const Matrix& a1,
+                                      const Matrix& a2,
+                                      const RSolveOptions& opts = {},
+                                      Workspace* ws = nullptr);
 
 /// max|A0 + R A1 + R^2 A2| — the defining-equation residual.
 double r_residual(const Matrix& r, const Matrix& a0, const Matrix& a1,

@@ -126,6 +126,9 @@ QbdSolution solve(const QbdProcess& process, const SolveOptions& opts,
   const RSolveResult rres =
       opts.r_method == RMethod::kLogReduction
           ? solve_r_logreduction(blk.a0, blk.a1, blk.a2, opts.r_options, &w)
+      : opts.r_method == RMethod::kCyclicReduction
+          ? solve_r_cyclic_reduction(blk.a0, blk.a1, blk.a2, opts.r_options,
+                                     &w)
           : solve_r_substitution(blk.a0, blk.a1, blk.a2, opts.r_options, &w);
   return solve_with_r(process, rres.r, opts, &w);
 }

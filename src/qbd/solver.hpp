@@ -12,11 +12,13 @@
 
 namespace gs::qbd {
 
-/// Which fixed-point algorithm computes Neuts' R matrix. Both converge
+/// Which fixed-point algorithm computes Neuts' R matrix. All converge
 /// to the same R; logarithmic reduction is quadratically convergent
 /// (the default), successive substitution is linear but cheaper per
-/// iteration on very sparse blocks. See DESIGN.md § R-matrix.
-enum class RMethod { kLogReduction, kSubstitution };
+/// iteration on very sparse blocks, and cyclic reduction (Bini-Meini)
+/// is a second quadratic algorithm on a different recurrence — kept as
+/// an independent cross-check of the default. See DESIGN.md § R-matrix.
+enum class RMethod { kLogReduction, kSubstitution, kCyclicReduction };
 
 /// Knobs for solve(). The defaults reproduce the paper's configuration.
 struct SolveOptions {

@@ -177,7 +177,15 @@ const char* init_name(gang::InitMode m) {
 }
 
 const char* r_method_name(qbd::RMethod m) {
-  return m == qbd::RMethod::kSubstitution ? "substitution" : "logreduction";
+  switch (m) {
+    case qbd::RMethod::kSubstitution:
+      return "substitution";
+    case qbd::RMethod::kCyclicReduction:
+      return "cyclic_reduction";
+    case qbd::RMethod::kLogReduction:
+      break;
+  }
+  return "logreduction";
 }
 
 }  // namespace
@@ -260,9 +268,12 @@ gang::GangSolveOptions options_from_json(const Json& v) {
         o.qbd.r_method = qbd::RMethod::kLogReduction;
       else if (s == "substitution")
         o.qbd.r_method = qbd::RMethod::kSubstitution;
+      else if (s == "cyclic_reduction")
+        o.qbd.r_method = qbd::RMethod::kCyclicReduction;
       else
         throw InvalidArgument(
-            "qbd.r_method must be 'logreduction' or 'substitution'");
+            "qbd.r_method must be 'logreduction', 'substitution', or "
+            "'cyclic_reduction'");
     }
     if (const Json* y = x->find("r_tol"))
       o.qbd.r_options.tol = y->as_double();
