@@ -1,0 +1,536 @@
+// gangd_load: open-loop load generator and tail-latency bench for the
+// event-loop gangd daemon — and, with --script, a lockstep NDJSON
+// replay client (how the smoke test drives goldens through TCP).
+//
+// Load mode opens --conns TCP connections and fires --requests requests
+// at an aggregate --rate (requests/second) on a fixed schedule: request
+// k is *sent at* start + k/rate whether or not earlier responses have
+// arrived (send and receive are separate threads per connection), so
+// queueing delay shows up in the measured latency instead of silently
+// slowing the offered load — the closed-loop coordinated-omission trap.
+// Latency for request k is recv(k) - scheduled_send(k).
+//
+// The mix exercises every hot path of the daemon: solves drawn from a
+// pool of --scenarios distinct systems (repeats hit the cache or
+// coalesce with an identical in-flight solve), small solve_batch and
+// sweep requests, and enough volume that --queue-limit sheds under an
+// aggressive --rate. Responses are classified ok / shed / error;
+// anything malformed, out of order, or missing is a protocol error and
+// --check makes those fatal.
+//
+// With --port=0 (default) the daemon runs in-process on an ephemeral
+// port — the bench is then self-contained and emits BENCH_gangd.json
+// (to --out). With --port=N it drives an external daemon and leaves it
+// running unless --shutdown=1.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <mutex>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json/json.hpp"
+#include "net/event_loop.hpp"
+#include "serve/canonical.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "workload/paper_configs.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using gs::json::Json;
+using gs::workload::paper_system;
+using gs::workload::PaperKnobs;
+
+// ---------------------------------------------------------------- client
+
+/// A blocking NDJSON client connection (the load generator wants the
+/// simplest possible correct client, not another event loop).
+class Client {
+ public:
+  ~Client() { close(); }
+
+  void connect(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0)
+      throw gs::Error(std::string("socket() failed: ") + std::strerror(errno));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    int rc;
+    do {
+      rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0)
+      throw gs::Error("connect(127.0.0.1:" + std::to_string(port) +
+                      ") failed: " + std::strerror(errno));
+  }
+
+  void send_line(const std::string& line) {
+    std::string data = line;
+    data.push_back('\n');
+    std::size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n = ::send(fd_, data.data() + off, data.size() - off,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw gs::Error(std::string("send failed: ") + std::strerror(errno));
+      }
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// One response line (without the newline); false on EOF.
+  bool recv_line(std::string* line) {
+    for (;;) {
+      if (const std::size_t nl = buf_.find('\n'); nl != std::string::npos) {
+        *line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        if (!line->empty() && line->back() == '\r') line->pop_back();
+        return true;
+      }
+      char chunk[16384];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw gs::Error(std::string("recv failed: ") + std::strerror(errno));
+      }
+      if (n == 0) return false;
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  void shutdown_write() {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+  }
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+// ------------------------------------------------------------- requests
+
+Json solve_request(const gs::gang::SystemParams& sys) {
+  Json req = Json::object();
+  req.set("op", "solve");
+  req.set("system", gs::serve::params_to_json(sys));
+  return req;
+}
+
+/// The request mix, deterministic in the request index: mostly solves
+/// over a small scenario pool (so cache hits and in-flight coalescing
+/// both happen), with periodic solve_batch and sweep requests.
+std::string make_request(std::size_t k, std::size_t scenarios,
+                         std::vector<std::string>* ops) {
+  const auto knobs_for = [](std::size_t s) {
+    PaperKnobs knobs;
+    knobs.arrival_rate = 0.25 + 0.01 * static_cast<double>(s);
+    return knobs;
+  };
+  Json req;
+  std::string op;
+  if (k % 10 == 8) {
+    op = "solve_batch";
+    req = Json::object();
+    req.set("op", op);
+    Json items = Json::array();
+    for (std::size_t j = 0; j < 2; ++j) {
+      Json item = Json::object();
+      item.set("system", gs::serve::params_to_json(
+                             paper_system(knobs_for((k + j) % scenarios))));
+      items.push_back(std::move(item));
+    }
+    req.set("items", std::move(items));
+  } else if (k % 10 == 9) {
+    op = "sweep";
+    req = Json::object();
+    req.set("op", op);
+    req.set("system", gs::serve::params_to_json(
+                          paper_system(knobs_for(k % scenarios))));
+    Json vary = Json::object();
+    vary.set("param", "quantum_mean");
+    Json values = Json::array();
+    for (int i = 0; i < 4; ++i) values.push_back(0.5 + 0.5 * i);
+    vary.set("values", std::move(values));
+    req.set("vary", std::move(vary));
+  } else {
+    op = "solve";
+    // k*k mod pool: a non-uniform repeat pattern, so some scenarios are
+    // hot (cache hits, coalescing) and some cold.
+    req = solve_request(paper_system(knobs_for((k * k) % scenarios)));
+  }
+  req.set("id", static_cast<std::int64_t>(k));
+  ops->push_back(op);
+  return req.dump();
+}
+
+// ---------------------------------------------------------------- stats
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+struct Outcome {
+  std::atomic<std::uint64_t> ok{0}, shed{0}, error{0}, protocol{0};
+};
+
+void require(bool ok, const std::string& what) {
+  if (!ok) {
+    std::cerr << "FAILED gangd_load check: " << what << "\n";
+    std::exit(1);
+  }
+}
+
+// ---------------------------------------------------------------- modes
+
+/// Lockstep replay: send one line, wait for its response, print it —
+/// the TCP twin of `gangd < requests.ndjson` (byte-identical output
+/// when the daemon runs --deterministic).
+int run_script(int port, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "gangd_load: cannot open script " << path << "\n";
+    return 1;
+  }
+  Client client;
+  client.connect(port);
+  std::string line, resp;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    client.send_line(line);
+    if (!client.recv_line(&resp)) {
+      std::cerr << "gangd_load: connection closed mid-script\n";
+      return 1;
+    }
+    std::cout << resp << "\n";
+  }
+  return 0;
+}
+
+struct LoadConfig {
+  int port = 0;
+  std::size_t conns = 8;
+  std::size_t requests = 200;
+  double rate = 100.0;
+  std::size_t scenarios = 16;
+};
+
+struct LoadResult {
+  std::vector<double> latency_ms;  // answered requests, sorted
+  Outcome outcome;
+  std::uint64_t sent = 0, answered = 0;
+  double duration_s = 0.0;
+};
+
+void run_load(const LoadConfig& cfg, LoadResult* result) {
+  // Pre-build every request (generation must not eat into the send
+  // schedule) and deal them round-robin across connections.
+  std::vector<std::string> ops;
+  std::vector<std::string> requests;
+  requests.reserve(cfg.requests);
+  for (std::size_t k = 0; k < cfg.requests; ++k)
+    requests.push_back(make_request(k, cfg.scenarios, &ops));
+
+  std::vector<Client> clients(cfg.conns);
+  for (auto& c : clients) c.connect(cfg.port);
+
+  const auto start = Clock::now() + std::chrono::milliseconds(50);
+  const auto schedule = [&](std::size_t k) {
+    return start + std::chrono::duration_cast<Clock::duration>(
+                       std::chrono::duration<double>(
+                           static_cast<double>(k) / cfg.rate));
+  };
+
+  std::mutex lat_mu;
+  std::atomic<std::uint64_t> sent{0}, answered{0};
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < cfg.conns; ++c) {
+    // Sender: fire this connection's requests at their scheduled times,
+    // never waiting for responses (open loop).
+    threads.emplace_back([&, c] {
+      for (std::size_t k = c; k < cfg.requests; k += cfg.conns) {
+        std::this_thread::sleep_until(schedule(k));
+        clients[c].send_line(requests[k]);
+        ++sent;
+      }
+      clients[c].shutdown_write();
+    });
+    // Receiver: responses come back in send order per connection, so
+    // the i-th response on this connection answers its i-th request.
+    threads.emplace_back([&, c] {
+      std::vector<double> local;
+      std::string resp;
+      for (std::size_t k = c; k < cfg.requests; k += cfg.conns) {
+        if (!clients[c].recv_line(&resp)) {
+          // EOF with requests outstanding: everything unanswered on
+          // this connection is a protocol error.
+          for (std::size_t m = k; m < cfg.requests; m += cfg.conns)
+            ++result->outcome.protocol;
+          break;
+        }
+        ++answered;
+        const double ms =
+            std::chrono::duration<double, std::milli>(Clock::now() -
+                                                      schedule(k))
+                .count();
+        local.push_back(ms);
+        try {
+          const Json r = Json::parse(resp);
+          const Json* id = r.find("id");
+          if (id == nullptr ||
+              id->as_int() != static_cast<std::int64_t>(k)) {
+            ++result->outcome.protocol;
+            continue;
+          }
+          if (const Json* err = r.find("error")) {
+            const Json* type = err->find("type");
+            if (type != nullptr && type->as_string() == "overloaded")
+              ++result->outcome.shed;
+            else
+              ++result->outcome.error;
+          } else {
+            ++result->outcome.ok;
+          }
+        } catch (const gs::Error&) {
+          ++result->outcome.protocol;
+        }
+      }
+      std::lock_guard<std::mutex> lock(lat_mu);
+      result->latency_ms.insert(result->latency_ms.end(), local.begin(),
+                                local.end());
+    });
+  }
+  for (auto& t : threads) t.join();
+  result->sent = sent.load();
+  result->answered = answered.load();
+  result->duration_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  std::sort(result->latency_ms.begin(), result->latency_ms.end());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gs::util::Cli cli("gangd_load",
+                    "open-loop load generator and lockstep replay client "
+                    "for the gangd NDJSON daemon");
+  cli.add_flag("port", "0",
+               "daemon port; 0 spawns an in-process daemon on an "
+               "ephemeral port");
+  cli.add_flag("script", "",
+               "lockstep replay: send FILE's lines one at a time, print "
+               "each response to stdout (requires --port)");
+  cli.add_flag("conns", "8", "concurrent client connections");
+  cli.add_flag("requests", "200", "total requests across all connections");
+  cli.add_flag("rate", "100", "aggregate offered load, requests/second");
+  cli.add_flag("scenarios", "16", "distinct solve scenarios in the mix");
+  cli.add_flag("workers", "4", "executor threads of the in-process daemon");
+  cli.add_flag("queue-limit", "64",
+               "admission cap of the in-process daemon");
+  cli.add_flag("threads", "1", "solver threads of the in-process daemon");
+  cli.add_flag("out", "BENCH_gangd.json", "bench report path (load mode)");
+  cli.add_flag("check", "0",
+               "fail on any protocol error, unanswered request, or "
+               "missing coverage (CI smoke)");
+  cli.add_flag("shutdown", "0",
+               "send stats+shutdown to an external --port daemon when "
+               "done (the in-process daemon always shuts down)");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const std::string script = cli.get_string("script");
+  int port = cli.get_int("port");
+  if (!script.empty()) {
+    if (port <= 0) {
+      std::cerr << "gangd_load: --script requires --port\n";
+      return 1;
+    }
+    try {
+      return run_script(port, script);
+    } catch (const gs::Error& e) {
+      std::cerr << "gangd_load: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
+  LoadConfig cfg;
+  cfg.conns = static_cast<std::size_t>(std::max(1, cli.get_int("conns")));
+  cfg.requests =
+      static_cast<std::size_t>(std::max(1, cli.get_int("requests")));
+  cfg.rate = std::max(1, cli.get_int("rate"));
+  cfg.scenarios =
+      static_cast<std::size_t>(std::max(1, cli.get_int("scenarios")));
+
+  // Spawn the in-process daemon unless an external one was named.
+  const bool spawned = port <= 0;
+  gs::serve::EvalService service(gs::serve::ServiceOptions{
+      cli.get_int("threads"), /*cache_capacity=*/256,
+      /*warm_start=*/true, /*deterministic=*/false});
+  std::thread server_thread;
+  if (spawned) {
+    std::promise<int> bound;
+    auto bound_port = bound.get_future();
+    gs::serve::TcpOptions topts;
+    topts.dispatch.workers = cli.get_int("workers");
+    topts.dispatch.queue_limit =
+        static_cast<std::size_t>(std::max(1, cli.get_int("queue-limit")));
+    topts.on_listen = [&bound](int p) { bound.set_value(p); };
+    server_thread = std::thread([&service, topts] {
+      try {
+        gs::serve::serve_tcp(service, topts);
+      } catch (const gs::Error& e) {
+        std::cerr << "gangd_load: in-process daemon failed: " << e.what()
+                  << "\n";
+        std::exit(1);
+      }
+    });
+    port = bound_port.get();
+  }
+  cfg.port = port;
+
+  LoadResult result;
+  try {
+    run_load(cfg, &result);
+  } catch (const gs::Error& e) {
+    std::cerr << "gangd_load: " << e.what() << "\n";
+    return 1;
+  }
+
+  // Pull the daemon's own view over a control connection, then shut it
+  // down (always for the in-process daemon; external only on request).
+  Json net_stats;
+  if (spawned || cli.get_bool("shutdown")) {
+    try {
+      Client ctl;
+      ctl.connect(port);
+      std::string resp;
+      ctl.send_line("{\"op\":\"stats\",\"id\":\"ctl\"}");
+      if (ctl.recv_line(&resp)) {
+        const Json stats = Json::parse(resp);
+        if (const Json* net = stats.find("net")) net_stats = *net;
+      }
+      ctl.send_line("{\"op\":\"shutdown\",\"id\":\"ctl\"}");
+      ctl.recv_line(&resp);
+    } catch (const gs::Error& e) {
+      std::cerr << "gangd_load: control connection failed: " << e.what()
+                << "\n";
+    }
+  }
+  if (server_thread.joinable()) server_thread.join();
+
+  const auto& o = result.outcome;
+  const double mean =
+      result.latency_ms.empty()
+          ? 0.0
+          : std::accumulate(result.latency_ms.begin(),
+                            result.latency_ms.end(), 0.0) /
+                static_cast<double>(result.latency_ms.size());
+
+  Json out = Json::object();
+  Json config = Json::object();
+  config.set("conns", static_cast<std::int64_t>(cfg.conns));
+  config.set("requests", static_cast<std::int64_t>(cfg.requests));
+  config.set("rate_rps", cfg.rate);
+  config.set("scenarios", static_cast<std::int64_t>(cfg.scenarios));
+  config.set("workers", cli.get_int("workers"));
+  config.set("queue_limit", cli.get_int("queue-limit"));
+  config.set("in_process_daemon", spawned);
+  config.set("hardware_concurrency",
+             static_cast<std::int64_t>(
+                 std::max(1u, std::thread::hardware_concurrency())));
+  out.set("config", std::move(config));
+
+  Json totals = Json::object();
+  totals.set("sent", result.sent);
+  totals.set("answered", result.answered);
+  totals.set("ok", o.ok.load());
+  totals.set("shed", o.shed.load());
+  totals.set("error", o.error.load());
+  totals.set("protocol_errors", o.protocol.load());
+  out.set("totals", std::move(totals));
+
+  Json lat = Json::object();
+  lat.set("p50", percentile(result.latency_ms, 0.50));
+  lat.set("p90", percentile(result.latency_ms, 0.90));
+  lat.set("p99", percentile(result.latency_ms, 0.99));
+  lat.set("p999", percentile(result.latency_ms, 0.999));
+  lat.set("max", result.latency_ms.empty() ? 0.0 : result.latency_ms.back());
+  lat.set("mean", mean);
+  out.set("latency_ms", std::move(lat));
+
+  Json thr = Json::object();
+  thr.set("duration_s", result.duration_s);
+  thr.set("answered_per_s",
+          result.duration_s > 0.0
+              ? static_cast<double>(result.answered) / result.duration_s
+              : 0.0);
+  out.set("throughput", std::move(thr));
+  if (!net_stats.is_null()) out.set("net", net_stats);
+
+  const std::string out_path = cli.get_string("out");
+  {
+    std::ofstream file(out_path);
+    file << out.dump() << "\n";
+  }
+
+  std::printf("gangd_load: %llu sent, %llu answered (%llu ok, %llu shed, "
+              "%llu error, %llu protocol) in %.2fs\n",
+              static_cast<unsigned long long>(result.sent),
+              static_cast<unsigned long long>(result.answered),
+              static_cast<unsigned long long>(o.ok.load()),
+              static_cast<unsigned long long>(o.shed.load()),
+              static_cast<unsigned long long>(o.error.load()),
+              static_cast<unsigned long long>(o.protocol.load()),
+              result.duration_s);
+  std::printf("latency ms: p50 %.2f  p90 %.2f  p99 %.2f  p999 %.2f  "
+              "max %.2f\n",
+              percentile(result.latency_ms, 0.50),
+              percentile(result.latency_ms, 0.90),
+              percentile(result.latency_ms, 0.99),
+              percentile(result.latency_ms, 0.999),
+              result.latency_ms.empty() ? 0.0 : result.latency_ms.back());
+  std::cout << "wrote " << out_path << "\n";
+
+  if (cli.get_bool("check")) {
+    require(o.protocol.load() == 0, "protocol errors");
+    require(result.answered == result.sent &&
+                result.sent == cfg.requests,
+            "every request must be answered exactly once");
+    require(o.ok.load() > 0, "no successful responses");
+    require(o.ok.load() + o.shed.load() + o.error.load() ==
+                result.answered,
+            "response classification must cover every response");
+    std::puts("gangd_load: checks passed");
+  }
+  return 0;
+}

@@ -1,0 +1,318 @@
+#include "net/event_loop.hpp"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace gs::net {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+void ignore_sigpipe() { ::signal(SIGPIPE, SIG_IGN); }
+
+Handler::~Handler() = default;
+void Handler::on_open(std::uint64_t) {}
+void Handler::on_close(std::uint64_t) {}
+void Handler::on_oversized(std::uint64_t) {}
+void Handler::on_response_dropped(std::uint64_t) {}
+bool Handler::idle() const { return true; }
+
+EventLoopServer::EventLoopServer(const ServerOptions& options,
+                                 Handler& handler)
+    : options_(options), handler_(handler) {}
+
+EventLoopServer::~EventLoopServer() {
+  for (auto& [id, c] : conns_) ::close(c.fd);
+  if (listener_ >= 0) ::close(listener_);
+  if (wake_r_ >= 0) ::close(wake_r_);
+  if (wake_w_ >= 0) ::close(wake_w_);
+}
+
+int EventLoopServer::listen() {
+  GS_CHECK(options_.port >= 0 && options_.port <= 65535,
+           "port must be in [0, 65535]");
+  ignore_sigpipe();
+
+  int pipefd[2];
+  if (::pipe(pipefd) < 0)
+    throw Error(std::string("pipe() failed: ") + std::strerror(errno));
+  wake_r_ = pipefd[0];
+  wake_w_ = pipefd[1];
+  set_nonblocking(wake_r_);
+  set_nonblocking(wake_w_);
+
+  listener_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener_ < 0)
+    throw Error(std::string("socket() failed: ") + std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listener_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // local clients only
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::bind(listener_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    throw Error("bind(127.0.0.1:" + std::to_string(options_.port) +
+                ") failed: " + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listener_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listener_, 128) < 0)
+    throw Error(std::string("listen() failed: ") + std::strerror(errno));
+  set_nonblocking(listener_);
+  return port_;
+}
+
+void EventLoopServer::send(std::uint64_t conn, std::string line) {
+  line.push_back('\n');
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    completions_.emplace_back(conn, std::move(line));
+  }
+  // A full pipe already guarantees a pending wakeup; EAGAIN is fine.
+  const char b = 'w';
+  while (::write(wake_w_, &b, 1) < 0 && errno == EINTR) {
+  }
+}
+
+void EventLoopServer::request_stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_flag_ = true;
+  }
+  const char b = 's';
+  while (::write(wake_w_, &b, 1) < 0 && errno == EINTR) {
+  }
+}
+
+void EventLoopServer::accept_ready() {
+  while (conns_.size() < options_.max_connections) {
+    const int fd = ::accept(listener_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == ECONNABORTED) continue;
+      // EMFILE/ENFILE and friends: log and retry on the next poll round.
+      log::warn("accept failed: ", std::strerror(errno));
+      return;
+    }
+    set_nonblocking(fd);
+    const std::uint64_t id = next_id_++;
+    conns_.emplace(id, Conn(fd, options_.max_line));
+    handler_.on_open(id);
+  }
+}
+
+void EventLoopServer::read_ready(std::uint64_t id, Conn& c) {
+  char chunk[16384];
+  for (;;) {
+    const ssize_t n = ::read(c.fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_conn(id);  // ECONNRESET and the like
+      return;
+    }
+    if (n == 0) {
+      // Peer finished sending. Keep the connection until its already
+      // framed lines are answered and flushed, so a client that writes
+      // its requests, half-closes, and reads still gets every response.
+      c.read_closed = true;
+      break;
+    }
+    c.framer.append(chunk, static_cast<std::size_t>(n));
+    if (static_cast<std::size_t>(n) < sizeof(chunk)) break;
+  }
+  std::string line;
+  for (;;) {
+    const LineFramer::Result r = c.framer.next(&line);
+    if (r == LineFramer::Result::kNeedMore) break;
+    if (r == LineFramer::Result::kOversized) {
+      handler_.on_oversized(id);
+      c.closing = true;  // flush the handler's error line, then close
+      c.pending.clear();
+      break;
+    }
+    c.pending.push_back(std::move(line));
+  }
+}
+
+bool EventLoopServer::flush(std::uint64_t id, Conn& c) {
+  while (c.woff < c.wbuf.size()) {
+    const ssize_t n = ::send(c.fd, c.wbuf.data() + c.woff,
+                             c.wbuf.size() - c.woff, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      close_conn(id);  // EPIPE / ECONNRESET: peer hung up mid-response
+      return false;
+    }
+    c.woff += static_cast<std::size_t>(n);
+  }
+  c.wbuf.clear();
+  c.woff = 0;
+  return true;
+}
+
+void EventLoopServer::drain_completions() {
+  std::vector<std::pair<std::uint64_t, std::string>> done;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    done.swap(completions_);
+    stop_ = stop_ || stop_flag_;
+  }
+  for (auto& [id, line] : done) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) {
+      handler_.on_response_dropped(id);
+      continue;
+    }
+    it->second.wbuf += line;
+    it->second.busy = false;
+  }
+}
+
+void EventLoopServer::dispatch_ready() {
+  // Deliver at most one line per connection per pass; a synchronous
+  // answer re-enters through drain_completions and the fixpoint loop in
+  // run() comes back here for the connection's next line.
+  for (auto& [id, c] : conns_) {
+    if (c.busy || c.closing || c.pending.empty() || stop_) continue;
+    std::string line = std::move(c.pending.front());
+    c.pending.pop_front();
+    c.busy = true;
+    handler_.on_line(id, std::move(line));
+  }
+}
+
+void EventLoopServer::close_conn(std::uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  ::close(it->second.fd);
+  conns_.erase(it);
+  dead_.push_back(id);
+  handler_.on_close(id);
+}
+
+void EventLoopServer::reap() {
+  // Connections whose conversation is over: peer stopped sending (or we
+  // are closing them) and nothing is pending, in flight, or unflushed.
+  std::vector<std::uint64_t> finished;
+  for (auto& [id, c] : conns_) {
+    const bool drained =
+        !c.busy && c.pending.empty() && c.wbuf.empty();
+    if ((c.read_closed || c.closing) && drained) finished.push_back(id);
+  }
+  for (const std::uint64_t id : finished) close_conn(id);
+}
+
+void EventLoopServer::run() {
+  GS_CHECK(listener_ >= 0, "run() requires a successful listen()");
+  std::vector<pollfd> fds;
+  std::vector<std::uint64_t> ids;
+  for (;;) {
+    // Advance the state machines to a fixpoint: completed responses
+    // un-busy their connections, which may make the next pipelined line
+    // deliverable, whose synchronous answer (a shed, a parse error) may
+    // complete immediately, and so on.
+    for (;;) {
+      drain_completions();
+      bool any = false;
+      for (auto& [id, c] : conns_)
+        any = any || (!c.busy && !c.closing && !c.pending.empty());
+      if (!any || stop_) break;
+      dispatch_ready();
+    }
+
+    for (auto& [id, c] : conns_)
+      if (!c.wbuf.empty()) flush(id, c);
+    reap();
+
+    if (stop_) {
+      bool flushed = true;
+      for (auto& [id, c] : conns_) flushed = flushed && c.wbuf.empty();
+      bool pending_completions;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        pending_completions = !completions_.empty();
+      }
+      if (handler_.idle() && !pending_completions && flushed) break;
+    }
+
+    fds.clear();
+    ids.clear();
+    fds.push_back({wake_r_, POLLIN, 0});
+    ids.push_back(0);
+    if (!stop_ && conns_.size() < options_.max_connections) {
+      fds.push_back({listener_, POLLIN, 0});
+      ids.push_back(0);
+    }
+    for (auto& [id, c] : conns_) {
+      short events = 0;
+      if (!stop_ && !c.read_closed && !c.closing &&
+          c.pending.size() < options_.max_pipeline)
+        events |= POLLIN;
+      if (!c.wbuf.empty()) events |= POLLOUT;
+      if (events == 0) continue;
+      fds.push_back({c.fd, events, 0});
+      ids.push_back(id);
+    }
+
+    // Finite timeout as insurance against a missed wakeup; all normal
+    // transitions arrive through the pipe or a socket event.
+    const int n = ::poll(fds.data(), fds.size(), 200);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("poll() failed: ") + std::strerror(errno));
+    }
+
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      if (fds[i].fd == wake_r_) {
+        char buf[256];
+        while (::read(wake_r_, buf, sizeof(buf)) > 0) {
+        }
+        continue;
+      }
+      if (fds[i].fd == listener_) {
+        accept_ready();
+        continue;
+      }
+      const std::uint64_t id = ids[i];
+      auto it = conns_.find(id);
+      if (it == conns_.end()) continue;  // closed earlier this round
+      if (fds[i].revents & (POLLIN | POLLHUP | POLLERR))
+        read_ready(id, it->second);
+      it = conns_.find(id);
+      if (it != conns_.end() && (fds[i].revents & POLLOUT))
+        flush(id, it->second);
+    }
+  }
+
+  for (auto& [id, c] : conns_) {
+    ::close(c.fd);
+    handler_.on_close(id);
+  }
+  conns_.clear();
+}
+
+}  // namespace gs::net

@@ -1,0 +1,162 @@
+// Poll-based event loop serving many concurrent NDJSON connections from
+// one thread — the transport under gangd.
+//
+// Design constraints, in order:
+//  * One loop thread owns every socket. The listener and all connections
+//    are non-blocking; per-connection state machines (read buffer +
+//    LineFramer, pending-write buffer handling partial writes) advance
+//    only from run(). Nothing in this layer blocks on a peer.
+//  * Work executes elsewhere. The loop hands complete lines to a Handler
+//    and goes back to polling; responses come back through send(), which
+//    is safe from any thread (a wakeup pipe nudges the poller). Exactly
+//    one response line must eventually answer each delivered line.
+//  * Ordered per connection. A connection's lines are delivered one at a
+//    time: the next line is handed over only after the previous one was
+//    answered. Responses therefore arrive in request order on every
+//    connection — concurrency happens across connections, never within
+//    one — which is what keeps a single-client session byte-identical
+//    to the stdio transport.
+//  * Backpressure, not buffers. A connection with too many framed-but-
+//    undelivered lines stops being read (TCP pushes back on the client);
+//    when the connection table is full the listener stops accepting
+//    (the SYN backlog pushes back on connectors). Admission control on
+//    top of this — shedding with structured errors — lives in the
+//    Handler (serve::Dispatcher).
+//  * Robust against misbehaving peers. EINTR is retried everywhere,
+//    SIGPIPE is ignored (writes use MSG_NOSIGNAL), a peer that hangs up
+//    mid-response just loses its response, and an oversized line gets
+//    the Handler's one-line answer before the connection closes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/framer.hpp"
+
+namespace gs::net {
+
+/// Install SIG_IGN for SIGPIPE (idempotent). Every transport entry point
+/// calls this so a client hanging up mid-response surfaces as an EPIPE
+/// write error on that connection instead of killing the daemon.
+void ignore_sigpipe();
+
+struct ServerOptions {
+  /// TCP port on 127.0.0.1; 0 binds an ephemeral port (see listen()).
+  int port = 0;
+  /// Connection-table cap. At the cap the listener is not polled, so
+  /// further connectors queue in the kernel backlog instead of being
+  /// accepted and tracked.
+  std::size_t max_connections = 256;
+  /// Per-line byte cap (LineFramer's limit).
+  std::size_t max_line = 1 << 20;
+  /// Framed-but-unanswered lines a connection may pipeline before the
+  /// loop stops reading it (read-side backpressure).
+  std::size_t max_pipeline = 64;
+};
+
+/// The upcall interface the loop drives. All methods are invoked on the
+/// loop thread; implementations must not block (hand work to an executor
+/// and answer later via EventLoopServer::send).
+class Handler {
+ public:
+  virtual ~Handler();
+
+  /// A connection was accepted / fully closed.
+  virtual void on_open(std::uint64_t conn);
+  virtual void on_close(std::uint64_t conn);
+
+  /// One complete request line. Exactly one send(conn, ...) must follow
+  /// (immediately or from another thread); the loop will not deliver the
+  /// connection's next line until it does.
+  virtual void on_line(std::uint64_t conn, std::string line) = 0;
+
+  /// The connection sent a line over ServerOptions::max_line. The handler
+  /// may send() one final error line; the connection closes after it is
+  /// flushed.
+  virtual void on_oversized(std::uint64_t conn);
+
+  /// A response arrived for a connection that no longer exists.
+  virtual void on_response_dropped(std::uint64_t conn);
+
+  /// True when no delivered line is still awaiting its response. run()
+  /// exits only once a stop was requested *and* the handler is idle, so
+  /// in-flight work always gets to answer before the loop tears down.
+  virtual bool idle() const;
+};
+
+class EventLoopServer {
+ public:
+  EventLoopServer(const ServerOptions& options, Handler& handler);
+  ~EventLoopServer();
+
+  EventLoopServer(const EventLoopServer&) = delete;
+  EventLoopServer& operator=(const EventLoopServer&) = delete;
+
+  /// Bind 127.0.0.1:port and start listening (non-blocking). Returns the
+  /// bound port (useful with port 0). Throws gs::Error on failure.
+  int listen();
+
+  /// Serve until request_stop() (or a shutdown decided by the handler)
+  /// *and* all in-flight responses have been written out. Connections
+  /// still open at exit are closed; their undelivered pipelined lines
+  /// are dropped.
+  void run();
+
+  /// Queue one response line for `conn` (a '\n' is appended) and wake
+  /// the loop. Thread-safe; callable from executor threads. Responses
+  /// for connections that have gone away are counted via
+  /// Handler::on_response_dropped and discarded.
+  void send(std::uint64_t conn, std::string line);
+
+  /// Ask run() to finish: stop accepting and reading, let in-flight
+  /// requests answer, flush, and return. Thread-safe.
+  void request_stop();
+
+  /// The bound port after listen(); -1 before.
+  int port() const { return port_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    LineFramer framer;
+    std::deque<std::string> pending;  ///< framed, not yet delivered
+    bool busy = false;                ///< delivered line awaiting send()
+    bool read_closed = false;         ///< peer EOF seen
+    bool closing = false;             ///< flush write buffer, then close
+    std::string wbuf;                 ///< bytes not yet written
+    std::size_t woff = 0;             ///< written prefix of wbuf
+
+    explicit Conn(int f, std::size_t max_line) : fd(f), framer(max_line) {}
+  };
+
+  void accept_ready();
+  void read_ready(std::uint64_t id, Conn& c);
+  bool flush(std::uint64_t id, Conn& c);  ///< false = connection died
+  void drain_completions();
+  void dispatch_ready();
+  void close_conn(std::uint64_t id);
+  void reap();
+
+  ServerOptions options_;
+  Handler& handler_;
+  int listener_ = -1;
+  int port_ = -1;
+  int wake_r_ = -1, wake_w_ = -1;
+  bool stop_ = false;  ///< loop-thread mirror of stop_flag_
+
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<std::uint64_t, Conn> conns_;
+  std::vector<std::uint64_t> dead_;  ///< closed this iteration
+
+  std::mutex mu_;  ///< guards completions_ and stop_flag_
+  std::vector<std::pair<std::uint64_t, std::string>> completions_;
+  bool stop_flag_ = false;
+};
+
+}  // namespace gs::net

@@ -1,0 +1,43 @@
+#include "net/framer.hpp"
+
+namespace gs::net {
+
+void LineFramer::append(const char* data, std::size_t n) {
+  if (poisoned_) return;  // the connection is already condemned
+  // Compact the consumed prefix before growing, so a long-lived
+  // connection's buffer stays proportional to its unread bytes.
+  if (start_ > 0 && start_ >= buf_.size() / 2) {
+    buf_.erase(0, start_);
+    start_ = 0;
+  }
+  buf_.append(data, n);
+}
+
+LineFramer::Result LineFramer::next(std::string* line) {
+  if (poisoned_) return Result::kOversized;
+  for (;;) {
+    const std::size_t nl = buf_.find('\n', start_);
+    if (nl == std::string::npos) {
+      if (buf_.size() - start_ > max_line_) {
+        poisoned_ = true;
+        return Result::kOversized;
+      }
+      return Result::kNeedMore;
+    }
+    std::size_t len = nl - start_;
+    if (len > 0 && buf_[start_ + len - 1] == '\r') --len;
+    if (len > max_line_) {
+      poisoned_ = true;
+      return Result::kOversized;
+    }
+    if (len == 0) {  // blank line: skip and keep scanning
+      start_ = nl + 1;
+      continue;
+    }
+    line->assign(buf_, start_, len);
+    start_ = nl + 1;
+    return Result::kLine;
+  }
+}
+
+}  // namespace gs::net

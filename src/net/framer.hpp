@@ -1,0 +1,48 @@
+// Incremental NDJSON line framing for the event-loop transport.
+//
+// A LineFramer owns the read-side buffer of one connection: bytes arrive
+// in arbitrary chunks (a line split across reads, several lines in one
+// read, CRLF line endings) and come out as complete, newline-stripped
+// lines. Empty lines are swallowed — the wire protocol skips them — and
+// a line that exceeds the configured limit poisons the framer: once a
+// client has sent an oversized line there is no reliable way to resync
+// on the stream, so the connection must answer with a structured error
+// and close (the dispatcher does exactly that).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace gs::net {
+
+class LineFramer {
+ public:
+  enum class Result {
+    kLine,       ///< *line holds the next complete line
+    kNeedMore,   ///< no complete line buffered; feed more bytes
+    kOversized,  ///< limit exceeded; the framer is permanently poisoned
+  };
+
+  /// `max_line` bounds the length of a single line (terminator and any
+  /// trailing CR excluded). Bytes buffered past that without a newline —
+  /// or a terminated line longer than it — yield kOversized forever.
+  explicit LineFramer(std::size_t max_line) : max_line_(max_line) {}
+
+  /// Feed `n` raw bytes from the socket.
+  void append(const char* data, std::size_t n);
+
+  /// Pop the next complete line into *line (without its terminator; a
+  /// trailing '\r' is stripped, and blank lines are skipped).
+  Result next(std::string* line);
+
+  /// Bytes buffered but not yet returned as lines.
+  std::size_t buffered() const { return buf_.size() - start_; }
+
+ private:
+  std::size_t max_line_;
+  std::string buf_;
+  std::size_t start_ = 0;  ///< consumed prefix of buf_
+  bool poisoned_ = false;
+};
+
+}  // namespace gs::net

@@ -21,7 +21,8 @@ const ResultCache::Entry* ResultCache::peek(std::uint64_t key) const {
   return it == index_.end() ? nullptr : &*it->second;
 }
 
-void ResultCache::insert(std::uint64_t key, gang::SolveReport report) {
+void ResultCache::insert(std::uint64_t key, std::string scenario,
+                         gang::SolveReport report, std::uint64_t hits) {
   if (capacity_ == 0) return;
   if (auto it = index_.find(key); it != index_.end()) {
     it->second->report = std::move(report);
@@ -35,7 +36,7 @@ void ResultCache::insert(std::uint64_t key, gang::SolveReport report) {
     obs::count("serve.cache.evict");
   }
   obs::count("serve.cache.insert");
-  lru_.push_front(Entry{key, std::move(report), 0});
+  lru_.push_front(Entry{key, std::move(scenario), std::move(report), hits});
   index_[key] = lru_.begin();
 }
 

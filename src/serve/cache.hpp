@@ -1,15 +1,17 @@
 // Bounded LRU cache of solve results, keyed on the 64-bit scenario hash.
 //
 // The service answers a repeated scenario from here without touching the
-// solver; entries carry per-entry hit counters for the stats surface and
-// the final_slices that warm-start nearby re-solves. Single-threaded on
-// purpose: the service serializes request handling (solves parallelize
-// *inside* a request, across the per-class chains and sweep points), so
-// the cache needs no locking.
+// solver; entries carry per-entry hit counters for the stats surface, the
+// final_slices that warm-start nearby re-solves, and the canonical
+// scenario text that lets the cache be persisted and warm-booted
+// (EvalService::save_cache / load_cache). Unlocked on purpose: all access
+// goes through EvalService, whose mutex guards the cache alongside the
+// warm index and counters (solves themselves run outside that lock).
 #pragma once
 
 #include <cstdint>
 #include <list>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -21,6 +23,9 @@ class ResultCache {
  public:
   struct Entry {
     std::uint64_t key = 0;
+    /// Canonical scenario text (serve::canonical_scenario) — the hash
+    /// preimage, kept so snapshots can round-trip the key.
+    std::string scenario;
     gang::SolveReport report;
     std::uint64_t hits = 0;
   };
@@ -41,8 +46,12 @@ class ResultCache {
   /// reads are not cache hits).
   const Entry* peek(std::uint64_t key) const;
 
-  /// Insert or overwrite; evicts the least-recently-used entry when full.
-  void insert(std::uint64_t key, gang::SolveReport report);
+  /// Insert or overwrite; evicts the least-recently-used entry when
+  /// full. `scenario` is the canonical text whose FNV-1a 64 is `key`;
+  /// `hits` seeds the hit counter (nonzero only when restoring a
+  /// persisted snapshot).
+  void insert(std::uint64_t key, std::string scenario,
+              gang::SolveReport report, std::uint64_t hits = 0);
 
   /// Entries from most- to least-recently used (for the stats surface).
   std::vector<const Entry*> entries() const;

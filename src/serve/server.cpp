@@ -1,15 +1,11 @@
 #include "serve/server.hpp"
 
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
 #include <istream>
 #include <ostream>
 #include <string>
 
+#include "net/event_loop.hpp"
+#include "serve/dispatch.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -25,94 +21,44 @@ void serve_stream(EvalService& service, std::istream& in, std::ostream& out) {
   }
 }
 
-namespace {
+int serve_tcp(EvalService& service, const TcpOptions& options) {
+  GS_CHECK(options.port >= 0 && options.port <= 65535,
+           "port must be in [0, 65535]");
+  net::ignore_sigpipe();
 
-/// Sends every byte or throws; partial writes happen on sockets.
-void write_all(int fd, const std::string& data) {
-  std::size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw Error(std::string("socket write failed: ") + std::strerror(errno));
-    }
-    off += static_cast<std::size_t>(n);
+  Dispatcher dispatcher(service, options.dispatch);
+  service.attach_net_stats(&dispatcher.net_stats());
+
+  net::ServerOptions sopts;
+  sopts.port = options.port;
+  sopts.max_connections = options.max_connections;
+  sopts.max_line = options.max_line;
+  sopts.max_pipeline = options.max_pipeline;
+  net::EventLoopServer server(sopts, dispatcher);
+  dispatcher.set_server(&server);
+
+  int bound_port = -1;
+  try {
+    bound_port = server.listen();
+    log::info("gangd listening on 127.0.0.1:", bound_port);
+    if (options.on_listen) options.on_listen(bound_port);
+    server.run();
+  } catch (...) {
+    // Executors may still hold responses for the dead loop; wait them
+    // out before the dispatcher (and its NetStats) leave scope.
+    dispatcher.drain();
+    service.attach_net_stats(nullptr);
+    throw;
   }
+  dispatcher.drain();
+  service.attach_net_stats(nullptr);
+  return bound_port;
 }
-
-/// One connection: buffer reads, split on '\n', answer line by line.
-/// Returns when the client disconnects or the service shuts down.
-void serve_connection(EvalService& service, int fd) {
-  std::string buffer;
-  char chunk[4096];
-  while (!service.shutdown_requested()) {
-    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      log::warn("socket read failed: ", std::strerror(errno));
-      return;
-    }
-    if (n == 0) return;  // client closed
-    buffer.append(chunk, static_cast<std::size_t>(n));
-    std::size_t start = 0;
-    for (std::size_t nl = buffer.find('\n', start);
-         nl != std::string::npos && !service.shutdown_requested();
-         nl = buffer.find('\n', start)) {
-      std::string line = buffer.substr(start, nl - start);
-      start = nl + 1;
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (line.empty()) continue;
-      write_all(fd, service.handle_line(line) + "\n");
-    }
-    buffer.erase(0, start);
-  }
-}
-
-}  // namespace
 
 int serve_tcp(EvalService& service, int port) {
-  GS_CHECK(port >= 0 && port <= 65535, "port must be in [0, 65535]");
-  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listener < 0)
-    throw Error(std::string("socket() failed: ") + std::strerror(errno));
-  const int one = 1;
-  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // local clients only
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    const std::string err = std::strerror(errno);
-    ::close(listener);
-    throw Error("bind(127.0.0.1:" + std::to_string(port) + ") failed: " + err);
-  }
-  socklen_t len = sizeof(addr);
-  ::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len);
-  const int bound_port = ntohs(addr.sin_port);
-  if (::listen(listener, 8) < 0) {
-    const std::string err = std::strerror(errno);
-    ::close(listener);
-    throw Error("listen() failed: " + err);
-  }
-  log::info("gangd listening on 127.0.0.1:", bound_port);
-
-  while (!service.shutdown_requested()) {
-    const int fd = ::accept(listener, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      log::warn("accept failed: ", std::strerror(errno));
-      break;
-    }
-    try {
-      serve_connection(service, fd);
-    } catch (const Error& e) {
-      log::warn("connection dropped: ", e.what());
-    }
-    ::close(fd);
-  }
-  ::close(listener);
-  return bound_port;
+  TcpOptions options;
+  options.port = port;
+  return serve_tcp(service, options);
 }
 
 }  // namespace gs::serve

@@ -1,10 +1,20 @@
-// Transport for EvalService: NDJSON over stdin/stdout or a loopback TCP
-// socket. Both loops serialize request handling (parallelism lives inside
-// a request, on the service's thread pool).
+// Transports for EvalService.
+//
+//  * serve_stream — NDJSON over any istream/ostream pair (gangd's stdio
+//    mode, and the unit tests' stringstreams). Strictly serial.
+//  * serve_tcp    — the concurrent daemon: a net::EventLoopServer on
+//    127.0.0.1 drives a serve::Dispatcher, so many clients are served at
+//    once, identical in-flight solves coalesce, and load beyond the
+//    admission cap is shed with structured errors. One cache, one warm
+//    index, one set of counters across all connections — that is the
+//    point of the daemon.
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <iosfwd>
 
+#include "serve/dispatch.hpp"
 #include "serve/service.hpp"
 
 namespace gs::serve {
@@ -15,11 +25,30 @@ namespace gs::serve {
 /// shutdown request.
 void serve_stream(EvalService& service, std::istream& in, std::ostream& out);
 
-/// Listen on 127.0.0.1:`port` and serve connections one at a time, each
-/// with the NDJSON line protocol, until some client sends a shutdown
-/// request. The cache and stats persist across connections — that is the
-/// point of the daemon. Throws gs::Error when the socket cannot be set
-/// up; returns the port actually bound (useful with port 0).
+struct TcpOptions {
+  /// Port on 127.0.0.1; 0 binds an ephemeral port.
+  int port = 0;
+  /// Connection-table cap (net::ServerOptions::max_connections).
+  std::size_t max_connections = 256;
+  /// Per-line byte cap; over-limit lines get one structured error and
+  /// the connection closes.
+  std::size_t max_line = 1 << 20;
+  /// Lines one connection may pipeline before the loop stops reading it.
+  std::size_t max_pipeline = 64;
+  /// Admission control, coalescing, and executor sizing.
+  DispatchOptions dispatch;
+  /// Called with the bound port once the listener is up, before serving
+  /// — the hook gangd uses to write --port-file, and tests use to learn
+  /// the ephemeral port from the serving thread.
+  std::function<void(int)> on_listen;
+};
+
+/// Serve until some client sends a shutdown request (drains in-flight
+/// work and flushes every response first). Throws gs::Error when the
+/// socket cannot be set up; returns the port actually bound.
+int serve_tcp(EvalService& service, const TcpOptions& options);
+
+/// Compatibility shim: default options on a fixed port.
 int serve_tcp(EvalService& service, int port);
 
 }  // namespace gs::serve

@@ -101,8 +101,11 @@ std::string EvalService::handle_line(const std::string& line) {
   try {
     request = Json::parse(line);
   } catch (const json::ParseError& e) {
-    ++stats_.requests;
-    ++stats_.errors;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.requests;
+      ++stats_.errors;
+    }
     Json err = Json::object();
     Json detail = Json::object();
     detail.set("type", "parse_error");
@@ -114,7 +117,10 @@ std::string EvalService::handle_line(const std::string& line) {
 }
 
 json::Json EvalService::handle(const Json& request) {
-  ++stats_.requests;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.requests;
+  }
   obs::count("serve.requests");
   Json response = Json::object();
   // Echo the request's op and id first so every response — success or
@@ -129,33 +135,37 @@ json::Json EvalService::handle(const Json& request) {
     response.set("op", nullptr);
   }
 
+  const auto bump = [this](std::uint64_t ServiceStats::* field) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++(stats_.*field);
+  };
   try {
     GS_CHECK(request.is_object(), "request must be a JSON object");
     GS_CHECK(!op.empty(), "request needs a string 'op' field");
     obs::Span op_span("serve.request");
     op_span.arg("op", op);
     if (op == "solve") {
-      ++stats_.solve_requests;
+      bump(&ServiceStats::solve_requests);
       Json r = do_solve(request);
       for (auto& m : r.as_object()) response.set(m.key, std::move(m.value));
     } else if (op == "solve_batch") {
-      ++stats_.batch_requests;
+      bump(&ServiceStats::batch_requests);
       Json r = do_solve_batch(request);
       for (auto& m : r.as_object()) response.set(m.key, std::move(m.value));
     } else if (op == "sweep") {
-      ++stats_.sweep_requests;
+      bump(&ServiceStats::sweep_requests);
       Json r = do_sweep(request);
       for (auto& m : r.as_object()) response.set(m.key, std::move(m.value));
     } else if (op == "tune") {
-      ++stats_.tune_requests;
+      bump(&ServiceStats::tune_requests);
       Json r = do_tune(request);
       for (auto& m : r.as_object()) response.set(m.key, std::move(m.value));
     } else if (op == "stats") {
-      ++stats_.stats_requests;
+      bump(&ServiceStats::stats_requests);
       Json r = do_stats();
       for (auto& m : r.as_object()) response.set(m.key, std::move(m.value));
     } else if (op == "shutdown") {
-      shutdown_ = true;
+      shutdown_.store(true, std::memory_order_relaxed);
       response.set("ok", true);
     } else {
       std::string msg = "unknown op '" + op + "'";
@@ -166,14 +176,14 @@ json::Json EvalService::handle(const Json& request) {
       throw InvalidArgument(msg);
     }
   } catch (const NumericalError& e) {
-    ++stats_.errors;
+    bump(&ServiceStats::errors);
     obs::count("serve.errors");
     Json detail = Json::object();
     detail.set("type", "numerical_error");
     detail.set("message", e.what());
     response.set("error", std::move(detail));
   } catch (const Error& e) {
-    ++stats_.errors;
+    bump(&ServiceStats::errors);
     obs::count("serve.errors");
     Json detail = Json::object();
     detail.set("type", "invalid_argument");
@@ -192,49 +202,51 @@ json::Json EvalService::do_solve(const Json& req) {
   opts.num_threads = options_.num_threads;
   opts.pool = options_.pool;
 
-  const std::uint64_t full = scenario_hash(params, opts);
+  const std::string canon = canonical_scenario(params, opts);
+  const std::uint64_t full = json::fnv1a64(canon);
   const std::uint64_t shape = structure_hash(params, opts);
 
   Json out = Json::object();
   out.set("hash", json::hash_hex(full));
 
-  if (const ResultCache::Entry* hit = cache_.find(full)) {
-    ++stats_.cache_hits;
-    out.set("cached", true);
-    out.set("hits", hit->hits);
-    out.set("warm_started", hit->report.used_warm_start);
-    out.set("iterations", hit->report.iterations);
-    out.set("converged", hit->report.converged);
-    out.set("used_optimistic_init", hit->report.used_optimistic_init);
-    out.set("result", report_to_json(hit->report));
-    return out;
-  }
-  ++stats_.cache_misses;
-
+  // Cache lookup and warm-start donor resolution happen under the lock;
+  // the donor's slices are copied out so the solve itself — the long part
+  // — runs with no lock held and concurrent requests overlap.
   bool want_warm = options_.warm_start;
   if (const Json* w = req.find("warm_start")) want_warm = w->as_bool();
-  const gang::SolveReport* donor = nullptr;
-  if (want_warm) {
-    if (auto it = warm_index_.find(shape); it != warm_index_.end()) {
-      if (const ResultCache::Entry* e = cache_.peek(it->second))
-        donor = &e->report;
+  std::vector<phase::PhaseType> donor_slices;
+  bool have_donor = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (const ResultCache::Entry* hit = cache_.find(full)) {
+      ++stats_.cache_hits;
+      out.set("cached", true);
+      out.set("hits", hit->hits);
+      out.set("warm_started", hit->report.used_warm_start);
+      out.set("iterations", hit->report.iterations);
+      out.set("converged", hit->report.converged);
+      out.set("used_optimistic_init", hit->report.used_optimistic_init);
+      out.set("result", report_to_json(hit->report));
+      return out;
+    }
+    ++stats_.cache_misses;
+    if (want_warm) {
+      if (auto it = warm_index_.find(shape); it != warm_index_.end()) {
+        if (const ResultCache::Entry* e = cache_.peek(it->second)) {
+          if (e->report.final_slices.size() == params.num_classes()) {
+            donor_slices = e->report.final_slices;
+            have_donor = true;
+          }
+        }
+      }
     }
   }
 
   const gang::GangSolver solver(params, opts);
   const auto start = std::chrono::steady_clock::now();
   gang::SolveReport report =
-      donor && donor->final_slices.size() == params.num_classes()
-          ? solver.solve_warm(donor->final_slices)
-          : solver.solve();
+      have_donor ? solver.solve_warm(donor_slices) : solver.solve();
   const double ms = elapsed_ms(start);
-
-  ++stats_.solves_executed;
-  stats_.fixed_point_iterations +=
-      static_cast<std::uint64_t>(report.iterations);
-  stats_.solve_ms_total += ms;
-  stats_.solve_ms_max = std::max(stats_.solve_ms_max, ms);
-  if (report.used_warm_start) ++stats_.warm_starts;
 
   out.set("cached", false);
   out.set("warm_started", report.used_warm_start);
@@ -244,8 +256,17 @@ json::Json EvalService::do_solve(const Json& req) {
   out.set("result", report_to_json(report));
   if (!options_.deterministic) out.set("ms", ms);
 
-  cache_.insert(full, std::move(report));
-  warm_index_[shape] = full;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.solves_executed;
+    stats_.fixed_point_iterations +=
+        static_cast<std::uint64_t>(report.iterations);
+    stats_.solve_ms_total += ms;
+    stats_.solve_ms_max = std::max(stats_.solve_ms_max, ms);
+    if (report.used_warm_start) ++stats_.warm_starts;
+    cache_.insert(full, canon, std::move(report));
+    warm_index_[shape] = full;
+  }
   return out;
 }
 
@@ -255,7 +276,10 @@ json::Json EvalService::do_solve_batch(const Json& req) {
            "solve_batch needs an 'items' array");
   const auto& arr = items->as_array();
   GS_CHECK(!arr.empty(), "solve_batch needs at least one item");
-  stats_.batch_lanes += arr.size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.batch_lanes += arr.size();
+  }
 
   std::size_t batch_width = 8;
   if (const Json* w = req.find("batch_width")) {
@@ -282,45 +306,50 @@ json::Json EvalService::do_solve_batch(const Json& req) {
     o.pool = options_.pool;
     opts.push_back(o);
   }
+  std::vector<std::string> canon(arr.size());
   for (std::size_t i = 0; i < arr.size(); ++i) {
-    full[i] = scenario_hash(params[i], opts[i]);
+    canon[i] = canonical_scenario(params[i], opts[i]);
+    full[i] = json::fnv1a64(canon[i]);
     shape[i] = structure_hash(params[i], opts[i]);
   }
 
   // Cache hits answer their item directly; the rest become lock-step
-  // lanes. Donor reports are resolved before any insert so the warm
-  // pointers stay valid for the whole batched solve.
+  // lanes. Donor slices are copied out under the lock so the batched
+  // solve itself runs unlocked (and no insert can invalidate them).
   std::vector<Json> results(arr.size());
   std::vector<std::size_t> miss;
-  std::vector<const gang::SolveReport*> donors;
-  for (std::size_t i = 0; i < arr.size(); ++i) {
-    Json& out = results[i];
-    out = Json::object();
-    out.set("hash", json::hash_hex(full[i]));
-    if (const ResultCache::Entry* hit = cache_.find(full[i])) {
-      ++stats_.cache_hits;
-      out.set("cached", true);
-      out.set("hits", hit->hits);
-      out.set("warm_started", hit->report.used_warm_start);
-      out.set("iterations", hit->report.iterations);
-      out.set("converged", hit->report.converged);
-      out.set("used_optimistic_init", hit->report.used_optimistic_init);
-      out.set("result", report_to_json(hit->report));
-      continue;
-    }
-    ++stats_.cache_misses;
-    bool want_warm = options_.warm_start;
-    if (const Json* w = arr[i].find("warm_start")) want_warm = w->as_bool();
-    const gang::SolveReport* donor = nullptr;
-    if (want_warm) {
-      if (auto it = warm_index_.find(shape[i]); it != warm_index_.end()) {
-        if (const ResultCache::Entry* e = cache_.peek(it->second))
-          if (e->report.final_slices.size() == params[i].num_classes())
-            donor = &e->report;
+  std::vector<std::vector<phase::PhaseType>> donors;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      Json& out = results[i];
+      out = Json::object();
+      out.set("hash", json::hash_hex(full[i]));
+      if (const ResultCache::Entry* hit = cache_.find(full[i])) {
+        ++stats_.cache_hits;
+        out.set("cached", true);
+        out.set("hits", hit->hits);
+        out.set("warm_started", hit->report.used_warm_start);
+        out.set("iterations", hit->report.iterations);
+        out.set("converged", hit->report.converged);
+        out.set("used_optimistic_init", hit->report.used_optimistic_init);
+        out.set("result", report_to_json(hit->report));
+        continue;
       }
+      ++stats_.cache_misses;
+      bool want_warm = options_.warm_start;
+      if (const Json* w = arr[i].find("warm_start")) want_warm = w->as_bool();
+      std::vector<phase::PhaseType> donor;
+      if (want_warm) {
+        if (auto it = warm_index_.find(shape[i]); it != warm_index_.end()) {
+          if (const ResultCache::Entry* e = cache_.peek(it->second))
+            if (e->report.final_slices.size() == params[i].num_classes())
+              donor = e->report.final_slices;
+        }
+      }
+      miss.push_back(i);
+      donors.push_back(std::move(donor));
     }
-    miss.push_back(i);
-    donors.push_back(donor);
   }
 
   const auto start = std::chrono::steady_clock::now();
@@ -333,16 +362,16 @@ json::Json EvalService::do_solve_batch(const Json& req) {
     lanes.reserve(miss.size());
     for (std::size_t t = 0; t < miss.size(); ++t)
       lanes.push_back(
-          {&solvers[t],
-           donors[t] != nullptr ? &donors[t]->final_slices : nullptr});
+          {&solvers[t], donors[t].empty() ? nullptr : &donors[t]});
     outcomes = gang::GangSolver::solve_batch(lanes, batch_width);
   }
   const double ms = elapsed_ms(start);
-  stats_.solve_ms_total += ms;
-  stats_.solve_ms_max = std::max(stats_.solve_ms_max, ms);
 
   // Per-lane cache fills, in item order — exactly the entries a sequence
   // of 'solve' requests would have created.
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.solve_ms_total += ms;
+  stats_.solve_ms_max = std::max(stats_.solve_ms_max, ms);
   for (std::size_t t = 0; t < miss.size(); ++t) {
     const std::size_t i = miss[t];
     Json& out = results[i];
@@ -362,7 +391,7 @@ json::Json EvalService::do_solve_batch(const Json& req) {
     out.set("converged", oc.report.converged);
     out.set("used_optimistic_init", oc.report.used_optimistic_init);
     out.set("result", report_to_json(oc.report));
-    cache_.insert(full[i], std::move(oc.report));
+    cache_.insert(full[i], std::move(canon[i]), std::move(oc.report));
     warm_index_[shape[i]] = full[i];
   }
 
@@ -439,7 +468,10 @@ json::Json EvalService::do_sweep(const Json& req) {
       [&](double x) { return vary_system(base, param, x, cls); },
       sweep_opts);
   const double ms = elapsed_ms(start);
-  stats_.sweep_points += points.size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.sweep_points += points.size();
+  }
 
   Json rows = Json::array();
   for (const auto& pt : points) {
@@ -531,6 +563,7 @@ json::Json EvalService::do_tune(const Json& req) {
 }
 
 json::Json EvalService::do_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
   Json out = Json::object();
   out.set("requests", stats_.requests);
   out.set("errors", stats_.errors);
@@ -572,6 +605,26 @@ json::Json EvalService::do_stats() const {
                               : 0.0);
     out.set("latency_ms", std::move(lat));
   }
+  // Transport counters of the event-loop daemon, when one is attached.
+  // Gated on !deterministic like the latency block: queue depths and
+  // coalescing counts depend on arrival timing, and the golden smoke
+  // diff must stay byte-stable across the stdio and TCP transports.
+  if (net_stats_ != nullptr && !options_.deterministic) {
+    const NetStats& n = *net_stats_;
+    Json net = Json::object();
+    net.set("connections", n.connections.load());
+    net.set("accepted", n.accepted.load());
+    net.set("closed", n.closed.load());
+    net.set("requests", n.requests.load());
+    net.set("shed", n.shed.load());
+    net.set("coalesced", n.coalesced.load());
+    net.set("oversized", n.oversized.load());
+    net.set("dropped", n.dropped.load());
+    net.set("inflight", n.inflight.load());
+    net.set("queue_depth",
+            std::max<std::int64_t>(0, n.inflight.load() - n.executing.load()));
+    out.set("net", std::move(net));
+  }
   // The full metrics snapshot rides along when obs is recording. Gated on
   // !deterministic because the values (timer totals, pool scheduling
   // counters) depend on wall clock and thread interleaving — the golden
@@ -583,6 +636,7 @@ json::Json EvalService::do_stats() const {
 }
 
 std::string EvalService::summary() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;
   os << "gangd summary: " << stats_.requests << " requests ("
      << stats_.solve_requests << " solve, " << stats_.batch_requests

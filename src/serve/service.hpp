@@ -27,7 +27,10 @@
 // all come back as {"error":{...}} responses, and the service stays up.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <iosfwd>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -40,12 +43,31 @@ class ThreadPool;
 
 namespace gs::serve {
 
+/// Transport-level counters of the event-loop daemon (serve::Dispatcher
+/// maintains them; the stats op reports them when attached). Plain
+/// atomics so the dispatcher's executor threads, the event loop, and a
+/// stats request can all touch them without a lock.
+struct NetStats {
+  std::atomic<std::uint64_t> accepted{0};   ///< connections accepted
+  std::atomic<std::uint64_t> closed{0};     ///< connections fully closed
+  std::atomic<std::uint64_t> requests{0};   ///< request lines delivered
+  std::atomic<std::uint64_t> shed{0};       ///< rejected by admission ctl
+  std::atomic<std::uint64_t> coalesced{0};  ///< riders on in-flight solves
+  std::atomic<std::uint64_t> oversized{0};  ///< over-limit lines
+  std::atomic<std::uint64_t> dropped{0};    ///< responses to gone clients
+  std::atomic<std::int64_t> connections{0};  ///< currently open
+  std::atomic<std::int64_t> inflight{0};     ///< admitted, not yet answered
+  std::atomic<std::int64_t> executing{0};    ///< running on an executor
+};
+
 struct ServiceOptions {
   /// Lanes of concurrency inside a request (per-class chains of a solve,
-  /// points of a sweep). Request handling itself is serialized. Lanes
-  /// run on the process-wide util::ThreadPool::shared() — persistent
-  /// across requests, so the daemon pays no thread create/join per
-  /// request — unless `pool` injects one.
+  /// points of a sweep). Lanes run on the process-wide
+  /// util::ThreadPool::shared() — persistent across requests, so the
+  /// daemon pays no thread create/join per request — unless `pool`
+  /// injects one. Concurrency *across* requests is the transport's
+  /// business: the stdio loop is serial, the event-loop daemon overlaps
+  /// requests from different connections (serve/dispatch.hpp).
   int num_threads = 1;
   /// LRU capacity in scenarios; 0 disables caching.
   std::size_t cache_capacity = 256;
@@ -78,6 +100,11 @@ struct ServiceStats {
   double solve_ms_max = 0.0;
 };
 
+/// The evaluation service. handle()/handle_line() are safe to call from
+/// any number of threads concurrently: a mutex guards the cache, warm
+/// index, and counters, while the solver runs *outside* it (warm-start
+/// donor slices are copied out under the lock), so concurrent requests
+/// overlap their numerical work and only serialize on bookkeeping.
 class EvalService {
  public:
   explicit EvalService(ServiceOptions options = {});
@@ -89,10 +116,34 @@ class EvalService {
   /// Handle a parsed request. Never throws.
   json::Json handle(const json::Json& request);
 
-  bool shutdown_requested() const { return shutdown_; }
+  bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_relaxed);
+  }
+  /// Counter snapshot. Do not read while other threads are mid-request.
   const ServiceStats& stats() const { return stats_; }
   const ResultCache& cache() const { return cache_; }
   const ServiceOptions& options() const { return options_; }
+
+  /// Attach/detach transport counters; when non-null (and the service is
+  /// not in deterministic mode) the stats op reports them under "net".
+  /// The pointed-to struct must outlive the attachment.
+  void attach_net_stats(const NetStats* stats) { net_stats_ = stats; }
+
+  /// Persist the result cache and warm-start donor index as NDJSON (one
+  /// canonical scenario + full report per line, least-recently-used
+  /// first). Returns the number of entries written. Restoring the
+  /// snapshot with load_cache reproduces cache contents, LRU order, hit
+  /// counters, and warm-start donors, so a daemon restart answers its
+  /// old working set byte-for-byte and never goes cold.
+  std::size_t save_cache(std::ostream& out) const;
+  std::size_t save_cache_file(const std::string& path) const;
+
+  /// Load a save_cache snapshot, re-deriving every scenario hash and
+  /// structure hash from the canonical text. Entries beyond the cache
+  /// capacity evict in LRU order, exactly as if solved live. Returns the
+  /// number of entries loaded; throws gs::Error on malformed input.
+  std::size_t load_cache(std::istream& in);
+  std::size_t load_cache_file(const std::string& path);
 
   /// Human-readable end-of-session summary (for stderr at exit).
   std::string summary() const;
@@ -105,12 +156,15 @@ class EvalService {
   json::Json do_stats() const;
 
   ServiceOptions options_;
+  /// Guards cache_, warm_index_, and stats_ (never held across a solve).
+  mutable std::mutex mu_;
   ResultCache cache_;
   /// structure hash -> scenario hash of the most recent solve with that
   /// shape (the warm-start donor).
   std::unordered_map<std::uint64_t, std::uint64_t> warm_index_;
   ServiceStats stats_;
-  bool shutdown_ = false;
+  const NetStats* net_stats_ = nullptr;
+  std::atomic<bool> shutdown_{false};
 };
 
 }  // namespace gs::serve

@@ -150,6 +150,26 @@ void ThreadPool::ensure_workers(std::size_t target) {
     workers_.emplace_back([this] { worker_loop(); });
 }
 
+void ThreadPool::submit(std::function<void()> task) {
+  if (disabled_ || capacity_ <= 1) {
+    // No workers will ever exist; run inline so the task is not lost.
+    task();
+    return;
+  }
+  ensure_workers(1);
+  obs::count("pool.submitted");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.emplace_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::reserve(std::size_t workers) {
+  if (disabled_) return;
+  ensure_workers(workers);
+}
+
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn,
                               const ParallelOptions& opts) {

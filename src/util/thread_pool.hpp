@@ -101,6 +101,21 @@ class ThreadPool {
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                     const ParallelOptions& opts = {});
 
+  /// Run one task asynchronously on a pool worker (FIFO with respect to
+  /// other submitted tasks; interleaved with parallel_for chunk claims).
+  /// Unlike parallel_for the caller does not participate or wait — this
+  /// is the request-dispatch path of the serve layer, where the event
+  /// loop must return to polling immediately. The task must not throw
+  /// (an escaping exception terminates the process); wrap fallible work.
+  /// Falls back to running inline when the pool cannot own workers (a
+  /// one-lane pool, or one constructed inside another pool's worker).
+  void submit(std::function<void()> task);
+
+  /// Ensure at least `workers` worker threads exist (capped at
+  /// capacity - 1), so that up to `workers` submitted tasks can run
+  /// concurrently. submit() itself only guarantees one.
+  void reserve(std::size_t workers);
+
   /// parallel_for that collects fn(i) into a vector, preserving order.
   template <typename T, typename F>
   std::vector<T> parallel_map(std::size_t n, F&& fn,

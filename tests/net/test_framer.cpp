@@ -1,0 +1,139 @@
+// NDJSON framing edge cases: lines split across reads, several lines in
+// one read, CRLF endings, blank lines, and the oversized-line poison.
+#include "net/framer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace {
+
+using gs::net::LineFramer;
+using Result = gs::net::LineFramer::Result;
+
+std::vector<std::string> drain(LineFramer& framer) {
+  std::vector<std::string> lines;
+  std::string line;
+  while (framer.next(&line) == Result::kLine) lines.push_back(line);
+  return lines;
+}
+
+TEST(LineFramer, LineSplitAcrossManyReads) {
+  LineFramer framer(1024);
+  const std::string payload = "{\"op\":\"solve\"}";
+  std::string line;
+  for (const char c : payload) {
+    framer.append(&c, 1);
+    EXPECT_EQ(framer.next(&line), Result::kNeedMore);
+  }
+  framer.append("\n", 1);
+  ASSERT_EQ(framer.next(&line), Result::kLine);
+  EXPECT_EQ(line, payload);
+  EXPECT_EQ(framer.next(&line), Result::kNeedMore);
+  EXPECT_EQ(framer.buffered(), 0u);
+}
+
+TEST(LineFramer, ManyLinesInOneRead) {
+  LineFramer framer(1024);
+  const std::string chunk = "one\ntwo\nthree\n";
+  framer.append(chunk.data(), chunk.size());
+  EXPECT_EQ(drain(framer), (std::vector<std::string>{"one", "two", "three"}));
+}
+
+TEST(LineFramer, CrlfIsStripped) {
+  LineFramer framer(1024);
+  const std::string chunk = "alpha\r\nbeta\r\n";
+  framer.append(chunk.data(), chunk.size());
+  EXPECT_EQ(drain(framer), (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST(LineFramer, CrlfSplitBetweenReads) {
+  // The CR arrives in one read, the LF in the next.
+  LineFramer framer(1024);
+  framer.append("line\r", 5);
+  std::string line;
+  EXPECT_EQ(framer.next(&line), Result::kNeedMore);
+  framer.append("\nnext\n", 6);
+  EXPECT_EQ(drain(framer), (std::vector<std::string>{"line", "next"}));
+}
+
+TEST(LineFramer, BlankLinesAreSwallowed) {
+  LineFramer framer(1024);
+  const std::string chunk = "\n\r\na\n\n\nb\n\r\n";
+  framer.append(chunk.data(), chunk.size());
+  EXPECT_EQ(drain(framer), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(LineFramer, PartialLineThenRemainderPlusMore) {
+  LineFramer framer(1024);
+  framer.append("first_ha", 8);
+  std::string line;
+  EXPECT_EQ(framer.next(&line), Result::kNeedMore);
+  framer.append("lf\nsecond\nthi", 13);
+  EXPECT_EQ(drain(framer), (std::vector<std::string>{"first_half", "second"}));
+  framer.append("rd\n", 3);
+  EXPECT_EQ(drain(framer), (std::vector<std::string>{"third"}));
+}
+
+TEST(LineFramer, TerminatedLineOverLimitPoisons) {
+  LineFramer framer(8);
+  const std::string chunk = "123456789\nok\n";  // 9 > 8, then a good line
+  framer.append(chunk.data(), chunk.size());
+  std::string line;
+  EXPECT_EQ(framer.next(&line), Result::kOversized);
+  // Poisoned forever: the good line behind it is never surfaced.
+  EXPECT_EQ(framer.next(&line), Result::kOversized);
+  framer.append("more\n", 5);
+  EXPECT_EQ(framer.next(&line), Result::kOversized);
+}
+
+TEST(LineFramer, UnterminatedOverflowPoisonsWithoutNewline) {
+  // A peer streaming an endless line must be cut off at the limit, not
+  // buffered until memory runs out.
+  LineFramer framer(8);
+  framer.append("abcdefgh", 8);  // exactly at the limit: still fine
+  std::string line;
+  EXPECT_EQ(framer.next(&line), Result::kNeedMore);
+  framer.append("i", 1);  // 9 buffered, no newline in sight
+  EXPECT_EQ(framer.next(&line), Result::kOversized);
+  EXPECT_EQ(framer.next(&line), Result::kOversized);
+}
+
+TEST(LineFramer, ExactLimitLineIsAccepted) {
+  LineFramer framer(8);
+  framer.append("12345678\n", 9);
+  std::string line;
+  ASSERT_EQ(framer.next(&line), Result::kLine);
+  EXPECT_EQ(line, "12345678");
+}
+
+TEST(LineFramer, CrDoesNotCountTowardTheLimit) {
+  LineFramer framer(8);
+  framer.append("12345678\r\n", 10);
+  std::string line;
+  ASSERT_EQ(framer.next(&line), Result::kLine);
+  EXPECT_EQ(line, "12345678");
+}
+
+TEST(LineFramer, CompactionPreservesPendingBytes) {
+  // Exercise the internal prefix compaction: many consumed lines
+  // followed by a split line must still reassemble correctly.
+  LineFramer framer(1 << 20);
+  std::string big(4096, 'x');
+  for (int i = 0; i < 64; ++i) {
+    framer.append(big.data(), big.size());
+    framer.append("\n", 1);
+    std::string line;
+    ASSERT_EQ(framer.next(&line), gs::net::LineFramer::Result::kLine);
+    ASSERT_EQ(line.size(), big.size());
+  }
+  framer.append("tail", 4);
+  std::string line;
+  EXPECT_EQ(framer.next(&line), Result::kNeedMore);
+  framer.append("_end\n", 5);
+  ASSERT_EQ(framer.next(&line), Result::kLine);
+  EXPECT_EQ(line, "tail_end");
+}
+
+}  // namespace

@@ -13,10 +13,15 @@ SolveReport report_with_iterations(int iterations) {
   return r;
 }
 
+void insert_report(ResultCache& cache, std::uint64_t key, int iterations) {
+  cache.insert(key, "scenario-" + std::to_string(key),
+               report_with_iterations(iterations));
+}
+
 TEST(ResultCache, FindMissThenHitWithHitCounter) {
   ResultCache cache(4);
   EXPECT_EQ(cache.find(1), nullptr);
-  cache.insert(1, report_with_iterations(7));
+  insert_report(cache, 1, 7);
   const auto* e = cache.find(1);
   ASSERT_NE(e, nullptr);
   EXPECT_EQ(e->report.iterations, 7);
@@ -27,23 +32,23 @@ TEST(ResultCache, FindMissThenHitWithHitCounter) {
 
 TEST(ResultCache, PeekHasNoSideEffects) {
   ResultCache cache(2);
-  cache.insert(1, report_with_iterations(1));
-  cache.insert(2, report_with_iterations(2));
+  insert_report(cache, 1, 1);
+  insert_report(cache, 2, 2);
   ASSERT_NE(cache.peek(1), nullptr);
   EXPECT_EQ(cache.peek(1)->hits, 0u);
   // Peek did not refresh key 1: inserting a third entry still evicts it.
-  cache.insert(3, report_with_iterations(3));
+  insert_report(cache, 3, 3);
   EXPECT_EQ(cache.peek(1), nullptr);
   EXPECT_NE(cache.peek(2), nullptr);
 }
 
 TEST(ResultCache, EvictsLeastRecentlyUsed) {
   ResultCache cache(3);
-  cache.insert(1, report_with_iterations(1));
-  cache.insert(2, report_with_iterations(2));
-  cache.insert(3, report_with_iterations(3));
+  insert_report(cache, 1, 1);
+  insert_report(cache, 2, 2);
+  insert_report(cache, 3, 3);
   ASSERT_NE(cache.find(1), nullptr);  // 1 is now most recent
-  cache.insert(4, report_with_iterations(4));
+  insert_report(cache, 4, 4);
   EXPECT_EQ(cache.peek(2), nullptr);  // 2 was the LRU entry
   EXPECT_NE(cache.peek(1), nullptr);
   EXPECT_NE(cache.peek(3), nullptr);
@@ -54,8 +59,8 @@ TEST(ResultCache, EvictsLeastRecentlyUsed) {
 
 TEST(ResultCache, EntriesOrderedMostRecentFirst) {
   ResultCache cache(3);
-  cache.insert(10, report_with_iterations(1));
-  cache.insert(20, report_with_iterations(2));
+  insert_report(cache, 10, 1);
+  insert_report(cache, 20, 2);
   cache.find(10);
   const auto entries = cache.entries();
   ASSERT_EQ(entries.size(), 2u);
@@ -68,15 +73,15 @@ TEST(ResultCache, MixedHitsAndInsertsEvictInRecencyOrder) {
   // recency, not insertion order: every hit moves its key to the front,
   // so the victims are exactly the keys never touched again.
   ResultCache cache(3);
-  cache.insert(1, report_with_iterations(1));
-  cache.insert(2, report_with_iterations(2));
-  cache.insert(3, report_with_iterations(3));  // LRU order: 3 2 1
+  insert_report(cache, 1, 1);
+  insert_report(cache, 2, 2);
+  insert_report(cache, 3, 3);  // LRU order: 3 2 1
   ASSERT_NE(cache.find(1), nullptr);           // 1 3 2
   ASSERT_NE(cache.find(2), nullptr);           // 2 1 3
-  cache.insert(4, report_with_iterations(4));  // evicts 3 -> 4 2 1
+  insert_report(cache, 4, 4);  // evicts 3 -> 4 2 1
   EXPECT_EQ(cache.peek(3), nullptr);
   ASSERT_NE(cache.find(1), nullptr);           // 1 4 2
-  cache.insert(5, report_with_iterations(5));  // evicts 2 -> 5 1 4
+  insert_report(cache, 5, 5);  // evicts 2 -> 5 1 4
   EXPECT_EQ(cache.peek(2), nullptr);
   EXPECT_NE(cache.peek(1), nullptr);
   EXPECT_NE(cache.peek(4), nullptr);
@@ -94,12 +99,12 @@ TEST(ResultCache, HitCountersSurviveRecencyReordering) {
   // Per-entry hit counters are attached to the entry, not its position:
   // reordering by later finds and evictions must not reset or mix them.
   ResultCache cache(2);
-  cache.insert(1, report_with_iterations(1));
-  cache.insert(2, report_with_iterations(2));
+  insert_report(cache, 1, 1);
+  insert_report(cache, 2, 2);
   cache.find(1);
   cache.find(1);
   cache.find(2);
-  cache.insert(3, report_with_iterations(3));  // evicts nothing yet? 2 is MRU
+  insert_report(cache, 3, 3);  // evicts nothing yet? 2 is MRU
   // Order before insert: 2 1 -> insert 3 evicts 1 (LRU despite more hits).
   EXPECT_EQ(cache.peek(1), nullptr);
   EXPECT_EQ(cache.peek(2)->hits, 1u);
@@ -111,10 +116,10 @@ TEST(ResultCache, ReinsertRefreshesRecency) {
   // Overwriting an existing key must also move it to the front — a
   // re-solved scenario is as fresh as a newly solved one.
   ResultCache cache(2);
-  cache.insert(1, report_with_iterations(1));
-  cache.insert(2, report_with_iterations(2));  // order: 2 1
-  cache.insert(1, report_with_iterations(9));  // order: 1 2
-  cache.insert(3, report_with_iterations(3));  // evicts 2
+  insert_report(cache, 1, 1);
+  insert_report(cache, 2, 2);  // order: 2 1
+  insert_report(cache, 1, 9);  // order: 1 2
+  insert_report(cache, 3, 3);  // evicts 2
   EXPECT_EQ(cache.peek(2), nullptr);
   ASSERT_NE(cache.peek(1), nullptr);
   EXPECT_EQ(cache.peek(1)->report.iterations, 9);
@@ -123,8 +128,8 @@ TEST(ResultCache, ReinsertRefreshesRecency) {
 
 TEST(ResultCache, ReinsertOverwritesWithoutGrowth) {
   ResultCache cache(2);
-  cache.insert(1, report_with_iterations(1));
-  cache.insert(1, report_with_iterations(9));
+  insert_report(cache, 1, 1);
+  insert_report(cache, 1, 9);
   EXPECT_EQ(cache.size(), 1u);
   EXPECT_EQ(cache.peek(1)->report.iterations, 9);
   EXPECT_EQ(cache.evictions(), 0u);
@@ -132,10 +137,23 @@ TEST(ResultCache, ReinsertOverwritesWithoutGrowth) {
 
 TEST(ResultCache, ZeroCapacityDisablesCaching) {
   ResultCache cache(0);
-  cache.insert(1, report_with_iterations(1));
+  insert_report(cache, 1, 1);
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.find(1), nullptr);
   EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(ResultCache, KeepsScenarioTextAndSeedsHits) {
+  // The canonical scenario text rides with the entry (the persistence
+  // layer re-derives keys from it), and a snapshot restore can seed the
+  // hit counter instead of starting at zero.
+  ResultCache cache(2);
+  cache.insert(7, "canonical-text", gs::gang::SolveReport{}, /*hits=*/5);
+  const auto* e = cache.peek(7);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->scenario, "canonical-text");
+  EXPECT_EQ(e->hits, 5u);
+  EXPECT_EQ(cache.find(7)->hits, 6u);
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <mutex>
 #include <set>
 #include <stdexcept>
@@ -253,6 +254,118 @@ TEST(ThreadPool, UsesMultipleThreadsWhenAvailable) {
     seen.insert(std::this_thread::get_id());
   });
   EXPECT_GE(seen.size(), 2u);
+}
+
+TEST(ThreadPool, SubmitRunsFireAndForgetTasks) {
+  // submit() is the request-dispatch path of the serve layer: the
+  // caller never waits, so completion is observed through a latch.
+  ThreadPool pool(4);
+  pool.reserve(2);
+  constexpr int kTasks = 32;
+  std::atomic<int> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&] {
+      if (done.fetch_add(1) + 1 == kTasks) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(10),
+                          [&] { return done.load() == kTasks; }));
+}
+
+TEST(ThreadPool, SubmitOnOneLanePoolRunsInline) {
+  // A pool that cannot own workers runs the task on the calling thread
+  // — synchronously, before submit returns.
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  bool ran = false;
+  std::thread::id ran_on;
+  pool.submit([&] {
+    ran = true;
+    ran_on = std::this_thread::get_id();
+  });
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(ran_on, caller);
+}
+
+TEST(ThreadPool, ReserveEnablesConcurrentSubmittedTasks) {
+  // Two submitted tasks that rendezvous with each other can only both
+  // be running if reserve(2) actually provided two workers; a single
+  // worker would deadlock the barrier (guarded by the wait timeout).
+  ThreadPool pool(4);
+  pool.reserve(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  int arrived = 0;
+  bool both = false;
+  for (int i = 0; i < 2; ++i) {
+    pool.submit([&] {
+      std::unique_lock<std::mutex> lock(mu);
+      if (++arrived == 2) {
+        both = true;
+        cv.notify_all();
+      } else {
+        cv.wait_for(lock, std::chrono::seconds(10), [&] { return both; });
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  EXPECT_TRUE(cv.wait_for(lock, std::chrono::seconds(10),
+                          [&] { return both; }))
+      << "reserve(2) must allow two submitted tasks to run concurrently";
+}
+
+TEST(ThreadPool, SubmittedTasksKeepFifoOrderWithOneWorker) {
+  // With exactly one worker (capacity 2), submitted tasks execute in
+  // submission order — the property the dispatcher's deterministic
+  // workers=1 configuration leans on.
+  ThreadPool pool(2);
+  pool.reserve(1);
+  std::vector<int> order;
+  std::mutex mu;
+  std::condition_variable cv;
+  constexpr int kTasks = 16;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&, i] {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(i);
+      if (order.size() == kTasks) cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(10),
+                          [&] { return order.size() == kTasks; }));
+  for (int i = 0; i < kTasks; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, ParallelForFromSubmittedTaskDegradesSequential) {
+  // A solve dispatched via submit() issues its own parallel_for; from a
+  // worker thread that must degrade to the sequential path instead of
+  // deadlocking on the pool's own queue.
+  ThreadPool pool(4);
+  pool.reserve(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  std::vector<std::size_t> indices;
+  pool.submit([&] {
+    std::vector<std::size_t> local;
+    pool.parallel_for(8, [&](std::size_t i) { local.push_back(i); });
+    std::lock_guard<std::mutex> lock(mu);
+    indices = std::move(local);
+    done = true;
+    cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_TRUE(
+      cv.wait_for(lock, std::chrono::seconds(10), [&] { return done; }));
+  ASSERT_EQ(indices.size(), 8u);
+  for (std::size_t i = 0; i < indices.size(); ++i) EXPECT_EQ(indices[i], i);
 }
 
 }  // namespace

@@ -1,8 +1,17 @@
 #!/usr/bin/env sh
-# End-to-end smoke test of gangd: pipe the checked-in request script
+# End-to-end smoke test of gangd: run the checked-in request script
 # through a deterministic daemon and compare against the checked-in
 # golden with ndjson_diff (numbers within tolerance, everything else —
 # including cached/warm_started flags and iteration counts — exact).
+#
+# Two legs, one golden:
+#   1. stdio  — pipe the script through `gangd` directly.
+#   2. TCP    — start `gangd --port=auto` and replay the same script
+#               over a socket with `gangd_load --script` (lockstep: one
+#               request, one response). The event-loop transport must be
+#               byte-stable against the very same golden; per-connection
+#               ordering makes a single-client session indistinguishable
+#               from stdio.
 #
 # Usage: tools/gangd_smoke.sh [build-dir]   (default: build)
 set -eu
@@ -10,9 +19,43 @@ set -eu
 build_dir=${1:-build}
 tools_src=$(dirname "$0")
 out=${TMPDIR:-/tmp}/gangd_smoke_$$.ndjson
-trap 'rm -f "$out"' EXIT
+tcp_out=${TMPDIR:-/tmp}/gangd_smoke_tcp_$$.ndjson
+port_file=${TMPDIR:-/tmp}/gangd_smoke_port_$$
+cleanup() {
+  rm -f "$out" "$tcp_out" "$port_file"
+  [ -n "${daemon_pid:-}" ] && kill "$daemon_pid" 2>/dev/null
+  true
+}
+trap cleanup EXIT
 
+# --- Leg 1: stdio transport. ---
 "$build_dir/tools/gangd" --deterministic=1 --threads=2 \
   < "$tools_src/smoke_requests.ndjson" > "$out"
 
 "$build_dir/tools/ndjson_diff" "$out" "$tools_src/smoke_golden.ndjson"
+
+# --- Leg 2: TCP event-loop transport, same script, same golden. ---
+"$build_dir/tools/gangd" --deterministic=1 --threads=2 \
+  --port=auto --port-file="$port_file" 2>/dev/null &
+daemon_pid=$!
+
+tries=0
+while [ ! -s "$port_file" ]; do
+  tries=$((tries + 1))
+  if [ "$tries" -gt 100 ]; then
+    echo "gangd_smoke: daemon never wrote $port_file" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+port=$(cat "$port_file")
+
+"$build_dir/bench/gangd_load" --port="$port" \
+  --script="$tools_src/smoke_requests.ndjson" > "$tcp_out"
+
+# The script ends with a shutdown request, so the daemon exits cleanly.
+wait "$daemon_pid"
+daemon_pid=
+
+"$build_dir/tools/ndjson_diff" "$tcp_out" "$tools_src/smoke_golden.ndjson"
+echo "gangd_smoke: stdio and TCP legs both match the golden"
