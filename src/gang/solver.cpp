@@ -490,6 +490,8 @@ void GangSolver::run_chunk(const std::vector<BatchItem>& items,
           // Build / revalue every active lane's chain for this class
           // (scalar per lane — the blocks are cheap next to the R solve)
           // and apply the drift admission exactly as qbd::solve would.
+          {
+          obs::Span revalue_span("gang.batch.revalue");
           for (std::size_t wi = 0; wi < width; ++wi) {
             Lane& ln = lanes[wi];
             if (!ln.active) continue;
@@ -512,6 +514,7 @@ void GangSolver::run_chunk(const std::vector<BatchItem>& items,
             } catch (const Error&) {
               fail(wi, /*retryable=*/false);
             }
+          }
           }
           // The fitted away periods can change a lane's block order
           // mid-iteration, so group the active lanes by their current
@@ -547,6 +550,7 @@ void GangSolver::run_chunk(const std::vector<BatchItem>& items,
                 continue;
               }
               rres.r.store_lane(wi, lane_r);
+              obs::Span boundary_span("gang.batch.boundary");
               try {
                 ln.sols[p].emplace(qbd::solve_with_r(
                     ln.procs[p]->process(), lane_r, opts.qbd, sws(p, wi)));
@@ -572,10 +576,13 @@ void GangSolver::run_chunk(const std::vector<BatchItem>& items,
           const bool done =
               !opts.fixed_point || delta < opts.tol || iter == max_iter;
           try {
-            for (std::size_t p = 0; p < L; ++p) {
-              ln.effq[p] = ln.procs[p]->effective_quantum(
-                  *ln.sols[p], opts.truncation,
-                  opts.eff_mode == EffQuantumMode::kExact);
+            {
+              obs::Span effq_span("gang.batch.effq");
+              for (std::size_t p = 0; p < L; ++p) {
+                ln.effq[p] = ln.procs[p]->effective_quantum(
+                    *ln.sols[p], opts.truncation,
+                    opts.eff_mode == EffQuantumMode::kExact);
+              }
             }
             if (done) {
               // Retire the lane: build its report exactly as run() does.

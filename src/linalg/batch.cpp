@@ -4,9 +4,167 @@
 #include <cmath>
 
 #include "linalg/gemm.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace gs::linalg {
+
+namespace {
+
+constexpr std::size_t MR = kGemmMr;
+constexpr std::size_t NR = kGemmNr;
+
+// One MR x NR tile of W-wide lane accumulators over a panel's retained
+// k-slices — the batch twin of gemm.cpp's micro_kernel. Per lane and per
+// accumulator the surviving k terms arrive in ascending order, one
+// multiply and one add each (dropped slices were all-zero across the
+// active lanes, so their terms were +-0.0 no-ops for every lane that
+// gets stored). All lanes accumulate; the caller masks the store.
+//
+// The full MR x NR x W accumulator block is W times the scalar kernel's
+// and cannot live in registers (256 doubles at W = 8), so the tile is
+// walked in RB x CB register sub-tiles sized so RB * CB * W doubles fit
+// the vector register file, each streaming the panel's k-slices once.
+// Sub-tiling never touches a single accumulator's addition order — every
+// (r, c, lane) sum still sees its k terms ascending — so the result is
+// bitwise identical to the flat walk at any sub-tile shape.
+template <std::size_t W, std::size_t RB, std::size_t CB>
+inline void batch_micro_kernel_t(const double* __restrict ap,
+                                 const std::uint32_t* __restrict ki,
+                                 std::size_t len, const double* __restrict bp,
+                                 double* __restrict acc) {
+  static_assert(MR % RB == 0 && NR % CB == 0, "sub-tile must divide the tile");
+  for (std::size_t r0 = 0; r0 < MR; r0 += RB) {
+    for (std::size_t c0 = 0; c0 < NR; c0 += CB) {
+      double s[RB * CB * W] = {0.0};
+      for (std::size_t t = 0; t < len; ++t) {
+        const double* __restrict av = ap + (t * MR + r0) * W;
+        const double* __restrict bv = bp + (ki[t] * NR + c0) * W;
+        for (std::size_t rr = 0; rr < RB; ++rr) {
+          const double* __restrict ar = av + rr * W;
+          for (std::size_t cc = 0; cc < CB; ++cc) {
+            const double* __restrict bc = bv + cc * W;
+            double* __restrict o = s + (rr * CB + cc) * W;
+            for (std::size_t l = 0; l < W; ++l) o[l] += ar[l] * bc[l];
+          }
+        }
+      }
+      for (std::size_t rr = 0; rr < RB; ++rr)
+        for (std::size_t cc = 0; cc < CB; ++cc)
+          for (std::size_t l = 0; l < W; ++l)
+            acc[((r0 + rr) * NR + c0 + cc) * W + l] = s[(rr * CB + cc) * W + l];
+    }
+  }
+}
+
+// Runtime-width fallback for lane counts without a specialization below.
+// Same ascending-k order per accumulator, so bitwise identical to the
+// templated walks.
+inline void batch_micro_kernel_any(const double* __restrict ap,
+                                   const std::uint32_t* __restrict ki,
+                                   std::size_t len, const double* __restrict bp,
+                                   std::size_t w, double* __restrict acc) {
+  for (std::size_t x = 0; x < MR * NR * w; ++x) acc[x] = 0.0;
+  for (std::size_t t = 0; t < len; ++t) {
+    const double* __restrict av = ap + t * MR * w;
+    const double* __restrict bv = bp + ki[t] * NR * w;
+    for (std::size_t r = 0; r < MR; ++r) {
+      const double* __restrict ar = av + r * w;
+      double* __restrict arow = acc + r * NR * w;
+      for (std::size_t c = 0; c < NR; ++c) {
+        const double* __restrict bc = bv + c * w;
+        double* __restrict o = arow + c * w;
+        for (std::size_t l = 0; l < w; ++l) o[l] += ar[l] * bc[l];
+      }
+    }
+  }
+}
+
+// Dispatch on the lane width: the power-of-two widths the solvers use
+// get register-sized sub-tiles (RB * CB * W <= 16 doubles — the SSE2
+// register file; wider ISAs just fuse more lanes per vector).
+inline void batch_micro_kernel(const double* __restrict ap,
+                               const std::uint32_t* __restrict ki,
+                               std::size_t len, const double* __restrict bp,
+                               std::size_t w, double* __restrict acc) {
+  switch (w) {
+    case 1: batch_micro_kernel_t<1, 4, 4>(ap, ki, len, bp, acc); break;
+    case 2: batch_micro_kernel_t<2, 4, 2>(ap, ki, len, bp, acc); break;
+    case 4: batch_micro_kernel_t<4, 2, 2>(ap, ki, len, bp, acc); break;
+    case 8: batch_micro_kernel_t<8, 2, 1>(ap, ki, len, bp, acc); break;
+    case 16: batch_micro_kernel_t<16, 1, 1>(ap, ki, len, bp, acc); break;
+    default: batch_micro_kernel_any(ap, ki, len, bp, w, acc); break;
+  }
+}
+
+// Tile accounting accumulated locally and flushed once per call/group —
+// the registry must never appear in the tile loop (same discipline as
+// the scalar GemmCounters).
+struct BatchGemmCounters {
+  std::uint64_t tiles = 0;
+  std::uint64_t flops = 0;
+  std::uint64_t calls = 0;
+
+  void flush() const {
+    obs::count("linalg.batch_gemm.calls", calls);
+    if (tiles > 0) obs::count("linalg.batch_gemm.tiles", tiles);
+    if (flops > 0) obs::count("linalg.batch_gemm.flops", flops);
+  }
+};
+
+void batch_gemm_packed_counted(BatchMatrix& out, const BatchGemmPackA& a,
+                               const BatchGemmPackB& b,
+                               const LaneMask& active,
+                               BatchGemmCounters& ctr) {
+  GS_CHECK(a.depth() == b.depth() && a.width() == b.width(),
+           "batch gemm: packed operand mismatch");
+  const std::size_t n = a.rows();
+  const std::size_t m = b.cols();
+  const std::size_t w = a.width();
+  GS_CHECK(w <= kMaxBatchLanes,
+           "batch gemm: width exceeds kMaxBatchLanes");
+  out.ensure(n, m, w);
+  const bool all = active.all();
+  // MR x NR x W accumulators — 4 KiB of stack at the lane cap.
+  double acc[MR * NR * kMaxBatchLanes];
+  const std::size_t pa_count = a.panels();
+  const std::size_t pb_count = b.panels();
+  std::uint64_t slices = 0;
+  for (std::size_t pa = 0; pa < pa_count; ++pa) {
+    const std::size_t i0 = pa * MR;
+    const std::size_t mr = std::min(MR, n - i0);
+    const double* ap = a.panel(pa);
+    const std::uint32_t* ki = a.panel_k(pa);
+    const std::size_t len = a.panel_len(pa);
+    slices += len;
+    for (std::size_t pb = 0; pb < pb_count; ++pb) {
+      const std::size_t j0 = pb * NR;
+      const std::size_t nr = std::min(NR, m - j0);
+      batch_micro_kernel(ap, ki, len, b.panel(pb), w, acc);
+      // Masked store: padded rows/columns computed +0.0 and are dropped,
+      // inactive lanes keep their bits.
+      for (std::size_t r = 0; r < mr; ++r) {
+        const double* arow = acc + r * NR * w;
+        for (std::size_t c = 0; c < nr; ++c) {
+          double* o = out.lanes(i0 + r, j0 + c);
+          const double* s = arow + c * w;
+          if (all) {
+            for (std::size_t l = 0; l < w; ++l) o[l] = s[l];
+          } else {
+            for (std::size_t l = 0; l < w; ++l)
+              if (active[l]) o[l] = s[l];
+          }
+        }
+      }
+    }
+  }
+  ctr.tiles += pa_count * pb_count;
+  ctr.flops +=
+      static_cast<std::uint64_t>(2) * MR * NR * w * pb_count * slices;
+  ctr.calls += 1;
+}
+
+}  // namespace
 
 BatchMatrix::BatchMatrix(std::size_t rows, std::size_t cols,
                          std::size_t width)
@@ -163,6 +321,93 @@ void batch_multiply_tiled_into(BatchMatrix& out, const BatchMatrix& a,
     }
   }
 }
+
+void BatchGemmPackA::pack(const BatchMatrix& a, const LaneMask& active) {
+  rows_ = a.rows();
+  depth_ = a.cols();
+  width_ = a.width();
+  GS_CHECK(active.width() == width_, "batch pack: mask width mismatch");
+  const std::size_t w = width_;
+  const std::size_t np = panels();
+  buf_.resize(np * depth_ * MR * w);
+  idx_.resize(np * depth_);
+  len_.resize(np);
+  for (std::size_t p = 0; p < np; ++p) {
+    const std::size_t i0 = p * MR;
+    const std::size_t mr = std::min(MR, rows_ - i0);
+    double* dst = buf_.data() + p * depth_ * MR * w;
+    std::uint32_t* ki = idx_.data() + p * depth_;
+    std::size_t len = 0;
+    for (std::size_t k = 0; k < depth_; ++k) {
+      // Drop the slice only when zero in every MR row of every active
+      // lane — the batch form of the scalar all-zero-slice drop.
+      bool nonzero = false;
+      for (std::size_t r = 0; r < mr && !nonzero; ++r) {
+        const double* al = a.lanes(i0 + r, k);
+        for (std::size_t l = 0; l < w; ++l)
+          if (active[l] && al[l] != 0.0) {
+            nonzero = true;
+            break;
+          }
+      }
+      if (!nonzero) continue;
+      double* slice = dst + len * MR * w;
+      for (std::size_t r = 0; r < mr; ++r) {
+        const double* al = a.lanes(i0 + r, k);
+        double* sr = slice + r * w;
+        for (std::size_t l = 0; l < w; ++l) sr[l] = al[l];
+      }
+      for (std::size_t r = mr; r < MR; ++r)
+        for (std::size_t l = 0; l < w; ++l) slice[r * w + l] = 0.0;
+      ki[len] = static_cast<std::uint32_t>(k);
+      ++len;
+    }
+    len_[p] = static_cast<std::uint32_t>(len);
+  }
+}
+
+void BatchGemmPackB::pack(const BatchMatrix& b) {
+  depth_ = b.rows();
+  cols_ = b.cols();
+  width_ = b.width();
+  const std::size_t w = width_;
+  const std::size_t np = panels();
+  buf_.resize(np * depth_ * NR * w);
+  for (std::size_t p = 0; p < np; ++p) {
+    const std::size_t j0 = p * NR;
+    const std::size_t nr = std::min(NR, cols_ - j0);
+    double* dst = buf_.data() + p * depth_ * NR * w;
+    for (std::size_t k = 0; k < depth_; ++k) {
+      const double* brow = b.lanes(k, j0);
+      double* drow = dst + k * NR * w;
+      for (std::size_t c = 0; c < nr; ++c)
+        for (std::size_t l = 0; l < w; ++l) drow[c * w + l] = brow[c * w + l];
+      for (std::size_t c = nr; c < NR; ++c)
+        for (std::size_t l = 0; l < w; ++l) drow[c * w + l] = 0.0;
+    }
+  }
+}
+
+void batch_gemm_packed_into(BatchMatrix& out, const BatchGemmPackA& a,
+                            const BatchGemmPackB& b, const LaneMask& active) {
+  BatchGemmCounters ctr;
+  batch_gemm_packed_counted(out, a, b, active, ctr);
+  ctr.flush();
+}
+
+void batch_gemm_grouped(const BatchGemmOp* ops, std::size_t count,
+                        const LaneMask& active) {
+  BatchGemmCounters ctr;
+  for (std::size_t i = 0; i < count; ++i) {
+    GS_CHECK(ops[i].out != nullptr && ops[i].a != nullptr &&
+                 ops[i].b != nullptr,
+             "batch_gemm_grouped: op with a null operand");
+    batch_gemm_packed_counted(*ops[i].out, *ops[i].a, *ops[i].b, active, ctr);
+  }
+  ctr.flush();
+}
+
+const char* batch_gemm_kernel_variant() { return "batch_tiled_packed_4x8"; }
 
 void batch_add(BatchMatrix& out, const BatchMatrix& b,
                const LaneMask& active) {
@@ -337,6 +582,94 @@ void BatchLu::factor(const BatchMatrix& a, const LaneMask& active,
       }
     }
   }
+
+  // Factor-time caches for the solve sweeps (see the header). Building
+  // the per-lane pattern here instead of per solve_right_into call is
+  // the fix for the old per-call O(n^2) rebuild; the diagonal gather
+  // turns the sweeps' lu_(j, j, l) strided reads into unit-stride ones.
+  diag_.resize(w * n_);
+  for (std::size_t j = 0; j < n_; ++j) {
+    const double* dj = lu_.lanes(j, j);
+    for (std::size_t l = 0; l < w; ++l) diag_[l * n_ + j] = dj[l];
+  }
+  fs_.assign(w, 0);
+  up_ptr_.assign(w * (n_ + 1), 0);
+  lo_ptr_.assign(w * (n_ + 1), 0);
+  unsigned char cache[kMaxBatchLanes];
+  std::size_t nnz[kMaxBatchLanes] = {0};
+  for (std::size_t l = 0; l < w; ++l)
+    cache[l] = (active[l] && singular_[l] == 0) ? 1 : 0;
+  // Count pass, lane-inner: per-lane off-diagonal fill per row, counts
+  // staged one slot ahead of the row so the prefix sum lands in place.
+  for (std::size_t r = 0; r < n_; ++r) {
+    for (std::size_t c = 0; c < n_; ++c) {
+      if (c == r) continue;
+      const double* v = lu_.lanes(r, c);
+      std::size_t* ptr = (c > r ? up_ptr_ : lo_ptr_).data();
+      for (std::size_t l = 0; l < w; ++l)
+        if (cache[l] != 0 && v[l] != 0.0) {
+          ++ptr[l * (n_ + 1) + r + 1];
+          ++nnz[l];
+        }
+    }
+  }
+  // The scalar sparse-factor decision per lane; dense lanes store no
+  // pattern (their blocked sweeps read the factor in place).
+  for (std::size_t l = 0; l < w; ++l)
+    fs_[l] = (cache[l] != 0 && n_ > 0 && 2 * nnz[l] <= n_ * (n_ - 1)) ? 1 : 0;
+  std::size_t uoff = 0, loff = 0;
+  for (std::size_t l = 0; l < w; ++l) {
+    std::size_t* up = up_ptr_.data() + l * (n_ + 1);
+    std::size_t* lo = lo_ptr_.data() + l * (n_ + 1);
+    if (fs_[l] == 0) {
+      for (std::size_t i = 0; i <= n_; ++i) {
+        up[i] = uoff;
+        lo[i] = loff;
+      }
+      continue;
+    }
+    up[0] = uoff;
+    lo[0] = loff;
+    for (std::size_t r = 0; r < n_; ++r) {
+      up[r + 1] += up[r];
+      lo[r + 1] += lo[r];
+    }
+    uoff = up[n_];
+    loff = lo[n_];
+  }
+  up_idx_.resize(uoff);
+  up_val_.resize(uoff);
+  lo_idx_.resize(loff);
+  lo_val_.resize(loff);
+  // Fill pass: ascending c per (lane, row) — the order the scalar
+  // per-lane pattern build produces, which the sweeps' e-loops assume.
+  std::size_t ucur[kMaxBatchLanes], lcur[kMaxBatchLanes];
+  for (std::size_t r = 0; r < n_; ++r) {
+    for (std::size_t l = 0; l < w; ++l)
+      if (fs_[l] != 0) {
+        ucur[l] = up_ptr_[l * (n_ + 1) + r];
+        lcur[l] = lo_ptr_[l * (n_ + 1) + r];
+      }
+    for (std::size_t c = 0; c < n_; ++c) {
+      if (c == r) continue;
+      const double* v = lu_.lanes(r, c);
+      if (c > r) {
+        for (std::size_t l = 0; l < w; ++l)
+          if (fs_[l] != 0 && v[l] != 0.0) {
+            up_idx_[ucur[l]] = static_cast<std::uint32_t>(c);
+            up_val_[ucur[l]] = v[l];
+            ++ucur[l];
+          }
+      } else {
+        for (std::size_t l = 0; l < w; ++l)
+          if (fs_[l] != 0 && v[l] != 0.0) {
+            lo_idx_[lcur[l]] = static_cast<std::uint32_t>(c);
+            lo_val_[lcur[l]] = v[l];
+            ++lcur[l];
+          }
+      }
+    }
+  }
 }
 
 void BatchLu::solve_into(const BatchMatrix& b, BatchMatrix& x,
@@ -346,45 +679,68 @@ void BatchLu::solve_into(const BatchMatrix& b, BatchMatrix& x,
   GS_CHECK(&x != &b, "batch LU solve_into: x aliases b");
   x.ensure(n_, b.cols(), width_);
   const std::size_t w = width_;
-  if (y_.size() < n_ * w) y_.resize(n_ * w);
-  double* y = y_.data();
+  constexpr std::size_t RB = kBatchLuRhsBlock;
+  if (y_.size() < n_ * RB * w) y_.resize(n_ * RB * w);
+  double* yb = y_.data();
   const bool all = active.all();
-  double s[kMaxBatchLanes];
-  // Lane-inner translation of Lu::solve_into: identical per-lane
-  // operation sequence; only the load of the permuted right-hand side is
-  // a per-lane gather (the pivots differ across lanes). Lanes outside
-  // the mask are computed into scratch but never stored.
-  for (std::size_t c = 0; c < b.cols(); ++c) {
+  double s[RB * kMaxBatchLanes];
+  // Lane-inner, column-blocked translation of Lu::solve_into: each
+  // factor row read advances RB right-hand-side columns (the d^3-bytes
+  // re-read per column was the batch TRSM bottleneck). Columns are
+  // independent systems and each keeps the scalar kernel's per-lane
+  // operation sequence, so the blocking is bitwise-invisible. Only the
+  // load of the permuted right-hand side is a per-lane gather (the
+  // pivots differ across lanes). Lanes outside the mask are computed
+  // into scratch but never stored.
+  for (std::size_t c0 = 0; c0 < b.cols(); c0 += RB) {
+    const std::size_t nc = std::min(RB, b.cols() - c0);
     for (std::size_t i = 0; i < n_; ++i) {
       const std::size_t* pi = perm_.data() + i * w;
-      for (std::size_t l = 0; l < w; ++l) s[l] = b(pi[l], c, l);
+      for (std::size_t cb = 0; cb < nc; ++cb)
+        for (std::size_t l = 0; l < w; ++l)
+          s[cb * w + l] = b(pi[l], c0 + cb, l);
       for (std::size_t j = 0; j < i; ++j) {
         const double* lurow = lu_.lanes(i, j);
-        const double* yj = y + j * w;
-        for (std::size_t l = 0; l < w; ++l) s[l] -= lurow[l] * yj[l];
+        const double* yj = yb + j * RB * w;
+        for (std::size_t cb = 0; cb < nc; ++cb) {
+          const double* yjc = yj + cb * w;
+          double* sc = s + cb * w;
+          for (std::size_t l = 0; l < w; ++l) sc[l] -= lurow[l] * yjc[l];
+        }
       }
-      double* yi = y + i * w;
-      for (std::size_t l = 0; l < w; ++l) yi[l] = s[l];
+      double* yi = yb + i * RB * w;
+      for (std::size_t t = 0; t < nc * w; ++t) yi[t] = s[t];
     }
     for (std::size_t ii = n_; ii-- > 0;) {
-      double* yii = y + ii * w;
-      for (std::size_t l = 0; l < w; ++l) s[l] = yii[l];
+      double* yii = yb + ii * RB * w;
+      for (std::size_t t = 0; t < nc * w; ++t) s[t] = yii[t];
       for (std::size_t j = ii + 1; j < n_; ++j) {
         const double* lurow = lu_.lanes(ii, j);
-        const double* yj = y + j * w;
-        for (std::size_t l = 0; l < w; ++l) s[l] -= lurow[l] * yj[l];
+        const double* yj = yb + j * RB * w;
+        for (std::size_t cb = 0; cb < nc; ++cb) {
+          const double* yjc = yj + cb * w;
+          double* sc = s + cb * w;
+          for (std::size_t l = 0; l < w; ++l) sc[l] -= lurow[l] * yjc[l];
+        }
       }
       const double* diag = lu_.lanes(ii, ii);
-      for (std::size_t l = 0; l < w; ++l) yii[l] = s[l] / diag[l];
+      for (std::size_t cb = 0; cb < nc; ++cb) {
+        double* yc = yii + cb * w;
+        const double* sc = s + cb * w;
+        for (std::size_t l = 0; l < w; ++l) yc[l] = sc[l] / diag[l];
+      }
     }
     for (std::size_t r = 0; r < n_; ++r) {
-      const double* yr = y + r * w;
-      double* xr = x.lanes(r, c);
-      if (all) {
-        for (std::size_t l = 0; l < w; ++l) xr[l] = yr[l];
-      } else {
-        for (std::size_t l = 0; l < w; ++l)
-          if (active[l]) xr[l] = yr[l];
+      const double* yr = yb + r * RB * w;
+      for (std::size_t cb = 0; cb < nc; ++cb) {
+        double* xr = x.lanes(r, c0 + cb);
+        const double* yc = yr + cb * w;
+        if (all) {
+          for (std::size_t l = 0; l < w; ++l) xr[l] = yc[l];
+        } else {
+          for (std::size_t l = 0; l < w; ++l)
+            if (active[l]) xr[l] = yc[l];
+        }
       }
     }
   }
@@ -397,77 +753,95 @@ void BatchLu::solve_right_into(const BatchMatrix& b, BatchMatrix& x,
   GS_CHECK(&x != &b, "batch LU solve_right_into: x aliases b");
   x.ensure(b.rows(), n_, width_);
   const std::size_t w = width_;
-  if (y_.size() < n_) y_.resize(n_);
-  if (z_.size() < n_) z_.resize(n_);
-  double* y = y_.data();
-  double* z = z_.data();
+  constexpr std::size_t RB = kBatchLuRhsBlock;
+  if (y_.size() < n_ * RB) y_.resize(n_ * RB);
+  if (z_.size() < n_ * RB) z_.resize(n_ * RB);
+  double* yb = y_.data();
+  double* zb = z_.data();
   // Per-lane replication of Lu::solve_right_into, including the scalar
   // decision to run the sparse-factor sweeps: which sweep runs (and which
   // +-0.0 terms it skips) depends on the lane's own factor fill, so only
-  // an exact per-lane re-enactment keeps the bits. The strided reads cost
-  // the lane-vectorization; this sweep is off the logreduction hot loop
-  // (one call per solve) and per-iteration only for substitution.
+  // an exact per-lane re-enactment keeps the bits. Two upgrades over the
+  // original per-lane loop, both factor-time/traffic-only: the lane's
+  // pattern comes from the factor() cache instead of an O(n^2) rebuild
+  // per call, and the sweeps advance RB rows of B per factor/pattern
+  // read. Rows are independent systems and each keeps the scalar
+  // operation sequence (including the per-row zero skip, applied per rb
+  // inside the entry loop), so the bits cannot move.
   for (std::size_t l = 0; l < w; ++l) {
     if (!active[l]) continue;
-    std::size_t nnz = 0;
-    for (std::size_t r = 0; r < n_; ++r)
-      for (std::size_t c = 0; c < n_; ++c)
-        if (c != r && lu_(r, c, l) != 0.0) ++nnz;
-    const bool fs = n_ > 0 && 2 * nnz <= n_ * (n_ - 1);
-    if (fs) {
-      upper_ptr_.assign(1, 0);
-      lower_ptr_.assign(1, 0);
-      upper_idx_.clear();
-      upper_val_.clear();
-      lower_idx_.clear();
-      lower_val_.clear();
-      for (std::size_t r = 0; r < n_; ++r) {
-        for (std::size_t c = r + 1; c < n_; ++c)
-          if (lu_(r, c, l) != 0.0) {
-            upper_idx_.push_back(c);
-            upper_val_.push_back(lu_(r, c, l));
-          }
-        upper_ptr_.push_back(upper_idx_.size());
-        for (std::size_t c = 0; c < r; ++c)
-          if (lu_(r, c, l) != 0.0) {
-            lower_idx_.push_back(c);
-            lower_val_.push_back(lu_(r, c, l));
-          }
-        lower_ptr_.push_back(lower_idx_.size());
-      }
-    }
-    for (std::size_t r = 0; r < b.rows(); ++r) {
-      for (std::size_t i = 0; i < n_; ++i) y[i] = b(r, i, l);
+    const bool fs = fs_[l] != 0;
+    const double* dl = diag_.data() + l * n_;
+    const std::size_t* up = up_ptr_.data() + l * (n_ + 1);
+    const std::size_t* lo = lo_ptr_.data() + l * (n_ + 1);
+    double yv[RB];
+    for (std::size_t r0 = 0; r0 < b.rows(); r0 += RB) {
+      const std::size_t nb = std::min(RB, b.rows() - r0);
+      for (std::size_t rb = 0; rb < nb; ++rb)
+        for (std::size_t i = 0; i < n_; ++i)
+          yb[i * RB + rb] = b(r0 + rb, i, l);
       if (fs) {
         for (std::size_t j = 0; j < n_; ++j) {
-          y[j] /= lu_(j, j, l);
-          const double yj = y[j];
-          if (yj == 0.0) continue;
-          for (std::size_t e = upper_ptr_[j]; e < upper_ptr_[j + 1]; ++e)
-            y[upper_idx_[e]] -= upper_val_[e] * yj;
+          double* yj = yb + j * RB;
+          bool any = false;
+          for (std::size_t rb = 0; rb < nb; ++rb) {
+            yj[rb] /= dl[j];
+            yv[rb] = yj[rb];
+            any = any || yv[rb] != 0.0;
+          }
+          if (!any) continue;
+          for (std::size_t e = up[j]; e < up[j + 1]; ++e) {
+            const double v = up_val_[e];
+            double* yc = yb + up_idx_[e] * RB;
+            for (std::size_t rb = 0; rb < nb; ++rb)
+              if (yv[rb] != 0.0) yc[rb] -= v * yv[rb];
+          }
         }
       } else {
         for (std::size_t j = 0; j < n_; ++j) {
-          y[j] /= lu_(j, j, l);
-          const double yj = y[j];
-          for (std::size_t i = j + 1; i < n_; ++i) y[i] -= lu_(j, i, l) * yj;
+          double* yj = yb + j * RB;
+          for (std::size_t rb = 0; rb < nb; ++rb) {
+            yj[rb] /= dl[j];
+            yv[rb] = yj[rb];
+          }
+          for (std::size_t i = j + 1; i < n_; ++i) {
+            const double v = lu_(j, i, l);
+            double* yc = yb + i * RB;
+            for (std::size_t rb = 0; rb < nb; ++rb) yc[rb] -= v * yv[rb];
+          }
         }
       }
-      for (std::size_t i = 0; i < n_; ++i) z[i] = y[i];
+      for (std::size_t t = 0; t < n_ * RB; ++t) zb[t] = yb[t];
       if (fs) {
         for (std::size_t j = n_; j-- > 1;) {
-          const double zj = z[j];
-          if (zj == 0.0) continue;
-          for (std::size_t e = lower_ptr_[j]; e < lower_ptr_[j + 1]; ++e)
-            z[lower_idx_[e]] -= lower_val_[e] * zj;
+          const double* zj = zb + j * RB;
+          bool any = false;
+          for (std::size_t rb = 0; rb < nb; ++rb) {
+            yv[rb] = zj[rb];
+            any = any || yv[rb] != 0.0;
+          }
+          if (!any) continue;
+          for (std::size_t e = lo[j]; e < lo[j + 1]; ++e) {
+            const double v = lo_val_[e];
+            double* zc = zb + lo_idx_[e] * RB;
+            for (std::size_t rb = 0; rb < nb; ++rb)
+              if (yv[rb] != 0.0) zc[rb] -= v * yv[rb];
+          }
         }
       } else {
         for (std::size_t j = n_; j-- > 1;) {
-          const double zj = z[j];
-          for (std::size_t i = 0; i < j; ++i) z[i] -= lu_(j, i, l) * zj;
+          const double* zj = zb + j * RB;
+          for (std::size_t rb = 0; rb < nb; ++rb) yv[rb] = zj[rb];
+          for (std::size_t i = 0; i < j; ++i) {
+            const double v = lu_(j, i, l);
+            double* zc = zb + i * RB;
+            for (std::size_t rb = 0; rb < nb; ++rb) zc[rb] -= v * yv[rb];
+          }
         }
       }
-      for (std::size_t i = 0; i < n_; ++i) x(r, perm_[i * w + l], l) = z[i];
+      for (std::size_t rb = 0; rb < nb; ++rb)
+        for (std::size_t i = 0; i < n_; ++i)
+          x(r0 + rb, perm_[i * w + l], l) = zb[i * RB + rb];
     }
   }
 }

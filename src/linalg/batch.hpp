@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "linalg/gemm.hpp"
 #include "linalg/matrix.hpp"
 
 namespace gs::linalg {
@@ -160,6 +161,102 @@ void batch_multiply_into(BatchMatrix& out, const BatchMatrix& a,
 void batch_multiply_tiled_into(BatchMatrix& out, const BatchMatrix& a,
                                const BatchMatrix& b, const LaneMask& active);
 
+/// The left operand of a batched GEMM, repacked into kGemmMr-row panels
+/// of W-wide lane vectors: panel p holds rows [p*MR, p*MR + MR) k-major,
+/// slice t of panel p storing the MR x W doubles [t*MR*W + r*W + l], so
+/// the micro-kernel reads contiguous lane vectors. Packing keeps the
+/// scalar GemmPackA's sparsity awareness under the batch contract: a
+/// k-slice is dropped only when its MR values are zero in *every active
+/// lane* (the per-lane scalar pack drops per-lane; the extra retained
+/// terms are +-0.0 no-ops for the lanes that hold a zero — the same
+/// finite-operands argument batch_multiply_into documents). Edge rows
+/// are zero-padded; inactive lanes are packed as-is (their products are
+/// computed but never stored). Buffers are reusable across repacks.
+class BatchGemmPackA {
+ public:
+  /// Repack from `a` (any shape); `active` drives the slice-drop rule.
+  void pack(const BatchMatrix& a, const LaneMask& active);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t depth() const { return depth_; }
+  std::size_t width() const { return width_; }
+  std::size_t panels() const { return (rows_ + kGemmMr - 1) / kGemmMr; }
+  /// Panel p: panel_len(p) retained slices of kGemmMr * width doubles.
+  const double* panel(std::size_t p) const {
+    return buf_.data() + p * depth_ * kGemmMr * width_;
+  }
+  /// Ascending original k of each retained slice in panel p.
+  const std::uint32_t* panel_k(std::size_t p) const {
+    return idx_.data() + p * depth_;
+  }
+  /// Number of retained (not-all-zero-across-active-lanes) slices.
+  std::size_t panel_len(std::size_t p) const { return len_[p]; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t depth_ = 0;
+  std::size_t width_ = 0;
+  std::vector<double> buf_;
+  std::vector<std::uint32_t> idx_;
+  std::vector<std::uint32_t> len_;
+};
+
+/// The right operand of a batched GEMM, repacked into kGemmNr-column
+/// panels of W-wide lane vectors: value (k, c, l) of panel p lives at
+/// [k*NR*W + c*W + l], zero-padded past the column edge. No drop rule —
+/// the A-side pack owns sparsity, exactly like the scalar GemmPackB.
+class BatchGemmPackB {
+ public:
+  /// Repack from `b` (any shape).
+  void pack(const BatchMatrix& b);
+
+  std::size_t cols() const { return cols_; }
+  std::size_t depth() const { return depth_; }
+  std::size_t width() const { return width_; }
+  std::size_t panels() const { return (cols_ + kGemmNr - 1) / kGemmNr; }
+  /// Panel p: depth * kGemmNr * width doubles (see the class comment).
+  const double* panel(std::size_t p) const {
+    return buf_.data() + p * depth_ * kGemmNr * width_;
+  }
+
+ private:
+  std::size_t cols_ = 0;
+  std::size_t depth_ = 0;
+  std::size_t width_ = 0;
+  std::vector<double> buf_;
+};
+
+/// out = (unpacked a) * (unpacked b) on the active lanes from
+/// already-packed operands: per active lane, bitwise identical to
+/// batch_multiply_into (and therefore to the scalar multiply) on the
+/// matrices the packs came from. Inactive lanes are computed into the
+/// stack tile but never stored. The packs' depths and widths must agree;
+/// `active` must be (a subset of) the mask the A pack was built with —
+/// a slice dropped at pack time must still be all-zero on every lane
+/// the multiply stores.
+void batch_gemm_packed_into(BatchMatrix& out, const BatchGemmPackA& a,
+                            const BatchGemmPackB& b, const LaneMask& active);
+
+/// One product of a grouped batched pass: out = a * b over shared packs.
+/// Non-owning; everything must outlive the batch_gemm_grouped call.
+struct BatchGemmOp {
+  BatchMatrix* out = nullptr;
+  const BatchGemmPackA* a = nullptr;
+  const BatchGemmPackB* b = nullptr;
+};
+
+/// Run `count` products whose operands share packs under one lane mask
+/// (pack once, multiply many — one batched log-reduction squaring pass
+/// is four products over two packed iterates). Outputs must be distinct
+/// and must not alias any batch a pack was built from.
+void batch_gemm_grouped(const BatchGemmOp* ops, std::size_t count,
+                        const LaneMask& active);
+
+/// Compile-time identity of the batched micro-kernel
+/// ("batch_tiled_packed_<MR>x<NR>"), recorded in BENCH_batch.json so the
+/// artifact names the kernel it measured.
+const char* batch_gemm_kernel_variant();
+
 /// out += b on the active lanes.
 void batch_add(BatchMatrix& out, const BatchMatrix& b, const LaneMask& active);
 /// out = src on the active lanes (reshapes out when empty).
@@ -195,16 +292,23 @@ class BatchLu {
   /// Lane flagged singular by the last factor() (scalar Lu would throw).
   bool singular(std::size_t lane) const { return singular_[lane] != 0; }
 
-  /// Solve A X = B column-by-column on the active lanes — per lane, the
-  /// exact arithmetic of Lu::solve_into. Active lanes must not be
-  /// singular.
+  /// Solve A X = B on the active lanes — per lane, the exact arithmetic
+  /// of Lu::solve_into. Like the scalar blocked_rhs path, the sweeps
+  /// advance kBatchLuRhsBlock right-hand-side columns per factor read
+  /// (each lane's per-column operation sequence is untouched — columns
+  /// are independent systems — so blocking changes traffic, not bits).
+  /// Active lanes must not be singular.
   void solve_into(const BatchMatrix& b, BatchMatrix& x,
                   const LaneMask& active) const;
 
-  /// Solve X A = B row-by-row on the active lanes — per lane, the exact
-  /// arithmetic of Lu::solve_right_into, including the scalar decision
-  /// to run the sparse-factor sweeps when a lane's factor kept at most
-  /// half its off-diagonal entries. Active lanes must not be singular.
+  /// Solve X A = B on the active lanes — per lane, the exact arithmetic
+  /// of Lu::solve_right_into, including the scalar decision to run the
+  /// sparse-factor sweeps when a lane's factor kept at most half its
+  /// off-diagonal entries. The per-lane factor pattern is built once at
+  /// factor() time (not per call), and the sweeps advance
+  /// kBatchLuRhsBlock rows of B per factor read — rows are independent
+  /// systems, so like solve_into the blocking is bitwise-invisible.
+  /// Active lanes must not be singular.
   void solve_right_into(const BatchMatrix& b, BatchMatrix& x,
                         const LaneMask& active) const;
 
@@ -214,12 +318,22 @@ class BatchLu {
   BatchMatrix lu_;                       // packed per-lane L\U factors
   std::vector<std::size_t> perm_;        // perm_[i*width + lane]
   std::vector<unsigned char> singular_;  // per-lane singularity flag
-  // Per-call scratch (sized on use): the forward/back substitution
-  // vectors and the per-lane factor pattern of solve_right_into.
+  // Factor-time caches for the solve sweeps: the per-lane sparse-factor
+  // decision, the factor diagonal gathered lane-major (diag_[l*n + j] —
+  // the right-division sweeps read it n times per row), and the per-lane
+  // compressed off-diagonal pattern (ptr_[l*(n+1) + r] indexes idx_/
+  // val_; built only for lanes whose factor is sparse enough).
+  std::vector<unsigned char> fs_;
+  std::vector<double> diag_;
+  std::vector<std::size_t> up_ptr_, lo_ptr_;
+  std::vector<std::uint32_t> up_idx_, lo_idx_;
+  std::vector<double> up_val_, lo_val_;
+  // Per-call scratch (sized on use): the blocked substitution panels.
   mutable std::vector<double> y_, z_;
-  mutable std::vector<std::size_t> upper_ptr_, upper_idx_;
-  mutable std::vector<std::size_t> lower_ptr_, lower_idx_;
-  mutable std::vector<double> upper_val_, lower_val_;
 };
+
+/// Right-hand sides advanced per factor read by the blocked BatchLu
+/// sweeps (the batch twin of the scalar kLuRhsBlock).
+constexpr std::size_t kBatchLuRhsBlock = 8;
 
 }  // namespace gs::linalg

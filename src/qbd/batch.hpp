@@ -73,6 +73,12 @@ struct BatchWorkspace {
   linalg::BatchLu lu_a1, lu_iu, lu_final;
   // Lane-major mirrors of the blocks being solved.
   BatchBlocks blocks;
+  // Packed batched-GEMM operands (RSolveOptions::tiled): three A-side
+  // packs and two B-side packs cover one log-reduction squaring-plus-
+  // carry iteration; Newton reuses bg_h_a for R and bg_h_b / bg_l_b for
+  // its inner iterates.
+  linalg::BatchGemmPackA bg_h_a, bg_l_a, bg_t_a;
+  linalg::BatchGemmPackB bg_h_b, bg_l_b;
   // Per-lane extraction + residual scratch (scalar shapes).
   linalg::Matrix lane_r, lane_a0, lane_a1, lane_a2;
   Workspace scalar;
@@ -94,9 +100,26 @@ void solve_r_logreduction_batch(const BatchBlocks& blocks,
                                 const RSolveOptions& opts, BatchWorkspace& w,
                                 BatchRSolveResult& out);
 
+/// Newton's iteration on the masked lanes in lock-step: per outer step
+/// one shared grouped-GEMM assembly and one batched LU of -S, then the
+/// inner Sylvester sweeps run under their own per-lane mask (a lane
+/// whose sweep converges freezes its correction and waits for the
+/// others). Per lane: the exact arithmetic, iteration count, residual,
+/// and (on failure) error text of solve_r_newton on that lane's blocks —
+/// including the inner-exhaustion error that cues the log-reduction
+/// fallback.
+void solve_r_newton_batch(const BatchBlocks& blocks,
+                          const linalg::LaneMask& lanes,
+                          const RSolveOptions& opts, BatchWorkspace& w,
+                          BatchRSolveResult& out);
+
 /// Method dispatch, matching qbd::solve's choice. Cyclic reduction runs
 /// per-lane through the scalar solver (it is the cross-check backend and
-/// has no lock-step batched form); the other methods run batched.
+/// has no lock-step batched form); the other methods run batched. For
+/// kNewton, lanes that fail Newton are re-run through the batched log
+/// reduction and their results merged in — the batch mirror of
+/// qbd::solve's newton -> logreduction fallback, so grouped and scalar
+/// dispatch keep answering identically.
 void solve_r_batch(const BatchBlocks& blocks, const linalg::LaneMask& lanes,
                    RMethod method, const RSolveOptions& opts,
                    BatchWorkspace& w, BatchRSolveResult& out);

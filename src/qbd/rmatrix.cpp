@@ -294,6 +294,132 @@ RSolveResult solve_r_logreduction(const Matrix& a0, const Matrix& a1,
   return out;
 }
 
+RSolveResult solve_r_newton(const Matrix& a0, const Matrix& a1,
+                            const Matrix& a2, const RSolveOptions& opts,
+                            Workspace* ws) {
+  const std::size_t d = a1.rows();
+  GS_CHECK(a0.rows() == d && a2.rows() == d, "R solve: block size mismatch");
+
+  obs::Span span("qbd.rsolve.newton");
+  span.arg("d", static_cast<std::int64_t>(d));
+  obs::count("qbd.rsolve.newton.count");
+
+  Workspace local;
+  Workspace& w = ws ? *ws : local;
+
+  // Newton reads the structured A2 in every inner sweep (R A2 inside S,
+  // H A2 inside the Sylvester right-hand side), so CSR pays exactly as
+  // it does for substitution; A1 rides along for the residual.
+  const bool use_sparse =
+      opts.sparse &&
+      0.5 * (dense_fraction(a1) + dense_fraction(a2)) <= kCsrDensityGate;
+  if (use_sparse) {
+    w.a1_csr.assign_from_dense(a1);
+    w.a2_csr.assign_from_dense(a2);
+  }
+
+  RSolveResult out;
+  w.r_cur.assign_zero(d, d);
+  bool converged = false;
+  double delta = 0.0;
+  std::uint64_t inner_total = 0;
+  for (int it = 1; it <= opts.max_iter; ++it) {
+    // S = A1 + R A2 (iu), F = A0 + R S (r_num), M = -S factored once.
+    // The dense R-sided products run through the packed tiled kernel
+    // when opts.tiled (R packs once per outer step and both the F
+    // product and every inner sweep reuse the pack) — bitwise identical
+    // to multiply_into either way, like everywhere else.
+    if (use_sparse) {
+      linalg::multiply_into(w.r_t, w.r_cur, w.a2_csr);
+    } else {
+      linalg::multiply_into(w.r_t, w.r_cur, a2);
+    }
+    w.iu = a1;
+    w.iu += w.r_t;
+    if (opts.tiled) {
+      w.gp_h_a.pack(w.r_cur);
+      w.gp_l_b.pack(w.iu);
+      linalg::gemm_packed_into(w.r_num, w.gp_h_a, w.gp_l_b);
+    } else {
+      linalg::multiply_into(w.r_num, w.r_cur, w.iu);
+    }
+    w.r_num += a0;
+    w.iu *= -1.0;
+    const linalg::Lu lu(w.iu);
+    // Inner fixed point for H S + R H A2 = -F, seeded H = F M^{-1}. The
+    // sweep contracts like sp(R): linear, but each sweep is only two
+    // products and one blocked right-division against the shared factor.
+    lu.solve_right_into(w.r_num, w.h);
+    bool inner_ok = false;
+    double inner_delta = 0.0;
+    int sweeps = 1;
+    for (; sweeps < opts.max_iter; ++sweeps) {
+      if (opts.tiled) {
+        w.gp_h_b.pack(w.h);
+        linalg::gemm_packed_into(w.hh, w.gp_h_a, w.gp_h_b);
+      } else {
+        linalg::multiply_into(w.hh, w.r_cur, w.h);
+      }
+      if (use_sparse) {
+        linalg::multiply_into(w.ll, w.hh, w.a2_csr);
+      } else {
+        linalg::multiply_into(w.ll, w.hh, a2);
+      }
+      w.ll += w.r_num;
+      lu.solve_right_into(w.ll, w.t);
+      inner_delta = linalg::max_abs_diff(w.t, w.h);
+      std::swap(w.h, w.t);
+      if (inner_delta <= opts.tol) {
+        inner_ok = true;
+        break;
+      }
+    }
+    inner_total += static_cast<std::uint64_t>(sweeps);
+    out.iterations = it;
+    if (!inner_ok) {
+      obs::count("qbd.rsolve.newton.iterations",
+                 static_cast<std::uint64_t>(out.iterations));
+      obs::count("qbd.rsolve.newton.inner_sweeps", inner_total);
+      throw NumericalError(
+          "Newton iteration for R: inner Sylvester sweep exhausted "
+          "max_iter=" +
+          std::to_string(opts.max_iter) + " at outer iteration " +
+          std::to_string(it) + " (last sweep step " +
+          std::to_string(inner_delta) + " > tol " + std::to_string(opts.tol) +
+          "); the chain is likely not positive recurrent");
+    }
+    delta = w.h.max_abs();
+    w.r_cur += w.h;
+    if (delta <= opts.tol) {
+      converged = true;
+      break;
+    }
+  }
+  obs::count("qbd.rsolve.newton.iterations",
+             static_cast<std::uint64_t>(out.iterations));
+  obs::count("qbd.rsolve.newton.inner_sweeps", inner_total);
+  span.arg("iterations", static_cast<std::int64_t>(out.iterations));
+  out.residual = r_residual(w.r_cur, a0, a1, a2, w, use_sparse);
+  if (!converged) {
+    throw NumericalError(
+        "Newton iteration for R exhausted max_iter=" +
+        std::to_string(opts.max_iter) + " (last step " +
+        std::to_string(delta) + " > tol " + std::to_string(opts.tol) +
+        ", residual " + std::to_string(out.residual) +
+        "); the chain is likely not positive recurrent");
+  }
+  if (out.residual > 1e-8 * std::max(1.0, a1.max_abs())) {
+    throw NumericalError(
+        "Newton iteration for R converged in " +
+        std::to_string(out.iterations) + " iterations but the residual " +
+        std::to_string(out.residual) +
+        " fails the defining equation; the chain is likely not positive "
+        "recurrent");
+  }
+  out.r = w.r_cur;
+  return out;
+}
+
 RSolveResult solve_r_cyclic_reduction(const Matrix& a0, const Matrix& a1,
                                       const Matrix& a2,
                                       const RSolveOptions& opts,

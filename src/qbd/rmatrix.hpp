@@ -139,6 +139,27 @@ RSolveResult solve_r_cyclic_reduction(const Matrix& a0, const Matrix& a1,
                                       const RSolveOptions& opts = {},
                                       Workspace* ws = nullptr);
 
+/// Newton's iteration for the minimal R, from R = 0. Each outer step
+/// solves the Frechet-derivative equation of F(R) = A0 + R A1 + R^2 A2
+/// exactly: with S = A1 + R A2 and F = A0 + R S, the correction H obeys
+/// the Sylvester equation H S + R H A2 = -F, solved by the inner fixed
+/// point H <- (F + R H A2) (-S)^{-1} (one LU of -S per outer step,
+/// seeded H = F (-S)^{-1}). R starts at 0, so -S starts as the M-matrix
+/// -A1 and stays invertible for positive recurrent chains; the first
+/// outer step reproduces one substitution step exactly. Outer
+/// convergence is quadratic in the step max|H| (versus substitution's
+/// linear and log reduction's level-doubling); the inner sweep contracts
+/// like sp(R), so near saturation the inner loop, capped at the same
+/// max_iter, can exhaust first — that throw is the cue qbd::solve uses
+/// to fall back to log reduction. Throws gs::NumericalError on inner or
+/// outer exhaustion and on a failed defining-equation residual.
+/// Cross-checked against the other three backends at tolerance (Newton
+/// walks a different iterate sequence, so agreement is numerical, not
+/// bitwise).
+RSolveResult solve_r_newton(const Matrix& a0, const Matrix& a1,
+                            const Matrix& a2, const RSolveOptions& opts = {},
+                            Workspace* ws = nullptr);
+
 /// max|A0 + R A1 + R^2 A2| — the defining-equation residual.
 double r_residual(const Matrix& r, const Matrix& a0, const Matrix& a1,
                   const Matrix& a2);

@@ -15,10 +15,13 @@ namespace gs::qbd {
 /// Which fixed-point algorithm computes Neuts' R matrix. All converge
 /// to the same R; logarithmic reduction is quadratically convergent
 /// (the default), successive substitution is linear but cheaper per
-/// iteration on very sparse blocks, and cyclic reduction (Bini-Meini)
-/// is a second quadratic algorithm on a different recurrence — kept as
-/// an independent cross-check of the default. See DESIGN.md § R-matrix.
-enum class RMethod { kLogReduction, kSubstitution, kCyclicReduction };
+/// iteration on very sparse blocks, cyclic reduction (Bini-Meini) is a
+/// second quadratic algorithm on a different recurrence — kept as an
+/// independent cross-check of the default — and Newton's iteration is
+/// quadratic in the outer step with the fewest fixed-point iterations
+/// of the four near saturation; when its inner Sylvester sweep stalls,
+/// solve() falls back to log reduction. See DESIGN.md § R-matrix.
+enum class RMethod { kLogReduction, kSubstitution, kCyclicReduction, kNewton };
 
 /// Knobs for solve(). The defaults reproduce the paper's configuration.
 struct SolveOptions {

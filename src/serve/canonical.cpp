@@ -182,6 +182,8 @@ const char* r_method_name(qbd::RMethod m) {
       return "substitution";
     case qbd::RMethod::kCyclicReduction:
       return "cyclic_reduction";
+    case qbd::RMethod::kNewton:
+      return "newton";
     case qbd::RMethod::kLogReduction:
       break;
   }
@@ -270,10 +272,12 @@ gang::GangSolveOptions options_from_json(const Json& v) {
         o.qbd.r_method = qbd::RMethod::kSubstitution;
       else if (s == "cyclic_reduction")
         o.qbd.r_method = qbd::RMethod::kCyclicReduction;
+      else if (s == "newton")
+        o.qbd.r_method = qbd::RMethod::kNewton;
       else
         throw InvalidArgument(
-            "qbd.r_method must be 'logreduction', 'substitution', or "
-            "'cyclic_reduction'");
+            "qbd.r_method must be 'logreduction', 'substitution', "
+            "'cyclic_reduction', or 'newton'");
     }
     if (const Json* y = x->find("r_tol"))
       o.qbd.r_options.tol = y->as_double();

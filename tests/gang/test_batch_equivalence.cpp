@@ -30,6 +30,26 @@ std::vector<std::size_t> widths_under_test() {
   return {std::begin(kWidths), std::end(kWidths)};
 }
 
+// CI re-runs the whole suite per R backend by exporting GS_R_METHOD
+// (newton / substitution / cyclic_reduction); unset keeps each test's
+// own choice. The equivalence contract is method-agnostic: batch vs
+// scalar with identical options, whatever the backend.
+GangSolveOptions with_env_r_method(GangSolveOptions options) {
+  if (const char* env = std::getenv("GS_R_METHOD"); env != nullptr) {
+    const std::string s = env;
+    if (s == "newton") {
+      options.qbd.r_method = qbd::RMethod::kNewton;
+    } else if (s == "substitution") {
+      options.qbd.r_method = qbd::RMethod::kSubstitution;
+    } else if (s == "cyclic_reduction") {
+      options.qbd.r_method = qbd::RMethod::kCyclicReduction;
+    } else if (s == "logreduction") {
+      options.qbd.r_method = qbd::RMethod::kLogReduction;
+    }
+  }
+  return options;
+}
+
 void expect_identical(const SolveReport& a, const SolveReport& b) {
   EXPECT_EQ(a.iterations, b.iterations);
   EXPECT_EQ(a.converged, b.converged);
@@ -76,8 +96,9 @@ std::vector<SystemParams> lane_systems(const workload::PaperKnobs& base,
 // Batched-vs-scalar on `systems`, cold or warm, at every width under
 // test. Every lane must match its scalar twin exactly.
 void check_batched(const std::vector<SystemParams>& systems,
-                   const GangSolveOptions& options,
+                   const GangSolveOptions& base_options,
                    const std::vector<PhaseType>* warm) {
+  const GangSolveOptions options = with_env_r_method(base_options);
   std::vector<GangSolver> solvers;
   solvers.reserve(systems.size());
   for (const SystemParams& sys : systems) solvers.emplace_back(sys, options);
@@ -156,6 +177,53 @@ TEST(GangBatchEquivalence, SubstitutionSolverAgreesToo) {
   GangSolveOptions options;
   options.qbd.r_method = qbd::RMethod::kSubstitution;
   check_batched(lane_systems(knobs, 6), options, nullptr);
+}
+
+TEST(GangBatchEquivalence, NewtonSolverAgreesToo) {
+  workload::PaperKnobs knobs;
+  knobs.arrival_rate = 0.4;
+  GangSolveOptions options;
+  options.qbd.r_method = qbd::RMethod::kNewton;
+  check_batched(lane_systems(knobs, 6), options, nullptr);
+}
+
+TEST(GangBatchEquivalence, NewtonWarmStartAgrees) {
+  // Warm start and the Newton backend compose: the donor slices seed the
+  // fixed point, every per-class R comes from Newton, and the batch must
+  // still mirror solve_warm bit for bit.
+  GangSolveOptions options;
+  options.qbd.r_method = qbd::RMethod::kNewton;
+  workload::PaperKnobs donor_knobs;
+  donor_knobs.arrival_rate = 0.38;
+  const SolveReport donor =
+      GangSolver(workload::paper_system(donor_knobs), options).solve();
+  workload::PaperKnobs knobs;
+  knobs.arrival_rate = 0.4;
+  check_batched(lane_systems(knobs, 6), options, &donor.final_slices);
+}
+
+TEST(GangBatchEquivalence, NewtonLadderReplayOnStarvedBudget) {
+  // Figure 3's heavy load with an iteration budget Newton's inner
+  // Sylvester sweep cannot finish: each failing per-class solve falls
+  // back to log reduction (in-batch on the grouped path, in qbd::solve
+  // on the scalar path), warm slices from a light-load donor force the
+  // warm -> cold ladder rung on top, and the batched reports must still
+  // be bitwise the scalar ones.
+  GangSolveOptions options;
+  options.qbd.r_method = qbd::RMethod::kNewton;
+  options.qbd.r_options.max_iter = 150;
+  workload::PaperKnobs light;
+  light.arrival_rate = 0.1;
+  const SolveReport donor =
+      GangSolver(workload::paper_system(light), options).solve();
+  std::vector<SystemParams> systems;
+  for (std::size_t i = 0; i < 4; ++i) {
+    workload::PaperKnobs k;
+    k.arrival_rate = 0.9 - 0.01 * static_cast<double>(i);
+    systems.push_back(workload::paper_system(k));
+  }
+  check_batched(systems, options, nullptr);
+  check_batched(systems, options, &donor.final_slices);
 }
 
 // Items with different batch keys in one call: each group solves on its

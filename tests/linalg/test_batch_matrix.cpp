@@ -159,6 +159,133 @@ TEST(BatchMatrix, LaneMaxAbsDiffMatchesScalar) {
   }
 }
 
+TEST(BatchMatrix, PackedGemmMatchesScalarPerLane) {
+  ValueStream vs(21);
+  // Mixed per-lane sparsity: the pack's drop rule must only drop slices
+  // that are zero in every active lane, keeping the per-lane bits.
+  std::vector<Matrix> as, bs;
+  for (std::size_t l = 0; l < 8; ++l) {
+    as.push_back(random_matrix(13, 9, vs, /*zero_fraction=*/0.5));
+    bs.push_back(random_matrix(9, 11, vs, /*zero_fraction=*/0.3));
+  }
+  const BatchMatrix a = pack(as), b = pack(bs);
+  BatchGemmPackA pa;
+  BatchGemmPackB pb;
+  pa.pack(a, LaneMask(8));
+  pb.pack(b);
+  BatchMatrix out;
+  batch_gemm_packed_into(out, pa, pb, LaneMask(8));
+
+  Matrix got, want;
+  GemmWorkspace gw;
+  for (std::size_t l = 0; l < 8; ++l) {
+    out.store_lane(l, got);
+    multiply_into(want, as[l], bs[l]);
+    EXPECT_EQ(max_abs_diff(got, want), 0.0) << "vs multiply, lane " << l;
+    gemm_into(want, as[l], bs[l], gw);
+    EXPECT_EQ(max_abs_diff(got, want), 0.0) << "vs scalar gemm, lane " << l;
+  }
+}
+
+TEST(BatchMatrix, PackedGemmMaskedLanesKeepTheirBits) {
+  ValueStream vs(22);
+  const BatchMatrix a = pack({random_matrix(6, 6, vs), random_matrix(6, 6, vs)});
+  const BatchMatrix b = pack({random_matrix(6, 6, vs), random_matrix(6, 6, vs)});
+  BatchMatrix out = pack({random_matrix(6, 6, vs), random_matrix(6, 6, vs)});
+  Matrix frozen;
+  out.store_lane(1, frozen);
+  LaneMask only0(2);
+  only0.set(1, false);
+  BatchGemmPackA pa;
+  BatchGemmPackB pb;
+  pa.pack(a, only0);
+  pb.pack(b);
+  batch_gemm_packed_into(out, pa, pb, only0);
+  Matrix after;
+  out.store_lane(1, after);
+  EXPECT_EQ(max_abs_diff(after, frozen), 0.0);
+}
+
+TEST(BatchMatrix, PackedGemmGroupedMatchesSingleCalls) {
+  ValueStream vs(23);
+  std::vector<Matrix> hs, ls;
+  for (std::size_t l = 0; l < 4; ++l) {
+    hs.push_back(random_matrix(10, 10, vs, /*zero_fraction=*/0.4));
+    ls.push_back(random_matrix(10, 10, vs, /*zero_fraction=*/0.4));
+  }
+  const BatchMatrix h = pack(hs), l = pack(ls);
+  const LaneMask mask(4);
+  BatchGemmPackA ha, la;
+  BatchGemmPackB hb, lb;
+  ha.pack(h, mask);
+  la.pack(l, mask);
+  hb.pack(h);
+  lb.pack(l);
+  // The log-reduction squaring shape: four products over two packs.
+  BatchMatrix u, lh, hh, ll;
+  const BatchGemmOp ops[4] = {
+      {&u, &ha, &lb}, {&lh, &la, &hb}, {&hh, &ha, &hb}, {&ll, &la, &lb}};
+  batch_gemm_grouped(ops, 4, mask);
+  BatchMatrix want;
+  batch_gemm_packed_into(want, ha, lb, mask);
+  for (std::size_t lane = 0; lane < 4; ++lane)
+    EXPECT_EQ(lane_max_abs_diff(u, want, lane), 0.0) << lane;
+  batch_multiply_into(want, l, h, mask);
+  for (std::size_t lane = 0; lane < 4; ++lane)
+    EXPECT_EQ(lane_max_abs_diff(lh, want, lane), 0.0) << lane;
+  batch_multiply_into(want, h, h, mask);
+  for (std::size_t lane = 0; lane < 4; ++lane)
+    EXPECT_EQ(lane_max_abs_diff(hh, want, lane), 0.0) << lane;
+  batch_multiply_into(want, l, l, mask);
+  for (std::size_t lane = 0; lane < 4; ++lane)
+    EXPECT_EQ(lane_max_abs_diff(ll, want, lane), 0.0) << lane;
+}
+
+TEST(BatchLu, BlockedSolvesMatchScalarOnWideRhs) {
+  // Right-hand sides wider than the RB=8 block with a ragged edge, and a
+  // lane mix that forces both the sparse-factor and dense-factor sweeps
+  // through the factor-time pattern cache.
+  ValueStream vs(24);
+  std::vector<Matrix> as;
+  as.push_back(random_dominant(9, vs, /*zero_fraction=*/0.8));  // sparse factor
+  as.push_back(random_dominant(9, vs));                         // dense factor
+  as.push_back(random_dominant(9, vs, /*zero_fraction=*/0.5));
+  const BatchMatrix a = pack(as);
+  std::vector<Matrix> bs;
+  for (std::size_t l = 0; l < 3; ++l) bs.push_back(random_matrix(9, 21, vs));
+  const BatchMatrix b = pack(bs);
+  std::vector<Matrix> rs;
+  for (std::size_t l = 0; l < 3; ++l) rs.push_back(random_matrix(21, 9, vs));
+  const BatchMatrix rb = pack(rs);
+
+  BatchLu blu;
+  blu.factor(a, LaneMask(3));
+  BatchMatrix x, xr;
+  blu.solve_into(b, x, LaneMask(3));
+  blu.solve_right_into(rb, xr, LaneMask(3));
+
+  Matrix got, want;
+  for (std::size_t l = 0; l < 3; ++l) {
+    ASSERT_FALSE(blu.singular(l));
+    const Lu lu(as[l]);
+    x.store_lane(l, got);
+    lu.solve_into(bs[l], want);
+    EXPECT_EQ(max_abs_diff(got, want), 0.0) << "solve_into lane " << l;
+    xr.store_lane(l, got);
+    lu.solve_right_into(rs[l], want);
+    EXPECT_EQ(max_abs_diff(got, want), 0.0) << "solve_right_into lane " << l;
+  }
+  // Repeated right-division against one factor — the substitution-loop
+  // usage the pattern cache exists for — must stay pinned.
+  blu.solve_right_into(rb, xr, LaneMask(3));
+  for (std::size_t l = 0; l < 3; ++l) {
+    const Lu lu(as[l]);
+    xr.store_lane(l, got);
+    lu.solve_right_into(rs[l], want);
+    EXPECT_EQ(max_abs_diff(got, want), 0.0) << "re-solve lane " << l;
+  }
+}
+
 TEST(BatchLu, FactorAndSolvesMatchScalarPerLane) {
   ValueStream vs(7);
   std::vector<Matrix> as;
