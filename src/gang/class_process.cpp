@@ -427,9 +427,88 @@ ClassProcess::ArrivalView ClassProcess::arrival_view(
   return view;
 }
 
-EffectiveQuantum ClassProcess::effective_quantum(
-    const qbd::QbdSolution& sol, const TruncationOptions& trunc,
-    bool want_exact) const {
+ClassProcess::TruncScan ClassProcess::truncation_scan(
+    const qbd::QbdSolution& sol, const TruncationOptions& trunc) const {
+  // Truncation depth: deep enough that the remaining geometric tail is
+  // below tail_eps. The lazy scan consumes the identical incremental
+  // dot/multiply chain as the eager tail_mass_sequence did, but stops
+  // paying the O(d^2) advance at l_max instead of always walking out to
+  // max_levels — the old scan's dominant cost at moderate loads.
+  qbd::QbdSolution::TailScan scan = sol.tail_scan();
+  scan.next();  // entry 0 (tail at the last boundary level): never tested
+  TruncScan out;
+  out.l_max = c_ + 1;
+  out.cap_tail = scan.next();
+  while (out.l_max < trunc.max_levels && out.cap_tail > trunc.tail_eps) {
+    ++out.l_max;
+    out.cap_tail = scan.next();
+  }
+  if (out.cap_tail > trunc.tail_eps && out.cap_tail <= trunc.saturated_tail) {
+    log::debug("effective quantum truncation capped at ", trunc.max_levels,
+               " levels (tail mass ", out.cap_tail, ")");
+  }
+  return out;
+}
+
+EffectiveQuantum ClassProcess::saturated_quantum(const qbd::QbdSolution& sol,
+                                                 std::size_t l_max,
+                                                 bool want_exact) const {
+  // The class operates so close to its stability boundary that the
+  // geometric tail barely decays: the queue essentially never drains
+  // within a slice, so the effective quantum degenerates to the full
+  // quantum (Theorem 4.1's regime). Computing moments from a hard-
+  // censored chain here would bias them short; use the exact limit
+  // instead (the slice-start atom from the captured flow is still
+  // meaningful and tiny).
+  const Vector& sf0 = away_.exit_rates();
+  EffectiveQuantum out;
+  out.truncation_levels = l_max;
+  double atom_flow = 0.0;
+  double busy_flow = 0.0;
+  {
+    const Vector& pi0 = sol.boundary_level(0);
+    for (std::size_t ja = 0; ja < m_a_; ++ja)
+      for (std::size_t jf = 0; jf < m_f_; ++jf)
+        atom_flow += pi0[index_level0(ja, jf)] * sf0[jf];
+  }
+  // Busy-slice-start flow over ALL levels >= 1: explicit boundary
+  // levels plus the aggregated matrix-geometric tail (the whole point
+  // here is that the tail does not fit under the level cap).
+  auto add_away_flow = [&](const Vector& pi, std::size_t s) {
+    for (std::size_t ja = 0; ja < m_a_; ++ja)
+      for (std::size_t cfg = 0; cfg < cfgs_.count(s); ++cfg)
+        for (std::size_t jf = 0; jf < m_f_; ++jf)
+          busy_flow +=
+              pi[(ja * cfgs_.count(s) + cfg) * w_ + m_q_ + jf] * sf0[jf];
+  };
+  for (std::size_t i = 1; i < c_; ++i)
+    add_away_flow(sol.boundary_level(i), std::min(i, c_));
+  add_away_flow(sol.repeating_phase_mass(), c_);
+  const double total = atom_flow + busy_flow;
+  out.atom = total > 0.0 ? atom_flow / total : 0.0;
+  const double busy = 1.0 - out.atom;
+  out.m1 = busy * quantum_.moment(1);
+  out.m2 = busy * quantum_.moment(2);
+  if (want_exact) {
+    out.exact = phase::with_atom(quantum_, out.atom);
+  }
+  return out;
+}
+
+std::size_t ClassProcess::serving_dim(std::size_t level) const {
+  // Serving-state blocks per level 1..l_max: dimension m_a * C(s) * m_q.
+  return m_a_ * cfgs_.count(std::min(level, c_)) * m_q_;
+}
+
+std::size_t ClassProcess::serving_index(std::size_t level, std::size_t j_a,
+                                        std::size_t cfg_idx,
+                                        std::size_t k) const {
+  return (j_a * cfgs_.count(std::min(level, c_)) + cfg_idx) * m_q_ + k;
+}
+
+void ClassProcess::assemble_censored_chain(
+    std::size_t l_max, std::vector<Matrix>& diag, std::vector<Matrix>& upper,
+    std::vector<Matrix>& lower) const {
   const Matrix& sa = arrival_.generator();
   const Vector& sa0 = arrival_.exit_rates();
   const Vector& alpha_a = arrival_.alpha();
@@ -437,78 +516,16 @@ EffectiveQuantum ClassProcess::effective_quantum(
   const Vector& sb0 = service_.exit_rates();
   const Vector& beta = service_.alpha();
   const Matrix& sg = quantum_.generator();
-  const Vector& alpha_g = quantum_.alpha();
-  const Vector& sf0 = away_.exit_rates();
 
-  // Truncation depth: deep enough that the remaining geometric tail is
-  // below tail_eps (incremental scan; the tail sequence is geometric).
-  const std::vector<double> tails =
-      sol.tail_mass_sequence(trunc.max_levels - c_ + 1);
-  std::size_t l_max = c_ + 1;
-  while (l_max < trunc.max_levels && tails[l_max - c_] > trunc.tail_eps) {
-    ++l_max;
-  }
-  const double cap_tail = tails[l_max - c_];
-  if (cap_tail > trunc.tail_eps && cap_tail <= trunc.saturated_tail) {
-    log::debug("effective quantum truncation capped at ", trunc.max_levels,
-               " levels (tail mass ", cap_tail, ")");
-  }
-  if (cap_tail > trunc.saturated_tail) {
-    // The class operates so close to its stability boundary that the
-    // geometric tail barely decays: the queue essentially never drains
-    // within a slice, so the effective quantum degenerates to the full
-    // quantum (Theorem 4.1's regime). Computing moments from a hard-
-    // censored chain here would bias them short; use the exact limit
-    // instead (the slice-start atom from the captured flow is still
-    // meaningful and tiny).
-    log::debug("effective quantum saturated (tail mass ", cap_tail,
-               " at the level cap); using the full quantum");
-    EffectiveQuantum out;
-    out.truncation_levels = l_max;
-    double atom_flow = 0.0;
-    double busy_flow = 0.0;
-    {
-      const Vector& pi0 = sol.boundary_level(0);
-      for (std::size_t ja = 0; ja < m_a_; ++ja)
-        for (std::size_t jf = 0; jf < m_f_; ++jf)
-          atom_flow += pi0[index_level0(ja, jf)] * sf0[jf];
-    }
-    // Busy-slice-start flow over ALL levels >= 1: explicit boundary
-    // levels plus the aggregated matrix-geometric tail (the whole point
-    // here is that the tail does not fit under the level cap).
-    auto add_away_flow = [&](const Vector& pi, std::size_t s) {
-      for (std::size_t ja = 0; ja < m_a_; ++ja)
-        for (std::size_t cfg = 0; cfg < cfgs_.count(s); ++cfg)
-          for (std::size_t jf = 0; jf < m_f_; ++jf)
-            busy_flow +=
-                pi[(ja * cfgs_.count(s) + cfg) * w_ + m_q_ + jf] * sf0[jf];
-    };
-    for (std::size_t i = 1; i < c_; ++i)
-      add_away_flow(sol.boundary_level(i), std::min(i, c_));
-    add_away_flow(sol.repeating_phase_mass(), c_);
-    const double total = atom_flow + busy_flow;
-    out.atom = total > 0.0 ? atom_flow / total : 0.0;
-    const double busy = 1.0 - out.atom;
-    out.m1 = busy * quantum_.moment(1);
-    out.m2 = busy * quantum_.moment(2);
-    if (want_exact) {
-      out.exact = phase::with_atom(quantum_, out.atom);
-    }
-    return out;
-  }
-
-  // Serving-state blocks per level 1..l_max: dimension m_a * C(s) * m_q.
-  auto sdim = [&](std::size_t i) {
-    return m_a_ * cfgs_.count(std::min(i, c_)) * m_q_;
-  };
+  auto sdim = [&](std::size_t i) { return serving_dim(i); };
   auto sidx = [&](std::size_t i, std::size_t ja, std::size_t cfg_idx,
-                  std::size_t k) {
-    return (ja * cfgs_.count(std::min(i, c_)) + cfg_idx) * m_q_ + k;
-  };
+                  std::size_t k) { return serving_index(i, ja, cfg_idx, k); };
 
   // Assemble the block-tridiagonal sub-generator T over serving states:
   // diag[i-1], upper (arrivals), lower (completions staying busy).
-  std::vector<Matrix> diag, upper, lower;
+  diag.clear();
+  upper.clear();
+  lower.clear();
   diag.reserve(l_max);
   upper.reserve(l_max - 1);
   lower.reserve(l_max - 1);
@@ -598,13 +615,19 @@ EffectiveQuantum ClassProcess::effective_quantum(
       }
     }
   }
+}
+
+double ClassProcess::slice_start_vector(const qbd::QbdSolution& sol,
+                                        std::size_t l_max, Vector& xi) const {
+  const Vector& alpha_g = quantum_.alpha();
+  const Vector& sf0 = away_.exit_rates();
 
   // Initial vector xi: the Palm distribution of slice beginnings — flow
   // through the away-exit transitions, split by the quantum's initial
   // vector; the level-0 flow is the atom (zero-length slice).
   std::size_t total_dim = 0;
-  for (std::size_t i = 1; i <= l_max; ++i) total_dim += sdim(i);
-  Vector xi(total_dim, 0.0);
+  for (std::size_t i = 1; i <= l_max; ++i) total_dim += serving_dim(i);
+  xi.assign(total_dim, 0.0);
   double atom_flow = 0.0;
   {
     const Vector& pi0 = sol.boundary_level(0);
@@ -612,22 +635,55 @@ EffectiveQuantum ClassProcess::effective_quantum(
       for (std::size_t jf = 0; jf < m_f_; ++jf)
         atom_flow += pi0[index_level0(ja, jf)] * sf0[jf];
   }
+  // Walk the levels with one carried pi_b R^k vector: level(i) recomputes
+  // the whole power chain from pi_b each call, and advancing the carried
+  // vector one multiply per level consumes the identical chain, so the
+  // bits match while the cost drops from O(l_max^2 d^2) to O(l_max d^2).
+  const std::size_t b = sol.boundary_levels() - 1;
+  Vector carried;
   std::size_t block_off = 0;
   for (std::size_t i = 1; i <= l_max; ++i) {
-    const Vector pi = sol.level(i);
+    const Vector* pi;
+    if (i <= b) {
+      pi = &sol.boundary_level(i);
+    } else {
+      carried = i == b + 1 ? sol.boundary_level(b) * sol.r()
+                           : carried * sol.r();
+      pi = &carried;
+    }
     const std::size_t s = std::min(i, c_);
     for (std::size_t ja = 0; ja < m_a_; ++ja) {
       for (std::size_t cfg = 0; cfg < cfgs_.count(s); ++cfg) {
         double flow = 0.0;
         for (std::size_t jf = 0; jf < m_f_; ++jf)
-          flow += pi[index(i, ja, cfg, m_q_ + jf)] * sf0[jf];
+          flow += (*pi)[index(i, ja, cfg, m_q_ + jf)] * sf0[jf];
         if (flow == 0.0) continue;
         for (std::size_t kq = 0; kq < m_q_; ++kq)
-          xi[block_off + sidx(i, ja, cfg, kq)] += flow * alpha_g[kq];
+          xi[block_off + serving_index(i, ja, cfg, kq)] += flow * alpha_g[kq];
       }
     }
-    block_off += sdim(i);
+    block_off += serving_dim(i);
   }
+  return atom_flow;
+}
+
+EffectiveQuantum ClassProcess::effective_quantum(
+    const qbd::QbdSolution& sol, const TruncationOptions& trunc,
+    bool want_exact) const {
+  const TruncScan scan = truncation_scan(sol, trunc);
+  const std::size_t l_max = scan.l_max;
+  if (scan.cap_tail > trunc.saturated_tail) {
+    log::debug("effective quantum saturated (tail mass ", scan.cap_tail,
+               " at the level cap); using the full quantum");
+    return saturated_quantum(sol, l_max, want_exact);
+  }
+
+  std::vector<Matrix> diag, upper, lower;
+  assemble_censored_chain(l_max, diag, upper, lower);
+
+  Vector xi;
+  const double atom_flow = slice_start_vector(sol, l_max, xi);
+  const std::size_t total_dim = xi.size();
 
   double total_flow = atom_flow;
   for (double v : xi) total_flow += v;

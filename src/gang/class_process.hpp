@@ -24,33 +24,48 @@
 #pragma once
 
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "gang/params.hpp"
 #include "gang/service_config.hpp"
+#include "linalg/batch.hpp"
 #include "qbd/solver.hpp"
 
 namespace gs::gang {
 
 /// Options controlling the truncation used when extracting the effective
-/// quantum from a solved class chain (Theorem 4.3's infinite ordering must
-/// be truncated in any numerical implementation; the geometric tail makes
-/// the error controllable).
+/// quantum from a solved class chain. Theorem 4.3 defines the effective
+/// quantum over the chain's infinite level ordering; any numerical
+/// implementation must censor it at a finite depth, and the
+/// matrix-geometric tail (pi_{b+n} = pi_b R^n) makes the censoring error
+/// both computable and controllable.
 struct TruncationOptions {
-  double tail_eps = 1e-12;  ///< stop once P(level >= L) < tail_eps
-  std::size_t max_levels = 4000;  ///< hard cap on truncation depth
+  /// Stop deepening once the remaining tail mass P(level >= L) drops
+  /// below this: the censored states then carry negligible slice-start
+  /// flow and the moment bias is of the same order.
+  double tail_eps = 1e-12;
+  /// Hard cap on truncation depth regardless of tail mass.
+  std::size_t max_levels = 4000;
   /// When the tail mass at the cap still exceeds this, the class is
-  /// treated as saturated: its effective quantum degenerates to the full
-  /// quantum (hard-censored moments would be biased short).
+  /// treated as saturated and the effective quantum degenerates to the
+  /// full quantum — Theorem 4.1's regime: a class at its stability
+  /// boundary essentially never drains its queue within a slice, so
+  /// min(quantum, drain time) is the quantum itself, and moments from a
+  /// hard-censored chain would be biased short.
   double saturated_tail = 1e-3;
 };
 
-/// Class q's effective quantum: min(full quantum, time to empty the
-/// queue), with an atom at zero for slices that begin with an empty queue
-/// (the paper's state (0,0)).
+/// Class p's effective quantum (Theorem 4.3): the law of min(full
+/// quantum, time for the queue to drain), with an atom at zero for
+/// slices that begin with an empty queue (the paper's state (0,0)). In
+/// the saturated regime (see TruncationOptions::saturated_tail) the
+/// distribution collapses to atom + full quantum per Theorem 4.1.
 struct EffectiveQuantum {
   double atom = 0.0;     ///< P(zero-length slice)
   double m1 = 0.0;       ///< E[T~] including the atom
   double m2 = 0.0;       ///< E[T~^2]
+  /// Truncation depth the extraction actually used (l_max).
   std::size_t truncation_levels = 0;
   /// Truncated exact PH representation (defective initial vector); only
   /// materialized when requested — its order grows with the truncation
@@ -62,6 +77,25 @@ struct EffectiveQuantum {
   PhaseType fitted(int max_order = 8) const;
 };
 
+/// Per-lane outcome of ClassProcess::effective_quantum_batch. A lane
+/// either carries the quantum it extracted (error empty) or the exact
+/// what() string the scalar path would have thrown, with `numerical`
+/// distinguishing gs::NumericalError (retryable — the caller's ladder
+/// replays the lane scalar) from other gs::Error (permanent).
+struct EffQuantumBatchResult {
+  std::vector<EffectiveQuantum> quantum;  ///< per-lane result (lane-indexed)
+  std::vector<std::string> error;         ///< per-lane failure, empty = ok
+  std::vector<unsigned char> numerical;   ///< failure was a NumericalError
+  /// Lane solved without error (only meaningful for masked-in lanes).
+  bool ok(std::size_t lane) const { return error[lane].empty(); }
+  /// Clear to `width` empty-result lanes.
+  void reset(std::size_t width);
+};
+
+// The paper's per-class model (Section 4 / Figure 1 generalized): owns
+// the class-p QBD chain, its state indexing, and every extraction the
+// fixed point needs — serving fraction, arrival view, and the Theorem
+// 4.3 effective-quantum law (scalar and lanes-abreast batched forms).
 class ClassProcess {
  public:
   /// Build the QBD for class p given the away-period distribution F_p.
@@ -77,16 +111,16 @@ class ClassProcess {
   /// effective quantum may shrink) falls back to a full rebuild.
   void update_away(PhaseType away);
 
-  const qbd::QbdProcess& process() const { return *process_; }
-  std::size_t class_index() const { return p_; }
-  std::size_t partitions() const { return c_; }
-  const PhaseType& away() const { return away_; }
+  const qbd::QbdProcess& process() const { return *process_; }  ///< the QBD chain
+  std::size_t class_index() const { return p_; }  ///< class index p
+  std::size_t partitions() const { return c_; }   ///< partition count c_p
+  const PhaseType& away() const { return away_; } ///< current away PH
 
   /// Within-level state counts.
   std::size_t level_dim(std::size_t level) const;
-  std::size_t arrival_phases() const { return m_a_; }
-  std::size_t serving_phases() const { return m_q_; }
-  std::size_t away_phases() const { return m_f_; }
+  std::size_t arrival_phases() const { return m_a_; }  ///< arrival PH order
+  std::size_t serving_phases() const { return m_q_; }  ///< cycle PH order
+  std::size_t away_phases() const { return m_f_; }     ///< away PH order
   /// Number of service-phase configurations at a given level.
   std::size_t config_count(std::size_t level) const {
     return cfgs_.count(std::min(level == 0 ? 0 : level, c_));
@@ -99,6 +133,7 @@ class ClassProcess {
   /// Flat within-level index of a state. Level 0 takes only (j_a,
   /// away_phase); levels >= 1 take (j_a, config index, cycle phase k).
   std::size_t index_level0(std::size_t j_a, std::size_t away_phase) const;
+  /// Flat within-level index for levels >= 1 (see index_level0 above).
   std::size_t index(std::size_t level, std::size_t j_a, std::size_t cfg_idx,
                     std::size_t k) const;
 
@@ -123,6 +158,7 @@ class ClassProcess {
     /// E[residual away period | arrival waits for the next slice].
     double mean_slice_wait = 0.0;
   };
+  /// Compute the arrival-point decomposition from a solved chain.
   ArrivalView arrival_view(const qbd::QbdSolution& sol) const;
 
   /// Theorem 4.3: extract the effective-quantum law from the solved chain.
@@ -130,11 +166,61 @@ class ClassProcess {
                                      const TruncationOptions& trunc = {},
                                      bool want_exact = false) const;
 
+  /// Batched effective-quantum refit: extract the quantum for the active
+  /// lanes of a lock-step batch in one pass — per-lane tail scans pick
+  /// each lane's truncation depth, the censored chains are assembled per
+  /// lane in scalar order and packed into BatchMatrix levels, and the two
+  /// moment solves run as a lane-masked batched block-tridiagonal sweep
+  /// over the BatchLu/batch_gemm kernels (per-lane depths handled by
+  /// masking). Per active lane the result is bitwise identical to
+  /// effective_quantum on that lane's inputs; saturated lanes take the
+  /// scalar Theorem 4.1 branch and lanes requesting the exact PH (or with
+  /// a structure mismatch) fall back to the scalar path wholesale. procs
+  /// and sols hold one pointer per lane (active lanes must be non-null,
+  /// all procs the same class structure). Feeds the
+  /// gang.batch.effq.{tails,moments} stage timers.
+  static void effective_quantum_batch(const ClassProcess* const* procs,
+                                      const qbd::QbdSolution* const* sols,
+                                      const linalg::LaneMask& lanes,
+                                      const TruncationOptions& trunc,
+                                      bool want_exact,
+                                      EffQuantumBatchResult& out);
+
  private:
   void build();
   /// Where build() assembles the blocks: the caller's workspace when one
   /// was given, own storage otherwise.
   qbd::QbdBlocks& stage() { return ws_ ? ws_->blocks : own_stage_; }
+
+  // Shared stages of the effective-quantum extraction (used verbatim by
+  // both the scalar path and the batched refit, so the two cannot drift).
+  struct TruncScan {
+    std::size_t l_max = 0;    // truncation depth the scan settled on
+    double cap_tail = 0.0;    // tail mass at that depth
+  };
+  // Incremental tail-mass scan for the truncation depth (the lazy twin
+  // of the old eager tail_mass_sequence scan, same consumed bits).
+  TruncScan truncation_scan(const qbd::QbdSolution& sol,
+                            const TruncationOptions& trunc) const;
+  // Theorem 4.1's saturated regime: atom from the captured slice-start
+  // flow, moments of the full quantum.
+  EffectiveQuantum saturated_quantum(const qbd::QbdSolution& sol,
+                                     std::size_t l_max,
+                                     bool want_exact) const;
+  // Serving-state block dimension / within-block index at a level >= 1.
+  std::size_t serving_dim(std::size_t level) const;
+  std::size_t serving_index(std::size_t level, std::size_t j_a,
+                            std::size_t cfg_idx, std::size_t k) const;
+  // Assemble the censored block-tridiagonal sub-generator T over serving
+  // states for levels 1..l_max.
+  void assemble_censored_chain(std::size_t l_max,
+                               std::vector<linalg::Matrix>& diag,
+                               std::vector<linalg::Matrix>& upper,
+                               std::vector<linalg::Matrix>& lower) const;
+  // Fill the unnormalized slice-start vector xi (sized for l_max levels)
+  // and return the level-0 atom flow.
+  double slice_start_vector(const qbd::QbdSolution& sol, std::size_t l_max,
+                            linalg::Vector& xi) const;
 
   std::size_t p_;
   std::size_t c_;        // partitions (P / g)

@@ -1,0 +1,330 @@
+// Batched effective-quantum refit (ClassProcess::effective_quantum_batch).
+//
+// The refit is the lock-step chunk's dominant scalar stage: per lane it
+// scans the solved chain's geometric tail for a truncation depth,
+// assembles a censored block-tridiagonal sub-generator over serving
+// states, and runs two block-Thomas solves for the first two moments of
+// Theorem 4.3's effective quantum. Here the per-lane scalar assemblies
+// are packed into per-level BatchMatrix storage and the two solves run
+// as ONE lane-masked batched block-tridiagonal sweep over the BatchLu /
+// batch_gemm kernels, factoring each level once and forwarding both
+// right-hand sides through the shared factors.
+//
+// Bitwise discipline (linalg/batch.hpp, docs/BATCHING.md): every kernel
+// used here replicates the scalar arithmetic per lane in scalar order —
+// BatchLu::factor/solve_into mirror Lu, batch_multiply_into mirrors the
+// dense/CSR products block_tridiag_solve picks between (themselves
+// bitwise-equal), batch_sub mirrors the element-wise subtractions, and
+// batch_scale(-1.0) mirrors the scalar `m *= -1.0` negation. Per-lane
+// truncation depths are handled by masking: a lane participates in a
+// level's factor exactly while the level exists in its own chain, and
+// its back-substitution seeds at its own top level. Factoring once for
+// both right-hand sides is bitwise-invisible because the scalar path's
+// two block_tridiag_solve calls factor identical inputs identically.
+//
+// Error discipline: where the scalar path throws, the lane records the
+// exact what() text (singular pivots keep linalg::Lu's message, the
+// empty-flow GS_CHECK keeps its InvalidArgument text) and drops out of
+// the lock-step; `numerical` tells the caller's retry ladder whether the
+// scalar path would have thrown gs::NumericalError (retryable) or
+// another gs::Error (permanent).
+
+#include <algorithm>
+#include <vector>
+
+#include "gang/class_process.hpp"
+#include "linalg/lu.hpp"
+#include "obs/obs.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace gs::gang {
+
+using linalg::BatchKernelStats;
+using linalg::BatchLu;
+using linalg::BatchMatrix;
+using linalg::LaneMask;
+using linalg::Matrix;
+using linalg::Vector;
+
+void EffQuantumBatchResult::reset(std::size_t width) {
+  quantum.assign(width, EffectiveQuantum());
+  error.assign(width, std::string());
+  numerical.assign(width, 0);
+}
+
+namespace {
+
+// Record a caught scalar-path exception on a lane: NumericalError is the
+// retryable class, any other gs::Error is permanent.
+void record_error(EffQuantumBatchResult& out, std::size_t lane,
+                  const Error& e, bool is_numerical) {
+  out.error[lane] = e.what();
+  out.numerical[lane] = is_numerical ? 1 : 0;
+}
+
+}  // namespace
+
+void ClassProcess::effective_quantum_batch(
+    const ClassProcess* const* procs, const qbd::QbdSolution* const* sols,
+    const linalg::LaneMask& lanes, const TruncationOptions& trunc,
+    bool want_exact, EffQuantumBatchResult& out) {
+  const std::size_t width = lanes.width();
+  out.reset(width);
+  if (!lanes.any()) return;
+
+  std::size_t ref = width;
+  for (std::size_t l = 0; l < width; ++l) {
+    if (lanes[l]) {
+      GS_CHECK(procs[l] != nullptr && sols[l] != nullptr,
+               "effective_quantum_batch: null lane inputs");
+      if (ref == width) ref = l;
+    }
+  }
+  const ClassProcess& rp = *procs[ref];
+
+  // Per-lane truncation scans: the carried tail vector advances one
+  // multiply per level (the scalar scan's exact consumed bits).
+  std::vector<TruncScan> scans(width);
+  {
+    obs::StageTimer tails_timer("gang.batch.effq.tails");
+    for (std::size_t l = 0; l < width; ++l) {
+      if (!lanes[l]) continue;
+      try {
+        scans[l] = procs[l]->truncation_scan(*sols[l], trunc);
+      } catch (const NumericalError& e) {
+        record_error(out, l, e, true);
+      } catch (const Error& e) {
+        record_error(out, l, e, false);
+      }
+    }
+  }
+
+  // Partition the lanes. Batched lanes must share the class structure
+  // (the serving-state layout is rate-independent, so same structure
+  // means same per-level block shapes); anything else — exact-PH
+  // requests, saturated lanes, structural strays — takes the scalar
+  // path wholesale, which is the fallback the contract requires.
+  LaneMask batched(width, false);
+  for (std::size_t l = 0; l < width; ++l) {
+    if (!lanes[l] || !out.ok(l)) continue;
+    const ClassProcess& p = *procs[l];
+    const bool same_structure =
+        p.m_a_ == rp.m_a_ && p.m_b_ == rp.m_b_ && p.m_q_ == rp.m_q_ &&
+        p.m_f_ == rp.m_f_ && p.c_ == rp.c_;
+    if (want_exact || !same_structure) {
+      try {
+        out.quantum[l] = p.effective_quantum(*sols[l], trunc, want_exact);
+      } catch (const NumericalError& e) {
+        record_error(out, l, e, true);
+      } catch (const Error& e) {
+        record_error(out, l, e, false);
+      }
+    } else if (scans[l].cap_tail > trunc.saturated_tail) {
+      log::debug("effective quantum saturated (tail mass ", scans[l].cap_tail,
+                 " at the level cap); using the full quantum");
+      try {
+        out.quantum[l] = p.saturated_quantum(*sols[l], scans[l].l_max,
+                                             /*want_exact=*/false);
+      } catch (const NumericalError& e) {
+        record_error(out, l, e, true);
+      } catch (const Error& e) {
+        record_error(out, l, e, false);
+      }
+    } else {
+      batched.set(l, true);
+    }
+  }
+  if (!batched.any()) return;
+
+  obs::StageTimer moments_timer("gang.batch.effq.moments");
+  obs::count("gang.batch.effq.lanes",
+             static_cast<std::uint64_t>(batched.count()));
+  BatchKernelStats stats;
+
+  std::size_t levels = 0;  // deepest lane's block count
+  for (std::size_t l = 0; l < width; ++l)
+    if (batched[l]) levels = std::max(levels, scans[l].l_max);
+
+  // Pack: assemble each lane's censored chain and slice-start vector in
+  // scalar order, negate batched (`m *= -1.0` per entry either way), and
+  // normalize xi per lane. Lanes whose flow check fails drop here with
+  // the scalar InvalidArgument text (non-retryable, like the throw).
+  std::vector<BatchMatrix> ndiag(levels);
+  std::vector<BatchMatrix> nupper(levels > 0 ? levels - 1 : 0);
+  std::vector<BatchMatrix> nlower(levels > 0 ? levels - 1 : 0);
+  for (std::size_t i = 0; i < levels; ++i) {
+    const std::size_t rows = rp.serving_dim(i + 1);
+    ndiag[i].ensure(rows, rows, width);
+    if (i + 1 < levels) {
+      nupper[i].ensure(rows, rp.serving_dim(i + 2), width);
+      nlower[i].ensure(rp.serving_dim(i + 2), rows, width);
+    }
+  }
+  LaneMask alive = batched;
+  std::vector<Vector> xi(width);
+  std::vector<double> atom_flow(width, 0.0), total_flow(width, 0.0);
+  {
+    std::vector<Matrix> diag, upper, lower;
+    for (std::size_t l = 0; l < width; ++l) {
+      if (!alive[l]) continue;
+      const std::size_t l_max = scans[l].l_max;
+      try {
+        procs[l]->assemble_censored_chain(l_max, diag, upper, lower);
+        atom_flow[l] = procs[l]->slice_start_vector(*sols[l], l_max, xi[l]);
+        total_flow[l] = atom_flow[l];
+        for (double v : xi[l]) total_flow[l] += v;
+        GS_CHECK(
+            total_flow[l] > 0.0,
+            "no slice-start flow observed; the away period never completes");
+        for (double& v : xi[l]) v /= total_flow[l];
+      } catch (const NumericalError& e) {
+        record_error(out, l, e, true);
+        alive.set(l, false);
+        continue;
+      } catch (const Error& e) {
+        record_error(out, l, e, false);
+        alive.set(l, false);
+        continue;
+      }
+      for (std::size_t i = 0; i < l_max; ++i) {
+        ndiag[i].load_lane(l, diag[i]);
+        if (i + 1 < l_max) {
+          nupper[i].load_lane(l, upper[i]);
+          nlower[i].load_lane(l, lower[i]);
+        }
+      }
+    }
+  }
+  if (!alive.any()) return;
+  // Masked negation per level: only the lanes whose chain reaches the
+  // level hold meaningful bits there.
+  for (std::size_t i = 0; i < levels; ++i) {
+    LaneMask m(width, false);
+    for (std::size_t l = 0; l < width; ++l)
+      if (alive[l] && i < scans[l].l_max) m.set(l, true);
+    linalg::batch_scale(ndiag[i], -1.0, m);
+    if (i + 1 < levels) {
+      LaneMask mu(width, false);
+      for (std::size_t l = 0; l < width; ++l)
+        if (alive[l] && i + 1 < scans[l].l_max) mu.set(l, true);
+      linalg::batch_scale(nupper[i], -1.0, mu);
+      linalg::batch_scale(nlower[i], -1.0, mu);
+    }
+  }
+
+  // Factor sweep of the batched block-Thomas: per level, factor the
+  // running Schur complement for the lanes whose chain reaches it, then
+  // push the complement one level down for the lanes that continue. A
+  // singular pivot drops the lane with the scalar Lu message (the scalar
+  // path throws NumericalError there — retryable).
+  std::vector<BatchLu> factored(levels);
+  BatchMatrix dinv_u, l_dinv_u;
+  for (std::size_t i = 0; i < levels && alive.any(); ++i) {
+    LaneMask fm(width, false);
+    for (std::size_t l = 0; l < width; ++l)
+      if (alive[l] && i < scans[l].l_max) fm.set(l, true);
+    if (!fm.any()) break;
+    factored[i].factor(ndiag[i], fm);
+    for (std::size_t l = 0; l < width; ++l) {
+      if (fm[l] && factored[i].singular(l)) {
+        out.error[l] = "LU: matrix is singular to working precision";
+        out.numerical[l] = 1;
+        alive.set(l, false);
+        fm.set(l, false);
+      }
+    }
+    LaneMask um(width, false);
+    for (std::size_t l = 0; l < width; ++l)
+      if (alive[l] && i + 1 < scans[l].l_max) um.set(l, true);
+    if (!um.any()) continue;
+    factored[i].solve_into(nupper[i], dinv_u, um);
+    linalg::batch_multiply_into(l_dinv_u, nlower[i], dinv_u, um, &stats);
+    linalg::batch_sub(ndiag[i + 1], l_dinv_u, um);
+  }
+  if (!alive.any()) return;
+
+  // One right-hand-side pass: forward-eliminate the per-level segments
+  // through the shared factors, then back-substitute, seeding each lane
+  // at its own top level. y is consumed; x receives the solution.
+  std::vector<BatchMatrix> y(levels);
+  BatchMatrix dinv_y, corr, up;
+  auto rhs_sweep = [&](std::vector<BatchMatrix>& x) {
+    for (std::size_t i = 0; i + 1 < levels; ++i) {
+      LaneMask um(width, false);
+      for (std::size_t l = 0; l < width; ++l)
+        if (alive[l] && i + 1 < scans[l].l_max) um.set(l, true);
+      if (!um.any()) break;
+      factored[i].solve_into(y[i], dinv_y, um);
+      linalg::batch_multiply_into(corr, nlower[i], dinv_y, um, &stats);
+      linalg::batch_sub(y[i + 1], corr, um);
+    }
+    for (std::size_t ii = levels; ii-- > 0;) {
+      LaneMask sm(width, false);  // lanes whose chain includes level ii
+      LaneMask im(width, false);  // ... and continues above it
+      for (std::size_t l = 0; l < width; ++l) {
+        if (!alive[l] || ii >= scans[l].l_max) continue;
+        sm.set(l, true);
+        if (ii + 1 < scans[l].l_max) im.set(l, true);
+      }
+      if (!sm.any()) continue;
+      if (im.any()) {
+        linalg::batch_multiply_into(up, nupper[ii], x[ii + 1], im, &stats);
+        linalg::batch_sub(y[ii], up, im);
+      }
+      factored[ii].solve_into(y[ii], x[ii], sm);
+    }
+  };
+
+  // First solve: v1 = (-T)^{-1} e. Every lane's right-hand side is all
+  // ones over its own levels.
+  for (std::size_t i = 0; i < levels; ++i) {
+    const std::size_t rows = rp.serving_dim(i + 1);
+    y[i].ensure(rows, 1, width);
+    LaneMask m(width, false);
+    for (std::size_t l = 0; l < width; ++l)
+      if (alive[l] && i < scans[l].l_max) m.set(l, true);
+    for (std::size_t r = 0; r < rows; ++r) {
+      double* o = y[i].lanes(r, 0);
+      for (std::size_t l = 0; l < width; ++l)
+        if (m[l]) o[l] = 1.0;
+    }
+  }
+  std::vector<BatchMatrix> x1(levels), x2(levels);
+  rhs_sweep(x1);
+
+  // Second solve: v2 = (-T)^{-1} v1.
+  for (std::size_t i = 0; i < levels; ++i) {
+    LaneMask m(width, false);
+    for (std::size_t l = 0; l < width; ++l)
+      if (alive[l] && i < scans[l].l_max) m.set(l, true);
+    linalg::batch_copy(y[i], x1[i], m);
+  }
+  rhs_sweep(x2);
+
+  // Per-lane moments: gather each lane's solution in level order and run
+  // the scalar dot products against its normalized xi.
+  for (std::size_t l = 0; l < width; ++l) {
+    if (!alive[l]) continue;
+    const std::size_t l_max = scans[l].l_max;
+    Vector v1(xi[l].size()), v2(xi[l].size());
+    std::size_t off = 0;
+    for (std::size_t i = 0; i < l_max; ++i) {
+      const std::size_t rows = rp.serving_dim(i + 1);
+      for (std::size_t r = 0; r < rows; ++r) {
+        v1[off + r] = x1[i](r, 0, l);
+        v2[off + r] = x2[i](r, 0, l);
+      }
+      off += rows;
+    }
+    EffectiveQuantum& q = out.quantum[l];
+    q.atom = atom_flow[l] / total_flow[l];
+    q.truncation_levels = l_max;
+    q.m1 = linalg::dot(xi[l], v1);
+    q.m2 = 2.0 * linalg::dot(xi[l], v2);
+  }
+  if (stats.masked_flops > 0)
+    obs::count("qbd.batch.masked_flops", stats.masked_flops);
+}
+
+}  // namespace gs::gang

@@ -478,7 +478,11 @@ void GangSolver::run_chunk(const std::vector<BatchItem>& items,
     };
 
     qbd::BatchRSolveResult rres;
-    linalg::Matrix lane_r;
+    qbd::BatchBoundaryResult bres;
+    EffQuantumBatchResult eres;
+    std::vector<const qbd::QbdProcess*> bprocs;
+    std::vector<const ClassProcess*> eprocs;
+    std::vector<const qbd::QbdSolution*> esols;
     const auto run_lockstep = [&] {
       const auto any_active = [&lanes] {
         for (const Lane& ln : lanes)
@@ -542,28 +546,93 @@ void GangSolver::run_chunk(const std::vector<BatchItem>& items,
             if (!mask.any()) continue;
             qbd::solve_r_batch(bw.blocks, mask, opts.qbd.r_method,
                                opts.qbd.r_options, bw, rres);
+            linalg::LaneMask bmask(width, false);
             for (std::size_t wi = 0; wi < width; ++wi) {
               if (!mask[wi] || !lanes[wi].active) continue;
-              Lane& ln = lanes[wi];
               if (!rres.ok(wi)) {
                 fail(wi, /*retryable=*/true);  // R errors are NumericalError
                 continue;
               }
-              rres.r.store_lane(wi, lane_r);
-              obs::Span boundary_span("gang.batch.boundary");
-              try {
-                ln.sols[p].emplace(qbd::solve_with_r(
-                    ln.procs[p]->process(), lane_r, opts.qbd, sws(p, wi)));
-                ln.n[p] = ln.sols[p]->mean_level();
-              } catch (const NumericalError&) {
-                fail(wi, /*retryable=*/true);
-              } catch (const Error&) {
-                fail(wi, /*retryable=*/false);
+              bmask.set(wi, true);
+            }
+            if (!bmask.any()) continue;
+            // Batched boundary/stationary stage: the dim group pins the
+            // repeating dimension; sub-group by boundary dimension (the
+            // balance system's other axis) and lock-step each subgroup on
+            // the batched R the solver just produced.
+            obs::Span boundary_span("gang.batch.boundary");
+            std::vector<std::size_t> bdims;
+            for (std::size_t wi = 0; wi < width; ++wi) {
+              if (!bmask[wi]) continue;
+              const std::size_t bd =
+                  lanes[wi].procs[p]->process().boundary_size();
+              if (std::find(bdims.begin(), bdims.end(), bd) == bdims.end())
+                bdims.push_back(bd);
+            }
+            for (const std::size_t bd : bdims) {
+              linalg::LaneMask gmask(width, false);
+              bprocs.assign(width, nullptr);
+              for (std::size_t wi = 0; wi < width; ++wi) {
+                if (!bmask[wi]) continue;
+                const qbd::QbdProcess& proc = lanes[wi].procs[p]->process();
+                if (proc.boundary_size() != bd) continue;
+                gmask.set(wi, true);
+                bprocs[wi] = &proc;
+              }
+              qbd::solve_boundary_batch(bprocs.data(), rres.r, gmask,
+                                        opts.qbd, bw, bres);
+              for (std::size_t wi = 0; wi < width; ++wi) {
+                if (!gmask[wi]) continue;
+                Lane& ln = lanes[wi];
+                if (!bres.ok(wi)) {
+                  fail(wi, bres.numerical[wi] != 0);
+                  continue;
+                }
+                try {
+                  ln.sols[p].emplace(std::move(*bres.solution[wi]));
+                  ln.n[p] = ln.sols[p]->mean_level();
+                } catch (const NumericalError&) {
+                  fail(wi, /*retryable=*/true);
+                } catch (const Error&) {
+                  fail(wi, /*retryable=*/false);
+                }
               }
             }
           }
         }
   
+        // Batched effective-quantum refit: one lane-masked extraction per
+        // class across every still-active lane. A lane that fails a class
+        // drops out of the remaining classes, exactly as its scalar
+        // exception would have aborted that lane's per-class loop.
+        {
+          obs::Span effq_span("gang.batch.effq");
+          linalg::LaneMask emask(width, false);
+          for (std::size_t wi = 0; wi < width; ++wi)
+            if (lanes[wi].active) emask.set(wi, true);
+          eprocs.assign(width, nullptr);
+          esols.assign(width, nullptr);
+          for (std::size_t p = 0; p < L && emask.any(); ++p) {
+            for (std::size_t wi = 0; wi < width; ++wi) {
+              if (!emask[wi]) continue;
+              eprocs[wi] = &*lanes[wi].procs[p];
+              esols[wi] = &*lanes[wi].sols[p];
+            }
+            ClassProcess::effective_quantum_batch(
+                eprocs.data(), esols.data(), emask, opts.truncation,
+                opts.eff_mode == EffQuantumMode::kExact, eres);
+            for (std::size_t wi = 0; wi < width; ++wi) {
+              if (!emask[wi]) continue;
+              if (!eres.ok(wi)) {
+                fail(wi, eres.numerical[wi] != 0);
+                emask.set(wi, false);
+                continue;
+              }
+              lanes[wi].effq[p] = std::move(eres.quantum[wi]);
+            }
+          }
+        }
+
         for (std::size_t wi = 0; wi < width; ++wi) {
           Lane& ln = lanes[wi];
           if (!ln.active) continue;
@@ -576,14 +645,6 @@ void GangSolver::run_chunk(const std::vector<BatchItem>& items,
           const bool done =
               !opts.fixed_point || delta < opts.tol || iter == max_iter;
           try {
-            {
-              obs::Span effq_span("gang.batch.effq");
-              for (std::size_t p = 0; p < L; ++p) {
-                ln.effq[p] = ln.procs[p]->effective_quantum(
-                    *ln.sols[p], opts.truncation,
-                    opts.eff_mode == EffQuantumMode::kExact);
-              }
-            }
             if (done) {
               // Retire the lane: build its report exactly as run() does.
               SolveReport& report = ln.report;
@@ -591,9 +652,12 @@ void GangSolver::run_chunk(const std::vector<BatchItem>& items,
               report.per_class.clear();
               report.per_class.reserve(L);
               report.final_slices.reserve(L);
-              for (std::size_t p = 0; p < L; ++p)
-                report.final_slices.push_back(
-                    ln.effq[p].fitted(opts.fit_max_order));
+              {
+                obs::StageTimer fit_timer("gang.batch.effq.fit");
+                for (std::size_t p = 0; p < L; ++p)
+                  report.final_slices.push_back(
+                      ln.effq[p].fitted(opts.fit_max_order));
+              }
               for (std::size_t p = 0; p < L; ++p) {
                 ClassResult r;
                 r.name = ln.solver->params_.cls(p).name.empty()
@@ -623,6 +687,7 @@ void GangSolver::run_chunk(const std::vector<BatchItem>& items,
               }
               ln.active = false;
             } else {
+              obs::StageTimer fit_timer("gang.batch.effq.fit");
               for (std::size_t q = 0; q < L; ++q) {
                 ln.slices[q] = opts.eff_mode == EffQuantumMode::kExact
                                    ? *ln.effq[q].exact

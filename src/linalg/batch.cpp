@@ -427,6 +427,24 @@ void batch_add(BatchMatrix& out, const BatchMatrix& b,
       if (active[l]) o[e * w + l] += s[e * w + l];
 }
 
+void batch_sub(BatchMatrix& out, const BatchMatrix& b,
+               const LaneMask& active) {
+  GS_CHECK(out.rows() == b.rows() && out.cols() == b.cols() &&
+               out.width() == b.width(),
+           "batch_sub shape mismatch");
+  const std::size_t w = out.width();
+  const std::size_t entries = out.rows() * out.cols();
+  double* o = out.data();
+  const double* s = b.data();
+  if (active.all()) {
+    for (std::size_t t = 0; t < entries * w; ++t) o[t] -= s[t];
+    return;
+  }
+  for (std::size_t e = 0; e < entries; ++e)
+    for (std::size_t l = 0; l < w; ++l)
+      if (active[l]) o[e * w + l] -= s[e * w + l];
+}
+
 void batch_copy(BatchMatrix& out, const BatchMatrix& src,
                 const LaneMask& active) {
   out.ensure(src.rows(), src.cols(), src.width());

@@ -259,6 +259,8 @@ const char* batch_gemm_kernel_variant();
 
 /// out += b on the active lanes.
 void batch_add(BatchMatrix& out, const BatchMatrix& b, const LaneMask& active);
+/// out -= b on the active lanes — the scalar Matrix::operator-=.
+void batch_sub(BatchMatrix& out, const BatchMatrix& b, const LaneMask& active);
 /// out = src on the active lanes (reshapes out when empty).
 void batch_copy(BatchMatrix& out, const BatchMatrix& src,
                 const LaneMask& active);

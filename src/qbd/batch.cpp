@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/spectral.hpp"
 #include "obs/obs.hpp"
 #include "util/error.hpp"
 
@@ -19,23 +20,7 @@ constexpr const char* kSingularMsg =
 // Scoped stage timer for the qbd.batch.{pack,gemm,trsm,lu} breakdown:
 // clock reads only when metrics are on (the solvers' hot loops stay
 // clock-free otherwise), one obs::time_ns per scope on destruction.
-class StageTimer {
- public:
-  explicit StageTimer(const char* name)
-      : name_(name),
-        on_(obs::metrics_enabled()),
-        start_(on_ ? obs::now_ns() : 0) {}
-  ~StageTimer() {
-    if (on_) obs::time_ns(name_, obs::now_ns() - start_);
-  }
-  StageTimer(const StageTimer&) = delete;
-  StageTimer& operator=(const StageTimer&) = delete;
-
- private:
-  const char* name_;
-  bool on_;
-  std::uint64_t start_;
-};
+using StageTimer = obs::StageTimer;
 
 // Flag every lane whose last factor came out singular with the scalar
 // Lu constructor's exact message and drop it from the running mask.
@@ -94,6 +79,21 @@ void BatchBlocks::load_lane(std::size_t lane, const QbdBlocks& blk) {
   a0.load_lane(lane, blk.a0);
   a1.load_lane(lane, blk.a1);
   a2.load_lane(lane, blk.a2);
+}
+
+void BatchBlocks::ensure_boundary(std::size_t boundary_dim, std::size_t d,
+                                  std::size_t width) {
+  b00.ensure(boundary_dim, boundary_dim, width);
+  b01.ensure(boundary_dim, d, width);
+  b10.ensure(d, boundary_dim, width);
+  b11.ensure(d, d, width);
+}
+
+void BatchBlocks::load_boundary_lane(std::size_t lane, const QbdBlocks& blk) {
+  b00.load_lane(lane, blk.b00);
+  b01.load_lane(lane, blk.b01);
+  b10.load_lane(lane, blk.b10);
+  b11.load_lane(lane, blk.b11);
 }
 
 void BatchRSolveResult::reset(std::size_t width) {
@@ -573,6 +573,231 @@ void solve_r_batch(const BatchBlocks& blocks, const linalg::LaneMask& lanes,
   } else {
     solve_r_substitution_batch(blocks, lanes, opts, w, out);
   }
+}
+
+void BatchBoundaryResult::reset(std::size_t width) {
+  solution.assign(width, std::nullopt);
+  error.assign(width, std::string());
+  numerical.assign(width, 0);
+}
+
+void solve_boundary_batch(const QbdProcess* const* procs,
+                          const linalg::BatchMatrix& r,
+                          const linalg::LaneMask& lanes,
+                          const SolveOptions& opts, BatchWorkspace& w,
+                          BatchBoundaryResult& out) {
+  // The sparse/dense choice in the scalar stage is bitwise-neutral (the
+  // CSR and dense products agree bit for bit — see solve_with_r), so the
+  // batched product below matches either setting.
+  (void)opts;
+  const std::size_t width = lanes.width();
+  out.reset(width);
+  LaneMask run = lanes;
+  if (!run.any()) return;
+
+  std::size_t ref = width;
+  for (std::size_t l = 0; l < width; ++l) {
+    if (run[l]) {
+      ref = l;
+      break;
+    }
+  }
+  const std::size_t D = procs[ref]->boundary_size();
+  const std::size_t d = procs[ref]->repeating_size();
+  const std::size_t n = D + d;
+  GS_CHECK(r.rows() == d && r.cols() == d && r.width() == width,
+           "solve_boundary_batch: R shape mismatch");
+  for (std::size_t l = 0; l < width; ++l) {
+    if (!run[l]) continue;
+    GS_CHECK(procs[l] != nullptr, "solve_boundary_batch: null lane process");
+    GS_CHECK(procs[l]->boundary_size() == D &&
+                 procs[l]->repeating_size() == d,
+             "solve_boundary_batch: lane dimension mismatch (group lanes by "
+             "structure before batching)");
+  }
+  obs::count("qbd.batch.boundary.lanes",
+             static_cast<std::uint64_t>(run.count()));
+
+  // Per-lane spectral-radius admission, exactly the scalar stage's.
+  std::vector<double> sp(width, 0.0);
+  for (std::size_t l = 0; l < width; ++l) {
+    if (!run[l]) continue;
+    r.store_lane(l, w.lane_r);
+    const auto spec = linalg::spectral_radius(w.lane_r);
+    sp[l] = spec.radius;
+    if (spec.radius >= 1.0) {
+      out.error[l] = "sp(R) = " + std::to_string(spec.radius) +
+                     " >= 1: chain is not positive recurrent";
+      out.numerical[l] = 1;
+      run.set(l, false);
+    }
+  }
+  if (!run.any()) return;
+
+  BatchKernelStats stats;
+  {
+    // Pack: lane loads, the level-b diagonal product R A2 + B11, the
+    // transposed balance system, and I - R for the tail inverse.
+    StageTimer timer("qbd.batch.boundary.pack");
+    w.blocks.a2.ensure(d, d, width);
+    w.blocks.ensure_boundary(D, d, width);
+    for (std::size_t l = 0; l < width; ++l) {
+      if (!run[l]) continue;
+      const QbdBlocks& blk = procs[l]->blocks();
+      w.blocks.a2.load_lane(l, blk.a2);
+      w.blocks.load_boundary_lane(l, blk);
+    }
+    linalg::batch_multiply_into(w.bnd_ra2, r, w.blocks.a2, run, &stats);
+    linalg::batch_add(w.bnd_ra2, w.blocks.b11, run);
+
+    // Assemble the transposed balance matrix directly (the scalar stage
+    // builds M block-wise and transposes; entry-for-entry copies commute
+    // with the transpose, so writing M^T straight from the blocks moves
+    // the same bits): mt = [[B00^T, B10^T], [B01^T, (B11 + R A2)^T]].
+    w.bnd_mt.ensure(n, n, width);
+    auto scatter_t = [&](const linalg::BatchMatrix& src, std::size_t row0,
+                         std::size_t col0) {
+      for (std::size_t i = 0; i < src.rows(); ++i) {
+        for (std::size_t j = 0; j < src.cols(); ++j) {
+          const double* s = src.lanes(i, j);
+          double* o = w.bnd_mt.lanes(col0 + j, row0 + i);
+          for (std::size_t l = 0; l < width; ++l)
+            if (run[l]) o[l] = s[l];
+        }
+      }
+    };
+    scatter_t(w.blocks.b00, 0, 0);
+    scatter_t(w.blocks.b01, 0, D);
+    scatter_t(w.blocks.b10, D, 0);
+    scatter_t(w.bnd_ra2, D, D);
+
+    linalg::batch_identity_minus(w.bnd_imr, r, run);
+  }
+
+  // (I-R)^{-1} per lane: factor I-R once, solve against the identity —
+  // bit-for-bit linalg::inverse (whose Lu would throw the singular
+  // message the failing lanes record here).
+  {
+    StageTimer timer("qbd.batch.boundary.lu");
+    w.bnd_lu_imr.factor(w.bnd_imr, run);
+  }
+  for (std::size_t l = 0; l < width; ++l) {
+    if (run[l] && w.bnd_lu_imr.singular(l)) {
+      out.error[l] = kSingularMsg;
+      out.numerical[l] = 1;
+      run.set(l, false);
+    }
+  }
+  if (!run.any()) return;
+  {
+    StageTimer timer("qbd.batch.boundary.trsm");
+    w.bnd_eye.ensure(d, d, width);
+    for (std::size_t i = 0; i < d; ++i) {
+      for (std::size_t j = 0; j < d; ++j) {
+        double* o = w.bnd_eye.lanes(i, j);
+        const double id = i == j ? 1.0 : 0.0;
+        for (std::size_t l = 0; l < width; ++l)
+          if (run[l]) o[l] = id;
+      }
+    }
+    w.bnd_lu_imr.solve_into(w.bnd_eye, w.bnd_inv, run);
+  }
+
+  // Normalization row + right-hand side, per lane (the tail weights are
+  // the scalar (I-R)^{-1} e product on the extracted lane inverse).
+  {
+    StageTimer timer("qbd.batch.boundary.pack");
+    const Vector ones = linalg::ones(d);
+    for (std::size_t l = 0; l < width; ++l) {
+      if (!run[l]) continue;
+      w.bnd_inv.store_lane(l, w.bnd_lane_inv);
+      const Vector tail_weights = w.bnd_lane_inv * ones;
+      for (std::size_t j = 0; j < D; ++j) w.bnd_mt(0, j, l) = 1.0;
+      for (std::size_t j = 0; j < d; ++j)
+        w.bnd_mt(0, D + j, l) = tail_weights[j];
+    }
+    w.bnd_rhs.ensure(n, 1, width);
+    for (std::size_t i = 0; i < n; ++i) {
+      double* o = w.bnd_rhs.lanes(i, 0);
+      const double v = i == 0 ? 1.0 : 0.0;
+      for (std::size_t l = 0; l < width; ++l)
+        if (run[l]) o[l] = v;
+    }
+  }
+
+  // Balance solve: one batched factor + n x 1 solve per lane, the exact
+  // arithmetic of the scalar Lu(mt).solve(rhs).
+  {
+    StageTimer timer("qbd.batch.boundary.lu");
+    w.bnd_lu_bal.factor(w.bnd_mt, run);
+  }
+  for (std::size_t l = 0; l < width; ++l) {
+    if (run[l] && w.bnd_lu_bal.singular(l)) {
+      out.error[l] =
+          "QBD boundary system is singular — the chain is likely reducible "
+          "(check QbdProcess::is_irreducible())";
+      out.numerical[l] = 1;
+      run.set(l, false);
+    }
+  }
+  if (!run.any()) {
+    if (stats.masked_flops > 0)
+      obs::count("qbd.batch.masked_flops", stats.masked_flops);
+    return;
+  }
+  {
+    StageTimer timer("qbd.batch.boundary.trsm");
+    w.bnd_lu_bal.solve_into(w.bnd_rhs, w.bnd_x, run);
+  }
+
+  // Per-lane finish: clip, split into boundary levels, probe the mass,
+  // renormalize — scalar order, scalar error mapping.
+  for (std::size_t l = 0; l < width; ++l) {
+    if (!run[l]) continue;
+    try {
+      Vector x(n);
+      for (std::size_t i = 0; i < n; ++i) x[i] = w.bnd_x(i, 0, l);
+      for (double& v : x) {
+        GS_ASSERT(v >= -1e-9);
+        v = std::max(v, 0.0);
+      }
+      std::vector<Vector> boundary;
+      boundary.reserve(procs[l]->boundary_levels() + 1);
+      std::size_t off = 0;
+      for (std::size_t dim : procs[l]->boundary_level_dims()) {
+        boundary.emplace_back(
+            x.begin() + static_cast<std::ptrdiff_t>(off),
+            x.begin() + static_cast<std::ptrdiff_t>(off + dim));
+        off += dim;
+      }
+      boundary.emplace_back(x.begin() + static_cast<std::ptrdiff_t>(D),
+                            x.end());
+
+      r.store_lane(l, w.lane_r);
+      w.bnd_inv.store_lane(l, w.bnd_lane_inv);
+      Matrix lane_inv = w.bnd_lane_inv;
+      const QbdSolution probe(boundary, w.lane_r, lane_inv, sp[l]);
+      const double total = probe.total_mass();
+      if (std::fabs(total - 1.0) > 1e-6) {
+        out.error[l] = "QBD solution mass " + std::to_string(total) +
+                       " deviates from 1 — boundary system is ill-conditioned";
+        out.numerical[l] = 1;
+        continue;
+      }
+      for (auto& lvl : boundary)
+        for (double& v : lvl) v /= total;
+      out.solution[l].emplace(std::move(boundary), w.lane_r,
+                              std::move(lane_inv), sp[l]);
+    } catch (const NumericalError& e) {
+      out.error[l] = e.what();
+      out.numerical[l] = 1;
+    } catch (const Error& e) {
+      out.error[l] = e.what();
+      out.numerical[l] = 0;
+    }
+  }
+  if (stats.masked_flops > 0)
+    obs::count("qbd.batch.masked_flops", stats.masked_flops);
 }
 
 }  // namespace gs::qbd

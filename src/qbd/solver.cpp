@@ -16,6 +16,35 @@ QbdSolution::QbdSolution(std::vector<Vector> boundary_pi, Matrix r,
   i_minus_r_inv_ = linalg::inverse(Matrix::identity(r_.rows()) - r_);
 }
 
+QbdSolution::QbdSolution(std::vector<Vector> boundary_pi, Matrix r,
+                         Matrix i_minus_r_inv, double sp_r)
+    : boundary_pi_(std::move(boundary_pi)),
+      r_(std::move(r)),
+      i_minus_r_inv_(std::move(i_minus_r_inv)),
+      sp_r_(sp_r) {
+  GS_ASSERT(!boundary_pi_.empty());
+  GS_ASSERT(i_minus_r_inv_.rows() == r_.rows() &&
+            i_minus_r_inv_.cols() == r_.cols());
+}
+
+QbdSolution::TailScan::TailScan(const QbdSolution& sol)
+    : sol_(sol),
+      v_(sol.boundary_pi_.back()),
+      w_(sol.i_minus_r_inv_ * linalg::ones(sol.r_.rows())) {}
+
+double QbdSolution::TailScan::next() {
+  // tail_mass_sequence pushes dot(v, w) first and advances v afterwards;
+  // doing the advance lazily at the top of the next call consumes the
+  // exact same multiply chain, minus the final multiply the eager loop
+  // also skips.
+  if (first_) {
+    first_ = false;
+  } else {
+    v_ = v_ * sol_.r_;
+  }
+  return linalg::dot(v_, w_);
+}
+
 const Vector& QbdSolution::boundary_level(std::size_t i) const {
   GS_CHECK(i < boundary_pi_.size(), "boundary level index out of range");
   return boundary_pi_[i];
@@ -194,7 +223,7 @@ QbdSolution solve_with_r(const QbdProcess& process, const Matrix& r,
   mt.assign_zero(n, n);
   for (std::size_t i = 0; i < n; ++i)
     for (std::size_t j = 0; j < n; ++j) mt(i, j) = m(j, i);
-  const Matrix i_minus_r_inv = linalg::inverse(Matrix::identity(d) - r);
+  Matrix i_minus_r_inv = linalg::inverse(Matrix::identity(d) - r);
   const Vector tail_weights = i_minus_r_inv * linalg::ones(d);
   for (std::size_t j = 0; j < D; ++j) mt(0, j) = 1.0;
   for (std::size_t j = 0; j < d; ++j) mt(0, D + j) = tail_weights[j];
@@ -230,8 +259,12 @@ QbdSolution solve_with_r(const QbdProcess& process, const Matrix& r,
 
   // Renormalize exactly (clipping and round-off can leave total mass a few
   // ulps off 1).
+  // The (I-R)^{-1} computed for the normalization row is bit-for-bit the
+  // inverse the QbdSolution constructor would recompute (same r, same
+  // deterministic kernels), so both the probe and the returned solution
+  // reuse it instead of paying two more O(d^3) factorizations.
   {
-    const QbdSolution probe(boundary, r, spec.radius);
+    const QbdSolution probe(boundary, r, i_minus_r_inv, spec.radius);
     const double total = probe.total_mass();
     if (std::fabs(total - 1.0) > 1e-6) {
       throw NumericalError(
@@ -241,7 +274,8 @@ QbdSolution solve_with_r(const QbdProcess& process, const Matrix& r,
     for (auto& lvl : boundary)
       for (double& v : lvl) v /= total;
   }
-  return QbdSolution(std::move(boundary), r, spec.radius);
+  return QbdSolution(std::move(boundary), r, std::move(i_minus_r_inv),
+                     spec.radius);
 }
 
 }  // namespace gs::qbd

@@ -45,6 +45,14 @@ class QbdSolution {
   /// chain).
   QbdSolution(std::vector<Vector> boundary_pi, Matrix r, double sp_r);
 
+  /// As above but with (I-R)^{-1} supplied by the caller. The boundary
+  /// stage already inverted I-R for the normalization row, and the same
+  /// deterministic kernels on the same `r` produce the same bits, so
+  /// handing the inverse over skips a redundant O(d^3) factorization per
+  /// solve. `i_minus_r_inv` must be linalg::inverse(I - r) of this `r`.
+  QbdSolution(std::vector<Vector> boundary_pi, Matrix r, Matrix i_minus_r_inv,
+              double sp_r);
+
   /// pi_i for a boundary level 0 <= i <= b.
   const Vector& boundary_level(std::size_t i) const;
   /// Number of boundary vectors available (= b + 1).
@@ -75,6 +83,30 @@ class QbdSolution {
   /// pass (O(count d^2) instead of O(count^2 d^2)) — used by deep
   /// truncation scans.
   std::vector<double> tail_mass_sequence(std::size_t count) const;
+
+  /// Lazy twin of tail_mass_sequence for scans whose depth is not known
+  /// up front: the k-th next() returns tail_mass_sequence(...)[k] with
+  /// bit-for-bit the same arithmetic (one carried v = v R per step), but
+  /// stops paying the O(d^2) step the moment the caller stops asking —
+  /// the truncation scan in gang::ClassProcess reads ~l_max entries where
+  /// the eager sequence always computed max_levels of them.
+  class TailScan {
+   public:
+    /// tail_mass_from(k) where k counts prior next() calls (0-based).
+    double next();
+
+   private:
+    friend class QbdSolution;
+    explicit TailScan(const QbdSolution& sol);
+    const QbdSolution& sol_;
+    Vector v_;   // pi_b R^k, advanced one multiply per next() after the first
+    Vector w_;   // (I-R)^{-1} e, fixed
+    bool first_ = true;
+  };
+
+  /// Start an incremental tail-mass scan at the last boundary level. The
+  /// scan references this solution; it must not outlive it.
+  TailScan tail_scan() const { return TailScan(*this); }
 
   /// Aggregated phase distribution over the repeating portion:
   /// sum_{n>=0} pi_{b+n} = pi_b (I-R)^{-1}.

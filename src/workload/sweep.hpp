@@ -77,12 +77,17 @@ struct SweepOptions {
   std::size_t chain_stride = 8;
   /// Lanes of the lock-step batched solver (gang::GangSolver::solve_batch):
   /// points whose scenarios share a batch key solve lanes-abreast on
-  /// structure-of-arrays data, at most this many at a time. Composes with
-  /// both axes above — chunks of points fan out across the pool when
-  /// num_threads > 1, and under warm_chain the anchors solve batched-cold
-  /// and the fills batched-warm. Bitwise identical to the scalar path at
-  /// any width (the solve_batch contract), so this changes speed and
-  /// nothing else. <= 1 runs the exact scalar dispatch.
+  /// structure-of-arrays data, at most this many at a time. Every stage of
+  /// the fixed point runs lane-parallel — the R solves, the
+  /// boundary/stationary solves (qbd::solve_boundary_batch), and the
+  /// effective-quantum refits (gang::ClassProcess::effective_quantum_batch)
+  /// — so sweep throughput scales with width end to end rather than being
+  /// Amdahl-capped by scalar per-lane stages. Composes with both axes
+  /// above — chunks of points fan out across the pool when num_threads >
+  /// 1, and under warm_chain the anchors solve batched-cold and the fills
+  /// batched-warm. Bitwise identical to the scalar path at any width (the
+  /// solve_batch contract), so this changes speed and nothing else. <= 1
+  /// runs the exact scalar dispatch.
   std::size_t batch_width = 8;
 };
 

@@ -1,0 +1,184 @@
+// Batched boundary-stage contract tests: lane-by-lane bitwise equality
+// with the scalar solve_with_r (boundary vectors, R, moments), mask
+// independence, the scalar error text on failing lanes with the
+// NumericalError taxonomy preserved, and the qbd.batch.boundary.*
+// observability names.
+#include "qbd/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "qbd/rmatrix.hpp"
+#include "qbd/solver.hpp"
+#include "qbd_test_util.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using gs::linalg::BatchMatrix;
+using gs::linalg::LaneMask;
+using gs::linalg::Matrix;
+using namespace gs::qbd;
+namespace qt = gs::qbd::testing;
+
+// Same-shaped lanes at fanned-out utilizations: M/M/c chains with a
+// 3-level boundary interior so the balance system is nontrivial.
+std::vector<QbdProcess> lane_procs(std::size_t width) {
+  std::vector<QbdProcess> out;
+  out.reserve(width);
+  for (std::size_t l = 0; l < width; ++l)
+    out.push_back(qt::mmc(0.8 + 0.25 * static_cast<double>(l), 1.0, 3));
+  return out;
+}
+
+// Per-lane scalar R (log reduction, the solve() default), packed
+// lane-major the way the lock-step R solvers hand R over.
+BatchMatrix pack_r(const std::vector<QbdProcess>& procs,
+                   std::vector<Matrix>& scalar_r) {
+  const std::size_t d = procs[0].repeating_size();
+  BatchMatrix r;
+  r.ensure(d, d, procs.size());
+  scalar_r.clear();
+  for (std::size_t l = 0; l < procs.size(); ++l) {
+    const auto& b = procs[l].blocks();
+    scalar_r.push_back(solve_r_logreduction(b.a0, b.a1, b.a2, {}).r);
+    r.load_lane(l, scalar_r.back());
+  }
+  return r;
+}
+
+// Bitwise comparison of two solutions: every boundary vector, R, the
+// spectral radius, and the derived moments (same inputs + same
+// deterministic arithmetic => identical bits, so == is the right test).
+void expect_same_bits(const QbdSolution& got, const QbdSolution& want) {
+  ASSERT_EQ(got.boundary_levels(), want.boundary_levels());
+  for (std::size_t i = 0; i < want.boundary_levels(); ++i)
+    EXPECT_EQ(got.boundary_level(i), want.boundary_level(i)) << "level " << i;
+  EXPECT_EQ(gs::linalg::max_abs_diff(got.r(), want.r()), 0.0);
+  EXPECT_EQ(got.spectral_radius_r(), want.spectral_radius_r());
+  EXPECT_EQ(got.mean_level(), want.mean_level());
+  EXPECT_EQ(got.second_moment_level(), want.second_moment_level());
+  EXPECT_EQ(got.total_mass(), want.total_mass());
+}
+
+TEST(BatchBoundary, MatchesSolveWithRPerLane) {
+  const std::vector<QbdProcess> procs = lane_procs(8);
+  std::vector<Matrix> scalar_r;
+  const BatchMatrix r = pack_r(procs, scalar_r);
+
+  std::vector<const QbdProcess*> pp;
+  for (const auto& p : procs) pp.push_back(&p);
+  BatchWorkspace w;
+  BatchBoundaryResult res;
+  solve_boundary_batch(pp.data(), r, LaneMask(procs.size()), {}, w, res);
+
+  for (std::size_t l = 0; l < procs.size(); ++l) {
+    SCOPED_TRACE("lane " + std::to_string(l));
+    ASSERT_TRUE(res.ok(l)) << res.error[l];
+    ASSERT_TRUE(res.solution[l].has_value());
+    expect_same_bits(*res.solution[l], solve_with_r(procs[l], scalar_r[l]));
+  }
+}
+
+TEST(BatchBoundary, MaskedOutLanesAreUntouched) {
+  const std::vector<QbdProcess> procs = lane_procs(4);
+  std::vector<Matrix> scalar_r;
+  const BatchMatrix r = pack_r(procs, scalar_r);
+  std::vector<const QbdProcess*> pp;
+  for (const auto& p : procs) pp.push_back(&p);
+
+  LaneMask mask(procs.size());
+  mask.set(1, false);
+  mask.set(3, false);
+  BatchWorkspace w;
+  BatchBoundaryResult res;
+  solve_boundary_batch(pp.data(), r, mask, {}, w, res);
+
+  for (std::size_t l : {0u, 2u}) {
+    SCOPED_TRACE("lane " + std::to_string(l));
+    ASSERT_TRUE(res.ok(l)) << res.error[l];
+    ASSERT_TRUE(res.solution[l].has_value());
+    expect_same_bits(*res.solution[l], solve_with_r(procs[l], scalar_r[l]));
+  }
+  // Masked-out lanes keep their reset() defaults: no solution, no error.
+  for (std::size_t l : {1u, 3u}) {
+    EXPECT_FALSE(res.solution[l].has_value());
+    EXPECT_TRUE(res.error[l].empty());
+  }
+}
+
+TEST(BatchBoundary, FailingLaneCarriesScalarErrorWithoutDisturbingOthers) {
+  // Lane 1 gets sp(R) = 1 (the identity): the scalar stage rejects it at
+  // spectral-radius admission with a NumericalError. The batched lane
+  // must carry the identical what() text + the retryable flag while the
+  // healthy lanes still produce their scalar bits.
+  std::vector<QbdProcess> procs = lane_procs(3);
+  std::vector<Matrix> scalar_r;
+  BatchMatrix r = pack_r(procs, scalar_r);
+  const std::size_t d = procs[0].repeating_size();
+  Matrix eye(d, d);
+  for (std::size_t i = 0; i < d; ++i) eye(i, i) = 1.0;
+  r.load_lane(1, eye);
+
+  std::vector<const QbdProcess*> pp;
+  for (const auto& p : procs) pp.push_back(&p);
+  BatchWorkspace w;
+  BatchBoundaryResult res;
+  solve_boundary_batch(pp.data(), r, LaneMask(procs.size()), {}, w, res);
+
+  std::string want_text;
+  try {
+    (void)solve_with_r(procs[1], eye);
+    FAIL() << "scalar solve_with_r accepted sp(R) = 1";
+  } catch (const gs::NumericalError& e) {
+    want_text = e.what();
+  }
+  EXPECT_FALSE(res.ok(1));
+  EXPECT_EQ(res.error[1], want_text);
+  EXPECT_NE(res.numerical[1], 0);
+  EXPECT_FALSE(res.solution[1].has_value());
+
+  for (std::size_t l : {0u, 2u}) {
+    SCOPED_TRACE("lane " + std::to_string(l));
+    ASSERT_TRUE(res.ok(l)) << res.error[l];
+    expect_same_bits(*res.solution[l], solve_with_r(procs[l], scalar_r[l]));
+  }
+}
+
+TEST(BatchBoundary, WidthOneMatchesScalar) {
+  // The degenerate single-lane batch is exactly the scalar stage.
+  const std::vector<QbdProcess> procs = lane_procs(1);
+  std::vector<Matrix> scalar_r;
+  const BatchMatrix r = pack_r(procs, scalar_r);
+  const QbdProcess* pp[] = {&procs[0]};
+  BatchWorkspace w;
+  BatchBoundaryResult res;
+  solve_boundary_batch(pp, r, LaneMask(1), {}, w, res);
+  ASSERT_TRUE(res.ok(0)) << res.error[0];
+  expect_same_bits(*res.solution[0], solve_with_r(procs[0], scalar_r[0]));
+}
+
+TEST(BatchBoundary, EmptyBoundaryInteriorLanes) {
+  // M/M/1-style lanes have b = 0 (no boundary interior): the balance
+  // system degenerates to the level-b equations alone. Shape-shared
+  // lanes at different loads must still match scalar bit for bit.
+  std::vector<QbdProcess> procs;
+  for (double rho : {0.3, 0.6, 0.9}) procs.push_back(qt::mm1(rho, 1.0));
+  std::vector<Matrix> scalar_r;
+  const BatchMatrix r = pack_r(procs, scalar_r);
+  std::vector<const QbdProcess*> pp;
+  for (const auto& p : procs) pp.push_back(&p);
+  BatchWorkspace w;
+  BatchBoundaryResult res;
+  solve_boundary_batch(pp.data(), r, LaneMask(procs.size()), {}, w, res);
+  for (std::size_t l = 0; l < procs.size(); ++l) {
+    SCOPED_TRACE("lane " + std::to_string(l));
+    ASSERT_TRUE(res.ok(l)) << res.error[l];
+    expect_same_bits(*res.solution[l], solve_with_r(procs[l], scalar_r[l]));
+  }
+}
+
+}  // namespace

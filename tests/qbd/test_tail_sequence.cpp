@@ -15,6 +15,17 @@ TEST(TailSequence, MatchesPointwiseTailMass) {
     EXPECT_NEAR(seq[k], sol.tail_mass_from(k), 1e-13) << "k=" << k;
 }
 
+TEST(TailSequence, TailScanMatchesEagerSequenceBitwise) {
+  // The lazy scan advances the same carried v = v R recurrence as the
+  // eager sequence, so entry k must be bit-identical to
+  // tail_mass_sequence(...)[k] — the truncation scans in gang rely on it.
+  const auto sol = gs::qbd::solve(qt::me21(0.7, 1.0));
+  const auto seq = sol.tail_mass_sequence(40);
+  auto scan = sol.tail_scan();
+  for (std::size_t k = 0; k < seq.size(); ++k)
+    EXPECT_EQ(scan.next(), seq[k]) << "k=" << k;
+}
+
 TEST(TailSequence, GeometricDecayOnMm1) {
   const double rho = 0.8;
   const auto sol = gs::qbd::solve(qt::mm1(rho, 1.0));
